@@ -1,0 +1,61 @@
+// Command modelgen writes the synthetic models of the paper's evaluation
+// as JSON files consumable by incmapc:
+//
+//	modelgen -model paper -out paper.json
+//	modelgen -model chain -n 1002 -out chain.json
+//	modelgen -model hubrim -n 3 -m 4 -tph -out hubrim.json
+//	modelgen -model customer -out customer.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/modelio"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "paper", "paper, chain, hubrim, customer, partitioned, gender")
+	out := flag.String("out", "", "output path (default stdout)")
+	n := flag.Int("n", 1002, "chain length / hub depth")
+	m := flag.Int("m", 4, "hub-rim fan-out")
+	tph := flag.Bool("tph", false, "map hub-rim TPH instead of TPT")
+	flag.Parse()
+
+	var mp *frag.Mapping
+	switch *model {
+	case "paper":
+		mp = workload.PaperFull()
+	case "chain":
+		mp = workload.Chain(*n)
+	case "hubrim":
+		mp = workload.HubRim(workload.HubRimOptions{N: *n, M: *m, TPH: *tph})
+	case "customer":
+		mp = workload.Customer(workload.DefaultCustomerOptions())
+	case "partitioned":
+		mp = workload.PartitionedAgeModel()
+	case "gender":
+		mp = workload.GenderConstantModel()
+	default:
+		fmt.Fprintf(os.Stderr, "modelgen: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := modelio.Encode(w, mp); err != nil {
+		fmt.Fprintln(os.Stderr, "modelgen:", err)
+		os.Exit(1)
+	}
+}

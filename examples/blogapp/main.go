@@ -1,0 +1,190 @@
+// The blogapp example builds a realistic application domain — users,
+// posts and comments with an inheritance hierarchy over content — maps it
+// with a mix of strategies (users TPT, content TPH, tags via a join
+// table), and drives the ORM runtime: inserts, polymorphic queries,
+// updates through the client view, and inspection of the translated
+// relational state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	incmap "github.com/ormkit/incmap"
+)
+
+func buildMapping() *incmap.Mapping {
+	c := incmap.NewClientSchema()
+	must(c.AddType(incmap.EntityType{
+		Name: "User",
+		Attrs: []incmap.Attribute{
+			{Name: "Id", Type: incmap.KindInt},
+			{Name: "Handle", Type: incmap.KindString},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddType(incmap.EntityType{
+		Name: "Content",
+		Attrs: []incmap.Attribute{
+			{Name: "Id", Type: incmap.KindInt},
+			{Name: "Body", Type: incmap.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddSet(incmap.EntitySet{Name: "Users", Type: "User"}))
+	must(c.AddSet(incmap.EntitySet{Name: "Contents", Type: "Content"}))
+
+	s := incmap.NewStoreSchema()
+	must(s.AddTable(incmap.Table{
+		Name: "users",
+		Cols: []incmap.Column{
+			{Name: "id", Type: incmap.KindInt},
+			{Name: "handle", Type: incmap.KindString},
+		},
+		Key: []string{"id"},
+	}))
+	must(s.AddTable(incmap.Table{
+		Name: "content",
+		Cols: []incmap.Column{
+			{Name: "id", Type: incmap.KindInt},
+			{Name: "body", Type: incmap.KindString, Nullable: true},
+			{Name: "kind", Type: incmap.KindString,
+				Enum: []incmap.Value{incmap.Str("Content"), incmap.Str("Post"), incmap.Str("Comment")}},
+			{Name: "title", Type: incmap.KindString, Nullable: true},
+			{Name: "author", Type: incmap.KindInt, Nullable: true},
+			{Name: "parent", Type: incmap.KindInt, Nullable: true},
+		},
+		Key: []string{"id"},
+		FKs: []incmap.ForeignKey{
+			{Name: "fk_author", Cols: []string{"author"}, RefTable: "users", RefCols: []string{"id"}},
+			{Name: "fk_parent", Cols: []string{"parent"}, RefTable: "content", RefCols: []string{"id"}},
+		},
+	}))
+
+	m := &incmap.Mapping{Client: c, Store: s}
+	m.Frags = append(m.Frags,
+		&incmap.Fragment{
+			ID: "f_user", Set: "Users",
+			ClientCond: incmap.IsOf("User"),
+			Attrs:      []string{"Id", "Handle"},
+			Table:      "users", StoreCond: incmap.True,
+			ColOf: map[string]string{"Id": "id", "Handle": "handle"},
+		},
+		&incmap.Fragment{
+			ID: "f_content", Set: "Contents",
+			ClientCond: incmap.IsOfOnly("Content"),
+			Attrs:      []string{"Id", "Body"},
+			Table:      "content",
+			StoreCond:  incmap.MustParseCond("kind = 'Content'"),
+			ColOf:      map[string]string{"Id": "id", "Body": "body"},
+		},
+	)
+	return m
+}
+
+func main() {
+	m := buildMapping()
+	views, err := incmap.Compile(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("base blog mapping compiled (User → users, Content → content TPH)")
+
+	// Evolve the content hierarchy incrementally: posts and comments are
+	// TPH subtypes in the content table; authorship and threading are
+	// FK-mapped associations; tagging is a many-to-many join table.
+	ic := incmap.NewIncremental()
+	m, views, err = ic.ApplyAll(m, views,
+		incmap.AddEntityTPH("Post", "Content",
+			[]incmap.Attribute{{Name: "Title", Type: incmap.KindString, Nullable: true}},
+			"content", "kind", incmap.Str("Post"),
+			map[string]string{"Id": "id", "Body": "body", "Title": "title"}),
+		incmap.AddEntityTPH("Comment", "Content",
+			nil,
+			"content", "kind", incmap.Str("Comment"),
+			map[string]string{"Id": "id", "Body": "body"}),
+		&incmap.AddAssociationFK{
+			Name: "Wrote",
+			E1:   "Content", Mult1: incmap.Many,
+			E2: "User", Mult2: incmap.ZeroOne,
+			Table: "content", KeyCols1: []string{"id"}, KeyCols2: []string{"author"},
+		},
+		&incmap.AddAssociationFK{
+			Name: "ReplyTo",
+			E1:   "Content", Mult1: incmap.Many,
+			E2: "Content", Mult2: incmap.ZeroOne,
+			Table: "content", KeyCols1: []string{"id"}, KeyCols2: []string{"parent"},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("evolved: +Post (TPH), +Comment (TPH), +Wrote (FK), +ReplyTo (FK)")
+
+	db := incmap.Open(m, views)
+	seed := incmap.NewClientState()
+	seed.Insert("Users", &incmap.Entity{Type: "User", Attrs: incmap.Row{
+		"Id": incmap.Int(1), "Handle": incmap.Str("ada")}})
+	seed.Insert("Users", &incmap.Entity{Type: "User", Attrs: incmap.Row{
+		"Id": incmap.Int(2), "Handle": incmap.Str("lin")}})
+	seed.Insert("Contents", &incmap.Entity{Type: "Post", Attrs: incmap.Row{
+		"Id": incmap.Int(10), "Title": incmap.Str("Mapping compilation"),
+		"Body": incmap.Str("Validation is NP-hard...")}})
+	seed.Insert("Contents", &incmap.Entity{Type: "Comment", Attrs: incmap.Row{
+		"Id": incmap.Int(11), "Body": incmap.Str("Nice speedups!")}})
+	seed.Relate("Wrote", incmap.AssocPair{Ends: incmap.Row{
+		"Content_Id": incmap.Int(10), "User_Id": incmap.Int(1)}})
+	seed.Relate("Wrote", incmap.AssocPair{Ends: incmap.Row{
+		"Content_Id": incmap.Int(11), "User_Id": incmap.Int(2)}})
+	seed.Relate("ReplyTo", incmap.AssocPair{Ends: incmap.Row{
+		"Content1_Id": incmap.Int(11), "Content2_Id": incmap.Int(10)}})
+	if err := db.Save(seed); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n--- content table after update-view translation ---")
+	for _, row := range db.Table("content") {
+		fmt.Println("  ", row.Canonical())
+	}
+
+	posts, err := db.Query("Post", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- posts (polymorphic query through the Post view) ---")
+	for _, p := range posts {
+		fmt.Println("  ", p.Canonical())
+	}
+
+	// Edit a post through the object view; the change lands in the table.
+	err = db.Update(func(cs *incmap.ClientState) error {
+		for _, e := range cs.Entities["Contents"] {
+			if e.Type == "Post" && e.Attrs["Id"].IntVal() == 10 {
+				e.Attrs["Title"] = incmap.Str("Incremental mapping compilation")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- content table after editing the post's title ---")
+	for _, row := range db.Table("content") {
+		fmt.Println("  ", row.Canonical())
+	}
+
+	replies, err := db.Related("ReplyTo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- reply threading recovered from the parent column ---")
+	for _, p := range replies {
+		fmt.Println("  ", p.Ends.Canonical())
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

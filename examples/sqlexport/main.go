@@ -1,0 +1,72 @@
+// The sqlexport example shows the deployment-facing side of the compiler:
+// after a model is compiled (and evolved), the store schema is exported as
+// CREATE TABLE DDL and each query view as an ANSI SQL SELECT — the
+// statements a real relational backend would run, analogous to the
+// generated-views file Entity Framework ships with an application (§4.1 of
+// the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	incmap "github.com/ormkit/incmap"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func main() {
+	// Start from the paper's full Figure 1 model and evolve it once more,
+	// so the exported SQL reflects an incrementally compiled mapping.
+	m := workload.PaperFull()
+	views, err := incmap.Compile(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op, err := incmap.PlanAddEntity(m, "Manager", "Employee",
+		[]incmap.Attribute{{Name: "Grade", Type: incmap.KindInt, Nullable: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, views, err = incmap.NewIncremental().Apply(m, views, op)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- store schema DDL ------------------------------------")
+	fmt.Println(incmap.GenerateDDL(m))
+
+	for _, ty := range []string{"Manager", "Employee"} {
+		sql, err := incmap.GenerateSQL(m, views.Query[ty])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- SQL executed for queries over %s --------------------\n%s\n\n", ty, sql)
+	}
+
+	// The exported SQL is only trustworthy because the mapping validates;
+	// demonstrate the runtime agrees on random data.
+	for seed := uint32(1); seed <= 3; seed++ {
+		if err := incmap.Roundtrip(m, views, randomState(m, seed)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("-- verified: 3 random client states roundtrip through these views")
+}
+
+func randomState(m *incmap.Mapping, seed uint32) *incmap.ClientState {
+	// The library's random-state generator is reachable through the CLI's
+	// -verify flag; examples keep to the public API, so build a small
+	// deterministic state by hand.
+	cs := incmap.NewClientState()
+	base := int64(seed) * 100
+	cs.Insert("Persons", &incmap.Entity{Type: "Person", Attrs: incmap.Row{
+		"Id": incmap.Int(base + 1), "Name": incmap.Str("p")}})
+	cs.Insert("Persons", &incmap.Entity{Type: "Manager", Attrs: incmap.Row{
+		"Id": incmap.Int(base + 2), "Name": incmap.Str("m"),
+		"Department": incmap.Str("hw"), "Grade": incmap.Int(int64(seed))}})
+	cs.Insert("Persons", &incmap.Entity{Type: "Customer", Attrs: incmap.Row{
+		"Id": incmap.Int(base + 3), "CredScore": incmap.Int(640)}})
+	cs.Relate("Supports", incmap.AssocPair{Ends: incmap.Row{
+		"Customer_Id": incmap.Int(base + 3), "Employee_Id": incmap.Int(base + 2)}})
+	return cs
+}

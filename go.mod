@@ -1,0 +1,3 @@
+module github.com/ormkit/incmap
+
+go 1.22

@@ -1,0 +1,321 @@
+// Package incmap is an object-to-relational mapping system with an
+// incremental mapping compiler, reproducing Bernstein, Jacob, Pérez, Rull
+// and Terwilliger, "Incremental Mapping Compilation in an
+// Object-to-Relational Mapping System", SIGMOD 2013.
+//
+// A mapping consists of three developer-provided definitions: a client
+// schema (entity types with inheritance, entity sets, associations), a
+// relational store schema, and a set of declarative mapping fragments
+// π_α(σ_ψ(E)) = π_β(σ_χ(R)). Compiling a mapping validates that it
+// roundtrips (updates saved to the database read back unchanged) and
+// produces query views and update views used by the runtime.
+//
+// Full compilation (Compile) is expensive: validation is NP-hard and its
+// exhaustive analysis is exponential in the complexity of the mapping.
+// The incremental compiler (NewIncremental, Apply) instead evolves an
+// already-compiled mapping under schema modification operations — AddEntity
+// in the TPT/TPC/TPH styles, AddEntityPart, AddAssociationFK/JT,
+// AddProperty, DropEntity, DropAssociation — validating only the
+// neighbourhood of the change, typically orders of magnitude faster.
+//
+// A minimal session:
+//
+//	m := ...                                   // build or load a *incmap.Mapping
+//	views, err := incmap.Compile(m)            // full compile once
+//	db := incmap.Open(m, views)                // in-memory ORM runtime
+//	op := incmap.AddEntityTPT("Employee", "Person", attrs, "Emp", cols)
+//	m, views, err = incmap.NewIncremental().Apply(m, views, op)
+package incmap
+
+import (
+	"io"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/containment"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/esql"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/modef"
+	"github.com/ormkit/incmap/internal/modelio"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/sqlgen"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+// Schema building blocks.
+type (
+	// ClientSchema is the object-oriented schema (an EDM subset).
+	ClientSchema = edm.Schema
+	// EntityType is a node of an inheritance hierarchy.
+	EntityType = edm.EntityType
+	// Attribute is a typed attribute of an entity type.
+	Attribute = edm.Attribute
+	// EntitySet is a persistent collection of a root type's instances.
+	EntitySet = edm.EntitySet
+	// Association relates two entity types.
+	Association = edm.Association
+	// End is one association endpoint.
+	End = edm.End
+	// Mult is an association-end multiplicity.
+	Mult = edm.Mult
+
+	// StoreSchema is the relational schema.
+	StoreSchema = rel.Schema
+	// Table is a relational table definition.
+	Table = rel.Table
+	// Column is a table column.
+	Column = rel.Column
+	// ForeignKey maps table columns to another table's key.
+	ForeignKey = rel.ForeignKey
+
+	// Mapping bundles client schema, store schema and fragments.
+	Mapping = frag.Mapping
+	// Fragment is one mapping equation π_α(σ_ψ(E)) = π_β(σ_χ(R)).
+	Fragment = frag.Fragment
+	// Views is a compiled mapping: query and update views.
+	Views = frag.Views
+
+	// Cond is a boolean condition over entities or rows.
+	Cond = cond.Expr
+	// Value is a typed constant.
+	Value = cond.Value
+	// Kind enumerates value kinds.
+	Kind = cond.Kind
+
+	// ClientState is an instance of a client schema.
+	ClientState = state.ClientState
+	// StoreState is an instance of a store schema.
+	StoreState = state.StoreState
+	// Entity is an instance of an entity type.
+	Entity = state.Entity
+	// AssocPair is one association instance.
+	AssocPair = state.AssocPair
+	// Row is a table row.
+	Row = state.Row
+)
+
+// Value kinds.
+const (
+	KindString = cond.KindString
+	KindInt    = cond.KindInt
+	KindFloat  = cond.KindFloat
+	KindBool   = cond.KindBool
+)
+
+// Association-end multiplicities.
+const (
+	One     = edm.One
+	ZeroOne = edm.ZeroOne
+	Many    = edm.Many
+)
+
+// NewClientSchema returns an empty client schema.
+func NewClientSchema() *ClientSchema { return edm.NewSchema() }
+
+// NewStoreSchema returns an empty store schema.
+func NewStoreSchema() *StoreSchema { return rel.NewSchema() }
+
+// Condition constructors re-exported from the condition language.
+var (
+	// True is the always-true condition.
+	True = cond.Expr(cond.True{})
+)
+
+// IsOf builds the condition IS OF type.
+func IsOf(typeName string) Cond { return cond.TypeIs{Type: typeName} }
+
+// IsOfOnly builds the condition IS OF (ONLY type).
+func IsOfOnly(typeName string) Cond { return cond.TypeIs{Type: typeName, Only: true} }
+
+// NotNull builds attr IS NOT NULL.
+func NotNull(attr string) Cond { return cond.NotNull(attr) }
+
+// IsNull builds attr IS NULL.
+func IsNull(attr string) Cond { return cond.Null{Attr: attr} }
+
+// And conjoins conditions.
+func And(xs ...Cond) Cond { return cond.NewAnd(xs...) }
+
+// Or disjoins conditions.
+func Or(xs ...Cond) Cond { return cond.NewOr(xs...) }
+
+// ParseCond parses the Entity-SQL-like condition syntax (see package
+// documentation of internal/esql).
+func ParseCond(in string) (Cond, error) { return esql.ParseCond(in) }
+
+// MustParseCond is ParseCond panicking on error.
+func MustParseCond(in string) Cond { return esql.MustParseCond(in) }
+
+// Full compilation -----------------------------------------------------------
+
+// CompilerOptions tunes the full compiler.
+type CompilerOptions = compiler.Options
+
+// CompileStats reports full-compilation work.
+type CompileStats = compiler.Stats
+
+// Compile fully compiles and validates a mapping, generating its query and
+// update views. This is the expensive baseline the incremental compiler is
+// measured against.
+func Compile(m *Mapping) (*Views, error) { return compiler.New().Compile(m) }
+
+// CompileWith compiles with explicit options and reports statistics.
+func CompileWith(m *Mapping, opts CompilerOptions) (*Views, CompileStats, error) {
+	c := &compiler.Compiler{Opts: opts}
+	v, err := c.Compile(m)
+	return v, c.Stats, err
+}
+
+// Incremental compilation ----------------------------------------------------
+
+// Incremental is the incremental mapping compiler (the paper's
+// contribution).
+type Incremental = core.Incremental
+
+// IncrementalOptions tunes the incremental compiler.
+type IncrementalOptions = core.Options
+
+// SMO is a schema modification operation.
+type SMO = core.SMO
+
+// The concrete SMOs of §3 of the paper.
+type (
+	// AddEntity adds a leaf entity type (general α/P/T/f form).
+	AddEntity = core.AddEntity
+	// AddEntityPart adds a horizontally partitioned entity type (§3.3).
+	AddEntityPart = core.AddEntityPart
+	// Part is one (αi, ψi, Ti, fi) element of AddEntityPart.
+	Part = core.Part
+	// AddAssociationFK adds an association mapped to key/foreign-key
+	// columns (§3.2).
+	AddAssociationFK = core.AddAssociationFK
+	// AddAssociationJT adds an association mapped to a join table.
+	AddAssociationJT = core.AddAssociationJT
+	// AddProperty adds an attribute to an existing type.
+	AddProperty = core.AddProperty
+	// DropEntity removes a leaf entity type.
+	DropEntity = core.DropEntity
+	// DropAssociation removes an association.
+	DropAssociation = core.DropAssociation
+	// RefactorAssocToInheritance turns a 1 — 0..1 association into an
+	// inheritance relationship (§3.4).
+	RefactorAssocToInheritance = core.RefactorAssocToInheritance
+)
+
+// NewIncremental returns an incremental compiler with default options.
+func NewIncremental() *Incremental { return core.NewIncremental() }
+
+// AddEntityTPT builds the Table-per-Type AddEntity.
+func AddEntityTPT(name, parent string, attrs []Attribute, table string, colOf map[string]string) *AddEntity {
+	return core.AddEntityTPT(name, parent, attrs, table, colOf)
+}
+
+// AddEntityTPC builds the Table-per-Concrete-type AddEntity.
+func AddEntityTPC(name, parent string, attrs []Attribute, table string, colOf map[string]string) *AddEntity {
+	return core.AddEntityTPC(name, parent, attrs, table, colOf)
+}
+
+// AddEntityTPH builds the Table-per-Hierarchy AddEntity.
+func AddEntityTPH(name, parent string, attrs []Attribute, table, discCol string, discVal Value, colOf map[string]string) *AddEntity {
+	return core.AddEntityTPH(name, parent, attrs, table, discCol, discVal, colOf)
+}
+
+// Style inference (MoDEF) ----------------------------------------------------
+
+// MappingStyle identifies TPT/TPC/TPH.
+type MappingStyle = modef.Style
+
+// Mapping styles.
+const (
+	TPT = modef.TPT
+	TPC = modef.TPC
+	TPH = modef.TPH
+)
+
+// InferStyle reports the mapping style of an entity type.
+func InferStyle(m *Mapping, typeName string) MappingStyle { return modef.InferStyle(m, typeName) }
+
+// PlanAddEntity synthesises an AddEntity SMO in the style of the new
+// type's neighbourhood, extending the store schema as needed.
+func PlanAddEntity(m *Mapping, name, parent string, attrs []Attribute) (SMO, error) {
+	return modef.PlanAddEntity(m, name, parent, attrs)
+}
+
+// PlanAddAssociation synthesises an association SMO (FK or join-table
+// style depending on multiplicities).
+func PlanAddAssociation(m *Mapping, name, e1, e2 string, m1, m2 Mult) (SMO, error) {
+	return modef.PlanAddAssociation(m, name, e1, e2, m1, m2)
+}
+
+// DiffSchemas converts a target client schema into an SMO sequence (drops
+// first, then adds).
+func DiffSchemas(m *Mapping, target *ClientSchema) ([]SMO, error) { return modef.Diff(m, target) }
+
+// Runtime ---------------------------------------------------------------------
+
+// DB is the in-memory ORM runtime over a compiled mapping.
+type DB = orm.DB
+
+// Open creates an empty database over a compiled mapping.
+func Open(m *Mapping, views *Views) *DB { return orm.Open(m, views) }
+
+// Roundtrip verifies V ∘ Q = identity on one client state.
+func Roundtrip(m *Mapping, views *Views, cs *ClientState) error {
+	return orm.Roundtrip(m, views, cs)
+}
+
+// NewClientState returns an empty client state.
+func NewClientState() *ClientState { return state.NewClientState() }
+
+// Containment -----------------------------------------------------------------
+
+// ContainmentChecker decides query containment (exposed for tooling and
+// experiments).
+type ContainmentChecker = containment.Checker
+
+// NewContainmentChecker builds a checker over a mapping's schemas.
+func NewContainmentChecker(m *Mapping) *ContainmentChecker {
+	return containment.NewChecker(m.Catalog())
+}
+
+// Views and formatting ----------------------------------------------------------
+
+// FormatView renders a compiled (Q | τ) view as Entity-SQL-like text, in
+// the shape of Figure 2 of the paper.
+func FormatView(v *cqt.View) string { return cqt.FormatView(v) }
+
+// SQL generation -------------------------------------------------------------------
+
+// GenerateDDL renders CREATE TABLE statements for the mapping's store
+// schema.
+func GenerateDDL(m *Mapping) string { return sqlgen.DDL(m.Store) }
+
+// GenerateSQL renders a compiled query view as an ANSI SQL SELECT (only
+// query views have a SQL form; update views range over client data).
+func GenerateSQL(m *Mapping, v *cqt.View) (string, error) {
+	return sqlgen.Query(m.Catalog(), v.Q)
+}
+
+// Serialization ------------------------------------------------------------------
+
+// EncodeMapping writes a mapping as JSON.
+func EncodeMapping(w io.Writer, m *Mapping) error { return modelio.Encode(w, m) }
+
+// DecodeMapping reads a mapping from JSON.
+func DecodeMapping(r io.Reader) (*Mapping, error) { return modelio.Decode(r) }
+
+// Int returns an integer Value.
+func Int(i int64) Value { return cond.Int(i) }
+
+// Str returns a string Value.
+func Str(s string) Value { return cond.String(s) }
+
+// Float returns a float Value.
+func Float(f float64) Value { return cond.Float(f) }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value { return cond.Bool(b) }

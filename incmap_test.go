@@ -1,0 +1,172 @@
+package incmap_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	incmap "github.com/ormkit/incmap"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the public facade
+// only: build a schema, compile, evolve incrementally, run the ORM, and
+// serialize.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m := workload.PaperInitial()
+	views, err := incmap.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ic := incmap.NewIncremental()
+	m, views, err = ic.ApplyAll(m, views,
+		incmap.AddEntityTPT("Employee", "Person",
+			[]incmap.Attribute{{Name: "Department", Type: incmap.KindString, Nullable: true}},
+			"Emp", map[string]string{"Id": "Id", "Department": "Dept"}),
+		incmap.AddEntityTPC("Customer", "Person",
+			[]incmap.Attribute{
+				{Name: "CredScore", Type: incmap.KindInt, Nullable: true},
+				{Name: "BillAddr", Type: incmap.KindString, Nullable: true},
+			},
+			"Client", map[string]string{"Id": "Cid", "Name": "Name", "CredScore": "Score", "BillAddr": "Addr"}),
+		&incmap.AddAssociationFK{
+			Name: "Supports",
+			E1:   "Customer", Mult1: incmap.Many,
+			E2: "Employee", Mult2: incmap.ZeroOne,
+			Table: "Client", KeyCols1: []string{"Cid"}, KeyCols2: []string{"Eid"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := incmap.Open(m, views)
+	if err := db.Save(workload.PaperClientState()); err != nil {
+		t.Fatal(err)
+	}
+	persons, err := db.Query("Person", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(persons) != 5 {
+		t.Fatalf("persons = %d", len(persons))
+	}
+	if err := incmap.Roundtrip(m, views, workload.PaperClientState()); err != nil {
+		t.Fatal(err)
+	}
+
+	if s := incmap.InferStyle(m, "Employee"); s != incmap.TPT {
+		t.Errorf("style = %v", s)
+	}
+
+	out := incmap.FormatView(views.Query["Person"])
+	if !strings.Contains(out, "UNION ALL") {
+		t.Errorf("Person view missing union:\n%s", out)
+	}
+
+	var buf bytes.Buffer
+	if err := incmap.EncodeMapping(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := incmap.DecodeMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incmap.Compile(m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionHelpers(t *testing.T) {
+	e := incmap.And(
+		incmap.Or(incmap.IsOfOnly("Person"), incmap.IsOf("Employee")),
+		incmap.NotNull("Name"),
+	)
+	parsed, err := incmap.ParseCond(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != e.String() {
+		t.Errorf("parse/print drift: %q vs %q", parsed.String(), e.String())
+	}
+	if incmap.IsNull("X").String() != "X IS NULL" {
+		t.Errorf("IsNull printing wrong")
+	}
+	_ = incmap.True
+}
+
+func TestCompileWithStats(t *testing.T) {
+	m := workload.PaperFull()
+	_, stats, err := incmap.CompileWith(m, incmap.CompilerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CellsVisited == 0 {
+		t.Errorf("stats not reported: %+v", stats)
+	}
+}
+
+func TestPlannerFacade(t *testing.T) {
+	m := workload.PaperFull()
+	views, err := incmap.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := incmap.PlanAddEntity(m, "Intern", "Employee",
+		[]incmap.Attribute{{Name: "School", Type: incmap.KindString, Nullable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := incmap.NewIncremental().Apply(m, views, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Client.Type("Intern") == nil {
+		t.Fatal("Intern missing")
+	}
+
+	target := m2.Client.Clone()
+	ops, err := incmap.DiffSchemas(m2, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Errorf("diff of identical schemas = %v", ops)
+	}
+}
+
+func TestFacadeSQLAndContainment(t *testing.T) {
+	m := workload.PaperFull()
+	views, err := incmap.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl := incmap.GenerateDDL(m)
+	if !strings.Contains(ddl, "CREATE TABLE Client") {
+		t.Errorf("DDL missing Client:\n%s", ddl)
+	}
+	sql, err := incmap.GenerateSQL(m, views.Query["Employee"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "FROM Emp") {
+		t.Errorf("SQL missing Emp scan:\n%s", sql)
+	}
+	// The containment checker is usable on compiled views directly: every
+	// row of the Employee view appears in the Person view.
+	ch := incmap.NewContainmentChecker(m)
+	ok, err := ch.Contains(views.Query["Employee"].Q, views.Query["Person"].Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Employee view not contained in Person view")
+	}
+	if incmap.Bool(true).BoolVal() != true || incmap.Float(1.5).FloatVal() != 1.5 {
+		t.Error("value helpers wrong")
+	}
+	if incmap.Int(3).IntVal() != 3 || incmap.Str("x").Str() != "x" {
+		t.Error("value helpers wrong")
+	}
+}

@@ -1,0 +1,177 @@
+package compiler
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+)
+
+// updateView builds the update view for one table: the union of the
+// entity-fragment contributions (padded to the table's full column list),
+// left-outer-joined with each association fragment mapped into the table
+// per §3.2.1 of the paper.
+func (c *Compiler) updateView(m *frag.Mapping, table string) (*cqt.View, error) {
+	tab := m.Store.Table(table)
+	if tab == nil {
+		return nil, fmt.Errorf("unknown table %q", table)
+	}
+	var entity []*frag.Fragment
+	var assoc []*frag.Fragment
+	for _, f := range m.FragsOnTable(table) {
+		if f.Assoc != "" {
+			assoc = append(assoc, f)
+		} else {
+			entity = append(entity, f)
+		}
+	}
+
+	// Columns written by association fragments are excluded from the
+	// entity part (they are supplied by the outer joins below).
+	assocCols := map[string]bool{}
+	for _, g := range assoc {
+		for _, col := range g.Cols() {
+			if !tab.IsKey(col) {
+				assocCols[col] = true
+			}
+		}
+	}
+
+	entityPart, err := c.entityPart(m, tab, entity, assocCols)
+	if err != nil {
+		return nil, err
+	}
+
+	q := entityPart
+	for _, g := range assoc {
+		part := assocContribution(g)
+		if q == nil {
+			q = part
+			continue
+		}
+		// Join the association pairs onto the entity rows by the table key.
+		on := make([][2]string, 0, len(tab.Key))
+		for _, k := range tab.Key {
+			on = append(on, [2]string{k, k})
+		}
+		q = cqt.Join{Kind: cqt.LeftOuter, L: q, R: part, On: on}
+	}
+	if q == nil {
+		return nil, fmt.Errorf("table %q has fragments but no contribution", table)
+	}
+	return &cqt.View{Q: q}, nil
+}
+
+// entityPart assembles the entity-fragment contributions of a table.
+func (c *Compiler) entityPart(m *frag.Mapping, tab *rel.Table, entity []*frag.Fragment, skipCols map[string]bool) (cqt.Expr, error) {
+	if len(entity) == 0 {
+		return nil, nil
+	}
+	// Group fragments by entity set, then by equivalent client condition
+	// within each set. Equivalent-condition fragments write different
+	// column subsets of the same rows and are joined on the key;
+	// different-condition groups contribute disjoint rows and are unioned.
+	type group struct {
+		set   string
+		cond  cond.Expr
+		frags []*frag.Fragment
+	}
+	var groups []*group
+	for _, f := range entity {
+		placed := false
+		for _, g := range groups {
+			if g.set != f.Set {
+				continue
+			}
+			c.Stats.EquivalenceOps++
+			if cond.Equivalent(m.Client.TheoryFor(f.Set), g.cond, f.ClientCond) {
+				g.frags = append(g.frags, f)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, &group{set: f.Set, cond: f.ClientCond, frags: []*frag.Fragment{f}})
+		}
+	}
+	// Groups over the same set must be pairwise disjoint, or the update
+	// view would store a client entity twice with conflicting shapes.
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			if groups[i].set != groups[j].set {
+				continue
+			}
+			c.Stats.EquivalenceOps++
+			if !cond.Disjoint(m.Client.TheoryFor(groups[i].set), groups[i].cond, groups[j].cond) {
+				return nil, fmt.Errorf("fragments %s and %s on table %s overlap ambiguously",
+					groups[i].frags[0].ID, groups[j].frags[0].ID, tab.Name)
+			}
+		}
+	}
+
+	var branches []cqt.Expr
+	for _, g := range groups {
+		b, err := c.groupContribution(m, tab, g.frags, g.cond, skipCols)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
+	}
+	if len(branches) == 1 {
+		return branches[0], nil
+	}
+	return cqt.UnionAll{Inputs: branches}, nil
+}
+
+// groupContribution builds one union branch of an update view: the join of
+// the group's fragments over the client set, projected and renamed into the
+// table's columns with NULL padding.
+func (c *Compiler) groupContribution(m *frag.Mapping, tab *rel.Table, frags []*frag.Fragment, groupCond cond.Expr, skipCols map[string]bool) (cqt.Expr, error) {
+	set := frags[0].Set
+
+	// All fragments in the group select the same client rows, so a single
+	// scan suffices; merge their attribute→column renamings.
+	colFor := map[string]string{} // table column -> client attribute
+	for _, f := range frags {
+		for _, a := range f.Attrs {
+			col := f.ColOf[a]
+			if prev, ok := colFor[col]; ok && prev != a {
+				return nil, fmt.Errorf("fragments map both %q and %q to column %s.%s", prev, a, tab.Name, col)
+			}
+			colFor[col] = a
+		}
+	}
+	// Columns fixed by the fragments' store conditions (TPH discriminator
+	// values) are written as constants.
+	consts := map[string]cond.Value{}
+	for _, f := range frags {
+		collectEqualities(f.StoreCond, consts)
+	}
+	scan := cqt.Select{In: cqt.ScanSet{Set: set}, Cond: groupCond}
+	cols := make([]cqt.ProjCol, 0, len(tab.Cols))
+	for _, tc := range tab.Cols {
+		if skipCols[tc.Name] {
+			continue
+		}
+		if a, ok := colFor[tc.Name]; ok {
+			cols = append(cols, cqt.ColAs(a, tc.Name))
+		} else if val, ok := consts[tc.Name]; ok {
+			cols = append(cols, cqt.LitAs(cqt.Const(val), tc.Name))
+		} else {
+			cols = append(cols, cqt.LitAs(cqt.NullOf(tc.Type), tc.Name))
+		}
+	}
+	return cqt.Project{In: scan, Cols: cols}, nil
+}
+
+// assocContribution builds π_{PK1 AS f(PK1), PK2 AS f(PK2)}(A) for an
+// association fragment.
+func assocContribution(g *frag.Fragment) cqt.Expr {
+	cols := make([]cqt.ProjCol, 0, len(g.Attrs))
+	for _, a := range g.Attrs {
+		cols = append(cols, cqt.ColAs(a, g.ColOf[a]))
+	}
+	return cqt.Project{In: cqt.ScanAssoc{Assoc: g.Assoc}, Cols: cols}
+}

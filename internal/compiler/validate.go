@@ -1,0 +1,425 @@
+package compiler
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/containment"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+)
+
+// ValidationError describes why a mapping does not roundtrip.
+type ValidationError struct {
+	Where  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("mapping validation failed at %s: %s", e.Where, e.Reason)
+}
+
+// validate implements the five-step validation of Algorithm 1 in Melnik et
+// al. as summarized in §1.2 of the paper: (1) left sides one-to-one and
+// client coverage, via exhaustive cell analysis of each entity set; (2)-(4)
+// integrity-constraint preservation, via store-side cell analysis and
+// query-containment checks over the update views; (5) roundtrip of the
+// view composition, which the cell analysis establishes for this fragment
+// language.
+func (c *Compiler) validate(m *frag.Mapping, views *frag.Views) error {
+	for _, set := range m.Client.Sets() {
+		if len(m.FragsOnSet(set.Name)) == 0 {
+			if err := c.checkSetUnmapped(m, set); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.validateSetCells(m, set); err != nil {
+			return err
+		}
+	}
+	for _, tn := range m.MappedTables() {
+		if err := c.validateTableCells(m, tn); err != nil {
+			return err
+		}
+	}
+	if err := c.validateForeignKeys(m, views); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkSetUnmapped verifies that a set without fragments has no mapped
+// associations referencing it (data about its entities would be lost).
+func (c *Compiler) checkSetUnmapped(m *frag.Mapping, set *edm.EntitySet) error {
+	for _, a := range m.Client.Associations() {
+		if m.FragForAssoc(a.Name) == nil {
+			continue
+		}
+		if m.Client.IsSubtype(a.End1.Type, set.Type) || m.Client.IsSubtype(a.End2.Type, set.Type) {
+			return &ValidationError{
+				Where:  "entity set " + set.Name,
+				Reason: fmt.Sprintf("association %s is mapped but its endpoint set is not", a.Name),
+			}
+		}
+	}
+	return nil
+}
+
+// exactTheory restricts a set theory to entities of exactly one concrete
+// type, so cell enumeration branches only over attribute atoms.
+type exactTheory struct {
+	base cond.Theory
+	ty   string
+}
+
+func (t exactTheory) ConcreteTypes(subject string) []string {
+	if subject != "" {
+		return nil
+	}
+	return []string{t.ty}
+}
+func (t exactTheory) IsSubtype(sub, typ string) bool      { return t.base.IsSubtype(sub, typ) }
+func (t exactTheory) Domain(a string) (cond.Domain, bool) { return t.base.Domain(a) }
+func (t exactTheory) Nullable(a string) bool              { return t.base.Nullable(a) }
+func (t exactTheory) HasAttr(ct, a string) bool           { return t.base.HasAttr(ct, a) }
+
+// validateSetCells enumerates, for every concrete type of the set, the
+// satisfiable cells of the fragment-condition space and checks that each
+// cell's entities are fully covered: every attribute is stored by an
+// active fragment, fixed by the cell's conditions, or necessarily NULL in
+// the cell. This is the coverage reasoning of §3.3 generalized, and it is
+// exponential in the number of condition atoms by nature.
+func (c *Compiler) validateSetCells(m *frag.Mapping, set *edm.EntitySet) error {
+	frags := m.FragsOnSet(set.Name)
+	atomSet := map[cond.Atom]bool{}
+	for _, f := range frags {
+		for _, a := range cond.Atoms(f.ClientCond) {
+			atomSet[a] = true
+		}
+	}
+	atoms := make([]cond.Atom, 0, len(atomSet))
+	for a := range atomSet {
+		atoms = append(atoms, a)
+	}
+	cond.SortAtoms(atoms)
+
+	baseTheory := m.Client.TheoryFor(set.Name)
+	for _, ty := range m.Client.ConcreteIn(set.Type) {
+		th := exactTheory{base: baseTheory, ty: ty}
+		var verr error
+		visit := func(asg cond.Assignment) bool {
+			c.Stats.CellsVisited++
+			if verr = c.checkClientCell(m, set, ty, frags, asg); verr != nil {
+				return false
+			}
+			return true
+		}
+		if c.Opts.NaiveCells {
+			cond.EnumerateAllAssignments(atoms, func(asg cond.Assignment) bool {
+				if !cond.ConsistentAssignment(th, asg) {
+					c.Stats.CellsVisited++
+					return true
+				}
+				return visit(asg)
+			})
+		} else {
+			cond.EnumerateAssignments(th, atoms, visit)
+		}
+		if verr != nil {
+			return verr
+		}
+	}
+	return nil
+}
+
+func (c *Compiler) checkClientCell(m *frag.Mapping, set *edm.EntitySet, ty string, frags []*frag.Fragment, asg cond.Assignment) error {
+	covered := map[string]bool{}
+	fixed := map[string]bool{}
+	anyActive := false
+	for _, f := range frags {
+		if !asg.Eval(f.ClientCond) {
+			continue
+		}
+		anyActive = true
+		for _, a := range f.Attrs {
+			covered[a] = true
+		}
+		eqs := map[string]cond.Value{}
+		collectEqualities(f.ClientCond, eqs)
+		for a := range eqs {
+			fixed[a] = true
+		}
+	}
+	if !anyActive {
+		return &ValidationError{
+			Where:  "entity set " + set.Name,
+			Reason: fmt.Sprintf("entities of type %s in cell %s are not mapped by any fragment", ty, cellDesc(asg)),
+		}
+	}
+	for _, a := range m.Client.AttrNames(ty) {
+		if covered[a] || fixed[a] {
+			continue
+		}
+		if cellForcesNull(asg, a) {
+			continue
+		}
+		return &ValidationError{
+			Where:  "entity set " + set.Name,
+			Reason: fmt.Sprintf("attribute %s of type %s is lost in cell %s", a, ty, cellDesc(asg)),
+		}
+	}
+	return nil
+}
+
+func cellForcesNull(asg cond.Assignment, attr string) bool {
+	for a, v := range asg {
+		if a.Kind == cond.AtomNull && a.Attr == attr && v {
+			return true
+		}
+	}
+	return false
+}
+
+func cellDesc(asg cond.Assignment) string {
+	atoms := make([]cond.Atom, 0, len(asg))
+	for a := range asg {
+		atoms = append(atoms, a)
+	}
+	cond.SortAtoms(atoms)
+	s := "{"
+	for i, a := range atoms {
+		if i > 0 {
+			s += ", "
+		}
+		if asg[a] {
+			s += a.String()
+		} else {
+			s += "NOT(" + a.String() + ")"
+		}
+	}
+	return s + "}"
+}
+
+// validateTableCells enumerates the satisfiable cells of a table's
+// store-side condition space (fragment conditions plus the null-state of
+// columns written by several fragments) and checks that active fragments
+// never conflict on a shared column and that non-nullable columns are
+// always written. For mappings that pack many types and foreign keys into
+// one table (the hub-and-rim TPH model of Figure 3) the atom count grows
+// with N + N·M and this check dominates compilation, reproducing Figure 4.
+func (c *Compiler) validateTableCells(m *frag.Mapping, table string) error {
+	tab := m.Store.Table(table)
+	frags := m.FragsOnTable(table)
+
+	// The cell space is the atom space of the fragments' store conditions:
+	// a cell determines exactly which fragments are active, which is all
+	// the per-cell checks depend on. For a hub-and-rim TPH table this is
+	// one discriminator equality per type plus one IS NOT NULL per
+	// association column — 2^(N·M) satisfiable cells, the Figure 4
+	// blow-up.
+	atomSet := map[cond.Atom]bool{}
+	for _, f := range frags {
+		for _, a := range cond.Atoms(f.StoreCond) {
+			atomSet[a] = true
+		}
+	}
+	atoms := make([]cond.Atom, 0, len(atomSet))
+	for a := range atomSet {
+		atoms = append(atoms, a)
+	}
+	cond.SortAtoms(atoms)
+
+	th := m.Store.TheoryFor(table)
+	var verr error
+	visit := func(asg cond.Assignment) bool {
+		c.Stats.CellsVisited++
+		if verr = checkStoreCell(tab, frags, asg); verr != nil {
+			return false
+		}
+		return true
+	}
+	if c.Opts.NaiveCells {
+		cond.EnumerateAllAssignments(atoms, func(asg cond.Assignment) bool {
+			if !cond.ConsistentAssignment(th, asg) {
+				c.Stats.CellsVisited++
+				return true
+			}
+			return visit(asg)
+		})
+	} else {
+		cond.EnumerateAssignments(th, atoms, visit)
+	}
+	return verr
+}
+
+func checkStoreCell(tab *rel.Table, frags []*frag.Fragment, asg cond.Assignment) error {
+	var active []*frag.Fragment
+	for _, f := range frags {
+		cnd := f.StoreCond
+		if !asg.Eval(cnd) {
+			continue
+		}
+		// A fragment is also inactive in cells where one of its written,
+		// tracked columns is NULL and the fragment is an association
+		// (association rows require the FK value).
+		active = append(active, f)
+	}
+	if len(active) == 0 {
+		return nil // unreachable region of the table
+	}
+	// Shared-column agreement.
+	for _, tcol := range tab.Cols {
+		col := tcol.Name
+		var entityWriters []*frag.Fragment
+		var assocWriters []*frag.Fragment
+		for _, f := range active {
+			if !f.MapsCol(col) {
+				continue
+			}
+			if f.Assoc != "" {
+				assocWriters = append(assocWriters, f)
+			} else {
+				entityWriters = append(entityWriters, f)
+			}
+		}
+		if len(entityWriters) > 1 {
+			for _, w := range entityWriters[1:] {
+				a0, _ := entityWriters[0].AttrFor(col)
+				aw, _ := w.AttrFor(col)
+				if entityWriters[0].Set != w.Set || a0 != aw {
+					return &ValidationError{
+						Where: "table " + tab.Name,
+						Reason: fmt.Sprintf("fragments %s and %s both write column %s from different sources in cell %s",
+							entityWriters[0].ID, w.ID, col, cellDesc(asg)),
+					}
+				}
+			}
+		}
+		if len(assocWriters) > 0 && len(entityWriters) > 0 && !tab.IsKey(col) {
+			return &ValidationError{
+				Where: "table " + tab.Name,
+				Reason: fmt.Sprintf("column %s is written by both an entity fragment and association fragment %s (check 1 of §3.2)",
+					col, assocWriters[0].ID),
+			}
+		}
+		if len(assocWriters) > 1 && !tab.IsKey(col) {
+			return &ValidationError{
+				Where:  "table " + tab.Name,
+				Reason: fmt.Sprintf("column %s is written by two association fragments in cell %s", col, cellDesc(asg)),
+			}
+		}
+	}
+	// Non-nullable coverage: if the cell holds entity rows, every
+	// non-nullable column must be written by an active fragment.
+	hasEntity := false
+	for _, f := range active {
+		if f.Set != "" {
+			hasEntity = true
+		}
+	}
+	if hasEntity {
+		for _, col := range tab.Cols {
+			if col.Nullable {
+				continue
+			}
+			written := false
+			for _, f := range active {
+				if f.MapsCol(col.Name) {
+					written = true
+					break
+				}
+				// A column fixed by the fragment's store condition (a TPH
+				// discriminator) is written as a constant.
+				eqs := map[string]cond.Value{}
+				collectEqualities(f.StoreCond, eqs)
+				if _, fixed := eqs[col.Name]; fixed {
+					written = true
+					break
+				}
+			}
+			if !written {
+				return &ValidationError{
+					Where:  "table " + tab.Name,
+					Reason: fmt.Sprintf("non-nullable column %s is not written in cell %s", col.Name, cellDesc(asg)),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateForeignKeys checks steps (2)-(4): every foreign key between
+// mapped tables must be preserved by the update views, encoded as the
+// query containment π_β(Q_T) ⊆ π_γ(Q_T').
+func (c *Compiler) validateForeignKeys(m *frag.Mapping, views *frag.Views) error {
+	mapped := map[string]bool{}
+	for _, t := range m.MappedTables() {
+		mapped[t] = true
+	}
+	ch := containment.NewChecker(m.Catalog())
+	ch.Simplify = !c.Opts.NoSimplify
+	defer func() {
+		c.Stats.Containments += ch.Stats.Containments
+		c.Stats.Implications += ch.Stats.Implications
+	}()
+
+	for _, tn := range m.MappedTables() {
+		tab := m.Store.Table(tn)
+		for _, fk := range tab.FKs {
+			written := false
+			for _, f := range m.FragsOnTable(tn) {
+				for _, colName := range fk.Cols {
+					if f.MapsCol(colName) {
+						written = true
+					}
+				}
+			}
+			if !written {
+				continue // FK columns never populated; vacuously preserved
+			}
+			if !mapped[fk.RefTable] {
+				return &ValidationError{
+					Where:  "table " + tn,
+					Reason: fmt.Sprintf("foreign key %s references unmapped table %s", fk.Name, fk.RefTable),
+				}
+			}
+			lhs, rhs := fkContainmentQueries(views, fk, tn)
+			ok, err := ch.Contains(lhs, rhs)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return &ValidationError{
+					Where:  "table " + tn,
+					Reason: fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fkContainmentQueries builds π_{β AS γ}(σ_{β NOT NULL}(Q_T)) ⊆ π_γ(Q_T').
+func fkContainmentQueries(views *frag.Views, fk rel.ForeignKey, table string) (cqt.Expr, cqt.Expr) {
+	qt := views.Update[table].Q
+	qr := views.Update[fk.RefTable].Q
+
+	var notNull []cond.Expr
+	cols := make([]cqt.ProjCol, 0, len(fk.Cols))
+	for i, c := range fk.Cols {
+		notNull = append(notNull, cond.NotNull(c))
+		cols = append(cols, cqt.ColAs(c, fk.RefCols[i]))
+	}
+	lhs := cqt.Project{In: cqt.Select{In: qt, Cond: cond.NewAnd(notNull...)}, Cols: cols}
+
+	rcols := make([]cqt.ProjCol, 0, len(fk.RefCols))
+	for _, c := range fk.RefCols {
+		rcols = append(rcols, cqt.Col(c))
+	}
+	rhs := cqt.Project{In: qr, Cols: rcols}
+	return lhs, rhs
+}

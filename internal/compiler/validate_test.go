@@ -1,0 +1,164 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestMappedAssociationOverUnmappedSetRejected: an association whose
+// endpoint set has no fragments loses data.
+func TestMappedAssociationOverUnmappedSetRejected(t *testing.T) {
+	m := workload.PaperFull()
+	var keep []*frag.Fragment
+	for _, f := range m.Frags {
+		if f.Set == "" || f.Set != "Persons" {
+			keep = append(keep, f)
+		}
+	}
+	// Remove all entity fragments but keep the association fragment.
+	m.Frags = keep
+	_, err := New().Compile(m)
+	if err == nil {
+		t.Fatal("association over unmapped set accepted")
+	}
+	if !strings.Contains(err.Error(), "Supports") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestForeignKeyToUnmappedTableRejected: FK columns written by fragments
+// must reference mapped tables.
+func TestForeignKeyToUnmappedTableRejected(t *testing.T) {
+	m := workload.PaperInitial()
+	// Give HR an FK into the unmapped Client table, and write it.
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Store.AddForeignKey("HR", rel.ForeignKey{
+		Name: "fk_bad", Cols: []string{"Id"}, RefTable: "Client", RefCols: []string{"Cid"},
+	}))
+	_, err := New().Compile(m)
+	if err == nil {
+		t.Fatal("FK to unmapped table accepted")
+	}
+	if !strings.Contains(err.Error(), "unmapped") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestAmbiguousOverlappingFragmentsRejected: two fragments over the same
+// set with overlapping, non-equivalent conditions on the same table cannot
+// be inverted.
+func TestAmbiguousOverlappingFragmentsRejected(t *testing.T) {
+	m := workload.PartitionedAgeModel()
+	// Make the two partitions overlap: Adult takes age >= 10.
+	for _, f := range m.Frags {
+		if f.Table == "Adult" {
+			f.ClientCond = cond.NewAnd(
+				cond.TypeIs{Type: "Person"},
+				cond.Cmp{Attr: "Age", Op: cond.OpGe, Val: cond.Int(10)},
+			)
+		}
+	}
+	// Map both into ONE table to force the conflict.
+	for _, f := range m.Frags {
+		f.Table = "Adult"
+	}
+	if _, err := New().Compile(m); err == nil {
+		t.Fatal("overlapping fragments on one table accepted")
+	}
+}
+
+// TestTwoEntityFragmentsSameColumnDifferentSources: a store cell where two
+// active fragments write the same column from different attributes.
+func TestConflictingColumnWritersRejected(t *testing.T) {
+	c := edm.NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.AddType(edm.EntityType{
+		Name: "T",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "A", Type: cond.KindString, Nullable: true},
+			{Name: "B", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddSet(edm.EntitySet{Name: "Ts", Type: "T"}))
+	s := rel.NewSchema()
+	must(s.AddTable(rel.Table{
+		Name: "Tab",
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "X", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	m := &frag.Mapping{Client: c, Store: s}
+	m.Frags = append(m.Frags,
+		&frag.Fragment{
+			ID: "fa", Set: "Ts", ClientCond: cond.TypeIs{Type: "T"},
+			Attrs: []string{"Id", "A"}, Table: "Tab", StoreCond: cond.True{},
+			ColOf: map[string]string{"Id": "Id", "A": "X"},
+		},
+		&frag.Fragment{
+			ID: "fb", Set: "Ts", ClientCond: cond.TypeIs{Type: "T"},
+			Attrs: []string{"Id", "B"}, Table: "Tab", StoreCond: cond.True{},
+			ColOf: map[string]string{"Id": "Id", "B": "X"},
+		},
+	)
+	if _, err := New().Compile(m); err == nil {
+		t.Fatal("two fragments writing one column from different attributes accepted")
+	}
+}
+
+// TestValidationErrorMessage exposes the ValidationError type.
+func TestValidationErrorMessage(t *testing.T) {
+	e := &ValidationError{Where: "table X", Reason: "boom"}
+	if !strings.Contains(e.Error(), "table X") || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+// TestNoSimplifyOptionStillValid: the simplifier ablation must not change
+// compilation outcomes, only cost.
+func TestNoSimplifyOptionStillValid(t *testing.T) {
+	c := &Compiler{Opts: Options{NoSimplify: true}}
+	views, err := c.Compile(workload.PaperFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if views.Query["Person"] == nil {
+		t.Fatal("missing views")
+	}
+}
+
+// TestHubRimCellCountsScale confirms the exponential cell growth driving
+// Figure 4: cells(N=2,M=3) ≫ cells(N=2,M=1).
+func TestHubRimCellCountsScale(t *testing.T) {
+	count := func(mm int) int {
+		m := workload.HubRim(workload.HubRimOptions{N: 2, M: mm, TPH: true})
+		c := New()
+		if _, err := c.Compile(m); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.CellsVisited
+	}
+	c1, c3 := count(1), count(3)
+	if c3 < 4*c1 {
+		t.Fatalf("cell count not growing exponentially: M=1 → %d, M=3 → %d", c1, c3)
+	}
+}

@@ -1,0 +1,103 @@
+package cond
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTheory(nTypes int) Theory {
+	types := make([]string, nTypes)
+	sub := map[string]map[string]bool{}
+	for i := range types {
+		types[i] = fmt.Sprintf("T%d", i)
+		if i > 0 {
+			sub[types[i]] = map[string]bool{types[0]: true}
+		}
+	}
+	return &MapTheory{
+		Types: map[string][]string{"": types},
+		Sub:   sub,
+		Domains: map[string]Domain{
+			"x": {Kind: KindInt},
+			"d": {Kind: KindString, Enum: []Value{String("a"), String("b"), String("c")}},
+		},
+	}
+}
+
+// BenchmarkSatisfiableTypeHierarchy measures the DPLL search over type
+// atoms, the dominant operation of fragment-applicability analysis.
+func BenchmarkSatisfiableTypeHierarchy(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		th := benchTheory(n)
+		var parts []Expr
+		for i := 1; i < n; i += 2 {
+			parts = append(parts, TypeIs{Type: fmt.Sprintf("T%d", i)})
+		}
+		e := NewAnd(NewOr(parts...), NewNot(TypeIs{Type: "T1", Only: true}))
+		b.Run(fmt.Sprintf("types=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !Satisfiable(th, e) {
+					b.Fatal("unexpectedly unsatisfiable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkImpliesRanges measures implication over integer intervals, the
+// workhorse of §3.3 coverage checking.
+func BenchmarkImpliesRanges(b *testing.B) {
+	th := benchTheory(2)
+	a := NewAnd(
+		Cmp{Attr: "x", Op: OpGe, Val: Int(10)},
+		Cmp{Attr: "x", Op: OpLt, Val: Int(20)},
+	)
+	c := Cmp{Attr: "x", Op: OpGe, Val: Int(5)}
+	for i := 0; i < b.N; i++ {
+		if !Implies(th, a, c) {
+			b.Fatal("implication should hold")
+		}
+	}
+}
+
+// BenchmarkEnumerateAssignments measures the exhaustive cell enumeration
+// that drives full-compilation cost (Figure 4's mechanism), across atom
+// counts.
+func BenchmarkEnumerateAssignments(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		atoms := make([]Atom, n)
+		for i := range atoms {
+			atoms[i] = Atom{Kind: AtomNull, Attr: fmt.Sprintf("c%d", i)}
+		}
+		th := FreeTheory
+		b.Run(fmt.Sprintf("atoms=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells := 0
+				EnumerateAssignments(th, atoms, func(Assignment) bool {
+					cells++
+					return true
+				})
+				if cells != 1<<n {
+					b.Fatalf("cells = %d", cells)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTautologyPartition measures the Adult/Young §3.3 check.
+func BenchmarkTautologyPartition(b *testing.B) {
+	th := &MapTheory{
+		Domains: map[string]Domain{"age": {Kind: KindInt}},
+		NotNull: map[string]bool{"age": true},
+	}
+	e := NewOr(
+		Cmp{Attr: "age", Op: OpGe, Val: Int(18)},
+		Cmp{Attr: "age", Op: OpLt, Val: Int(18)},
+	)
+	for i := 0; i < b.N; i++ {
+		if !Tautology(th, e) {
+			b.Fatal("not a tautology")
+		}
+	}
+}

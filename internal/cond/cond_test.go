@@ -1,0 +1,352 @@
+package cond
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// personTheory models the running example of the paper: Person with derived
+// Employee and Customer, plus a handful of attributes.
+func personTheory() *MapTheory {
+	return &MapTheory{
+		Types: map[string][]string{"": {"Person", "Employee", "Customer"}},
+		Sub: map[string]map[string]bool{
+			"Employee": {"Person": true},
+			"Customer": {"Person": true},
+		},
+		Domains: map[string]Domain{
+			"Id":        {Kind: KindInt},
+			"Name":      {Kind: KindString},
+			"Age":       {Kind: KindInt},
+			"CredScore": {Kind: KindInt},
+			"Gender":    {Kind: KindString, Enum: []Value{String("M"), String("F")}},
+			"Active":    {Kind: KindBool},
+		},
+		NotNull: map[string]bool{"Id": true, "Age": true, "Gender": true},
+		Attrs: map[string]map[string]bool{
+			"Person":   {"Id": true, "Name": true, "Age": true, "Gender": true, "Active": true},
+			"Employee": {"Id": true, "Name": true, "Age": true, "Gender": true, "Active": true, "Dept": true},
+			"Customer": {"Id": true, "Name": true, "Age": true, "Gender": true, "Active": true, "CredScore": true},
+		},
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		c    int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{String("a"), String("b"), -1, true},
+		{Float(1.5), Float(1.5), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Int(1), String("1"), 0, false},
+	}
+	for _, tc := range cases {
+		c, ok := Compare(tc.a, tc.b)
+		if ok != tc.ok || (ok && c != tc.c) {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", tc.a, tc.b, c, ok, tc.c, tc.ok)
+		}
+	}
+}
+
+func TestNewAndOrSimplify(t *testing.T) {
+	if _, ok := NewAnd().(True); !ok {
+		t.Errorf("empty And should be True")
+	}
+	if _, ok := NewOr().(False); !ok {
+		t.Errorf("empty Or should be False")
+	}
+	if _, ok := NewAnd(True{}, False{}).(False); !ok {
+		t.Errorf("And with False should collapse")
+	}
+	if _, ok := NewOr(False{}, True{}).(True); !ok {
+		t.Errorf("Or with True should collapse")
+	}
+	x := TypeIs{Type: "Person"}
+	if got := NewAnd(True{}, x); got != Expr(x) {
+		t.Errorf("And(True, x) = %v, want x", got)
+	}
+	if got := NewNot(NewNot(x)); got != Expr(x) {
+		t.Errorf("double negation should collapse")
+	}
+}
+
+func TestAtomsDeterministic(t *testing.T) {
+	e := NewOr(
+		NewAnd(TypeIs{Type: "Employee"}, Cmp{Attr: "Age", Op: OpGe, Val: Int(18)}),
+		NewAnd(Null{Attr: "Dept"}, TypeIs{Type: "Person", Only: true}),
+	)
+	a1 := Atoms(e)
+	a2 := Atoms(e)
+	if len(a1) != 4 {
+		t.Fatalf("got %d atoms, want 4: %v", len(a1), a1)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("non-deterministic atom order: %v vs %v", a1, a2)
+		}
+	}
+}
+
+func TestEvalOn(t *testing.T) {
+	th := personTheory()
+	emp := &MapInstance{
+		Type: map[string]string{"": "Employee"},
+		Vals: map[string]Value{"Id": Int(1), "Age": Int(30), "Gender": String("M")},
+	}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{TypeIs{Type: "Person"}, true},
+		{TypeIs{Type: "Employee"}, true},
+		{TypeIs{Type: "Customer"}, false},
+		{TypeIs{Type: "Person", Only: true}, false},
+		{TypeIs{Type: "Employee", Only: true}, true},
+		{Null{Attr: "Name"}, true},
+		{NotNull("Id"), true},
+		{Cmp{Attr: "Age", Op: OpGe, Val: Int(18)}, true},
+		{Cmp{Attr: "Age", Op: OpLt, Val: Int(18)}, false},
+		{Cmp{Attr: "Name", Op: OpEq, Val: String("x")}, false}, // NULL comparison
+		{NewAnd(TypeIs{Type: "Person"}, Cmp{Attr: "Gender", Op: OpEq, Val: String("M")}), true},
+		{NewOr(TypeIs{Type: "Customer"}, Null{Attr: "Id"}), false},
+		{NewNot(TypeIs{Type: "Customer"}), true},
+	}
+	for _, tc := range cases {
+		if got := EvalOn(th, tc.e, emp); got != tc.want {
+			t.Errorf("EvalOn(%v) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestSatisfiableBasics(t *testing.T) {
+	th := personTheory()
+	cases := []struct {
+		name string
+		e    Expr
+		want bool
+	}{
+		{"true", True{}, true},
+		{"false", False{}, false},
+		{"isPerson", TypeIs{Type: "Person"}, true},
+		{"onlyAndDerived", NewAnd(TypeIs{Type: "Person", Only: true}, TypeIs{Type: "Employee"}), false},
+		{"derivedImpliesBase", NewAnd(TypeIs{Type: "Employee"}, NewNot(TypeIs{Type: "Person"})), false},
+		{"siblingsDisjoint", NewAnd(TypeIs{Type: "Employee"}, TypeIs{Type: "Customer"}), false},
+		{"notNullKey", Null{Attr: "Id"}, false},
+		{"nullable", Null{Attr: "Name"}, true},
+		{"ageContradiction", NewAnd(Cmp{Attr: "Age", Op: OpGe, Val: Int(18)}, Cmp{Attr: "Age", Op: OpLt, Val: Int(18)}), false},
+		{"intGap", NewAnd(Cmp{Attr: "Age", Op: OpGt, Val: Int(1)}, Cmp{Attr: "Age", Op: OpLt, Val: Int(2)}), false},
+		{"intPoint", NewAnd(Cmp{Attr: "Age", Op: OpGe, Val: Int(2)}, Cmp{Attr: "Age", Op: OpLe, Val: Int(2)}), true},
+		{"intPointExcluded", NewAnd(Cmp{Attr: "Age", Op: OpGe, Val: Int(2)}, Cmp{Attr: "Age", Op: OpLe, Val: Int(2)}, Cmp{Attr: "Age", Op: OpNe, Val: Int(2)}), false},
+		{"enumThird", NewAnd(Cmp{Attr: "Gender", Op: OpNe, Val: String("M")}, Cmp{Attr: "Gender", Op: OpNe, Val: String("F")}), false},
+		{"enumPick", Cmp{Attr: "Gender", Op: OpEq, Val: String("F")}, true},
+		// A positive <> comparison still requires a non-null value, so no
+		// boolean can differ from both constants.
+		{"boolBoth", NewAnd(Cmp{Attr: "Active", Op: OpNe, Val: Bool(true)}, Cmp{Attr: "Active", Op: OpNe, Val: Bool(false)}), false},
+		// The negated equalities, in contrast, are satisfied by NULL.
+		{"boolBothNeg", NewAnd(NewNot(Cmp{Attr: "Active", Op: OpEq, Val: Bool(true)}), NewNot(Cmp{Attr: "Active", Op: OpEq, Val: Bool(false)})), true},
+		{"attrOwnership", NewAnd(TypeIs{Type: "Employee"}, NotNull("CredScore")), false},
+		{"attrOwnershipOK", NewAnd(TypeIs{Type: "Customer"}, NotNull("CredScore")), true},
+		{"kindMismatch", Cmp{Attr: "Age", Op: OpEq, Val: String("x")}, false},
+	}
+	for _, tc := range cases {
+		if got := Satisfiable(th, tc.e); got != tc.want {
+			t.Errorf("%s: Satisfiable(%v) = %v, want %v", tc.name, tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestImplication(t *testing.T) {
+	th := personTheory()
+	cases := []struct {
+		name string
+		a, b Expr
+		want bool
+	}{
+		{"empToPerson", TypeIs{Type: "Employee"}, TypeIs{Type: "Person"}, true},
+		{"personToEmp", TypeIs{Type: "Person"}, TypeIs{Type: "Employee"}, false},
+		{"onlyExpansion",
+			TypeIs{Type: "Person"},
+			NewOr(TypeIs{Type: "Person", Only: true}, TypeIs{Type: "Employee"}, TypeIs{Type: "Customer"}),
+			true},
+		{"rangeNarrow",
+			Cmp{Attr: "Age", Op: OpGe, Val: Int(21)},
+			Cmp{Attr: "Age", Op: OpGe, Val: Int(18)},
+			true},
+		{"rangeWiden",
+			Cmp{Attr: "Age", Op: OpGe, Val: Int(18)},
+			Cmp{Attr: "Age", Op: OpGe, Val: Int(21)},
+			false},
+		{"eqToRange",
+			Cmp{Attr: "Age", Op: OpEq, Val: Int(30)},
+			NewAnd(Cmp{Attr: "Age", Op: OpGt, Val: Int(18)}, Cmp{Attr: "Age", Op: OpLt, Val: Int(65)}),
+			true},
+	}
+	for _, tc := range cases {
+		if got := Implies(th, tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Implies = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTautologyPartitioning exercises the §3.3 examples verbatim.
+func TestTautologyPartitioning(t *testing.T) {
+	th := personTheory()
+	adultYoung := NewOr(
+		Cmp{Attr: "Age", Op: OpGe, Val: Int(18)},
+		Cmp{Attr: "Age", Op: OpLt, Val: Int(18)},
+	)
+	if !Tautology(th, adultYoung) {
+		t.Errorf("age >= 18 OR age < 18 must be a tautology over non-null ages")
+	}
+	gender := NewOr(
+		Cmp{Attr: "Gender", Op: OpEq, Val: String("M")},
+		Cmp{Attr: "Gender", Op: OpEq, Val: String("F")},
+	)
+	if !Tautology(th, gender) {
+		t.Errorf("gender = M OR gender = F must be a tautology over the {M,F} domain")
+	}
+	// With a nullable attribute the same split is NOT a tautology.
+	score := NewOr(
+		Cmp{Attr: "CredScore", Op: OpGe, Val: Int(0)},
+		Cmp{Attr: "CredScore", Op: OpLt, Val: Int(0)},
+	)
+	if Tautology(th, score) {
+		t.Errorf("split over nullable CredScore must not be a tautology")
+	}
+	// Incomplete split.
+	holey := NewOr(
+		Cmp{Attr: "Age", Op: OpGe, Val: Int(19)},
+		Cmp{Attr: "Age", Op: OpLt, Val: Int(18)},
+	)
+	if Tautology(th, holey) {
+		t.Errorf("age >= 19 OR age < 18 leaves age = 18 uncovered")
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	th := personTheory()
+	a := Cmp{Attr: "Age", Op: OpGe, Val: Int(18)}
+	b := Cmp{Attr: "Age", Op: OpLt, Val: Int(18)}
+	if !Disjoint(th, a, b) {
+		t.Errorf("adult/young conditions must be disjoint")
+	}
+	if Disjoint(th, a, Cmp{Attr: "Age", Op: OpGe, Val: Int(21)}) {
+		t.Errorf("overlapping ranges must not be disjoint")
+	}
+	if !Disjoint(th, TypeIs{Type: "Employee"}, TypeIs{Type: "Customer"}) {
+		t.Errorf("sibling types must be disjoint")
+	}
+}
+
+func TestEnumerateAssignments(t *testing.T) {
+	th := personTheory()
+	atoms := []Atom{
+		{Kind: AtomType, Type: "Employee"},
+		{Kind: AtomType, Type: "Person"},
+	}
+	var n int
+	EnumerateAssignments(th, atoms, func(a Assignment) bool {
+		n++
+		if a[atoms[0]] && !a[atoms[1]] {
+			t.Errorf("inconsistent assignment visited: Employee without Person")
+		}
+		return true
+	})
+	// Consistent combinations: (F,F) impossible (some concrete type always
+	// satisfies neither only if Customer... Customer is not Employee but is
+	// Person, so (F,T) ok; Person (F,T); Employee (T,T); no concrete type
+	// is outside Person, so (F,F) inconsistent.
+	if n != 2 {
+		t.Errorf("got %d consistent assignments, want 2", n)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	th := personTheory()
+	atoms := []Atom{
+		{Kind: AtomNull, Attr: "Name"},
+		{Kind: AtomNull, Attr: "Dept"},
+	}
+	var n int
+	completed := EnumerateAssignments(th, atoms, func(Assignment) bool {
+		n++
+		return n < 2
+	})
+	if completed || n != 2 {
+		t.Errorf("early stop failed: completed=%v n=%d", completed, n)
+	}
+}
+
+func TestQualifyAndRename(t *testing.T) {
+	e := NewAnd(TypeIs{Type: "Person"}, Null{Attr: "Name"}, Cmp{Attr: "Age", Op: OpGe, Val: Int(18)})
+	q := QualifyAttrs(e, "p")
+	atoms := Atoms(q)
+	for _, a := range atoms {
+		switch a.Kind {
+		case AtomType:
+			if a.Var != "p" {
+				t.Errorf("type atom not qualified: %v", a)
+			}
+		default:
+			if a.Attr[:2] != "p." {
+				t.Errorf("attr atom not qualified: %v", a)
+			}
+		}
+	}
+	r := RenameAttrs(e, map[string]string{"Age": "Years"})
+	found := false
+	for _, a := range Atoms(r) {
+		if a.Kind == AtomCmp && a.Attr == "Years" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rename failed: %v", r)
+	}
+}
+
+// TestImpliesConsistentWithEval cross-checks symbolic implication against
+// concrete evaluation on randomly generated instances: whenever Implies
+// says a ⇒ b, no instance may satisfy a and falsify b.
+func TestImpliesConsistentWithEval(t *testing.T) {
+	th := personTheory()
+	mk := func(ageLo, ageHi int64) (Expr, Expr) {
+		a := NewAnd(Cmp{Attr: "Age", Op: OpGe, Val: Int(ageLo)}, Cmp{Attr: "Age", Op: OpLt, Val: Int(ageHi)})
+		b := Cmp{Attr: "Age", Op: OpGe, Val: Int(ageLo - 1)}
+		return a, b
+	}
+	f := func(lo int8, span uint8, age int8) bool {
+		a, b := mk(int64(lo), int64(lo)+int64(span)+1)
+		if !Implies(th, a, b) {
+			return false
+		}
+		inst := &MapInstance{
+			Type: map[string]string{"": "Person"},
+			Vals: map[string]Value{"Age": Int(int64(age))},
+		}
+		if EvalOn(th, a, inst) && !EvalOn(th, b, inst) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := NewOr(
+		NewAnd(TypeIs{Type: "Person", Only: true}, NotNull("Name")),
+		TypeIs{Type: "Employee"},
+	)
+	got := e.String()
+	want := "(e IS OF (ONLY Person) AND Name IS NOT NULL) OR e IS OF Employee"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

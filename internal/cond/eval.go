@@ -1,0 +1,101 @@
+package cond
+
+// Instance is a data point a condition can be evaluated on: an entity, a
+// table row, or a joined tuple of several. Attribute names follow the same
+// qualification convention as Theory.
+type Instance interface {
+	// InstanceType returns the concrete entity type of the subject, or ""
+	// when the subject is untyped (a row) or unknown.
+	InstanceType(subject string) string
+	// Lookup returns the attribute's value. ok is false when the attribute
+	// is NULL or absent.
+	Lookup(attr string) (v Value, ok bool)
+}
+
+// EvalOn evaluates the condition against concrete data under SQL-style
+// two-valued collapse: a comparison with a NULL operand is false, and
+// IS OF over an untyped subject is false.
+func EvalOn(t Theory, x Expr, in Instance) bool {
+	switch v := x.(type) {
+	case True:
+		return true
+	case False:
+		return false
+	case TypeIs:
+		ct := in.InstanceType(v.Var)
+		if ct == "" {
+			return false
+		}
+		if v.Only {
+			return ct == v.Type
+		}
+		return t.IsSubtype(ct, v.Type)
+	case Null:
+		_, ok := in.Lookup(v.Attr)
+		return !ok
+	case Cmp:
+		val, ok := in.Lookup(v.Attr)
+		if !ok {
+			return false
+		}
+		return cmpHolds(val, v.Op, v.Val)
+	case Not:
+		return !EvalOn(t, v.X, in)
+	case And:
+		for _, c := range v.Xs {
+			if !EvalOn(t, c, in) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, c := range v.Xs {
+			if EvalOn(t, c, in) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func cmpHolds(v Value, op Op, c Value) bool {
+	r, ok := Compare(v, c)
+	if !ok {
+		return false
+	}
+	switch op {
+	case OpEq:
+		return r == 0
+	case OpNe:
+		return r != 0
+	case OpLt:
+		return r < 0
+	case OpLe:
+		return r <= 0
+	case OpGt:
+		return r > 0
+	case OpGe:
+		return r >= 0
+	}
+	return false
+}
+
+// MapInstance is an Instance backed by maps, convenient for tests and the
+// query evaluator.
+type MapInstance struct {
+	// Type maps subject names to concrete types. The empty subject "" names
+	// the single-scan subject.
+	Type map[string]string
+	// Vals maps attribute names to non-null values; absent keys are NULL.
+	Vals map[string]Value
+}
+
+// InstanceType implements Instance.
+func (m *MapInstance) InstanceType(subject string) string { return m.Type[subject] }
+
+// Lookup implements Instance.
+func (m *MapInstance) Lookup(attr string) (Value, bool) {
+	v, ok := m.Vals[attr]
+	return v, ok
+}

@@ -1,0 +1,205 @@
+package cond
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNegate(t *testing.T) {
+	pairs := map[Op]Op{
+		OpEq: OpNe, OpNe: OpEq,
+		OpLt: OpGe, OpGe: OpLt,
+		OpLe: OpGt, OpGt: OpLe,
+	}
+	for op, want := range pairs {
+		if got := op.Negate(); got != want {
+			t.Errorf("%v.Negate() = %v, want %v", op, got, want)
+		}
+		if got := op.Negate().Negate(); got != op {
+			t.Errorf("double negation of %v = %v", op, got)
+		}
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("ab"), "'ab'"},
+		{Int(-5), "-5"},
+		{Float(1.25), "1.25"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	if KindFloat.String() != "float" || KindBool.String() != "bool" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestFloatRangeReasoning(t *testing.T) {
+	th := &MapTheory{
+		Domains: map[string]Domain{"x": {Kind: KindFloat}},
+		NotNull: map[string]bool{"x": true},
+	}
+	// Floats are dense: 1 < x < 2 is satisfiable (unlike integers).
+	e := NewAnd(
+		Cmp{Attr: "x", Op: OpGt, Val: Float(1)},
+		Cmp{Attr: "x", Op: OpLt, Val: Float(2)},
+	)
+	if !Satisfiable(th, e) {
+		t.Error("dense float interval reported empty")
+	}
+	// Point interval with exclusion is empty.
+	point := NewAnd(
+		Cmp{Attr: "x", Op: OpGe, Val: Float(1)},
+		Cmp{Attr: "x", Op: OpLe, Val: Float(1)},
+		Cmp{Attr: "x", Op: OpNe, Val: Float(1)},
+	)
+	if Satisfiable(th, point) {
+		t.Error("excluded point interval reported satisfiable")
+	}
+	// Reversed bounds are empty.
+	rev := NewAnd(
+		Cmp{Attr: "x", Op: OpGt, Val: Float(5)},
+		Cmp{Attr: "x", Op: OpLt, Val: Float(4)},
+	)
+	if Satisfiable(th, rev) {
+		t.Error("reversed float bounds reported satisfiable")
+	}
+}
+
+func TestStringOrderingReasoning(t *testing.T) {
+	th := &MapTheory{
+		Domains: map[string]Domain{"s": {Kind: KindString}},
+		NotNull: map[string]bool{"s": true},
+	}
+	sat := NewAnd(
+		Cmp{Attr: "s", Op: OpGe, Val: String("a")},
+		Cmp{Attr: "s", Op: OpLt, Val: String("b")},
+	)
+	if !Satisfiable(th, sat) {
+		t.Error("string interval [a,b) reported empty")
+	}
+	unsat := NewAnd(
+		Cmp{Attr: "s", Op: OpEq, Val: String("x")},
+		Cmp{Attr: "s", Op: OpEq, Val: String("y")},
+	)
+	if Satisfiable(th, unsat) {
+		t.Error("two distinct string equalities reported satisfiable")
+	}
+}
+
+func TestIntEnumDomain(t *testing.T) {
+	th := &MapTheory{
+		Domains: map[string]Domain{"d": {Kind: KindInt, Enum: []Value{Int(1), Int(2), Int(3)}}},
+		NotNull: map[string]bool{"d": true},
+	}
+	if !Tautology(th, NewOr(
+		Cmp{Attr: "d", Op: OpLe, Val: Int(2)},
+		Cmp{Attr: "d", Op: OpEq, Val: Int(3)},
+	)) {
+		t.Error("exhaustive split over int enum not a tautology")
+	}
+	if Satisfiable(th, Cmp{Attr: "d", Op: OpGt, Val: Int(3)}) {
+		t.Error("value above the enum reported satisfiable")
+	}
+}
+
+func TestUnknownDomainReasoning(t *testing.T) {
+	// Attributes without declared domains still get sound reasoning.
+	th := FreeTheory
+	if !Satisfiable(th, Cmp{Attr: "x", Op: OpEq, Val: Int(5)}) {
+		t.Error("equality over unknown domain unsatisfiable")
+	}
+	if Satisfiable(th, NewAnd(
+		Cmp{Attr: "x", Op: OpEq, Val: Int(5)},
+		Cmp{Attr: "x", Op: OpEq, Val: String("five")},
+	)) {
+		t.Error("cross-kind equalities both true")
+	}
+	if Satisfiable(th, NewAnd(
+		Cmp{Attr: "x", Op: OpGt, Val: Int(5)},
+		Cmp{Attr: "x", Op: OpLt, Val: Int(5)},
+	)) {
+		t.Error("contradictory bounds over unknown domain satisfiable")
+	}
+}
+
+func TestEnumerateAllAssignmentsCount(t *testing.T) {
+	atoms := []Atom{
+		{Kind: AtomNull, Attr: "a"},
+		{Kind: AtomNull, Attr: "b"},
+		{Kind: AtomNull, Attr: "c"},
+	}
+	n := 0
+	EnumerateAllAssignments(atoms, func(Assignment) bool { n++; return true })
+	if n != 8 {
+		t.Fatalf("naive enumeration visited %d, want 8", n)
+	}
+}
+
+func TestConsistentAssignment(t *testing.T) {
+	th := &MapTheory{
+		Domains: map[string]Domain{"k": {Kind: KindInt}},
+		NotNull: map[string]bool{"k": true},
+	}
+	a := Atom{Kind: AtomNull, Attr: "k"}
+	if ConsistentAssignment(th, Assignment{a: true}) {
+		t.Error("NULL on a non-nullable attribute reported consistent")
+	}
+	if !ConsistentAssignment(th, Assignment{a: false}) {
+		t.Error("non-NULL on a non-nullable attribute reported inconsistent")
+	}
+}
+
+// TestSatAgreesWithNaiveEnumeration cross-checks the pruned DPLL search
+// against brute-force enumeration on random small conditions.
+func TestSatAgreesWithNaiveEnumeration(t *testing.T) {
+	th := &MapTheory{
+		Types: map[string][]string{"": {"A", "B"}},
+		Sub:   map[string]map[string]bool{"B": {"A": true}},
+		Domains: map[string]Domain{
+			"x": {Kind: KindInt},
+			"y": {Kind: KindInt},
+		},
+	}
+	mkAtom := func(sel uint8) Expr {
+		switch sel % 5 {
+		case 0:
+			return TypeIs{Type: "A"}
+		case 1:
+			return TypeIs{Type: "B", Only: true}
+		case 2:
+			return Null{Attr: "x"}
+		case 3:
+			return Cmp{Attr: "x", Op: OpGe, Val: Int(int64(sel))}
+		default:
+			return Cmp{Attr: "y", Op: OpLt, Val: Int(int64(sel))}
+		}
+	}
+	f := func(a, b, c uint8, neg bool) bool {
+		e := NewOr(NewAnd(mkAtom(a), mkAtom(b)), mkAtom(c))
+		if neg {
+			e = NewNot(e)
+		}
+		fast := Satisfiable(th, e)
+		slow := false
+		EnumerateAllAssignments(Atoms(e), func(asg Assignment) bool {
+			if ConsistentAssignment(th, asg) && asg.Eval(e) {
+				slow = true
+				return false
+			}
+			return true
+		})
+		return fast == slow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package cond
+
+// Domain describes the value space of an attribute or column for the
+// purposes of condition reasoning. If Enum is non-empty, the attribute only
+// takes values from that finite set (this drives the `gender = 'M' OR
+// gender = 'F'` tautology reasoning of §3.3 in the paper). Boolean
+// attributes implicitly have the two-value enumeration.
+type Domain struct {
+	Kind Kind
+	Enum []Value
+}
+
+// Theory supplies the schema facts needed to reason about conditions:
+// the entity-type hierarchy behind each condition subject, and the domain
+// and nullability of each attribute or column.
+//
+// Subjects and attribute names follow the qualification convention of this
+// package: in a single-scan condition the subject is "" and attributes are
+// bare names; in a multi-scan condition subjects are scan aliases and
+// attributes are written "alias.attr".
+type Theory interface {
+	// ConcreteTypes returns the instantiable entity types the subject may
+	// take, or nil when the subject is untyped (a table row).
+	ConcreteTypes(subject string) []string
+	// IsSubtype reports whether sub is typ or a descendant of typ.
+	IsSubtype(sub, typ string) bool
+	// Domain returns the value domain of the attribute, if known.
+	Domain(attr string) (Domain, bool)
+	// Nullable reports whether the attribute may hold NULL where declared.
+	Nullable(attr string) bool
+	// HasAttr reports whether entities of the given concrete type carry the
+	// attribute. It is only consulted for typed subjects.
+	HasAttr(concreteType, attr string) bool
+}
+
+// MapTheory is a Theory backed by plain maps, convenient for tests and for
+// composing per-alias theories.
+type MapTheory struct {
+	// Types maps a subject to its candidate concrete types.
+	Types map[string][]string
+	// Sub maps a type to the set of its supertypes (reflexive closure).
+	Sub map[string]map[string]bool
+	// Domains maps attribute names to their domains.
+	Domains map[string]Domain
+	// NotNull marks attributes that can never be NULL.
+	NotNull map[string]bool
+	// Attrs maps a concrete type to the set of attributes it carries. A nil
+	// map means every type carries every attribute.
+	Attrs map[string]map[string]bool
+}
+
+// ConcreteTypes implements Theory.
+func (m *MapTheory) ConcreteTypes(subject string) []string { return m.Types[subject] }
+
+// IsSubtype implements Theory.
+func (m *MapTheory) IsSubtype(sub, typ string) bool {
+	if sub == typ {
+		return true
+	}
+	return m.Sub[sub][typ]
+}
+
+// Domain implements Theory.
+func (m *MapTheory) Domain(attr string) (Domain, bool) {
+	d, ok := m.Domains[attr]
+	return d, ok
+}
+
+// Nullable implements Theory.
+func (m *MapTheory) Nullable(attr string) bool { return !m.NotNull[attr] }
+
+// HasAttr implements Theory.
+func (m *MapTheory) HasAttr(concreteType, attr string) bool {
+	if m.Attrs == nil {
+		return true
+	}
+	set, ok := m.Attrs[concreteType]
+	if !ok {
+		return true
+	}
+	return set[attr]
+}
+
+// FreeTheory is the unconstrained theory: no typed subjects, all attributes
+// nullable with unknown domains. Reasoning over it treats every attribute as
+// ranging over an unbounded value space.
+var FreeTheory Theory = &MapTheory{}

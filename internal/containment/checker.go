@@ -1,0 +1,434 @@
+package containment
+
+import (
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+)
+
+// Stats counts the work a checker performed, for the experiment harness.
+type Stats struct {
+	// Containments is the number of Contains calls.
+	Containments int
+	// BlockPairs is the number of conjunctive-block pairs compared.
+	BlockPairs int
+	// Implications is the number of theory implication checks issued.
+	Implications int
+}
+
+// Checker decides query containment over a catalog. The zero value is not
+// usable; construct with NewChecker.
+type Checker struct {
+	Cat *cqt.Catalog
+	// Simplify controls whether query trees are simplified before
+	// normalization (outer-join elimination). Disabling it forces the
+	// conservative approximations and is measured by the simplifier
+	// ablation benchmark.
+	Simplify bool
+	Stats    Stats
+}
+
+// NewChecker returns a checker with simplification enabled.
+func NewChecker(cat *cqt.Catalog) *Checker {
+	return &Checker{Cat: cat, Simplify: true}
+}
+
+// Contains reports whether query a is contained in query b (a ⊆ b) on
+// every instance. The answer true is always sound. A false answer means
+// containment could not be established; for the query shapes the compiler
+// generates the check is complete, so false is reported to the user as a
+// validation failure, matching the paper's behaviour of aborting the SMO.
+func (ch *Checker) Contains(a, b cqt.Expr) (bool, error) {
+	ch.Stats.Containments++
+	if ch.Simplify {
+		a = cqt.Simplify(ch.Cat, a)
+		b = cqt.Simplify(ch.Cat, b)
+	}
+	na := &normalizer{cat: ch.Cat, mode: upper}
+	A, err := na.normalize(a)
+	if err != nil {
+		return false, err
+	}
+	nb := &normalizer{cat: ch.Cat, mode: lower, nextID: 1 << 20}
+	B, err := nb.normalize(b)
+	if err != nil {
+		return false, err
+	}
+	for i := range A {
+		ab := &A[i]
+		th := ch.theoryFor(ab)
+		cls := newClasses(ab)
+		acond := cls.rewrite(ab.reasoningCond())
+		if !cond.Satisfiable(th, acond) {
+			continue // empty block is contained in anything
+		}
+		// A block of the left side may be covered jointly by several blocks
+		// of the right side (e.g. IS OF Person split into ONLY Person ∨
+		// derived types), so collect the requirement of every valid
+		// homomorphism into every right block and check that the left
+		// condition implies their disjunction.
+		var coverage []cond.Expr
+		for j := range B {
+			ch.Stats.BlockPairs++
+			coverage = append(coverage, ch.homRequirements(ab, &B[j], cls)...)
+		}
+		ch.Stats.Implications++
+		if !cond.Implies(th, acond, cond.NewOr(coverage...)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// reasoningCond is the block's condition strengthened with the non-null
+// facts implied by its join equalities.
+func (b *CQ) reasoningCond() cond.Expr {
+	parts := []cond.Expr{b.Cond}
+	for _, eq := range b.Eqs {
+		parts = append(parts,
+			cond.NotNull(eq[0].qualified()),
+			cond.NotNull(eq[1].qualified()))
+	}
+	return cond.NewAnd(parts...)
+}
+
+// homRequirements enumerates the scan homomorphisms from block b into block
+// a and returns, for each structurally valid one, the condition a's rows
+// must satisfy for b to produce the same output row.
+func (ch *Checker) homRequirements(a, b *CQ, cls *classes) []cond.Expr {
+	// Output schemas must agree.
+	if len(a.Proj) != len(b.Proj) {
+		return nil
+	}
+	for name := range b.Proj {
+		if _, ok := a.Proj[name]; !ok {
+			return nil
+		}
+	}
+	var out []cond.Expr
+	h := map[string]string{}
+	var try func(i int)
+	try = func(i int) {
+		if i == len(b.Scans) {
+			if req, ok := ch.homRequirement(a, b, cls, h); ok {
+				out = append(out, req)
+			}
+			return
+		}
+		bs := b.Scans[i]
+		for _, as := range a.Scans {
+			if as.Kind != bs.Kind || as.Name != bs.Name {
+				continue
+			}
+			h[bs.Alias] = as.Alias
+			try(i + 1)
+		}
+		delete(h, bs.Alias)
+	}
+	try(0)
+	return out
+}
+
+// homRequirement computes the requirement of one candidate homomorphism:
+// b's join equalities, projection compatibility, and b's condition
+// transported into a's aliases. ok is false when the homomorphism is
+// structurally impossible regardless of conditions.
+func (ch *Checker) homRequirement(a, b *CQ, cls *classes, h map[string]string) (cond.Expr, bool) {
+	mapRef := func(r ColRef) ColRef { return ColRef{Alias: h[r.Alias], Col: r.Col} }
+
+	var req []cond.Expr
+
+	// b's join equalities must hold on a's rows.
+	for _, eq := range b.Eqs {
+		x, y := mapRef(eq[0]), mapRef(eq[1])
+		if !cls.sameClass(x, y) {
+			return nil, false
+		}
+		req = append(req, cond.NotNull(cls.rep(x.qualified())))
+	}
+
+	// Projection compatibility.
+	for name, tb := range b.Proj {
+		ta := a.Proj[name]
+		switch {
+		case tb.Lit != nil && ta.Lit != nil:
+			if !litEqual(tb.Lit, ta.Lit) {
+				return nil, false
+			}
+		case tb.Lit != nil && ta.Lit == nil:
+			r := cls.rep(ta.Ref.qualified())
+			if tb.Lit.Null {
+				req = append(req, cond.Null{Attr: r})
+			} else {
+				req = append(req, cond.Cmp{Attr: r, Op: cond.OpEq, Val: tb.Lit.Val})
+			}
+		case tb.Lit == nil && ta.Lit == nil:
+			hr := mapRef(tb.Ref)
+			if !cls.sameClass(hr, ta.Ref) {
+				return nil, false
+			}
+		default: // tb ref, ta literal
+			hr := cls.rep(mapRef(tb.Ref).qualified())
+			if ta.Lit.Null {
+				req = append(req, cond.Null{Attr: hr})
+			} else {
+				req = append(req, cond.Cmp{Attr: hr, Op: cond.OpEq, Val: ta.Lit.Val})
+			}
+		}
+	}
+
+	// b's condition, transported through h and a's equality classes.
+	req = append(req, cls.rewrite(transport(b.Cond, h)))
+	return cond.NewAnd(req...), true
+}
+
+// transport rewrites b-side atoms through the homomorphism.
+func transport(c cond.Expr, h map[string]string) cond.Expr {
+	mapAttr := func(q string) string {
+		alias := q
+		col := ""
+		if i := indexDot(q); i >= 0 {
+			alias, col = q[:i], q[i+1:]
+		}
+		if na, ok := h[alias]; ok {
+			return na + "." + col
+		}
+		return q
+	}
+	return cond.MapAtoms(c, func(e cond.Expr) cond.Expr {
+		switch v := e.(type) {
+		case cond.TypeIs:
+			if na, ok := h[v.Var]; ok {
+				v.Var = na
+			}
+			return v
+		case cond.Null:
+			v.Attr = mapAttr(v.Attr)
+			return v
+		case cond.Cmp:
+			v.Attr = mapAttr(v.Attr)
+			return v
+		}
+		return e
+	})
+}
+
+func indexDot(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// classes is a union-find over a block's column references, seeded by its
+// join equalities, used to canonicalize conditions and compare references.
+type classes struct {
+	parent map[string]string
+}
+
+func newClasses(b *CQ) *classes {
+	c := &classes{parent: map[string]string{}}
+	for _, eq := range b.Eqs {
+		c.union(eq[0].qualified(), eq[1].qualified())
+	}
+	return c
+}
+
+func (c *classes) find(x string) string {
+	p, ok := c.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	r := c.find(p)
+	c.parent[x] = r
+	return r
+}
+
+func (c *classes) union(x, y string) {
+	rx, ry := c.find(x), c.find(y)
+	if rx != ry {
+		// Keep the lexicographically smaller representative for
+		// determinism.
+		if rx < ry {
+			c.parent[ry] = rx
+		} else {
+			c.parent[rx] = ry
+		}
+	}
+}
+
+func (c *classes) rep(q string) string { return c.find(q) }
+
+func (c *classes) sameClass(x, y ColRef) bool {
+	return c.find(x.qualified()) == c.find(y.qualified())
+}
+
+// rewrite canonicalizes a condition's attribute references to class
+// representatives so that facts about joined columns combine.
+func (c *classes) rewrite(e cond.Expr) cond.Expr {
+	return cond.MapAtoms(e, func(x cond.Expr) cond.Expr {
+		switch v := x.(type) {
+		case cond.Null:
+			v.Attr = c.rep(v.Attr)
+			return v
+		case cond.Cmp:
+			v.Attr = c.rep(v.Attr)
+			return v
+		}
+		return x
+	})
+}
+
+// theoryFor builds the reasoning theory for one block: each alias's
+// concrete types and attribute domains come from the scanned set or table.
+func (ch *Checker) theoryFor(b *CQ) cond.Theory {
+	scans := map[string]ScanRef{}
+	for _, s := range b.Scans {
+		scans[s.Alias] = s
+	}
+	return &blockTheory{cat: ch.Cat, scans: scans}
+}
+
+type blockTheory struct {
+	cat   *cqt.Catalog
+	scans map[string]ScanRef
+}
+
+func (t *blockTheory) ConcreteTypes(subject string) []string {
+	s, ok := t.scans[subject]
+	if !ok || s.Kind != KSet {
+		return nil
+	}
+	set := t.cat.Client.Set(s.Name)
+	if set == nil {
+		return nil
+	}
+	return t.cat.Client.ConcreteIn(set.Type)
+}
+
+func (t *blockTheory) IsSubtype(sub, typ string) bool {
+	return t.cat.Client.IsSubtype(sub, typ)
+}
+
+func (t *blockTheory) Domain(attr string) (cond.Domain, bool) {
+	s, col, ok := t.resolve(attr)
+	if !ok {
+		return cond.Domain{}, false
+	}
+	switch s.Kind {
+	case KTable:
+		tab := t.cat.Store.Table(s.Name)
+		if tab == nil {
+			return cond.Domain{}, false
+		}
+		c, ok := tab.Col(col)
+		if !ok {
+			return cond.Domain{}, false
+		}
+		return c.Domain(), true
+	case KSet:
+		set := t.cat.Client.Set(s.Name)
+		if set == nil {
+			return cond.Domain{}, false
+		}
+		if a, ok := t.setAttr(set.Type, col); ok {
+			return a, true
+		}
+		return cond.Domain{}, false
+	case KAssoc:
+		if d, _, ok := t.assocCol(s.Name, col); ok {
+			return d, true
+		}
+	}
+	return cond.Domain{}, false
+}
+
+func (t *blockTheory) Nullable(attr string) bool {
+	s, col, ok := t.resolve(attr)
+	if !ok {
+		return true
+	}
+	switch s.Kind {
+	case KTable:
+		tab := t.cat.Store.Table(s.Name)
+		if tab == nil {
+			return true
+		}
+		c, ok := tab.Col(col)
+		if !ok {
+			return true
+		}
+		return c.Nullable
+	case KSet:
+		set := t.cat.Client.Set(s.Name)
+		if set == nil {
+			return true
+		}
+		// An attribute of a set scan is NULL when the row's entity type
+		// lacks it, even if declared non-nullable.
+		declared := false
+		declaredNullable := false
+		for _, ty := range t.cat.Client.ConcreteIn(set.Type) {
+			a, ok := t.cat.Client.Attr(ty, col)
+			if ok {
+				declared = true
+				declaredNullable = declaredNullable || a.Nullable
+			} else {
+				return true
+			}
+		}
+		if !declared {
+			return true
+		}
+		return declaredNullable
+	case KAssoc:
+		if _, nullable, ok := t.assocCol(s.Name, col); ok {
+			return nullable
+		}
+	}
+	return true
+}
+
+func (t *blockTheory) HasAttr(concreteType, attr string) bool {
+	return t.cat.Client.HasAttr(concreteType, attr)
+}
+
+func (t *blockTheory) resolve(attr string) (ScanRef, string, bool) {
+	i := indexDot(attr)
+	if i < 0 {
+		return ScanRef{}, "", false
+	}
+	s, ok := t.scans[attr[:i]]
+	return s, attr[i+1:], ok
+}
+
+func (t *blockTheory) setAttr(rootType, attr string) (cond.Domain, bool) {
+	for _, ty := range append([]string{rootType}, t.cat.Client.Descendants(rootType)...) {
+		if a, ok := t.cat.Client.Attr(ty, attr); ok {
+			return a.Domain(), true
+		}
+	}
+	return cond.Domain{}, false
+}
+
+func (t *blockTheory) assocCol(assoc, col string) (cond.Domain, bool, bool) {
+	a := t.cat.Client.Association(assoc)
+	if a == nil {
+		return cond.Domain{}, false, false
+	}
+	e1, e2 := cqt.AssocEndCols(t.cat.Client, a)
+	for i, c := range e1 {
+		if c == col {
+			attr, _ := t.cat.Client.Attr(a.End1.Type, t.cat.Client.KeyOf(a.End1.Type)[i])
+			return attr.Domain(), false, true
+		}
+	}
+	for i, c := range e2 {
+		if c == col {
+			attr, _ := t.cat.Client.Attr(a.End2.Type, t.cat.Client.KeyOf(a.End2.Type)[i])
+			return attr.Domain(), false, true
+		}
+	}
+	return cond.Domain{}, false, false
+}

@@ -1,0 +1,434 @@
+// Package containment implements a query-containment checker for the query
+// class the mapping compiler generates: unions of conjunctive blocks over
+// entity sets, association sets and tables, with the condition language of
+// package cond. Containment of such queries is NP-hard (the paper relies on
+// this to motivate incremental compilation); the checker is sound — a true
+// answer is always correct — and complete for the union-of-project-select
+// and key-joined query shapes that fragments and views produce.
+//
+// Queries containing outer joins are first simplified; any remaining outer
+// join is approximated conservatively (the left-hand query of ⊆ from above,
+// the right-hand query from below), preserving soundness.
+package containment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+)
+
+// ScanKind distinguishes block scan targets.
+type ScanKind int
+
+// Scan targets.
+const (
+	KTable ScanKind = iota
+	KSet
+	KAssoc
+)
+
+// ScanRef is one scan of a conjunctive block.
+type ScanRef struct {
+	Alias string
+	Kind  ScanKind
+	Name  string
+}
+
+// ColRef is a column of a scan.
+type ColRef struct {
+	Alias, Col string
+}
+
+func (c ColRef) qualified() string { return c.Alias + "." + c.Col }
+
+// Term is a projected output: a column reference or a literal.
+type Term struct {
+	Lit *cqt.Literal
+	Ref ColRef
+}
+
+// CQ is one conjunctive block: a set of scans joined by column equalities,
+// filtered by a condition with alias-qualified atoms, projecting named
+// terms.
+type CQ struct {
+	Scans   []ScanRef
+	Eqs     [][2]ColRef
+	Cond    cond.Expr
+	Proj    map[string]Term
+	Subject string // alias of the typed (entity-set) scan, if any
+}
+
+// approxMode selects how outer joins are approximated.
+type approxMode int
+
+const (
+	exact approxMode = iota
+	upper            // superset of the query (for the ⊆ left-hand side)
+	lower            // subset of the query (for the ⊆ right-hand side)
+)
+
+type normalizer struct {
+	cat     *cqt.Catalog
+	mode    approxMode
+	nextID  int
+	inexact bool // an approximation was actually applied
+}
+
+func (n *normalizer) fresh() string {
+	n.nextID++
+	return fmt.Sprintf("t%d", n.nextID)
+}
+
+// normalize converts a query tree into a union of conjunctive blocks.
+func (n *normalizer) normalize(e cqt.Expr) ([]CQ, error) {
+	switch v := e.(type) {
+	case cqt.ScanTable:
+		return n.scan(KTable, v.Table)
+	case cqt.ScanSet:
+		return n.scan(KSet, v.Set)
+	case cqt.ScanAssoc:
+		return n.scan(KAssoc, v.Assoc)
+
+	case cqt.Select:
+		blocks, err := n.normalize(v.In)
+		if err != nil {
+			return nil, err
+		}
+		out := blocks[:0]
+		for _, b := range blocks {
+			c, ok := rewriteCond(v.Cond, &b)
+			if !ok {
+				return nil, fmt.Errorf("containment: cannot rewrite condition %v over block", v.Cond)
+			}
+			b.Cond = cond.NewAnd(b.Cond, c)
+			if _, isFalse := b.Cond.(cond.False); isFalse {
+				continue
+			}
+			out = append(out, b)
+		}
+		return out, nil
+
+	case cqt.Project:
+		blocks, err := n.normalize(v.In)
+		if err != nil {
+			return nil, err
+		}
+		for i := range blocks {
+			proj := make(map[string]Term, len(v.Cols))
+			for _, pc := range v.Cols {
+				if pc.Lit != nil {
+					proj[pc.As] = Term{Lit: pc.Lit}
+					continue
+				}
+				t, ok := blocks[i].Proj[pc.Src]
+				if !ok {
+					return nil, fmt.Errorf("containment: projection of unknown column %q", pc.Src)
+				}
+				proj[pc.As] = t
+			}
+			blocks[i].Proj = proj
+		}
+		return blocks, nil
+
+	case cqt.Join:
+		switch v.Kind {
+		case cqt.Inner:
+			return n.innerJoin(v)
+		case cqt.LeftOuter:
+			inner, err := n.innerJoin(cqt.Join{Kind: cqt.Inner, L: v.L, R: v.R, On: v.On})
+			if err != nil {
+				return nil, err
+			}
+			switch n.mode {
+			case lower:
+				n.inexact = true
+				return inner, nil
+			case upper:
+				n.inexact = true
+				padded, err := n.padBlocks(v.L, v.R)
+				if err != nil {
+					return nil, err
+				}
+				return append(inner, padded...), nil
+			default:
+				return nil, fmt.Errorf("containment: outer join not supported in exact mode")
+			}
+		case cqt.FullOuter:
+			inner, err := n.innerJoin(cqt.Join{Kind: cqt.Inner, L: v.L, R: v.R, On: v.On})
+			if err != nil {
+				return nil, err
+			}
+			switch n.mode {
+			case lower:
+				n.inexact = true
+				return inner, nil
+			case upper:
+				n.inexact = true
+				lp, err := n.padBlocks(v.L, v.R)
+				if err != nil {
+					return nil, err
+				}
+				rp, err := n.padBlocks(v.R, v.L)
+				if err != nil {
+					return nil, err
+				}
+				return append(append(inner, lp...), rp...), nil
+			default:
+				return nil, fmt.Errorf("containment: outer join not supported in exact mode")
+			}
+		}
+		return nil, fmt.Errorf("containment: unknown join kind")
+
+	case cqt.UnionAll:
+		var out []CQ
+		for _, in := range v.Inputs {
+			bs, err := n.normalize(in)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bs...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("containment: unsupported expression %T", e)
+}
+
+func (n *normalizer) scan(kind ScanKind, name string) ([]CQ, error) {
+	var scanExpr cqt.Expr
+	switch kind {
+	case KTable:
+		scanExpr = cqt.ScanTable{Table: name}
+	case KSet:
+		scanExpr = cqt.ScanSet{Set: name}
+	case KAssoc:
+		scanExpr = cqt.ScanAssoc{Assoc: name}
+	}
+	cols, err := n.cat.Cols(scanExpr)
+	if err != nil {
+		return nil, err
+	}
+	alias := n.fresh()
+	proj := make(map[string]Term, len(cols))
+	for _, c := range cols {
+		proj[c] = Term{Ref: ColRef{Alias: alias, Col: c}}
+	}
+	b := CQ{
+		Scans: []ScanRef{{Alias: alias, Kind: kind, Name: name}},
+		Cond:  cond.True{},
+		Proj:  proj,
+	}
+	if kind == KSet {
+		b.Subject = alias
+	}
+	if kind == KAssoc && n.mode == upper {
+		n.addReferentialIntegrity(&b, alias, name)
+	}
+	return []CQ{b}, nil
+}
+
+// addReferentialIntegrity encodes the client-side axiom that association
+// ends reference existing entities: each end of an association scan is
+// joined with a companion entity-set scan restricted to the end's type.
+// This is what lets foreign-key preservation checks like check 3 of the
+// paper's Example 7 go through. It is applied to the ⊆ left-hand side only
+// (enlarging the right-hand side would be unsound).
+func (n *normalizer) addReferentialIntegrity(b *CQ, assocAlias, assocName string) {
+	a := n.cat.Client.Association(assocName)
+	if a == nil {
+		return
+	}
+	e1, e2 := cqt.AssocEndCols(n.cat.Client, a)
+	for end := 0; end < 2; end++ {
+		endType := a.End1.Type
+		cols := e1
+		if end == 1 {
+			endType = a.End2.Type
+			cols = e2
+		}
+		set := n.cat.Client.SetFor(endType)
+		if set == nil {
+			continue
+		}
+		companion := n.fresh()
+		b.Scans = append(b.Scans, ScanRef{Alias: companion, Kind: KSet, Name: set.Name})
+		for i, key := range n.cat.Client.KeyOf(endType) {
+			b.Eqs = append(b.Eqs, [2]ColRef{
+				{Alias: assocAlias, Col: cols[i]},
+				{Alias: companion, Col: key},
+			})
+		}
+		b.Cond = cond.NewAnd(b.Cond, cond.TypeIs{Var: companion, Type: endType})
+	}
+}
+
+func (n *normalizer) innerJoin(v cqt.Join) ([]CQ, error) {
+	lbs, err := n.normalize(v.L)
+	if err != nil {
+		return nil, err
+	}
+	rbs, err := n.normalize(v.R)
+	if err != nil {
+		return nil, err
+	}
+	var out []CQ
+	for _, lb := range lbs {
+		for _, rb := range rbs {
+			m := CQ{
+				Scans: append(append([]ScanRef{}, lb.Scans...), rb.Scans...),
+				Eqs:   append(append([][2]ColRef{}, lb.Eqs...), rb.Eqs...),
+				Cond:  cond.NewAnd(lb.Cond, rb.Cond),
+				Proj:  map[string]Term{},
+			}
+			m.Subject = lb.Subject
+			if m.Subject == "" {
+				m.Subject = rb.Subject
+			}
+			ok := true
+			for _, p := range v.On {
+				lt, lok := lb.Proj[p[0]]
+				rt, rok := rb.Proj[p[1]]
+				if !lok || !rok {
+					return nil, fmt.Errorf("containment: join column %v/%v not projected", p[0], p[1])
+				}
+				switch {
+				case lt.Lit == nil && rt.Lit == nil:
+					m.Eqs = append(m.Eqs, [2]ColRef{lt.Ref, rt.Ref})
+				case lt.Lit != nil && rt.Lit == nil:
+					c, o := litEqCond(rt.Ref, lt.Lit)
+					if !o {
+						ok = false
+					} else {
+						m.Cond = cond.NewAnd(m.Cond, c)
+					}
+				case lt.Lit == nil && rt.Lit != nil:
+					c, o := litEqCond(lt.Ref, rt.Lit)
+					if !o {
+						ok = false
+					} else {
+						m.Cond = cond.NewAnd(m.Cond, c)
+					}
+				default:
+					if !litEqual(lt.Lit, rt.Lit) || lt.Lit.Null {
+						ok = false // NULL = NULL is false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Merge projections, left side winning on shared names (the
+			// evaluator requires shared names to be join-equated).
+			for k, t := range rb.Proj {
+				m.Proj[k] = t
+			}
+			for k, t := range lb.Proj {
+				m.Proj[k] = t
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// padBlocks builds the "keep side, NULL-pad other" blocks used in outer
+// join over-approximation.
+func (n *normalizer) padBlocks(keep, pad cqt.Expr) ([]CQ, error) {
+	kbs, err := n.normalize(keep)
+	if err != nil {
+		return nil, err
+	}
+	padCols, err := n.cat.Cols(pad)
+	if err != nil {
+		return nil, err
+	}
+	for i := range kbs {
+		for _, c := range padCols {
+			if _, exists := kbs[i].Proj[c]; !exists {
+				kbs[i].Proj[c] = Term{Lit: &cqt.Literal{Null: true}}
+			}
+		}
+	}
+	return kbs, nil
+}
+
+func litEqual(a, b *cqt.Literal) bool {
+	if a.Null != b.Null {
+		return false
+	}
+	if a.Null {
+		return true
+	}
+	c, ok := cond.Compare(a.Val, b.Val)
+	return ok && c == 0
+}
+
+func litEqCond(r ColRef, l *cqt.Literal) (cond.Expr, bool) {
+	if l.Null {
+		return nil, false // join key NULL never matches
+	}
+	return cond.Cmp{Attr: r.qualified(), Op: cond.OpEq, Val: l.Val}, true
+}
+
+// rewriteCond rewrites a condition stated over the block's output names
+// into one over qualified scan columns, folding atoms that land on
+// literals.
+func rewriteCond(c cond.Expr, b *CQ) (cond.Expr, bool) {
+	ok := true
+	out := cond.MapAtoms(c, func(e cond.Expr) cond.Expr {
+		switch v := e.(type) {
+		case cond.TypeIs:
+			if v.Var == "" {
+				if b.Subject == "" {
+					// IS OF over an untyped block is false.
+					return cond.False{}
+				}
+				v.Var = b.Subject
+			}
+			return v
+		case cond.Null:
+			t, found := b.Proj[v.Attr]
+			if !found {
+				ok = false
+				return cond.False{}
+			}
+			if t.Lit != nil {
+				if t.Lit.Null {
+					return cond.True{}
+				}
+				return cond.False{}
+			}
+			return cond.Null{Attr: t.Ref.qualified()}
+		case cond.Cmp:
+			t, found := b.Proj[v.Attr]
+			if !found {
+				ok = false
+				return cond.False{}
+			}
+			if t.Lit != nil {
+				val, nonNull := t.Lit.Value()
+				if !nonNull {
+					return cond.False{}
+				}
+				inst := &cond.MapInstance{Vals: map[string]cond.Value{"x": val}}
+				if cond.EvalOn(cond.FreeTheory, cond.Cmp{Attr: "x", Op: v.Op, Val: v.Val}, inst) {
+					return cond.True{}
+				}
+				return cond.False{}
+			}
+			v.Attr = t.Ref.qualified()
+			return v
+		}
+		return e
+	})
+	return out, ok
+}
+
+// bareCol strips the alias qualification.
+func bareCol(q string) string {
+	if i := strings.IndexByte(q, '.'); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}

@@ -1,0 +1,179 @@
+package containment
+
+import (
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func TestNormalizeSelectFoldsLiterals(t *testing.T) {
+	m := workload.PaperFull()
+	n := &normalizer{cat: m.Catalog(), mode: upper}
+	// Project a constant, then select on it: the condition folds away.
+	q := cqt.Select{
+		In: cqt.Project{
+			In:   cqt.ScanTable{Table: "HR"},
+			Cols: []cqt.ProjCol{cqt.Col("Id"), cqt.LitAs(cqt.Const(cond.Bool(true)), "flag")},
+		},
+		Cond: cond.Cmp{Attr: "flag", Op: cond.OpEq, Val: cond.Bool(true)},
+	}
+	blocks, err := n.normalize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if _, isTrue := blocks[0].Cond.(cond.True); !isTrue {
+		t.Errorf("condition did not fold: %v", blocks[0].Cond)
+	}
+	// Selecting on the constant being false eliminates the block.
+	q2 := cqt.Select{
+		In: cqt.Project{
+			In:   cqt.ScanTable{Table: "HR"},
+			Cols: []cqt.ProjCol{cqt.Col("Id"), cqt.LitAs(cqt.Const(cond.Bool(true)), "flag")},
+		},
+		Cond: cond.Cmp{Attr: "flag", Op: cond.OpEq, Val: cond.Bool(false)},
+	}
+	blocks, err = n.normalize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 0 {
+		t.Errorf("statically false block survived: %d", len(blocks))
+	}
+}
+
+func TestNormalizeNullLiteralConditions(t *testing.T) {
+	m := workload.PaperFull()
+	n := &normalizer{cat: m.Catalog(), mode: upper}
+	q := cqt.Select{
+		In: cqt.Project{
+			In:   cqt.ScanTable{Table: "HR"},
+			Cols: []cqt.ProjCol{cqt.Col("Id"), cqt.LitAs(cqt.NullOf(cond.KindInt), "pad")},
+		},
+		Cond: cond.Null{Attr: "pad"},
+	}
+	blocks, err := n.normalize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if _, isTrue := blocks[0].Cond.(cond.True); !isTrue {
+		t.Errorf("IS NULL over NULL literal did not fold to true: %v", blocks[0].Cond)
+	}
+}
+
+func TestNormalizeOuterJoinModes(t *testing.T) {
+	m := workload.PaperFull()
+	j := cqt.Join{
+		Kind: cqt.LeftOuter,
+		L:    cqt.ScanTable{Table: "HR"},
+		R: cqt.Project{In: cqt.ScanTable{Table: "Emp"},
+			Cols: []cqt.ProjCol{cqt.ColAs("Id", "EId"), cqt.Col("Dept")}},
+		On: [][2]string{{"Id", "EId"}},
+	}
+	upperN := &normalizer{cat: m.Catalog(), mode: upper}
+	ub, err := upperN.normalize(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ub) != 2 {
+		t.Fatalf("upper LOJ blocks = %d, want 2 (inner + padded)", len(ub))
+	}
+	lowerN := &normalizer{cat: m.Catalog(), mode: lower}
+	lb, err := lowerN.normalize(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb) != 1 {
+		t.Fatalf("lower LOJ blocks = %d, want 1 (inner)", len(lb))
+	}
+	exactN := &normalizer{cat: m.Catalog(), mode: exact}
+	if _, err := exactN.normalize(j); err == nil {
+		t.Fatal("exact mode must reject outer joins")
+	}
+
+	foj := j
+	foj.Kind = cqt.FullOuter
+	upperN2 := &normalizer{cat: m.Catalog(), mode: upper}
+	fb, err := upperN2.normalize(foj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 3 {
+		t.Fatalf("upper FOJ blocks = %d, want 3", len(fb))
+	}
+}
+
+func TestNormalizeJoinOnLiteral(t *testing.T) {
+	m := workload.PaperFull()
+	n := &normalizer{cat: m.Catalog(), mode: upper}
+	// Joining a constant column against a scan column becomes a condition.
+	j := cqt.Join{
+		Kind: cqt.Inner,
+		L: cqt.Project{In: cqt.ScanTable{Table: "HR"},
+			Cols: []cqt.ProjCol{cqt.Col("Id"), cqt.LitAs(cqt.Const(cond.Int(7)), "K")}},
+		R: cqt.Project{In: cqt.ScanTable{Table: "Emp"},
+			Cols: []cqt.ProjCol{cqt.ColAs("Id", "K2"), cqt.Col("Dept")}},
+		On: [][2]string{{"K", "K2"}},
+	}
+	blocks, err := n.normalize(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	found := false
+	for _, a := range cond.Atoms(blocks[0].Cond) {
+		if a.Kind == cond.AtomCmp && a.Op == cond.OpEq && a.Val.IntVal() == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("literal join not turned into a condition: %v", blocks[0].Cond)
+	}
+}
+
+func TestContainmentWithSelfAssociationRI(t *testing.T) {
+	// Referential-integrity enrichment must handle self-associations
+	// (distinct end aliases on the same set).
+	m := workload.PaperFull()
+	if err := m.Client.AddAssociation(assoc("Mentors", "Employee", "Employee")); err != nil {
+		t.Fatal(err)
+	}
+	ch := NewChecker(m.Catalog())
+	lhs := cqt.Project{
+		In:   cqt.ScanAssoc{Assoc: "Mentors"},
+		Cols: []cqt.ProjCol{cqt.ColAs("Employee2_Id", "Id")},
+	}
+	rhs := persons(cond.TypeIs{Type: "Person"}, "Id")
+	ok, err := ch.Contains(lhs, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("mentor ids must be contained in Person ids via referential integrity")
+	}
+}
+
+func TestBareColHelper(t *testing.T) {
+	if bareCol("t1.Name") != "Name" || bareCol("Name") != "Name" {
+		t.Error("bareCol wrong")
+	}
+}
+
+// assoc builds an association value for tests.
+func assoc(name, e1, e2 string) edm.Association {
+	return edm.Association{
+		Name: name,
+		End1: edm.End{Type: e1, Mult: edm.Many},
+		End2: edm.End{Type: e2, Mult: edm.ZeroOne},
+	}
+}

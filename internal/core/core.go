@@ -1,0 +1,400 @@
+// Package core implements the paper's contribution: the incremental
+// mapping compiler of Bernstein et al. (SIGMOD 2013). Given a mapping that
+// has already been validated and compiled into query and update views, a
+// schema modification operation (SMO) is compiled into incremental
+// modifications of the schemas, fragments and views, validating only the
+// neighbourhood of the change instead of the whole mapping.
+//
+// Each SMO provides the four algorithms of §1.2: adapt/create query views,
+// adapt/create update views, adapt the fragment set, and validate the new
+// mapping with localized query-containment checks.
+package core
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/containment"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+)
+
+// Options tunes the incremental compiler.
+type Options struct {
+	// NoSimplify disables simplification of evolved views and containment
+	// inputs (the simplifier ablation).
+	NoSimplify bool
+	// WideValidation re-checks every foreign key of every mapped table
+	// instead of only the SMO's neighbourhood (the neighbourhood-
+	// restriction ablation).
+	WideValidation bool
+}
+
+// Stats reports the work one or more Apply calls performed.
+type Stats struct {
+	Containments int
+	Implications int
+	AdaptedViews int
+	BuiltViews   int
+}
+
+// Incremental is the incremental mapping compiler.
+type Incremental struct {
+	Opts  Options
+	Stats Stats
+
+	// touchedQuery/touchedUpdate track the views an SMO created or
+	// restructured, so only the neighbourhood of the change is
+	// re-simplified.
+	touchedQuery  map[string]bool
+	touchedUpdate map[string]bool
+}
+
+func (ic *Incremental) markQuery(ty string)     { ic.touchedQuery[ty] = true }
+func (ic *Incremental) markUpdate(table string) { ic.touchedUpdate[table] = true }
+
+// NewIncremental returns an incremental compiler with default options.
+func NewIncremental() *Incremental { return &Incremental{} }
+
+// SMO is a schema modification operation: a small change to the client
+// schema plus a directive on how the change maps to tables. The concrete
+// SMOs of this package implement it directly; external packages (such as
+// the MoDEF-style planner) provide Planner implementations that are
+// resolved against the evolved mapping at application time.
+type SMO interface {
+	// Describe names the operation for logs and errors.
+	Describe() string
+}
+
+// applier is the internal face of an executable SMO.
+type applier interface {
+	SMO
+	// apply mutates the (cloned) mapping and views; an error aborts the
+	// compilation and the caller's originals stay untouched.
+	apply(ic *Incremental, m *frag.Mapping, v *frag.Views) error
+}
+
+// Planner is an SMO that is synthesised lazily against the current mapping
+// (e.g. by mapping-style inference), possibly extending the store schema
+// as its table directive.
+type Planner interface {
+	SMO
+	// Plan resolves the operation against the mapping it will be applied
+	// to. It may mutate the mapping's store schema (adding tables or
+	// columns) but not the client schema or fragments.
+	Plan(m *frag.Mapping) (SMO, error)
+}
+
+// Apply incrementally compiles one SMO: it adapts the mapping and views and
+// validates the neighbourhood of the change. On success the evolved mapping
+// and views are returned; on failure an error is returned and the inputs
+// are left untouched, matching the paper's abort semantics.
+func (ic *Incremental) Apply(m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapping, *frag.Views, error) {
+	nm := m.Clone()
+	nv := v.Clone()
+	ic.touchedQuery = map[string]bool{}
+	ic.touchedUpdate = map[string]bool{}
+	resolved := op
+	for i := 0; i < 4; i++ {
+		p, ok := resolved.(Planner)
+		if !ok {
+			break
+		}
+		next, err := p.Plan(nm)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", op.Describe(), err)
+		}
+		resolved = next
+	}
+	a, ok := resolved.(applier)
+	if !ok {
+		return nil, nil, fmt.Errorf("%s: not an executable SMO", op.Describe())
+	}
+	if err := a.apply(ic, nm, nv); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", op.Describe(), err)
+	}
+	if !ic.Opts.NoSimplify {
+		ic.simplifyViews(nm, nv)
+	}
+	return nm, nv, nil
+}
+
+// ApplyAll compiles a sequence of SMOs, aborting at the first failure.
+func (ic *Incremental) ApplyAll(m *frag.Mapping, v *frag.Views, ops ...SMO) (*frag.Mapping, *frag.Views, error) {
+	for _, op := range ops {
+		var err error
+		m, v, err = ic.Apply(m, v, op)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, v, nil
+}
+
+func (ic *Incremental) simplifyViews(m *frag.Mapping, v *frag.Views) {
+	cat := m.Catalog()
+	for ty := range ic.touchedQuery {
+		if view := v.Query[ty]; view != nil {
+			view.Q = cqt.Simplify(cat, view.Q)
+		}
+	}
+	for table := range ic.touchedUpdate {
+		if view := v.Update[table]; view != nil {
+			view.Q = cqt.Simplify(cat, view.Q)
+		}
+	}
+}
+
+func (ic *Incremental) checker(m *frag.Mapping) *containment.Checker {
+	ch := containment.NewChecker(m.Catalog())
+	ch.Simplify = !ic.Opts.NoSimplify
+	return ch
+}
+
+func (ic *Incremental) absorb(ch *containment.Checker) {
+	ic.Stats.Containments += ch.Stats.Containments
+	ic.Stats.Implications += ch.Stats.Implications
+}
+
+// adaptClientCond implements the condition adaptation shared by fragment
+// adaptation (§3.1.3) and update-view adaptation (Algorithm 2): after
+// adding entity type E with ancestor reference P,
+//
+//   - IS OF (ONLY P) becomes IS OF (ONLY P) ∨ IS OF E (line 7), and
+//   - IS OF F, for F a proper ancestor of E and proper descendant of P,
+//     becomes the disjunction of line 14 that rules out E.
+//
+// pset is that set of in-between types.
+func adaptClientCond(m *frag.Mapping, x cond.Expr, newType, p string, pset []string) cond.Expr {
+	inP := map[string]bool{}
+	for _, f := range pset {
+		inP[f] = true
+	}
+	return cond.MapAtoms(x, func(e cond.Expr) cond.Expr {
+		t, ok := e.(cond.TypeIs)
+		if !ok {
+			return e
+		}
+		if t.Only && p != "" && t.Type == p {
+			return cond.NewOr(t, cond.TypeIs{Var: t.Var, Type: newType})
+		}
+		if !t.Only && inP[t.Type] {
+			var parts []cond.Expr
+			for _, fp := range pset {
+				if !m.Client.IsSubtype(fp, t.Type) {
+					continue
+				}
+				parts = append(parts, cond.TypeIs{Var: t.Var, Type: fp, Only: true})
+				for _, ch := range m.Client.Children(fp) {
+					if ch == newType || inP[ch] {
+						continue
+					}
+					parts = append(parts, cond.TypeIs{Var: t.Var, Type: ch})
+				}
+			}
+			return cond.NewOr(parts...)
+		}
+		return e
+	})
+}
+
+// adaptFragments rewrites the client conditions of the fragments over one
+// entity set (§3.1.3).
+func adaptFragments(m *frag.Mapping, setName, newType, p string, pset []string) {
+	for _, f := range m.Frags {
+		if f.Set != setName {
+			continue
+		}
+		f.ClientCond = adaptClientCond(m, f.ClientCond, newType, p, pset)
+	}
+}
+
+// adaptUpdateViews rewrites the conditions of every update view except the
+// new table's (Algorithm 2, lines 4-17). Views whose conditions mention
+// neither IS OF (ONLY P) nor any type of pset are untouched, which keeps
+// the adaptation proportional to the neighbourhood rather than the model.
+func (ic *Incremental) adaptUpdateViews(m *frag.Mapping, v *frag.Views, skipTable, newType, p string, pset []string) {
+	inP := map[string]bool{}
+	for _, f := range pset {
+		inP[f] = true
+	}
+	affected := func(c cond.Expr) bool {
+		for _, a := range cond.Atoms(c) {
+			if a.Kind != cond.AtomType {
+				continue
+			}
+			if a.Only && p != "" && a.Type == p {
+				return true
+			}
+			if !a.Only && inP[a.Type] {
+				return true
+			}
+		}
+		return false
+	}
+	for table, view := range v.Update {
+		if table == skipTable {
+			continue
+		}
+		if !cqt.AnyCond(view.Q, affected) {
+			continue
+		}
+		view.Q = cqt.MapConds(view.Q, func(c cond.Expr) cond.Expr {
+			return adaptClientCond(m, c, newType, p, pset)
+		})
+		ic.Stats.AdaptedViews++
+	}
+}
+
+// betweenTypes computes p: the proper ancestors of E that are proper
+// descendants of P ("" meaning NIL, of which every type is a descendant).
+func betweenTypes(m *frag.Mapping, e, p string) []string {
+	var out []string
+	for _, a := range m.Client.Ancestors(e) {
+		if p != "" && (a == p || !m.Client.IsSubtype(a, p)) {
+			continue
+		}
+		if a == p {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// ancestorsOfP computes anc for Algorithm 1: P and its proper ancestors
+// (empty when P is NIL).
+func ancestorsOfP(m *frag.Mapping, p string) []string {
+	if p == "" {
+		return nil
+	}
+	return append([]string{p}, m.Client.Ancestors(p)...)
+}
+
+// checkContainment runs one localized containment check and wraps a failed
+// result in the paper's abort semantics.
+func (ic *Incremental) checkContainment(ch *containment.Checker, a, b cqt.Expr, what string) error {
+	ok, err := ch.Contains(a, b)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("validation failed: %s", what)
+	}
+	return nil
+}
+
+// fkCheck validates one foreign key of table tab against the current update
+// views: π_{β AS γ}(σ_{β NOT NULL}(Q_tab)) ⊆ π_γ(Q_ref).
+func (ic *Incremental) fkCheck(ch *containment.Checker, m *frag.Mapping, v *frag.Views, tab string, fk rel.ForeignKey) error {
+	refView, ok := v.Update[fk.RefTable]
+	if !ok {
+		return fmt.Errorf("validation failed: foreign key %s of %s references unmapped table %s", fk.Name, tab, fk.RefTable)
+	}
+	tabView, ok := v.Update[tab]
+	if !ok {
+		return fmt.Errorf("internal: no update view for %s", tab)
+	}
+	var notNull []cond.Expr
+	cols := make([]cqt.ProjCol, 0, len(fk.Cols))
+	for i, c := range fk.Cols {
+		notNull = append(notNull, cond.NotNull(c))
+		cols = append(cols, cqt.ColAs(c, fk.RefCols[i]))
+	}
+	lhs := cqt.Project{In: cqt.Select{In: tabView.Q, Cond: cond.NewAnd(notNull...)}, Cols: cols}
+	rcols := make([]cqt.ProjCol, 0, len(fk.RefCols))
+	for _, c := range fk.RefCols {
+		rcols = append(rcols, cqt.Col(c))
+	}
+	rhs := cqt.Project{In: refView.Q, Cols: rcols}
+	return ic.checkContainment(ch, lhs, rhs,
+		fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable))
+}
+
+// wideFKRecheck re-validates every foreign key of every mapped table (the
+// neighbourhood ablation).
+func (ic *Incremental) wideFKRecheck(ch *containment.Checker, m *frag.Mapping, v *frag.Views) error {
+	for _, tn := range m.MappedTables() {
+		tab := m.Store.Table(tn)
+		for _, fk := range tab.FKs {
+			written := false
+			for _, f := range m.FragsOnTable(tn) {
+				for _, c := range fk.Cols {
+					if f.MapsCol(c) {
+						written = true
+					}
+				}
+			}
+			if !written {
+				continue
+			}
+			if err := ic.fkCheck(ch, m, v, tn, fk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// unionAlign pads two queries to a common column set (NULLs for missing
+// columns) so they can be unioned. Column kinds are resolved from the
+// client schema where possible.
+func unionAlign(m *frag.Mapping, setName string, a, b cqt.Expr) (cqt.Expr, cqt.Expr, error) {
+	cat := m.Catalog()
+	ac, err := cat.Cols(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	bc, err := cat.Cols(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	have := func(cols []string, c string) bool {
+		for _, x := range cols {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	union := append([]string(nil), ac...)
+	for _, c := range bc {
+		if !have(ac, c) {
+			union = append(union, c)
+		}
+	}
+	pad := func(e cqt.Expr, cols []string) cqt.Expr {
+		out := make([]cqt.ProjCol, 0, len(union))
+		for _, c := range union {
+			if have(cols, c) {
+				out = append(out, cqt.Col(c))
+			} else {
+				out = append(out, cqt.LitAs(cqt.NullOf(colKind(m, setName, c)), c))
+			}
+		}
+		return cqt.Project{In: e, Cols: out}
+	}
+	return pad(a, ac), pad(b, bc), nil
+}
+
+// colKind guesses the kind of a view output column: a client attribute of
+// the set's hierarchy, a boolean provenance flag, or the string type tag.
+func colKind(m *frag.Mapping, setName, col string) cond.Kind {
+	set := m.Client.Set(setName)
+	if set != nil {
+		for _, ty := range append([]string{set.Type}, m.Client.Descendants(set.Type)...) {
+			if a, ok := m.Client.Attr(ty, col); ok {
+				return a.Type
+			}
+		}
+	}
+	if col == "__type" {
+		return cond.KindString
+	}
+	return cond.KindBool
+}
+
+// typeFlagCol names the provenance flag introduced for a newly added type
+// (the paper's t_E attribute).
+func typeFlagCol(ty string) string { return "__t_" + ty }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/frag"
+)
+
+// DropAssociation removes an association and its mapping fragment,
+// restoring the affected table's update view from the surviving fragments.
+// Removing pairs cannot invalidate a valid mapping, so no containment
+// checks are needed.
+type DropAssociation struct {
+	Name string
+}
+
+// Describe implements SMO.
+func (op *DropAssociation) Describe() string { return fmt.Sprintf("DropAssociation(%s)", op.Name) }
+
+func (op *DropAssociation) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) error {
+	g := m.FragForAssoc(op.Name)
+	if err := m.Client.RemoveAssociation(op.Name); err != nil {
+		return err
+	}
+	delete(v.Assoc, op.Name)
+	if g == nil {
+		return nil
+	}
+	for i, f := range m.Frags {
+		if f == g {
+			m.Frags = append(m.Frags[:i], m.Frags[i+1:]...)
+			break
+		}
+	}
+	if len(m.FragsOnTable(g.Table)) == 0 {
+		delete(v.Update, g.Table)
+		return nil
+	}
+	uv, err := compiler.New().UpdateView(m, g.Table)
+	if err != nil {
+		return err
+	}
+	v.Update[g.Table] = uv
+	ic.Stats.BuiltViews++
+	ic.markUpdate(g.Table)
+	return nil
+}
+
+// DropEntity removes a leaf entity type (§3.4). References to the type are
+// eliminated from fragment conditions and update views; fragments whose
+// condition becomes unsatisfiable are removed, and the query views of the
+// type's ancestors are regenerated without it. Dropping a type cannot make
+// a valid mapping invalid, so no containment checks are needed.
+type DropEntity struct {
+	Name string
+}
+
+// Describe implements SMO.
+func (op *DropEntity) Describe() string { return fmt.Sprintf("DropEntity(%s)", op.Name) }
+
+func (op *DropEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) error {
+	ty := m.Client.Type(op.Name)
+	if ty == nil {
+		return fmt.Errorf("unknown entity type %q", op.Name)
+	}
+	set := m.Client.SetFor(op.Name)
+	ancestors := m.Client.Ancestors(op.Name)
+	for _, a := range m.Client.Associations() {
+		if a.End1.Type == op.Name || a.End2.Type == op.Name {
+			return fmt.Errorf("drop association %q first", a.Name)
+		}
+	}
+	if err := m.Client.RemoveType(op.Name); err != nil {
+		return err
+	}
+
+	// Rewrite conditions: any IS OF E atom is now false.
+	eliminate := func(c cond.Expr) cond.Expr {
+		return cond.MapAtoms(c, func(e cond.Expr) cond.Expr {
+			if t, ok := e.(cond.TypeIs); ok && t.Type == op.Name {
+				return cond.False{}
+			}
+			return e
+		})
+	}
+
+	th := m.Client.TheoryFor(set.Name)
+	var keep []*frag.Fragment
+	removedTables := map[string]bool{}
+	for _, f := range m.Frags {
+		if f.Set != set.Name {
+			keep = append(keep, f)
+			continue
+		}
+		f.ClientCond = eliminate(f.ClientCond)
+		if !cond.Satisfiable(th, f.ClientCond) {
+			removedTables[f.Table] = true
+			continue
+		}
+		keep = append(keep, f)
+	}
+	m.Frags = keep
+	// A table is only unmapped if no surviving fragment mentions it.
+	for _, f := range m.Frags {
+		delete(removedTables, f.Table)
+	}
+
+	// Views: drop the type's query view; regenerate ancestors' views from
+	// the adapted fragments; rewrite update-view conditions and drop views
+	// of unmapped tables.
+	delete(v.Query, op.Name)
+	comp := compiler.New()
+	for _, f := range ancestors {
+		qv, err := comp.QueryView(m, set.Name, f)
+		if err != nil {
+			return err
+		}
+		v.Query[f] = qv
+		ic.Stats.BuiltViews++
+		ic.markQuery(f)
+	}
+	mentions := func(c cond.Expr) bool {
+		for _, a := range cond.Atoms(c) {
+			if a.Kind == cond.AtomType && a.Type == op.Name {
+				return true
+			}
+		}
+		return false
+	}
+	for table, view := range v.Update {
+		if removedTables[table] {
+			delete(v.Update, table)
+			continue
+		}
+		if !cqt.AnyCond(view.Q, mentions) {
+			continue
+		}
+		view.Q = cqt.MapConds(view.Q, eliminate)
+		ic.Stats.AdaptedViews++
+		ic.markUpdate(table)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+// ownerAccountModel builds Person —(Owns, 0..1)— Account with Account
+// mapped to its own table TAcc holding an OwnerId FK, the layout the
+// refactoring SMO consumes.
+func ownerAccountModel(t *testing.T) (*frag.Mapping, *frag.Views) {
+	t.Helper()
+	c := edm.NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.AddType(edm.EntityType{
+		Name: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddType(edm.EntityType{
+		Name: "Account",
+		Attrs: []edm.Attribute{
+			{Name: "AccId", Type: cond.KindInt},
+			{Name: "Balance", Type: cond.KindInt, Nullable: true},
+		},
+		Key: []string{"AccId"},
+	}))
+	must(c.AddSet(edm.EntitySet{Name: "Persons", Type: "Person"}))
+	must(c.AddSet(edm.EntitySet{Name: "Accounts", Type: "Account"}))
+	must(c.AddAssociation(edm.Association{
+		Name: "Owns",
+		End1: edm.End{Type: "Account", Mult: edm.ZeroOne},
+		End2: edm.End{Type: "Person", Mult: edm.One},
+	}))
+
+	s := rel.NewSchema()
+	must(s.AddTable(rel.Table{
+		Name: "TPeople",
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(s.AddTable(rel.Table{
+		Name: "TAcc",
+		Cols: []rel.Column{
+			{Name: "AccId", Type: cond.KindInt},
+			{Name: "Balance", Type: cond.KindInt, Nullable: true},
+			{Name: "OwnerId", Type: cond.KindInt, Nullable: true},
+		},
+		Key: []string{"AccId"},
+		FKs: []rel.ForeignKey{{Name: "fk_owner", Cols: []string{"OwnerId"}, RefTable: "TPeople", RefCols: []string{"Id"}}},
+	}))
+
+	m := &frag.Mapping{Client: c, Store: s}
+	m.Frags = append(m.Frags,
+		&frag.Fragment{
+			ID: "f_person", Set: "Persons",
+			ClientCond: cond.TypeIs{Type: "Person"},
+			Attrs:      []string{"Id", "Name"},
+			Table:      "TPeople", StoreCond: cond.True{},
+			ColOf: map[string]string{"Id": "Id", "Name": "Name"},
+		},
+		&frag.Fragment{
+			ID: "f_account", Set: "Accounts",
+			ClientCond: cond.TypeIs{Type: "Account"},
+			Attrs:      []string{"AccId", "Balance"},
+			Table:      "TAcc", StoreCond: cond.True{},
+			ColOf: map[string]string{"AccId": "AccId", "Balance": "Balance"},
+		},
+		&frag.Fragment{
+			ID: "f_owns", Assoc: "Owns",
+			ClientCond: cond.True{},
+			Attrs:      []string{"Account_AccId", "Person_Id"},
+			Table:      "TAcc", StoreCond: cond.NotNull("OwnerId"),
+			ColOf: map[string]string{"Account_AccId": "AccId", "Person_Id": "OwnerId"},
+		},
+	)
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, views
+}
+
+func TestRefactorAssocToInheritance(t *testing.T) {
+	m, v := ownerAccountModel(t)
+	ic := NewIncremental()
+	m, v, err := ic.Apply(m, v, &RefactorAssocToInheritance{Assoc: "Owns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema: Account now derives from Person; the Accounts set is gone.
+	if got := m.Client.Parent("Account"); got != "Person" {
+		t.Fatalf("Account parent = %q", got)
+	}
+	if m.Client.Set("Accounts") != nil {
+		t.Fatal("Accounts set survived")
+	}
+	if m.Client.Association("Owns") != nil {
+		t.Fatal("association survived")
+	}
+	// Merged entities roundtrip: a plain person and a person-with-account.
+	cs := state.NewClientState()
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(1), "Name": cond.String("ann")}})
+	cs.Insert("Persons", &state.Entity{Type: "Account", Attrs: state.Row{
+		"Id": cond.Int(2), "Name": cond.String("bob"),
+		"AccId": cond.Int(77), "Balance": cond.Int(500)}})
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatal(err)
+	}
+	// The merged entity's rows land in both tables, linked by OwnerId.
+	ss, err := orm.Materialize(m, v, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Tables["TPeople"]) != 2 || len(ss.Tables["TAcc"]) != 1 {
+		t.Fatalf("rows: TPeople=%d TAcc=%d", len(ss.Tables["TPeople"]), len(ss.Tables["TAcc"]))
+	}
+	row := ss.Tables["TAcc"][0]
+	if row["OwnerId"].IntVal() != 2 || row["AccId"].IntVal() != 77 {
+		t.Fatalf("TAcc row = %v", row)
+	}
+}
+
+func TestRefactorPreconditions(t *testing.T) {
+	ic := NewIncremental()
+
+	// Unknown association.
+	m, v := ownerAccountModel(t)
+	if _, _, err := ic.Apply(m, v, &RefactorAssocToInheritance{Assoc: "Nope"}); err == nil {
+		t.Error("unknown association accepted")
+	}
+
+	// A type with other associations must be rejected.
+	m, v = ownerAccountModel(t)
+	if err := m.Client.AddAssociation(edm.Association{
+		Name: "Audits",
+		End1: edm.End{Type: "Account", Mult: edm.Many},
+		End2: edm.End{Type: "Person", Mult: edm.ZeroOne},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ic.Apply(m, v, &RefactorAssocToInheritance{Assoc: "Owns"}); err == nil {
+		t.Error("refactoring with a second association accepted")
+	}
+
+	// Attribute collision must be rejected.
+	m, v = ownerAccountModel(t)
+	if err := m.Client.AddAttr("Account", edm.Attribute{Name: "Name", Type: cond.KindString, Nullable: true}); err == nil {
+		// AddAttr only guards within one hierarchy; force the collision by
+		// renaming the account attribute directly.
+		t.Log("unexpected: AddAttr accepted duplicate within hierarchy")
+	}
+	acc := m.Client.Type("Account")
+	acc.Attrs = append(acc.Attrs, edm.Attribute{Name: "Name", Type: cond.KindString, Nullable: true})
+	if _, _, err := ic.Apply(m, v, &RefactorAssocToInheritance{Assoc: "Owns"}); err == nil {
+		t.Error("attribute collision accepted")
+	}
+}
+
+func TestRefactorAdaptsOnlyConditions(t *testing.T) {
+	// After refactoring, IS OF (ONLY Person) conditions in fragments must
+	// expand to include Account (rule 7 of Algorithm 2).
+	m, v := ownerAccountModel(t)
+	// Make the person fragment use an ONLY condition first.
+	for _, f := range m.Frags {
+		if f.ID == "f_person" {
+			f.ClientCond = cond.TypeIs{Type: "Person", Only: true}
+		}
+	}
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = views
+	ic := NewIncremental()
+	m, v, err = ic.Apply(m, v, &RefactorAssocToInheritance{Assoc: "Owns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f1 *frag.Fragment
+	for _, f := range m.Frags {
+		if f.ID == "f_person" {
+			f1 = f
+		}
+	}
+	th := m.Client.TheoryFor("Persons")
+	if !cond.Implies(th, cond.TypeIs{Type: "Account"}, f1.ClientCond) {
+		t.Fatalf("accounts' inherited part not covered by adapted f_person: %s", f1.ClientCond)
+	}
+	// And the merged roundtrip must still hold.
+	cs := state.NewClientState()
+	cs.Insert("Persons", &state.Entity{Type: "Account", Attrs: state.Row{
+		"Id": cond.Int(9), "Name": cond.String("merged"), "AccId": cond.Int(1)}})
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestAddAssociationJT adds a many-to-many association mapped to a join
+// table and verifies roundtripping.
+func TestAddAssociationJT(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store.AddTable(rel.Table{
+		Name: "Assignments",
+		Cols: []rel.Column{
+			{Name: "CustId", Type: cond.KindInt},
+			{Name: "EmpId", Type: cond.KindInt},
+		},
+		Key: []string{"CustId", "EmpId"},
+		FKs: []rel.ForeignKey{
+			{Name: "fk_a_client", Cols: []string{"CustId"}, RefTable: "Client", RefCols: []string{"Cid"}},
+			{Name: "fk_a_emp", Cols: []string{"EmpId"}, RefTable: "Emp", RefCols: []string{"Id"}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	op := &AddAssociationJT{
+		Name: "AssignedTo",
+		E1:   "Customer", Mult1: edm.Many,
+		E2: "Employee", Mult2: edm.Many,
+		Table:    "Assignments",
+		KeyCols1: []string{"CustId"},
+		KeyCols2: []string{"EmpId"},
+	}
+	m, v, err = ic.Apply(m, v, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := workload.PaperClientState()
+	delete(cs.Assocs, "Supports") // Supports not mapped in this variant
+	cs.Relate("AssignedTo", state.AssocPair{Ends: state.Row{
+		"Customer_Id": cond.Int(4), "Employee_Id": cond.Int(2)}})
+	cs.Relate("AssignedTo", state.AssocPair{Ends: state.Row{
+		"Customer_Id": cond.Int(4), "Employee_Id": cond.Int(3)}})
+	cs.Relate("AssignedTo", state.AssocPair{Ends: state.Row{
+		"Customer_Id": cond.Int(5), "Employee_Id": cond.Int(2)}})
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAssociationFKRejectsUsedColumn(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := supportsSMO()
+	op.KeyCols2 = []string{"Name"} // already mapped by phi3
+	if _, _, err := ic.Apply(m, v, op); err == nil {
+		t.Fatal("association over an already-mapped column accepted (check 1)")
+	}
+}
+
+func TestAddAssociationFKRejectsManyTarget(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := supportsSMO()
+	op.Mult2 = edm.Many
+	if _, _, err := ic.Apply(m, v, op); err == nil {
+		t.Fatal("AddAssocFK with a many-valued E2 accepted")
+	}
+}
+
+// TestAddEntityPartAdultYoung replays the §3.3 Adult/Young example as an
+// incremental SMO.
+func TestAddEntityPartAdultYoung(t *testing.T) {
+	m, v, ic := emptyPeopleBase(t)
+	op := &AddEntityPart{
+		Name:   "Person",
+		Parent: "NamedThing",
+		DeclAttrs: []edm.Attribute{
+			{Name: "Age", Type: cond.KindInt},
+		},
+		P: "NamedThing",
+		Parts: []Part{
+			{
+				Alpha: []string{"Id", "Age"},
+				Cond:  cond.Cmp{Attr: "Age", Op: cond.OpGe, Val: cond.Int(18)},
+				Table: "Adult", ColOf: map[string]string{"Id": "Id", "Age": "Age"},
+			},
+			{
+				Alpha: []string{"Id", "Age"},
+				Cond:  cond.Cmp{Attr: "Age", Op: cond.OpLt, Val: cond.Int(18)},
+				Table: "Young", ColOf: map[string]string{"Id": "Id", "Age": "Age"},
+			},
+		},
+	}
+	m, v, err := ic.Apply(m, v, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := state.NewClientState()
+	cs.Insert("Things", &state.Entity{Type: "NamedThing", Attrs: state.Row{
+		"Id": cond.Int(1), "Name": cond.String("thing")}})
+	cs.Insert("Things", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(2), "Name": cond.String("kid"), "Age": cond.Int(7)}})
+	cs.Insert("Things", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(3), "Name": cond.String("adult"), "Age": cond.Int(40)}})
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEntityPartRejectsHole(t *testing.T) {
+	m, v, ic := emptyPeopleBase(t)
+	op := &AddEntityPart{
+		Name:      "Person",
+		Parent:    "NamedThing",
+		DeclAttrs: []edm.Attribute{{Name: "Age", Type: cond.KindInt}},
+		P:         "NamedThing",
+		Parts: []Part{
+			{
+				Alpha: []string{"Id", "Age"},
+				Cond:  cond.Cmp{Attr: "Age", Op: cond.OpGe, Val: cond.Int(19)},
+				Table: "Adult", ColOf: map[string]string{"Id": "Id", "Age": "Age"},
+			},
+			{
+				Alpha: []string{"Id", "Age"},
+				Cond:  cond.Cmp{Attr: "Age", Op: cond.OpLt, Val: cond.Int(18)},
+				Table: "Young", ColOf: map[string]string{"Id": "Id", "Age": "Age"},
+			},
+		},
+	}
+	_, _, err := ic.Apply(m, v, op)
+	if err == nil {
+		t.Fatal("partition with age = 18 hole accepted")
+	}
+	if !strings.Contains(err.Error(), "not covered") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// emptyPeopleBase builds a tiny compiled model NamedThing→Names plus two
+// unmapped tables Adult and Young for partition SMOs.
+func emptyPeopleBase(t *testing.T) (*frag.Mapping, *frag.Views, *Incremental) {
+	t.Helper()
+	c := edm.NewSchema()
+	if err := c.AddType(edm.EntityType{
+		Name: "NamedThing",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSet(edm.EntitySet{Name: "Things", Type: "NamedThing"}); err != nil {
+		t.Fatal(err)
+	}
+	s := rel.NewSchema()
+	if err := s.AddTable(rel.Table{
+		Name: "Names",
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Adult", "Young"} {
+		if err := s.AddTable(rel.Table{
+			Name: name,
+			Cols: []rel.Column{
+				{Name: "Id", Type: cond.KindInt},
+				{Name: "Age", Type: cond.KindInt},
+			},
+			Key: []string{"Id"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := &frag.Mapping{Client: c, Store: s}
+	m.Frags = append(m.Frags, fragOf("f_thing", "Things", cond.TypeIs{Type: "NamedThing"},
+		[]string{"Id", "Name"}, "Names", map[string]string{"Id": "Id", "Name": "Name"}))
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, views, NewIncremental()
+}
+
+// TestAddProperty extends Employee with a Salary stored in a new column of
+// Emp.
+func TestAddPropertySameTable(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO(), supportsSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widen the store first (the developer adds the column).
+	m = m.Clone()
+	tab := m.Store.Table("Emp")
+	tab.Cols = append(tab.Cols, rel.Column{Name: "Salary", Type: cond.KindFloat, Nullable: true})
+
+	op := &AddProperty{Type: "Employee", Attr: edm.Attribute{Name: "Salary", Type: cond.KindFloat, Nullable: true}, Table: "Emp", Col: "Salary"}
+	m, v, err = ic.Apply(m, v, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := workload.PaperClientState()
+	cs.Entities["Persons"][1].Attrs["Salary"] = cond.Float(99.5)
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPropertyFreshTable(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO(), supportsSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = m.Clone()
+	if err := m.Store.AddTable(rel.Table{
+		Name: "Badges",
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Badge", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	op := &AddProperty{Type: "Employee", Attr: edm.Attribute{Name: "Badge", Type: cond.KindString, Nullable: true}, Table: "Badges", Col: "Badge"}
+	m, v, err = ic.Apply(m, v, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := workload.PaperClientState()
+	cs.Entities["Persons"][2].Attrs["Badge"] = cond.String("gold")
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPropertyRejectsMappedColumn(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &AddProperty{Type: "Employee", Attr: edm.Attribute{Name: "Extra", Type: cond.KindString, Nullable: true}, Table: "Emp", Col: "Dept"}
+	if _, _, err := ic.Apply(m, v, op); err == nil {
+		t.Fatal("AddProperty over an already-mapped column accepted")
+	}
+}
+
+// TestDropEntity drops Customer again after adding it and verifies the
+// model behaves like the pre-Customer one.
+func TestDropEntity(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, v, err = ic.Apply(m, v, &DropEntity{Name: "Customer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Client.Type("Customer") != nil {
+		t.Fatal("Customer still in schema")
+	}
+	if _, ok := v.Update["Client"]; ok {
+		t.Fatal("update view for Client should be gone")
+	}
+	if _, ok := v.Query["Customer"]; ok {
+		t.Fatal("query view for Customer should be gone")
+	}
+	// phi1's condition must cover plain persons and employees again.
+	cs := state.NewClientState()
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{"Id": cond.Int(1), "Name": cond.String("ann")}})
+	cs.Insert("Persons", &state.Entity{Type: "Employee", Attrs: state.Row{"Id": cond.Int(2), "Name": cond.String("bob"), "Department": cond.String("hw")}})
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropEntityRequiresAssociationsDropped(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO(), supportsSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ic.Apply(m, v, &DropEntity{Name: "Customer"}); err == nil {
+		t.Fatal("dropping an association endpoint accepted")
+	}
+}
+
+// TestGenderConstantPartition exercises the full M/F constant-recovery
+// example of §3.3 through the full compiler and roundtripping.
+func TestGenderConstantPartition(t *testing.T) {
+	m := workload.GenderConstantModel()
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orm.Roundtrip(m, views, workload.GenderConstantState()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fragOf is a small fragment constructor for tests.
+func fragOf(id, set string, c cond.Expr, attrs []string, table string, colOf map[string]string) *frag.Fragment {
+	return &frag.Fragment{ID: id, Set: set, ClientCond: c, Attrs: attrs, Table: table, StoreCond: cond.True{}, ColOf: colOf}
+}

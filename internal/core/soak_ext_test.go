@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/modef"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestSoakRandomSMOSequences applies long pseudo-random SMO sequences to
+// the paper's model and checks, after every accepted operation, that
+//
+//  1. randomly generated client states roundtrip through the evolved views
+//     (V ∘ Q = identity), and
+//  2. the full compiler also accepts the evolved mapping — the incremental
+//     compiler must never accept a mapping the baseline would reject.
+//
+// Rejected SMOs (e.g. TPC under an association endpoint) must leave the
+// mapping untouched and the sequence continues, matching the paper's abort
+// semantics.
+func TestSoakRandomSMOSequences(t *testing.T) {
+	for seed := uint32(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			soak(t, seed, 25)
+		})
+	}
+}
+
+func soak(t *testing.T, seed uint32, steps int) {
+	t.Helper()
+	rnd := seed
+	next := func() uint32 {
+		rnd = rnd*1664525 + 1013904223
+		return rnd
+	}
+
+	m := workload.PaperInitial()
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := core.NewIncremental()
+	accepted, rejected := 0, 0
+	nameSeq := 0
+
+	for step := 0; step < steps; step++ {
+		op, err := randomSMO(m, next, &nameSeq)
+		if err != nil || op == nil {
+			continue
+		}
+		m2, v2, err := ic.Apply(m, views, op)
+		if err != nil {
+			rejected++
+			continue // abort semantics: m and views stay as they were
+		}
+		accepted++
+		m, views = m2, v2
+
+		// (1) roundtrip random data through the evolved views.
+		cs := orm.RandomState(m, next(), 2)
+		if err := orm.Roundtrip(m, views, cs); err != nil {
+			t.Fatalf("step %d (%s): roundtrip broke: %v", step, op.Describe(), err)
+		}
+		// (2) the baseline must agree the mapping is valid.
+		fullViews, err := compiler.New().Compile(m)
+		if err != nil {
+			t.Fatalf("step %d (%s): full compiler rejects the incrementally accepted mapping: %v",
+				step, op.Describe(), err)
+		}
+		// And both view sets must load the same client state.
+		ss, err := orm.Materialize(m, views, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaInc, err := orm.Load(m, views, ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaFull, err := orm.Load(m, fullViews, ss)
+		if err != nil {
+			t.Fatalf("step %d: full views failed to load: %v", step, err)
+		}
+		if d := state.Diff(viaInc, viaFull); d != "" {
+			t.Fatalf("step %d (%s): incremental and full views disagree:\n%s", step, op.Describe(), d)
+		}
+	}
+	if accepted == 0 {
+		t.Fatalf("soak accepted no SMOs (rejected %d)", rejected)
+	}
+	t.Logf("seed %d: %d accepted, %d rejected, %d types, %d fragments",
+		seed, accepted, rejected, len(m.Client.Types()), len(m.Frags))
+}
+
+// randomSMO synthesises one operation against the current mapping using
+// the MoDEF-style planners, choosing targets pseudo-randomly.
+func randomSMO(m *frag.Mapping, next func() uint32, nameSeq *int) (core.SMO, error) {
+	types := m.Client.Types()
+	pick := func() string { return types[int(next())%len(types)].Name }
+	*nameSeq++
+	switch next() % 5 {
+	case 0, 1: // add entity (style inferred from the neighbourhood)
+		name := fmt.Sprintf("Soak%d", *nameSeq)
+		var attrs []edm.Attribute
+		if next()%2 == 0 {
+			attrs = append(attrs, edm.Attribute{
+				Name: name + "Attr", Type: cond.KindString, Nullable: true})
+		}
+		return modef.PlanAddEntity(m, name, pick(), attrs)
+	case 2: // add association
+		name := fmt.Sprintf("SoakA%d", *nameSeq)
+		e1, e2 := pick(), pick()
+		mult2 := edm.ZeroOne
+		if next()%4 == 0 {
+			return modef.PlanAddAssociation(m, name, e1, e2, edm.Many, edm.Many)
+		}
+		return modef.PlanAddAssociation(m, name, e1, e2, edm.Many, mult2)
+	case 3: // drop a random association
+		assocs := m.Client.Associations()
+		if len(assocs) == 0 {
+			return nil, nil
+		}
+		return &core.DropAssociation{Name: assocs[int(next())%len(assocs)].Name}, nil
+	default: // drop a random leaf without associations
+		var leaves []string
+		for _, ty := range types {
+			if len(m.Client.Descendants(ty.Name)) > 0 || ty.Name == "Person" {
+				continue
+			}
+			used := false
+			for _, a := range m.Client.Associations() {
+				if a.End1.Type == ty.Name || a.End2.Type == ty.Name {
+					used = true
+				}
+			}
+			if !used {
+				leaves = append(leaves, ty.Name)
+			}
+		}
+		if len(leaves) == 0 {
+			return nil, nil
+		}
+		return &core.DropEntity{Name: leaves[int(next())%len(leaves)]}, nil
+	}
+}

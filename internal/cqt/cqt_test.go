@@ -1,0 +1,402 @@
+package cqt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+func fixtureCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := edm.NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.AddType(edm.EntityType{
+		Name: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddType(edm.EntityType{
+		Name: "Employee", Base: "Person",
+		Attrs: []edm.Attribute{{Name: "Department", Type: cond.KindString, Nullable: true}},
+	}))
+	must(c.AddType(edm.EntityType{
+		Name: "Customer", Base: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "CredScore", Type: cond.KindInt, Nullable: true},
+			{Name: "BillAddr", Type: cond.KindString, Nullable: true},
+		},
+	}))
+	must(c.AddSet(edm.EntitySet{Name: "Persons", Type: "Person"}))
+	must(c.AddAssociation(edm.Association{
+		Name: "Supports",
+		End1: edm.End{Type: "Customer", Mult: edm.Many},
+		End2: edm.End{Type: "Employee", Mult: edm.ZeroOne},
+	}))
+
+	s := rel.NewSchema()
+	must(s.AddTable(rel.Table{
+		Name: "HR",
+		Cols: []rel.Column{{Name: "Id", Type: cond.KindInt}, {Name: "Name", Type: cond.KindString, Nullable: true}},
+		Key:  []string{"Id"},
+	}))
+	must(s.AddTable(rel.Table{
+		Name: "Emp",
+		Cols: []rel.Column{{Name: "Id", Type: cond.KindInt}, {Name: "Dept", Type: cond.KindString, Nullable: true}},
+		Key:  []string{"Id"},
+	}))
+	return &Catalog{Client: c, Store: s}
+}
+
+func fixtureEnv(t *testing.T) *Env {
+	t.Helper()
+	cat := fixtureCatalog(t)
+	store := state.NewStoreState()
+	store.InsertRow("HR", state.Row{"Id": cond.Int(1), "Name": cond.String("ann")})
+	store.InsertRow("HR", state.Row{"Id": cond.Int(2), "Name": cond.String("bob")})
+	store.InsertRow("Emp", state.Row{"Id": cond.Int(2), "Dept": cond.String("hw")})
+
+	client := state.NewClientState()
+	client.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{"Id": cond.Int(1), "Name": cond.String("ann")}})
+	client.Insert("Persons", &state.Entity{Type: "Employee", Attrs: state.Row{"Id": cond.Int(2), "Name": cond.String("bob"), "Department": cond.String("hw")}})
+	client.Insert("Persons", &state.Entity{Type: "Customer", Attrs: state.Row{"Id": cond.Int(3), "Name": cond.String("cyd"), "CredScore": cond.Int(700)}})
+	client.Relate("Supports", state.AssocPair{Ends: state.Row{"Customer_Id": cond.Int(3), "Employee_Id": cond.Int(2)}})
+
+	return &Env{Catalog: cat, Client: client, Store: store}
+}
+
+func TestScanTableAndSelect(t *testing.T) {
+	env := fixtureEnv(t)
+	q := Select{In: ScanTable{Table: "HR"}, Cond: cond.Cmp{Attr: "Id", Op: cond.OpGe, Val: cond.Int(2)}}
+	res, err := Eval(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["Name"].Str() != "bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestScanSetWithTypeConditions(t *testing.T) {
+	env := fixtureEnv(t)
+	q := Project{
+		In:   Select{In: ScanSet{Set: "Persons"}, Cond: cond.TypeIs{Type: "Person"}},
+		Cols: []ProjCol{Col("Id"), Col("Name")},
+	}
+	res, err := Eval(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("IS OF Person should see derived types, got %d rows", len(res.Rows))
+	}
+	only := Select{In: ScanSet{Set: "Persons"}, Cond: cond.TypeIs{Type: "Person", Only: true}}
+	res, err = Eval(env, only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("IS OF ONLY Person, got %d rows", len(res.Rows))
+	}
+}
+
+func TestScanAssoc(t *testing.T) {
+	env := fixtureEnv(t)
+	res, err := Eval(env, ScanAssoc{Assoc: "Supports"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 || len(res.Rows) != 1 {
+		t.Fatalf("cols=%v rows=%v", res.Cols, res.Rows)
+	}
+	if res.Rows[0]["Customer_Id"].IntVal() != 3 {
+		t.Fatalf("assoc row = %v", res.Rows[0])
+	}
+}
+
+func TestProjectWithLiterals(t *testing.T) {
+	env := fixtureEnv(t)
+	q := Project{
+		In: ScanTable{Table: "Emp"},
+		Cols: []ProjCol{
+			Col("Id"),
+			ColAs("Dept", "Department"),
+			LitAs(Const(cond.Bool(true)), "from_Emp"),
+			LitAs(NullOf(cond.KindString), "BillAddr"),
+		},
+	}
+	res, err := Eval(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row["Department"].Str() != "hw" || !row["from_Emp"].BoolVal() {
+		t.Fatalf("row = %v", row)
+	}
+	if _, ok := row["BillAddr"]; ok {
+		t.Fatalf("BillAddr should be NULL")
+	}
+}
+
+func personQueryView() *View {
+	// Q_Person from §2.2: HR left-outer-join Emp with a provenance flag.
+	q := Join{
+		Kind: LeftOuter,
+		L:    ScanTable{Table: "HR"},
+		R: Project{
+			In: ScanTable{Table: "Emp"},
+			Cols: []ProjCol{
+				Col("Id"),
+				ColAs("Dept", "Department"),
+				LitAs(Const(cond.Bool(true)), "from_Emp"),
+			},
+		},
+		On: [][2]string{{"Id", "Id"}},
+	}
+	return &View{
+		Q: q,
+		Cases: []Case{
+			{
+				When: cond.Cmp{Attr: "from_Emp", Op: cond.OpEq, Val: cond.Bool(true)},
+				Type: "Employee",
+				Attrs: map[string]string{
+					"Id": "Id", "Name": "Name", "Department": "Department",
+				},
+			},
+			{
+				When:  cond.True{},
+				Type:  "Person",
+				Attrs: map[string]string{"Id": "Id", "Name": "Name"},
+			},
+		},
+	}
+}
+
+func TestLeftOuterJoinAndConstructor(t *testing.T) {
+	env := fixtureEnv(t)
+	view := personQueryView()
+	ents, err := view.ConstructEntities(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("got %d entities", len(ents))
+	}
+	byID := map[int64]*state.Entity{}
+	for _, e := range ents {
+		byID[e.Attrs["Id"].IntVal()] = e
+	}
+	if byID[1].Type != "Person" || byID[2].Type != "Employee" {
+		t.Fatalf("types = %v / %v", byID[1].Type, byID[2].Type)
+	}
+	if byID[2].Attrs["Department"].Str() != "hw" {
+		t.Fatalf("employee attrs = %v", byID[2].Attrs)
+	}
+}
+
+func TestFullOuterJoin(t *testing.T) {
+	env := fixtureEnv(t)
+	env.Store.InsertRow("Emp", state.Row{"Id": cond.Int(9), "Dept": cond.String("orphan")})
+	q := Join{
+		Kind: FullOuter,
+		L:    ScanTable{Table: "HR"},
+		R: Project{
+			In:   ScanTable{Table: "Emp"},
+			Cols: []ProjCol{Col("Id"), ColAs("Dept", "Department")},
+		},
+		On: [][2]string{{"Id", "Id"}},
+	}
+	res, err := Eval(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ann (left only), bob (matched), orphan (right only).
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	env := fixtureEnv(t)
+	a := Project{In: ScanTable{Table: "HR"}, Cols: []ProjCol{Col("Id")}}
+	b := Project{In: ScanTable{Table: "Emp"}, Cols: []ProjCol{Col("Id")}}
+	res, err := Eval(env, UnionAll{Inputs: []Expr{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Mismatched columns must fail.
+	bad := UnionAll{Inputs: []Expr{a, ScanTable{Table: "Emp"}}}
+	if _, err := Eval(env, bad); err == nil {
+		t.Fatal("union with mismatched columns accepted")
+	}
+}
+
+func TestJoinSharedColumnGuard(t *testing.T) {
+	env := fixtureEnv(t)
+	// HR and Emp share only "Id"; joining on nothing must be rejected.
+	q := Join{Kind: Inner, L: ScanTable{Table: "HR"}, R: ScanTable{Table: "Emp"}}
+	if _, err := Eval(env, q); err == nil {
+		t.Fatal("join with unequated shared column accepted")
+	}
+}
+
+func TestUpdateViewEvaluation(t *testing.T) {
+	env := fixtureEnv(t)
+	// Q_Emp from §2.2: project employees of the Persons set.
+	q := Project{
+		In:   Select{In: ScanSet{Set: "Persons"}, Cond: cond.TypeIs{Type: "Employee"}},
+		Cols: []ProjCol{Col("Id"), ColAs("Department", "Dept")},
+	}
+	res, err := Eval(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["Dept"].Str() != "hw" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSimplifyMergesSelectsAndProjections(t *testing.T) {
+	cat := fixtureCatalog(t)
+	e := Select{
+		In:   Select{In: ScanTable{Table: "HR"}, Cond: cond.NotNull("Name")},
+		Cond: cond.Cmp{Attr: "Id", Op: cond.OpGt, Val: cond.Int(0)},
+	}
+	s := Simplify(cat, e)
+	sel, ok := s.(Select)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if _, ok := sel.In.(ScanTable); !ok {
+		t.Fatalf("selects not merged: %s", Format(s))
+	}
+
+	p := Project{
+		In: Project{
+			In:   ScanTable{Table: "Emp"},
+			Cols: []ProjCol{Col("Id"), ColAs("Dept", "Department")},
+		},
+		Cols: []ProjCol{Col("Id"), ColAs("Department", "D2")},
+	}
+	s = Simplify(cat, p)
+	pr, ok := s.(Project)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if _, ok := pr.In.(ScanTable); !ok {
+		t.Fatalf("projections not composed: %s", Format(s))
+	}
+	if pr.Cols[1].Src != "Dept" || pr.Cols[1].As != "D2" {
+		t.Fatalf("composed cols = %+v", pr.Cols)
+	}
+}
+
+func TestSimplifyIdentityProjection(t *testing.T) {
+	cat := fixtureCatalog(t)
+	p := Project{In: ScanTable{Table: "HR"}, Cols: []ProjCol{Col("Id"), Col("Name")}}
+	if _, ok := Simplify(cat, p).(ScanTable); !ok {
+		t.Fatalf("identity projection not dropped")
+	}
+}
+
+func TestSimplifyLOJElimination(t *testing.T) {
+	cat := fixtureCatalog(t)
+	// π_{Id,Name} (HR ⟕ Emp ON Id=Id) = π_{Id,Name}(HR) since Emp is keyed
+	// on Id. This is the unfolding simplification used by the paper's
+	// Example 7.
+	j := Join{Kind: LeftOuter, L: ScanTable{Table: "HR"},
+		R:  Project{In: ScanTable{Table: "Emp"}, Cols: []ProjCol{Col("Id"), ColAs("Dept", "Department")}},
+		On: [][2]string{{"Id", "Id"}}}
+	p := Project{In: j, Cols: []ProjCol{Col("Id"), Col("Name")}}
+	s := Simplify(cat, p)
+	if _, ok := s.(ScanTable); !ok {
+		t.Fatalf("LOJ not eliminated: %s", Format(s))
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	env := fixtureEnv(t)
+	view := personQueryView()
+	before, err := Eval(env, view.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Eval(env, Simplify(env.Catalog, view.Q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state.EqualRows(before.Rows, after.Rows) {
+		t.Fatalf("simplification changed semantics:\n%v\nvs\n%v", before.Rows, after.Rows)
+	}
+}
+
+func TestUnionFlattenAndEmptyElimination(t *testing.T) {
+	cat := fixtureCatalog(t)
+	u := UnionAll{Inputs: []Expr{
+		UnionAll{Inputs: []Expr{ScanTable{Table: "HR"}, ScanTable{Table: "HR"}}},
+		Select{In: ScanTable{Table: "HR"}, Cond: cond.False{}},
+	}}
+	s := Simplify(cat, u)
+	flat, ok := s.(UnionAll)
+	if !ok {
+		t.Fatalf("got %T: %s", s, Format(s))
+	}
+	if len(flat.Inputs) != 2 {
+		t.Fatalf("inputs = %d", len(flat.Inputs))
+	}
+}
+
+func TestFormatOutput(t *testing.T) {
+	view := personQueryView()
+	out := FormatView(view)
+	for _, want := range []string{"LEFT OUTER JOIN", "true AS from_Emp", "ON Id = Id", "Employee(", "Person("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKeyColsTracing(t *testing.T) {
+	cat := fixtureCatalog(t)
+	p := Project{In: ScanTable{Table: "Emp"}, Cols: []ProjCol{ColAs("Id", "EmpId"), Col("Dept")}}
+	key, ok := cat.KeyCols(p)
+	if !ok || len(key) != 1 || key[0] != "EmpId" {
+		t.Fatalf("KeyCols = %v, %v", key, ok)
+	}
+	dropped := Project{In: ScanTable{Table: "Emp"}, Cols: []ProjCol{Col("Dept")}}
+	if _, ok := cat.KeyCols(dropped); ok {
+		t.Fatalf("key should not be traceable through a dropping projection")
+	}
+}
+
+func TestAssocEndColsSelfAssociation(t *testing.T) {
+	c := edm.NewSchema()
+	if err := c.AddType(edm.EntityType{Name: "P", Attrs: []edm.Attribute{{Name: "Id", Type: cond.KindInt}}, Key: []string{"Id"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSet(edm.EntitySet{Name: "Ps", Type: "P"}); err != nil {
+		t.Fatal(err)
+	}
+	a := edm.Association{Name: "Knows", End1: edm.End{Type: "P", Mult: edm.Many}, End2: edm.End{Type: "P", Mult: edm.Many}}
+	if err := c.AddAssociation(a); err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := AssocEndCols(c, c.Association("Knows"))
+	if e1[0] == e2[0] {
+		t.Fatalf("self-association end columns collide: %v %v", e1, e2)
+	}
+}

@@ -1,0 +1,139 @@
+package cqt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ormkit/incmap/internal/cond"
+)
+
+// Format renders a query tree as indented Entity-SQL-like text, in the
+// spirit of Figure 2 of the paper.
+func Format(e Expr) string {
+	var b strings.Builder
+	format(&b, e, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func format(b *strings.Builder, e Expr, depth int) {
+	switch v := e.(type) {
+	case ScanTable:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s", v.Table)
+	case ScanSet:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s", v.Set)
+	case ScanAssoc:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s", v.Assoc)
+	case Select:
+		// Merge SELECT * FROM in WHERE cond.
+		indent(b, depth)
+		b.WriteString("SELECT * FROM (\n")
+		format(b, v.In, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		fmt.Fprintf(b, ") WHERE %s", v.Cond)
+	case Project:
+		indent(b, depth)
+		b.WriteString("SELECT ")
+		for i, pc := range v.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatProjCol(pc))
+		}
+		b.WriteString("\n")
+		indent(b, depth)
+		if inner, ok := v.In.(Select); ok {
+			b.WriteString("FROM (\n")
+			format(b, inner.In, depth+1)
+			b.WriteString("\n")
+			indent(b, depth)
+			fmt.Fprintf(b, ") WHERE %s", inner.Cond)
+			return
+		}
+		b.WriteString("FROM (\n")
+		format(b, v.In, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString(")")
+	case Join:
+		indent(b, depth)
+		b.WriteString("(\n")
+		format(b, v.L, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		fmt.Fprintf(b, ") %s (\n", v.Kind)
+		format(b, v.R, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString(") ON ")
+		for i, p := range v.On {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(b, "%s = %s", p[0], p[1])
+		}
+	case UnionAll:
+		for i, in := range v.Inputs {
+			if i > 0 {
+				b.WriteString("\n")
+				indent(b, depth)
+				b.WriteString("UNION ALL\n")
+			}
+			indent(b, depth)
+			b.WriteString("(\n")
+			format(b, in, depth+1)
+			b.WriteString("\n")
+			indent(b, depth)
+			b.WriteString(")")
+		}
+	default:
+		indent(b, depth)
+		fmt.Fprintf(b, "?%T", e)
+	}
+}
+
+func formatProjCol(pc ProjCol) string {
+	if pc.Lit != nil {
+		if pc.Lit.Null {
+			return fmt.Sprintf("CAST(NULL AS %s) AS %s", kindSQL(pc.Lit.Kind), pc.As)
+		}
+		return fmt.Sprintf("%s AS %s", pc.Lit.Val, pc.As)
+	}
+	if pc.Src == pc.As {
+		return pc.As
+	}
+	return fmt.Sprintf("%s AS %s", pc.Src, pc.As)
+}
+
+func kindSQL(k cond.Kind) string {
+	switch k {
+	case cond.KindString:
+		return "nvarchar"
+	case cond.KindInt:
+		return "int"
+	case cond.KindFloat:
+		return "float"
+	case cond.KindBool:
+		return "bit"
+	}
+	return "sql_variant"
+}
+
+// FormatView renders a (Q | τ) pair.
+func FormatView(v *View) string {
+	q := Format(v.Q)
+	c := v.FormatConstructor()
+	if c == "" {
+		return q
+	}
+	return q + "\n| " + strings.ReplaceAll(c, "\n", "\n| ")
+}

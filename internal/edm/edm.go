@@ -1,0 +1,590 @@
+// Package edm implements the client-side schema model of the reproduction:
+// a subset of Microsoft's Entity Data Model as described in §2 of Bernstein
+// et al. (SIGMOD 2013). A schema holds entity types arranged in
+// single-inheritance hierarchies, entity sets that persist instances of a
+// root type and all its descendants, and association types relating two
+// entity types with 1:1, 1:n or m:n cardinality.
+package edm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ormkit/incmap/internal/cond"
+)
+
+// Mult is an association-end multiplicity.
+type Mult int
+
+// Association-end multiplicities.
+const (
+	One     Mult = iota // exactly 1
+	ZeroOne             // 0..1
+	Many                // *
+)
+
+// String renders the multiplicity in the paper's notation.
+func (m Mult) String() string {
+	switch m {
+	case One:
+		return "1"
+	case ZeroOne:
+		return "0..1"
+	case Many:
+		return "*"
+	default:
+		return "?"
+	}
+}
+
+// Attribute is a declared attribute of an entity type.
+type Attribute struct {
+	Name     string
+	Type     cond.Kind
+	Nullable bool
+	// Enum optionally restricts the attribute to a finite value set.
+	Enum []cond.Value
+}
+
+// Domain returns the attribute's condition-reasoning domain.
+func (a Attribute) Domain() cond.Domain { return cond.Domain{Kind: a.Type, Enum: a.Enum} }
+
+// EntityType is a node of an inheritance hierarchy. Attrs lists only the
+// attributes declared on this type; inherited attributes are reached through
+// Base. Key is set on root types only and must name declared attributes.
+type EntityType struct {
+	Name     string
+	Base     string // "" for hierarchy roots
+	Abstract bool
+	Attrs    []Attribute
+	Key      []string
+}
+
+// EntitySet is a persistent collection of entities of the set's root type
+// and any type derived from it.
+type EntitySet struct {
+	Name string
+	Type string
+}
+
+// End is one endpoint of an association.
+type End struct {
+	Type string
+	Mult Mult
+}
+
+// Association relates entities of two types. Instances (associations) are
+// pairs of entity keys. Each association type has exactly one association
+// set, identified by the association's name, matching the paper's
+// assumption that every association set appears in a single mapping
+// fragment.
+type Association struct {
+	Name string
+	End1 End
+	End2 End
+}
+
+// Schema is a mutable client schema. The zero value is an empty schema
+// ready for use.
+type Schema struct {
+	types  map[string]*EntityType
+	order  []string
+	sets   []*EntitySet
+	assocs []*Association
+}
+
+// NewSchema returns an empty client schema.
+func NewSchema() *Schema { return &Schema{types: map[string]*EntityType{}} }
+
+// AddType adds an entity type. The base type, when named, must already be
+// present.
+func (s *Schema) AddType(t EntityType) error {
+	if t.Name == "" {
+		return fmt.Errorf("edm: entity type with empty name")
+	}
+	if s.types == nil {
+		s.types = map[string]*EntityType{}
+	}
+	if _, dup := s.types[t.Name]; dup {
+		return fmt.Errorf("edm: duplicate entity type %q", t.Name)
+	}
+	if t.Base != "" {
+		base, ok := s.types[t.Base]
+		if !ok {
+			return fmt.Errorf("edm: type %q derives from unknown type %q", t.Name, t.Base)
+		}
+		if len(t.Key) > 0 {
+			return fmt.Errorf("edm: derived type %q must not declare a key", t.Name)
+		}
+		for _, a := range t.Attrs {
+			if s.hasAttrUpward(base.Name, a.Name) {
+				return fmt.Errorf("edm: type %q shadows inherited attribute %q", t.Name, a.Name)
+			}
+		}
+	} else {
+		if len(t.Key) == 0 {
+			return fmt.Errorf("edm: root type %q must declare a key", t.Name)
+		}
+		declared := map[string]bool{}
+		for _, a := range t.Attrs {
+			declared[a.Name] = true
+		}
+		for _, k := range t.Key {
+			if !declared[k] {
+				return fmt.Errorf("edm: key attribute %q of type %q is not declared", k, t.Name)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range t.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("edm: type %q has an attribute with empty name", t.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("edm: type %q declares attribute %q twice", t.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	cp := t
+	cp.Attrs = append([]Attribute(nil), t.Attrs...)
+	cp.Key = append([]string(nil), t.Key...)
+	s.types[t.Name] = &cp
+	s.order = append(s.order, t.Name)
+	return nil
+}
+
+// RemoveType deletes a leaf entity type. Types with descendants, types used
+// as entity-set roots, and types referenced by associations cannot be
+// removed.
+func (s *Schema) RemoveType(name string) error {
+	if _, ok := s.types[name]; !ok {
+		return fmt.Errorf("edm: unknown entity type %q", name)
+	}
+	for _, t := range s.types {
+		if t.Base == name {
+			return fmt.Errorf("edm: type %q still has derived type %q", name, t.Name)
+		}
+	}
+	for _, set := range s.sets {
+		if set.Type == name {
+			return fmt.Errorf("edm: type %q is the root of entity set %q", name, set.Name)
+		}
+	}
+	for _, a := range s.assocs {
+		if a.End1.Type == name || a.End2.Type == name {
+			return fmt.Errorf("edm: type %q participates in association %q", name, a.Name)
+		}
+	}
+	delete(s.types, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// RerootType turns a standalone hierarchy root into a derived type of
+// another hierarchy (the schema surgery behind the §3.4 refactoring SMO).
+// The type loses its own key and entity set; its attributes must not
+// collide with the new base hierarchy's.
+func (s *Schema) RerootType(typeName, newBase string) error {
+	t, ok := s.types[typeName]
+	if !ok {
+		return fmt.Errorf("edm: unknown entity type %q", typeName)
+	}
+	if t.Base != "" {
+		return fmt.Errorf("edm: type %q is not a hierarchy root", typeName)
+	}
+	base, ok := s.types[newBase]
+	if !ok {
+		return fmt.Errorf("edm: unknown base type %q", newBase)
+	}
+	if s.IsSubtype(base.Name, typeName) {
+		return fmt.Errorf("edm: rerooting %q under %q would create a cycle", typeName, newBase)
+	}
+	for _, d := range append([]string{typeName}, s.Descendants(typeName)...) {
+		for _, a := range s.types[d].Attrs {
+			if s.hasAttrUpward(newBase, a.Name) {
+				return fmt.Errorf("edm: attribute %q of %q collides with the %q hierarchy", a.Name, d, newBase)
+			}
+		}
+	}
+	for i, set := range s.sets {
+		if set.Type == typeName {
+			s.sets = append(s.sets[:i], s.sets[i+1:]...)
+			break
+		}
+	}
+	t.Base = newBase
+	t.Key = nil
+	return nil
+}
+
+// AddAttr declares an additional attribute on an existing type.
+func (s *Schema) AddAttr(typeName string, a Attribute) error {
+	t, ok := s.types[typeName]
+	if !ok {
+		return fmt.Errorf("edm: unknown entity type %q", typeName)
+	}
+	for _, n := range s.hierarchyOf(typeName) {
+		if s.hasDeclaredAttr(n, a.Name) {
+			return fmt.Errorf("edm: attribute %q already exists in the hierarchy of %q", a.Name, typeName)
+		}
+	}
+	t.Attrs = append(t.Attrs, a)
+	return nil
+}
+
+// AddSet adds an entity set rooted at an existing type. A type can root at
+// most one set.
+func (s *Schema) AddSet(set EntitySet) error {
+	if set.Name == "" {
+		return fmt.Errorf("edm: entity set with empty name")
+	}
+	if _, ok := s.types[set.Type]; !ok {
+		return fmt.Errorf("edm: entity set %q has unknown root type %q", set.Name, set.Type)
+	}
+	for _, e := range s.sets {
+		if e.Name == set.Name {
+			return fmt.Errorf("edm: duplicate entity set %q", set.Name)
+		}
+		if e.Type == set.Type {
+			return fmt.Errorf("edm: type %q already roots entity set %q", set.Type, e.Name)
+		}
+	}
+	cp := set
+	s.sets = append(s.sets, &cp)
+	return nil
+}
+
+// AddAssociation adds an association type (and implicitly its association
+// set of the same name).
+func (s *Schema) AddAssociation(a Association) error {
+	if a.Name == "" {
+		return fmt.Errorf("edm: association with empty name")
+	}
+	if _, ok := s.types[a.End1.Type]; !ok {
+		return fmt.Errorf("edm: association %q has unknown end type %q", a.Name, a.End1.Type)
+	}
+	if _, ok := s.types[a.End2.Type]; !ok {
+		return fmt.Errorf("edm: association %q has unknown end type %q", a.Name, a.End2.Type)
+	}
+	for _, e := range s.assocs {
+		if e.Name == a.Name {
+			return fmt.Errorf("edm: duplicate association %q", a.Name)
+		}
+	}
+	cp := a
+	s.assocs = append(s.assocs, &cp)
+	return nil
+}
+
+// RemoveAssociation deletes an association type.
+func (s *Schema) RemoveAssociation(name string) error {
+	for i, a := range s.assocs {
+		if a.Name == name {
+			s.assocs = append(s.assocs[:i], s.assocs[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("edm: unknown association %q", name)
+}
+
+// Type returns the named entity type, or nil.
+func (s *Schema) Type(name string) *EntityType { return s.types[name] }
+
+// Types returns all entity types in declaration order.
+func (s *Schema) Types() []*EntityType {
+	out := make([]*EntityType, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.types[n])
+	}
+	return out
+}
+
+// Sets returns all entity sets in declaration order.
+func (s *Schema) Sets() []*EntitySet { return s.sets }
+
+// Set returns the named entity set, or nil.
+func (s *Schema) Set(name string) *EntitySet {
+	for _, e := range s.sets {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Associations returns all association types in declaration order.
+func (s *Schema) Associations() []*Association { return s.assocs }
+
+// Association returns the named association, or nil.
+func (s *Schema) Association(name string) *Association {
+	for _, a := range s.assocs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// SetFor returns the entity set that persists instances of the given type:
+// the set rooted at the type's hierarchy root.
+func (s *Schema) SetFor(typeName string) *EntitySet {
+	root := s.RootOf(typeName)
+	if root == "" {
+		return nil
+	}
+	for _, e := range s.sets {
+		if e.Type == root {
+			return e
+		}
+	}
+	return nil
+}
+
+// RootOf returns the hierarchy root of the given type, or "" if unknown.
+func (s *Schema) RootOf(typeName string) string {
+	t, ok := s.types[typeName]
+	if !ok {
+		return ""
+	}
+	for t.Base != "" {
+		t = s.types[t.Base]
+	}
+	return t.Name
+}
+
+// Parent returns the base type name of the given type ("" for roots).
+func (s *Schema) Parent(typeName string) string {
+	if t, ok := s.types[typeName]; ok {
+		return t.Base
+	}
+	return ""
+}
+
+// IsSubtype reports whether sub equals typ or derives from it.
+func (s *Schema) IsSubtype(sub, typ string) bool {
+	t, ok := s.types[sub]
+	for ok {
+		if t.Name == typ {
+			return true
+		}
+		if t.Base == "" {
+			return false
+		}
+		t, ok = s.types[t.Base]
+	}
+	return false
+}
+
+// Ancestors returns the proper ancestors of the type, nearest first.
+func (s *Schema) Ancestors(typeName string) []string {
+	var out []string
+	t, ok := s.types[typeName]
+	for ok && t.Base != "" {
+		out = append(out, t.Base)
+		t, ok = s.types[t.Base]
+	}
+	return out
+}
+
+// Descendants returns the proper descendants of the type in declaration
+// order.
+func (s *Schema) Descendants(typeName string) []string {
+	var out []string
+	for _, n := range s.order {
+		if n != typeName && s.IsSubtype(n, typeName) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Children returns the direct subtypes of the type in declaration order.
+func (s *Schema) Children(typeName string) []string {
+	var out []string
+	for _, n := range s.order {
+		if s.types[n].Base == typeName {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ConcreteIn returns the non-abstract types in the sub-hierarchy rooted at
+// typeName (inclusive), in declaration order.
+func (s *Schema) ConcreteIn(typeName string) []string {
+	var out []string
+	for _, n := range s.order {
+		if !s.types[n].Abstract && s.IsSubtype(n, typeName) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// hierarchyOf returns every type in the same hierarchy as typeName.
+func (s *Schema) hierarchyOf(typeName string) []string {
+	root := s.RootOf(typeName)
+	var out []string
+	for _, n := range s.order {
+		if s.IsSubtype(n, root) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (s *Schema) hasDeclaredAttr(typeName, attr string) bool {
+	t := s.types[typeName]
+	for _, a := range t.Attrs {
+		if a.Name == attr {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Schema) hasAttrUpward(typeName, attr string) bool {
+	t, ok := s.types[typeName]
+	for ok {
+		for _, a := range t.Attrs {
+			if a.Name == attr {
+				return true
+			}
+		}
+		if t.Base == "" {
+			return false
+		}
+		t, ok = s.types[t.Base]
+	}
+	return false
+}
+
+// AllAttrs returns the attributes of the type including inherited ones,
+// root-most first.
+func (s *Schema) AllAttrs(typeName string) []Attribute {
+	chain := []*EntityType{}
+	t, ok := s.types[typeName]
+	for ok {
+		chain = append(chain, t)
+		if t.Base == "" {
+			break
+		}
+		t, ok = s.types[t.Base]
+	}
+	var out []Attribute
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i].Attrs...)
+	}
+	return out
+}
+
+// AttrNames returns the names of AllAttrs.
+func (s *Schema) AttrNames(typeName string) []string {
+	attrs := s.AllAttrs(typeName)
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Attr looks up an attribute (inherited or declared) of the type.
+func (s *Schema) Attr(typeName, attr string) (Attribute, bool) {
+	for _, a := range s.AllAttrs(typeName) {
+		if a.Name == attr {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// HasAttr reports whether the type carries the attribute.
+func (s *Schema) HasAttr(typeName, attr string) bool {
+	_, ok := s.Attr(typeName, attr)
+	return ok
+}
+
+// KeyOf returns the primary-key attributes of the type (declared on its
+// hierarchy root).
+func (s *Schema) KeyOf(typeName string) []string {
+	root := s.RootOf(typeName)
+	if root == "" {
+		return nil
+	}
+	return append([]string(nil), s.types[root].Key...)
+}
+
+// Validate checks global schema well-formedness beyond the incremental
+// checks done by the mutators.
+func (s *Schema) Validate() error {
+	for _, n := range s.order {
+		t := s.types[n]
+		// Cycle detection.
+		seen := map[string]bool{n: true}
+		cur := t
+		for cur.Base != "" {
+			if seen[cur.Base] {
+				return fmt.Errorf("edm: inheritance cycle through %q", cur.Base)
+			}
+			seen[cur.Base] = true
+			next, ok := s.types[cur.Base]
+			if !ok {
+				return fmt.Errorf("edm: type %q derives from unknown type %q", cur.Name, cur.Base)
+			}
+			cur = next
+		}
+	}
+	for _, n := range s.order {
+		if s.types[n].Base == "" && len(s.types[n].Key) == 0 {
+			return fmt.Errorf("edm: root type %q has no key", n)
+		}
+	}
+	for _, set := range s.sets {
+		if _, ok := s.types[set.Type]; !ok {
+			return fmt.Errorf("edm: entity set %q has unknown root type %q", set.Name, set.Type)
+		}
+	}
+	for _, a := range s.assocs {
+		if s.SetFor(a.End1.Type) == nil {
+			return fmt.Errorf("edm: association %q end type %q is not persisted by any entity set", a.Name, a.End1.Type)
+		}
+		if s.SetFor(a.End2.Type) == nil {
+			return fmt.Errorf("edm: association %q end type %q is not persisted by any entity set", a.Name, a.End2.Type)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := NewSchema()
+	for _, n := range s.order {
+		t := *s.types[n]
+		t.Attrs = append([]Attribute(nil), t.Attrs...)
+		t.Key = append([]string(nil), t.Key...)
+		c.types[n] = &t
+		c.order = append(c.order, n)
+	}
+	for _, e := range s.sets {
+		cp := *e
+		c.sets = append(c.sets, &cp)
+	}
+	for _, a := range s.assocs {
+		cp := *a
+		c.assocs = append(c.assocs, &cp)
+	}
+	return c
+}
+
+// SortedTypeNames returns all type names sorted alphabetically (useful for
+// deterministic output).
+func (s *Schema) SortedTypeNames() []string {
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,299 @@
+package edm
+
+import (
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cond"
+)
+
+// paperSchema builds the Fig. 1 client schema of the paper: Person with
+// derived Employee and Customer, entity set Persons, association Supports.
+func paperSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddType(EntityType{
+		Name: "Person",
+		Attrs: []Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(s.AddType(EntityType{
+		Name: "Employee", Base: "Person",
+		Attrs: []Attribute{{Name: "Department", Type: cond.KindString, Nullable: true}},
+	}))
+	must(s.AddType(EntityType{
+		Name: "Customer", Base: "Person",
+		Attrs: []Attribute{
+			{Name: "CredScore", Type: cond.KindInt, Nullable: true},
+			{Name: "BillAddr", Type: cond.KindString, Nullable: true},
+		},
+	}))
+	must(s.AddSet(EntitySet{Name: "Persons", Type: "Person"}))
+	must(s.AddAssociation(Association{
+		Name: "Supports",
+		End1: End{Type: "Customer", Mult: Many},
+		End2: End{Type: "Employee", Mult: ZeroOne},
+	}))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHierarchyNavigation(t *testing.T) {
+	s := paperSchema(t)
+	if got := s.RootOf("Employee"); got != "Person" {
+		t.Errorf("RootOf(Employee) = %q", got)
+	}
+	if got := s.Parent("Customer"); got != "Person" {
+		t.Errorf("Parent(Customer) = %q", got)
+	}
+	if !s.IsSubtype("Employee", "Person") || s.IsSubtype("Person", "Employee") {
+		t.Errorf("IsSubtype wrong")
+	}
+	if got := s.Ancestors("Employee"); len(got) != 1 || got[0] != "Person" {
+		t.Errorf("Ancestors(Employee) = %v", got)
+	}
+	if got := s.Descendants("Person"); len(got) != 2 {
+		t.Errorf("Descendants(Person) = %v", got)
+	}
+	if got := s.Children("Person"); len(got) != 2 || got[0] != "Employee" {
+		t.Errorf("Children(Person) = %v", got)
+	}
+	if got := s.ConcreteIn("Person"); len(got) != 3 {
+		t.Errorf("ConcreteIn(Person) = %v", got)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	s := paperSchema(t)
+	names := s.AttrNames("Employee")
+	want := []string{"Id", "Name", "Department"}
+	if len(names) != len(want) {
+		t.Fatalf("AttrNames(Employee) = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("AttrNames(Employee) = %v, want %v", names, want)
+		}
+	}
+	if key := s.KeyOf("Customer"); len(key) != 1 || key[0] != "Id" {
+		t.Errorf("KeyOf(Customer) = %v", key)
+	}
+	if !s.HasAttr("Customer", "Name") || s.HasAttr("Customer", "Department") {
+		t.Errorf("HasAttr wrong")
+	}
+	a, ok := s.Attr("Employee", "Id")
+	if !ok || a.Type != cond.KindInt {
+		t.Errorf("Attr(Employee, Id) = %+v, %v", a, ok)
+	}
+}
+
+func TestSetAndAssociationLookup(t *testing.T) {
+	s := paperSchema(t)
+	if set := s.SetFor("Customer"); set == nil || set.Name != "Persons" {
+		t.Errorf("SetFor(Customer) = %v", set)
+	}
+	if a := s.Association("Supports"); a == nil || a.End2.Mult != ZeroOne {
+		t.Errorf("Association(Supports) = %+v", a)
+	}
+	if s.Set("Nope") != nil || s.Association("Nope") != nil {
+		t.Errorf("lookup of unknown names should return nil")
+	}
+}
+
+func TestMutatorErrors(t *testing.T) {
+	s := paperSchema(t)
+	if err := s.AddType(EntityType{Name: "Person", Key: []string{"Id"}, Attrs: []Attribute{{Name: "Id", Type: cond.KindInt}}}); err == nil {
+		t.Errorf("duplicate type accepted")
+	}
+	if err := s.AddType(EntityType{Name: "X", Base: "Nope"}); err == nil {
+		t.Errorf("unknown base accepted")
+	}
+	if err := s.AddType(EntityType{Name: "X", Base: "Person", Attrs: []Attribute{{Name: "Name", Type: cond.KindString}}}); err == nil {
+		t.Errorf("attribute shadowing accepted")
+	}
+	if err := s.AddType(EntityType{Name: "NoKey", Attrs: []Attribute{{Name: "A", Type: cond.KindInt}}}); err == nil {
+		t.Errorf("root without key accepted")
+	}
+	if err := s.AddSet(EntitySet{Name: "Persons2", Type: "Person"}); err == nil {
+		t.Errorf("second set on same root accepted")
+	}
+	if err := s.AddAssociation(Association{Name: "Supports", End1: End{Type: "Person"}, End2: End{Type: "Person"}}); err == nil {
+		t.Errorf("duplicate association accepted")
+	}
+	if err := s.RemoveType("Person"); err == nil {
+		t.Errorf("removing a type with descendants accepted")
+	}
+	if err := s.RemoveType("Customer"); err == nil {
+		t.Errorf("removing an association endpoint accepted")
+	}
+}
+
+func TestRemoveTypeAndAssociation(t *testing.T) {
+	s := paperSchema(t)
+	if err := s.RemoveAssociation("Supports"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveType("Customer"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Type("Customer") != nil {
+		t.Errorf("Customer still present")
+	}
+	if got := s.Descendants("Person"); len(got) != 1 {
+		t.Errorf("Descendants after removal = %v", got)
+	}
+}
+
+func TestAddAttr(t *testing.T) {
+	s := paperSchema(t)
+	if err := s.AddAttr("Employee", Attribute{Name: "Salary", Type: cond.KindFloat, Nullable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasAttr("Employee", "Salary") {
+		t.Errorf("Salary not added")
+	}
+	if err := s.AddAttr("Customer", Attribute{Name: "Name", Type: cond.KindString}); err == nil {
+		t.Errorf("conflicting AddAttr accepted")
+	}
+	if err := s.AddAttr("Person", Attribute{Name: "Department", Type: cond.KindString}); err == nil {
+		t.Errorf("AddAttr conflicting with a descendant's attribute accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := paperSchema(t)
+	c := s.Clone()
+	if err := c.AddType(EntityType{Name: "Contractor", Base: "Employee"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Type("Contractor") != nil {
+		t.Errorf("clone not independent")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetTheory(t *testing.T) {
+	s := paperSchema(t)
+	th := s.TheoryFor("Persons")
+	if got := th.ConcreteTypes(""); len(got) != 3 {
+		t.Fatalf("ConcreteTypes = %v", got)
+	}
+	if th.ConcreteTypes("other") != nil {
+		t.Errorf("non-empty subject must be untyped")
+	}
+	// Department only exists on Employee: IS OF Customer AND Department NOT
+	// NULL is unsatisfiable.
+	unsat := cond.NewAnd(
+		cond.TypeIs{Type: "Customer"},
+		cond.NotNull("Department"),
+	)
+	if cond.Satisfiable(th, unsat) {
+		t.Errorf("Customer with Department should be unsatisfiable")
+	}
+	// IS OF Person is implied by IS OF (ONLY Person) OR IS OF Employee OR
+	// IS OF Customer — the expansion used during fragment adaptation.
+	lhs := cond.TypeIs{Type: "Person"}
+	rhs := cond.NewOr(
+		cond.TypeIs{Type: "Person", Only: true},
+		cond.TypeIs{Type: "Employee"},
+		cond.TypeIs{Type: "Customer"},
+	)
+	if !cond.Equivalent(th, lhs, rhs) {
+		t.Errorf("ONLY-expansion must be equivalent to IS OF")
+	}
+	if d, ok := th.Domain("CredScore"); !ok || d.Kind != cond.KindInt {
+		t.Errorf("Domain(CredScore) = %v, %v", d, ok)
+	}
+	if th.Nullable("Id") {
+		t.Errorf("key attribute must not be nullable")
+	}
+}
+
+func TestAbstractTypesExcluded(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddType(EntityType{
+		Name: "Shape", Abstract: true,
+		Attrs: []Attribute{{Name: "Id", Type: cond.KindInt}},
+		Key:   []string{"Id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddType(EntityType{Name: "Circle", Base: "Shape"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSet(EntitySet{Name: "Shapes", Type: "Shape"}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ConcreteIn("Shape")
+	if len(got) != 1 || got[0] != "Circle" {
+		t.Errorf("ConcreteIn(Shape) = %v", got)
+	}
+}
+
+func TestRerootType(t *testing.T) {
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddType(EntityType{Name: "A", Attrs: []Attribute{{Name: "Id", Type: cond.KindInt}}, Key: []string{"Id"}}))
+	must(s.AddType(EntityType{Name: "B", Attrs: []Attribute{{Name: "Bid", Type: cond.KindInt}}, Key: []string{"Bid"}}))
+	must(s.AddSet(EntitySet{Name: "As", Type: "A"}))
+	must(s.AddSet(EntitySet{Name: "Bs", Type: "B"}))
+
+	if err := s.RerootType("B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Parent("B") != "A" {
+		t.Errorf("B not rerooted")
+	}
+	if len(s.KeyOf("B")) != 1 || s.KeyOf("B")[0] != "Id" {
+		t.Errorf("B must inherit A's key, got %v", s.KeyOf("B"))
+	}
+	if s.Set("Bs") != nil {
+		t.Errorf("B's set must be removed")
+	}
+	if s.SetFor("B").Name != "As" {
+		t.Errorf("B must be persisted by A's set")
+	}
+}
+
+func TestRerootTypeErrors(t *testing.T) {
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddType(EntityType{Name: "A", Attrs: []Attribute{{Name: "Id", Type: cond.KindInt}}, Key: []string{"Id"}}))
+	must(s.AddType(EntityType{Name: "A2", Base: "A"}))
+	must(s.AddType(EntityType{Name: "B", Attrs: []Attribute{{Name: "Id", Type: cond.KindInt}}, Key: []string{"Id"}}))
+
+	if err := s.RerootType("A2", "B"); err == nil {
+		t.Error("rerooting a non-root accepted")
+	}
+	if err := s.RerootType("B", "Ghost"); err == nil {
+		t.Error("unknown base accepted")
+	}
+	if err := s.RerootType("B", "A"); err == nil {
+		t.Error("colliding key attribute names accepted")
+	}
+	if err := s.RerootType("A", "A2"); err == nil {
+		t.Error("cycle accepted")
+	}
+}

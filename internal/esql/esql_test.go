@@ -1,0 +1,131 @@
+package esql
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ormkit/incmap/internal/cond"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() of the parsed expression
+	}{
+		{"TRUE", "TRUE"},
+		{"FALSE", "FALSE"},
+		{"IS OF Person", "e IS OF Person"},
+		{"IS OF (ONLY Person)", "e IS OF (ONLY Person)"},
+		{"p IS OF Person", "p IS OF Person"},
+		{"e IS OF Employee", "e IS OF Employee"},
+		{"Dept IS NULL", "Dept IS NULL"},
+		{"Dept IS NOT NULL", "Dept IS NOT NULL"},
+		{"age >= 18", "age >= 18"},
+		{"age < 18", "age < 18"},
+		{"gender = 'M'", "gender = 'M'"},
+		{"name <> 'x''y'", "name <> 'x'y'"},
+		{"score = 1.5", "score = 1.5"},
+		{"active = true", "active = true"},
+		{"T1.Id = 7", "T1.Id = 7"},
+		{"NOT (IS OF Customer)", "NOT (e IS OF Customer)"},
+		{"IS OF (ONLY Person) OR IS OF Employee",
+			"e IS OF (ONLY Person) OR e IS OF Employee"},
+		{"age >= 18 AND gender = 'M' OR age < 18",
+			"(age >= 18 AND gender = 'M') OR age < 18"},
+		{"(age >= 18 OR age < 10) AND name IS NOT NULL",
+			"(age >= 18 OR age < 10) AND name IS NOT NULL"},
+		{"a != 3", "a <> 3"},
+	}
+	for _, tc := range cases {
+		e, err := ParseCond(tc.in)
+		if err != nil {
+			t.Errorf("ParseCond(%q): %v", tc.in, err)
+			continue
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("ParseCond(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"age >",
+		"age 18",
+		"IS OF",
+		"IS NULL",
+		"(age > 1",
+		"age > 1)",
+		"'unterminated",
+		"a = 'x' extra",
+		"a.b.c = 1",
+		"x IS BOGUS",
+	} {
+		if _, err := ParseCond(in); err == nil {
+			t.Errorf("ParseCond(%q) accepted", in)
+		}
+	}
+}
+
+// TestPrintParseRoundtrip checks that printing a parsed expression and
+// re-parsing it yields the same canonical form.
+func TestPrintParseRoundtrip(t *testing.T) {
+	inputs := []string{
+		"IS OF (ONLY Person) OR IS OF Employee",
+		"age >= 18 AND (gender = 'M' OR gender = 'F')",
+		"NOT (Dept IS NULL) AND Id > 0",
+		"Eid IS NOT NULL",
+		"TRUE",
+	}
+	for _, in := range inputs {
+		e1 := MustParseCond(in)
+		e2, err := ParseCond(e1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q → %q failed: %v", in, e1.String(), err)
+		}
+		if e1.String() != e2.String() {
+			t.Errorf("roundtrip drift: %q → %q", e1.String(), e2.String())
+		}
+	}
+}
+
+// TestRoundtripRandomComparisons builds random comparison conditions and
+// checks print/parse stability.
+func TestRoundtripRandomComparisons(t *testing.T) {
+	ops := []cond.Op{cond.OpEq, cond.OpNe, cond.OpLt, cond.OpLe, cond.OpGt, cond.OpGe}
+	f := func(a uint8, o uint8, v int16, neg bool) bool {
+		attr := string(rune('a' + a%26))
+		var e cond.Expr = cond.Cmp{Attr: attr, Op: ops[int(o)%len(ops)], Val: cond.Int(int64(v))}
+		if neg {
+			e = cond.NewNot(e)
+		}
+		parsed, err := ParseCond(e.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSemanticEquivalenceAfterRoundtrip(t *testing.T) {
+	th := &cond.MapTheory{
+		Types: map[string][]string{"": {"Person", "Employee"}},
+		Sub:   map[string]map[string]bool{"Employee": {"Person": true}},
+		Domains: map[string]cond.Domain{
+			"age": {Kind: cond.KindInt},
+		},
+		NotNull: map[string]bool{"age": true},
+	}
+	orig := cond.NewOr(
+		cond.NewAnd(cond.TypeIs{Type: "Person"}, cond.Cmp{Attr: "age", Op: cond.OpGe, Val: cond.Int(18)}),
+		cond.TypeIs{Type: "Employee", Only: true},
+	)
+	parsed := MustParseCond(orig.String())
+	if !cond.Equivalent(th, orig, parsed) {
+		t.Fatalf("parsed condition not equivalent: %s vs %s", orig, parsed)
+	}
+}

@@ -1,0 +1,160 @@
+// Package esql implements a small Entity-SQL-like surface syntax for the
+// condition language of mapping fragments: the σ-conditions ψ and χ of §2.1
+// of the paper, written as in its figures:
+//
+//	IS OF Person
+//	IS OF (ONLY Person) OR IS OF Employee
+//	Eid IS NOT NULL
+//	age >= 18 AND gender = 'M'
+//
+// The package provides a lexer, a recursive-descent parser producing
+// cond.Expr values, and a printer (cond.Expr already prints this syntax via
+// its String methods). The CLI and the JSON model format use it so
+// mappings stay human-readable.
+package esql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // = <> < <= > >=
+	tokLParen
+	tokRParen
+	tokDot
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input. Keywords stay tokIdent; the parser matches them
+// case-insensitively.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '=':
+			l.emit(tokOp, "=")
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "<=")
+			} else if l.peek(1) == '>' {
+				l.emit2(tokOp, "<>")
+			} else {
+				l.emit(tokOp, "<")
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, ">=")
+			} else {
+				l.emit(tokOp, ">")
+			}
+		case c == '!' && l.peek(1) == '=':
+			l.emit2(tokOp, "<>")
+		case unicode.IsDigit(rune(c)) || (c == '-' && unicode.IsDigit(rune(l.peek(1)))):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("esql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.in) {
+		return l.in[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokenKind, s string) {
+	l.toks = append(l.toks, token{kind: k, text: s, pos: l.pos})
+	l.pos++
+}
+
+func (l *lexer) emit2(k tokenKind, s string) {
+	l.toks = append(l.toks, token{kind: k, text: s, pos: l.pos})
+	l.pos += 2
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '\'' {
+			if l.peek(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("esql: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.in[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.in) && (unicode.IsDigit(rune(l.in[l.pos])) || l.in[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.in[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.in) && isIdentPart(l.in[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.in[start:l.pos], pos: start})
+}

@@ -1,0 +1,279 @@
+package esql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ormkit/incmap/internal/cond"
+)
+
+// ParseCond parses a condition in the Entity-SQL-like syntax of the
+// paper's figures into a cond.Expr. The syntax, in precedence order:
+//
+//	expr    := or
+//	or      := and (OR and)*
+//	and     := unary (AND unary)*
+//	unary   := NOT unary | primary
+//	primary := TRUE | FALSE | '(' expr ')'
+//	         | [subject] IS OF (ONLY type | '(' ONLY type ')' | type)
+//	         | attr IS [NOT] NULL
+//	         | attr op literal            (op ∈ =, <>, !=, <, <=, >, >=)
+//
+// Attributes may be qualified (alias.attr). The printer's default subject
+// "e" parses back to the empty (single-scan) subject.
+func ParseCond(in string) (cond.Expr, error) {
+	toks, err := lex(in)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return e, nil
+}
+
+// MustParseCond parses a condition and panics on error; intended for
+// tests and static model definitions.
+func MustParseCond(in string) cond.Expr {
+	e, err := ParseCond(in)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("esql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (cond.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []cond.Expr{left}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	return cond.NewOr(parts...), nil
+}
+
+func (p *parser) parseAnd() (cond.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []cond.Expr{left}
+	for p.keyword("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	return cond.NewAnd(parts...), nil
+}
+
+func (p *parser) parseUnary() (cond.Expr, error) {
+	if p.keyword("NOT") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return cond.NewNot(x), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (cond.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errf("expected )")
+		}
+		p.next()
+		return e, nil
+
+	case p.keyword("TRUE"):
+		return cond.True{}, nil
+	case p.keyword("FALSE"):
+		return cond.False{}, nil
+
+	case t.kind == tokIdent && strings.EqualFold(t.text, "IS"):
+		// IS OF without a subject.
+		return p.parseIsTail("", "")
+
+	case t.kind == tokIdent:
+		p.next()
+		name := t.text
+		qual := ""
+		if p.cur().kind == tokDot {
+			p.next()
+			at := p.cur()
+			if at.kind != tokIdent {
+				return nil, p.errf("expected identifier after '.'")
+			}
+			p.next()
+			qual, name = name, at.text
+		}
+		if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "IS") {
+			if qual != "" {
+				return nil, p.errf("qualified name before IS must be a plain subject or attribute")
+			}
+			return p.parseIsTail(name, name)
+		}
+		attr := name
+		if qual != "" {
+			attr = qual + "." + name
+		}
+		return p.parseComparison(attr)
+
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}
+
+// parseIsTail handles the constructs after a subject (possibly empty):
+// IS OF ..., IS NULL, IS NOT NULL. subjectOrAttr carries the identifier in
+// front, which names a subject for IS OF and an attribute for IS NULL.
+func (p *parser) parseIsTail(subject, attr string) (cond.Expr, error) {
+	if !p.keyword("IS") {
+		return nil, p.errf("expected IS")
+	}
+	switch {
+	case p.keyword("OF"):
+		only := false
+		paren := false
+		if p.cur().kind == tokLParen {
+			p.next()
+			paren = true
+		}
+		if p.keyword("ONLY") {
+			only = true
+		}
+		ty := p.cur()
+		if ty.kind != tokIdent {
+			return nil, p.errf("expected type name after IS OF")
+		}
+		p.next()
+		if paren {
+			if p.cur().kind != tokRParen {
+				return nil, p.errf("expected ) after IS OF type")
+			}
+			p.next()
+		}
+		// The printer's default subject "e" denotes the single-scan
+		// subject.
+		if subject == "e" {
+			subject = ""
+		}
+		return cond.TypeIs{Var: subject, Type: ty.text, Only: only}, nil
+
+	case p.keyword("NOT"):
+		if !p.keyword("NULL") {
+			return nil, p.errf("expected NULL after IS NOT")
+		}
+		if attr == "" {
+			return nil, p.errf("IS NOT NULL needs an attribute")
+		}
+		return cond.NotNull(attr), nil
+
+	case p.keyword("NULL"):
+		if attr == "" {
+			return nil, p.errf("IS NULL needs an attribute")
+		}
+		return cond.Null{Attr: attr}, nil
+	}
+	return nil, p.errf("expected OF, NULL or NOT NULL after IS")
+}
+
+func (p *parser) parseComparison(attr string) (cond.Expr, error) {
+	t := p.cur()
+	if t.kind != tokOp {
+		return nil, p.errf("expected comparison operator after %q", attr)
+	}
+	p.next()
+	var op cond.Op
+	switch t.text {
+	case "=":
+		op = cond.OpEq
+	case "<>":
+		op = cond.OpNe
+	case "<":
+		op = cond.OpLt
+	case "<=":
+		op = cond.OpLe
+	case ">":
+		op = cond.OpGt
+	case ">=":
+		op = cond.OpGe
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return cond.Cmp{Attr: attr, Op: op, Val: val}, nil
+}
+
+func (p *parser) parseLiteral() (cond.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return cond.String(t.text), nil
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return cond.Value{}, p.errf("bad float %q", t.text)
+			}
+			return cond.Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return cond.Value{}, p.errf("bad integer %q", t.text)
+		}
+		return cond.Int(i), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "true"):
+		p.next()
+		return cond.Bool(true), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "false"):
+		p.next()
+		return cond.Bool(false), nil
+	}
+	return cond.Value{}, p.errf("expected literal, got %q", t.text)
+}

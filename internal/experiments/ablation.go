@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// AblationCellPruning compares full compilation with theory-pruned cell
+// enumeration against the naive 2^n enumeration, on a hub-and-rim point.
+func AblationCellPruning(n, m int) []Result {
+	var out []Result
+	for _, naive := range []bool{false, true} {
+		mapping := workload.HubRim(workload.HubRimOptions{N: n, M: m, TPH: true})
+		c := &compiler.Compiler{Opts: compiler.Options{NaiveCells: naive}}
+		start := time.Now()
+		_, err := c.Compile(mapping)
+		d := time.Since(start)
+		name := "pruned"
+		if naive {
+			name = "naive"
+		}
+		out = append(out, Result{
+			Name: name, D: d, Err: err,
+			Note: fmt.Sprintf("cells=%d", c.Stats.CellsVisited),
+		})
+	}
+	return out
+}
+
+// AblationSimplifier compares incremental compilation with and without the
+// query-tree simplifier that eliminates outer joins before containment
+// checking (§6 of the paper discusses these optimizations).
+func AblationSimplifier(chainSize int) []Result {
+	m := workload.Chain(chainSize)
+	_, views := FullCompile(m)
+	mid := chainSize / 2
+	targets := SuiteTargets{
+		TPTParent: fmt.Sprintf("Entity%d", mid),
+		TPCParent: fmt.Sprintf("Entity%d", mid+1),
+		TPHParent: fmt.Sprintf("Entity%d", mid+2),
+		FKEnd1:    "Entity2", FKEnd2: "Entity3",
+		JTEnd1: "Entity4", JTEnd2: "Entity5",
+		PropType: fmt.Sprintf("Entity%d", mid),
+	}
+	op := Suite(targets)[0] // AE-TPT exercises the FK containment path
+	var out []Result
+	for _, noSimplify := range []bool{false, true} {
+		ic := &core.Incremental{Opts: core.Options{NoSimplify: noSimplify}}
+		start := time.Now()
+		m2 := m.Clone()
+		smo, err := op.Make(m2)
+		if err == nil {
+			_, _, err = ic.Apply(m2, views, smo)
+		}
+		d := time.Since(start)
+		name := "simplified"
+		if noSimplify {
+			name = "unsimplified"
+		}
+		out = append(out, Result{Name: name, D: d, Err: err})
+	}
+	return out
+}
+
+// AblationNeighbourhood compares the incremental compiler's localized
+// validation against re-checking every foreign key of the model — the
+// neighbourhood restriction that makes incremental compilation fast
+// (§1.2: "we need to focus only on the neighborhood of schema changes").
+func AblationNeighbourhood(chainSize int) []Result {
+	m := workload.Chain(chainSize)
+	_, views := FullCompile(m)
+	mid := chainSize / 2
+	op := NamedOp{Name: "AE-TPT", Make: func(m2 *frag.Mapping) (core.SMO, error) {
+		return Suite(SuiteTargets{
+			TPTParent: fmt.Sprintf("Entity%d", mid),
+		})[0].Make(m2)
+	}}
+	var out []Result
+	for _, wide := range []bool{false, true} {
+		ic := &core.Incremental{Opts: core.Options{WideValidation: wide}}
+		start := time.Now()
+		m2 := m.Clone()
+		smo, err := op.Make(m2)
+		if err == nil {
+			_, _, err = ic.Apply(m2, views, smo)
+		}
+		d := time.Since(start)
+		name := "neighbourhood"
+		if wide {
+			name = "all-constraints"
+		}
+		out = append(out, Result{
+			Name: name, D: d, Err: err,
+			Note: fmt.Sprintf("containments=%d", ic.Stats.Containments),
+		})
+	}
+	return out
+}

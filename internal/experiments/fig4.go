@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// Fig4Point measures one full compilation of the hub-and-rim model
+// (Figure 3/4 of the paper).
+func Fig4Point(n, m int, tph bool) Result {
+	mapping := workload.HubRim(workload.HubRimOptions{N: n, M: m, TPH: tph})
+	r, _ := FullCompile(mapping)
+	style := "TPT"
+	if tph {
+		style = "TPH"
+	}
+	r.Name = fmt.Sprintf("N=%d M=%d %s", n, m, style)
+	return r
+}
+
+// Fig4Options bounds the Figure 4 grid. The compilation time of the TPH
+// variant is exponential in N·M (that is the experiment's point), so the
+// grid is cut off once a point exceeds PointBudget — the same pragmatic
+// cap the paper applies by stopping its curves around 10^5 seconds.
+type Fig4Options struct {
+	MaxN int // hierarchy depths 1..MaxN (paper: 5)
+	MaxM int // fan-outs 1..MaxM (paper: 15)
+	// PointBudget stops extending a depth's curve after a point takes
+	// longer than this.
+	PointBudget time.Duration
+}
+
+// DefaultFig4Options keeps the default run under a couple of minutes.
+func DefaultFig4Options() Fig4Options {
+	return Fig4Options{MaxN: 4, MaxM: 8, PointBudget: 10 * time.Second}
+}
+
+// Fig4Row is one curve point of Figure 4.
+type Fig4Row struct {
+	N, M   int
+	TPH    time.Duration
+	TPHErr error
+	TPT    time.Duration
+	TPTErr error
+}
+
+// Fig4 runs the grid: for each depth N, fan-outs M grow until the TPH
+// compilation exceeds the point budget, reproducing both the exponential
+// TPH curves and the flat TPT baseline ("under 0.2 seconds for all cases"
+// per §1.1).
+func Fig4(opt Fig4Options) []Fig4Row {
+	var out []Fig4Row
+	for n := 1; n <= opt.MaxN; n++ {
+		for m := 1; m <= opt.MaxM; m++ {
+			tph := Fig4Point(n, m, true)
+			tpt := Fig4Point(n, m, false)
+			out = append(out, Fig4Row{
+				N: n, M: m,
+				TPH: tph.D, TPHErr: tph.Err,
+				TPT: tpt.D, TPTErr: tpt.Err,
+			})
+			if tph.D > opt.PointBudget {
+				break // deeper fan-outs of this curve are out of budget
+			}
+		}
+	}
+	return out
+}

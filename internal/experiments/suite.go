@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/modef"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// SuiteTargets names where the SMO suite of Figures 9 and 10 attaches to a
+// model: parents for the entity additions and endpoint types for the
+// association additions.
+type SuiteTargets struct {
+	TPTParent string
+	TPCParent string
+	TPHParent string
+	// FKEnd1/FKEnd2 are the endpoints of the AA-FK addition (end 2 gets
+	// multiplicity 0..1); JTEnd1/JTEnd2 those of the many-to-many AA-JT.
+	FKEnd1, FKEnd2 string
+	JTEnd1, JTEnd2 string
+	// PropType receives the AddProperty operation.
+	PropType string
+}
+
+// Suite builds the paper's SMO suite: AE-x (AddEntity per style), AEP-np-x
+// (partitioned across 2^n tables), AA-x (associations) and AP
+// (AddProperty), using the naming of Figures 9 and 10.
+func Suite(t SuiteTargets) []NamedOp {
+	newAttrs := []edm.Attribute{
+		{Name: "NewExtra", Type: cond.KindString, Nullable: true},
+	}
+	ops := []NamedOp{
+		{Name: "AE-TPT", Make: func(m *frag.Mapping) (core.SMO, error) {
+			return modef.PlanAddEntityWithStyle(m, "NewTPT", t.TPTParent, newAttrs, modef.TPT)
+		}},
+		{Name: "AE-TPC", Make: func(m *frag.Mapping) (core.SMO, error) {
+			return modef.PlanAddEntityWithStyle(m, "NewTPC", t.TPCParent, newAttrs, modef.TPC)
+		}},
+		{Name: "AE-TPH", Make: func(m *frag.Mapping) (core.SMO, error) {
+			return modef.PlanAddEntityWithStyle(m, "NewTPH", t.TPHParent, newAttrs, modef.TPH)
+		}},
+	}
+	for n := 1; n <= 3; n++ {
+		n := n
+		ops = append(ops, NamedOp{
+			Name: fmt.Sprintf("AEP-%dp-TPT", n),
+			Make: func(m *frag.Mapping) (core.SMO, error) {
+				return makePartitioned(m, t.TPTParent, n)
+			},
+		})
+	}
+	ops = append(ops,
+		NamedOp{Name: "AA-FK", Make: func(m *frag.Mapping) (core.SMO, error) {
+			return modef.PlanAddAssociation(m, "NewAF", t.FKEnd1, t.FKEnd2, edm.Many, edm.ZeroOne)
+		}},
+		NamedOp{Name: "AA-JT", Make: func(m *frag.Mapping) (core.SMO, error) {
+			return modef.PlanAddAssociation(m, "NewAJ", t.JTEnd1, t.JTEnd2, edm.Many, edm.Many)
+		}},
+		NamedOp{Name: "AP", Make: func(m *frag.Mapping) (core.SMO, error) {
+			table := "T_NewProp"
+			if err := m.Store.AddTable(rel.Table{
+				Name: table,
+				Cols: []rel.Column{
+					{Name: "Id", Type: cond.KindInt},
+					{Name: "Val", Type: cond.KindString, Nullable: true},
+				},
+				Key: []string{"Id"},
+			}); err != nil {
+				return nil, err
+			}
+			return &core.AddProperty{
+				Type:  t.PropType,
+				Attr:  edm.Attribute{Name: "NewProp", Type: cond.KindString, Nullable: true},
+				Table: table, Col: "Val",
+			}, nil
+		}},
+	)
+	return ops
+}
+
+// makePartitioned builds the AEP-np SMO: a new subtype horizontally
+// partitioned across 2^n tables by ranges of a non-nullable Weight
+// attribute, each table carrying a foreign key back to the parent's table,
+// so validation checks 2^n new constraints — the scaling the paper
+// observes for AEP-np-TPT.
+func makePartitioned(m *frag.Mapping, parent string, n int) (core.SMO, error) {
+	parts := 1 << n
+	parentTable := modef.TableOfType(m, parent)
+	if parentTable == "" {
+		return nil, fmt.Errorf("experiments: parent %q unmapped", parent)
+	}
+	key := m.Client.KeyOf(parent)
+	op := &core.AddEntityPart{
+		Name:   fmt.Sprintf("NewPart%d", n),
+		Parent: parent,
+		DeclAttrs: []edm.Attribute{
+			{Name: "Weight", Type: cond.KindInt},
+		},
+		P: parent,
+	}
+	for i := 0; i < parts; i++ {
+		table := fmt.Sprintf("T_AEP%d_%d", n, i)
+		cols := []rel.Column{{Name: "Id", Type: cond.KindInt}, {Name: "Weight", Type: cond.KindInt}}
+		t := rel.Table{Name: table, Cols: cols, Key: []string{"Id"},
+			FKs: []rel.ForeignKey{{
+				Name: "fk_" + table, Cols: []string{"Id"},
+				RefTable: parentTable, RefCols: m.Store.Table(parentTable).Key,
+			}},
+		}
+		if err := m.Store.AddTable(t); err != nil {
+			return nil, err
+		}
+		// Ranges: (-inf, 10), [10, 20), ..., [10*(parts-1), +inf).
+		var c cond.Expr
+		lo := cond.Cmp{Attr: "Weight", Op: cond.OpGe, Val: cond.Int(int64(10 * i))}
+		hi := cond.Cmp{Attr: "Weight", Op: cond.OpLt, Val: cond.Int(int64(10 * (i + 1)))}
+		switch {
+		case i == 0:
+			c = hi
+		case i == parts-1:
+			c = lo
+		default:
+			c = cond.NewAnd(lo, hi)
+		}
+		op.Parts = append(op.Parts, core.Part{
+			Alpha: append(append([]string(nil), key...), "Weight"),
+			Cond:  c,
+			Table: table,
+			ColOf: map[string]string{key[0]: "Id", "Weight": "Weight"},
+		})
+	}
+	return op, nil
+}
+
+// Fig9 builds the chain model of Figure 8, measures its full compilation,
+// and runs the SMO suite incrementally (Figure 9).
+func Fig9(chainSize int) (full Result, suite []Result) {
+	m := workload.Chain(chainSize)
+	fullRes, views := FullCompile(m)
+	if views == nil {
+		return fullRes, nil
+	}
+	mid := chainSize / 2
+	ty := func(i int) string { return fmt.Sprintf("Entity%d", i) }
+	targets := SuiteTargets{
+		TPTParent: ty(mid),
+		TPCParent: ty(mid + 1),
+		TPHParent: ty(mid + 2),
+		FKEnd1:    ty(1 + chainSize/5), FKEnd2: ty(1 + 2*chainSize/5),
+		JTEnd1: ty(1 + 3*chainSize/5), JTEnd2: ty(1 + 4*chainSize/5),
+		PropType: ty(mid),
+	}
+	return fullRes, RunSuite(m, views, Suite(targets))
+}
+
+// Fig10 builds the synthetic customer model, measures its full
+// compilation, and runs the SMO suite incrementally (Figure 10).
+func Fig10(opt workload.CustomerOptions) (full Result, suite []Result) {
+	m := workload.Customer(opt)
+	fullRes, views := FullCompile(m)
+	if views == nil {
+		return fullRes, nil
+	}
+	targets := SuiteTargets{
+		// Hierarchy 1 is TPT, hierarchy 0 is the large TPH one, hierarchy 3
+		// is TPT as well (odd hierarchies are TPT).
+		TPTParent: "H1T1",
+		TPCParent: "H3T0",
+		TPHParent: "H0T2",
+		FKEnd1:    "H1T0", FKEnd2: "H5T0",
+		JTEnd1: "H3T0", JTEnd2: "H7T0",
+		PropType: "H1T1",
+	}
+	return fullRes, RunSuite(m, views, Suite(targets))
+}

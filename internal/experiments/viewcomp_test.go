@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// TestCompareViewsStudy runs the §6 future-work comparison on a small
+// chain: every touched view must be semantically equal between the
+// incremental and full compilers.
+func TestCompareViewsStudy(t *testing.T) {
+	rows, err := CompareViews(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no views compared")
+	}
+	for _, r := range rows {
+		if !r.Equivalent {
+			t.Errorf("%s/%s: incremental and full views disagree", r.Op, r.EntityType)
+		}
+	}
+}

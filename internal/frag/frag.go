@@ -1,0 +1,357 @@
+// Package frag implements the declarative mapping language of Entity
+// Framework as formalized in §2.1 of Bernstein et al. (SIGMOD 2013): a
+// mapping is a set Σ of mapping fragments, each an equation
+//
+//	π_α(σ_ψ(E)) = π_β(σ_χ(R))
+//
+// between a project-select query over a client entity set (or association
+// set) and a project-select query over a store table. A fragment set
+// specifies the mapping M ⊆ C × S of client/store state pairs that satisfy
+// every equation.
+package frag
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+// Fragment is one mapping equation. Exactly one of Set and Assoc is
+// non-empty: entity fragments range over an entity set, association
+// fragments over an association set (whose "attributes" are the qualified
+// end-key columns of cqt.AssocEndCols).
+type Fragment struct {
+	// ID is a stable identifier used in diagnostics and provenance flags.
+	ID string
+	// Set is the client entity set for entity fragments.
+	Set string
+	// Assoc is the association set for association fragments.
+	Assoc string
+	// ClientCond is ψ, the client-side selection condition.
+	ClientCond cond.Expr
+	// Attrs is α, the projected client attributes. It must include the key.
+	Attrs []string
+	// Table is R, the store table.
+	Table string
+	// StoreCond is χ, the store-side selection condition.
+	StoreCond cond.Expr
+	// ColOf is the 1-1 renaming f from client attributes to table columns.
+	// Every name in Attrs must be mapped.
+	ColOf map[string]string
+}
+
+// Clone returns a deep copy of the fragment.
+func (f *Fragment) Clone() *Fragment {
+	cp := *f
+	cp.Attrs = append([]string(nil), f.Attrs...)
+	cp.ColOf = make(map[string]string, len(f.ColOf))
+	for k, v := range f.ColOf {
+		cp.ColOf[k] = v
+	}
+	return &cp
+}
+
+// Cols returns f(Attrs): the store columns the fragment writes, in Attrs
+// order.
+func (f *Fragment) Cols() []string {
+	out := make([]string, len(f.Attrs))
+	for i, a := range f.Attrs {
+		out[i] = f.ColOf[a]
+	}
+	return out
+}
+
+// AttrFor returns the client attribute mapped to the given column, if any.
+func (f *Fragment) AttrFor(col string) (string, bool) {
+	for a, c := range f.ColOf {
+		if c == col {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// MapsCol reports whether the fragment writes the given store column.
+func (f *Fragment) MapsCol(col string) bool {
+	_, ok := f.AttrFor(col)
+	return ok
+}
+
+// ClientQuery returns the fragment's left side as a query tree over the
+// client state.
+func (f *Fragment) ClientQuery() cqt.Expr {
+	var scan cqt.Expr
+	if f.Assoc != "" {
+		scan = cqt.ScanAssoc{Assoc: f.Assoc}
+	} else {
+		scan = cqt.ScanSet{Set: f.Set}
+	}
+	cols := make([]cqt.ProjCol, len(f.Attrs))
+	for i, a := range f.Attrs {
+		cols[i] = cqt.Col(a)
+	}
+	return cqt.Project{In: cqt.Select{In: scan, Cond: f.ClientCond}, Cols: cols}
+}
+
+// StoreQuery returns the fragment's right side as a query tree over the
+// store state, with columns renamed back to client attribute names so the
+// two sides are directly comparable.
+func (f *Fragment) StoreQuery() cqt.Expr {
+	cols := make([]cqt.ProjCol, len(f.Attrs))
+	for i, a := range f.Attrs {
+		cols[i] = cqt.ColAs(f.ColOf[a], a)
+	}
+	return cqt.Project{In: cqt.Select{In: cqt.ScanTable{Table: f.Table}, Cond: f.StoreCond}, Cols: cols}
+}
+
+// String renders the fragment in the paper's π/σ notation.
+func (f *Fragment) String() string {
+	src := f.Set
+	if f.Assoc != "" {
+		src = f.Assoc
+	}
+	return fmt.Sprintf("π_{%v}(σ_{%s}(%s)) = π_{%v}(σ_{%s}(%s))",
+		f.Attrs, f.ClientCond, src, f.Cols(), f.StoreCond, f.Table)
+}
+
+// Mapping bundles the three developer-provided definitions: client schema,
+// store schema, and fragment set.
+type Mapping struct {
+	Client *edm.Schema
+	Store  *rel.Schema
+	Frags  []*Fragment
+}
+
+// Clone returns a deep copy of the mapping.
+func (m *Mapping) Clone() *Mapping {
+	out := &Mapping{Client: m.Client.Clone(), Store: m.Store.Clone()}
+	out.Frags = make([]*Fragment, len(m.Frags))
+	for i, f := range m.Frags {
+		out.Frags[i] = f.Clone()
+	}
+	return out
+}
+
+// Catalog returns a query-tree catalog over the mapping's schemas.
+func (m *Mapping) Catalog() *cqt.Catalog { return &cqt.Catalog{Client: m.Client, Store: m.Store} }
+
+// FragsOnTable returns the fragments whose right side is the given table.
+func (m *Mapping) FragsOnTable(table string) []*Fragment {
+	var out []*Fragment
+	for _, f := range m.Frags {
+		if f.Table == table {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FragsOnSet returns the entity fragments over the given entity set.
+func (m *Mapping) FragsOnSet(set string) []*Fragment {
+	var out []*Fragment
+	for _, f := range m.Frags {
+		if f.Set == set {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FragForAssoc returns the association fragment for the given association,
+// or nil. The paper assumes each association set appears in exactly one
+// fragment.
+func (m *Mapping) FragForAssoc(assoc string) *Fragment {
+	for _, f := range m.Frags {
+		if f.Assoc == assoc {
+			return f
+		}
+	}
+	return nil
+}
+
+// MappedTables returns the names of tables mentioned by any fragment,
+// sorted.
+func (m *Mapping) MappedTables() []string {
+	set := map[string]bool{}
+	for _, f := range m.Frags {
+		set[f.Table] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckWellFormed verifies the structural side conditions of the fragment
+// language: referenced sets/tables exist, α includes the client key, β
+// includes the table key, the renaming is total and injective, and domains
+// are compatible (dom(A) ⊆ dom(f(A)) in the paper's notation).
+func (m *Mapping) CheckWellFormed() error {
+	for _, f := range m.Frags {
+		if err := m.checkFragment(f); err != nil {
+			return fmt.Errorf("fragment %s: %w", f.ID, err)
+		}
+	}
+	return nil
+}
+
+// CheckFragment verifies the structural side conditions of a single
+// fragment. The incremental compiler uses it to validate only the
+// fragments an SMO added or rewrote instead of the whole set.
+func (m *Mapping) CheckFragment(f *Fragment) error {
+	if err := m.checkFragment(f); err != nil {
+		return fmt.Errorf("fragment %s: %w", f.ID, err)
+	}
+	return nil
+}
+
+func (m *Mapping) checkFragment(f *Fragment) error {
+	if (f.Set == "") == (f.Assoc == "") {
+		return fmt.Errorf("exactly one of Set and Assoc must be specified")
+	}
+	tab := m.Store.Table(f.Table)
+	if tab == nil {
+		return fmt.Errorf("unknown table %q", f.Table)
+	}
+
+	var keyAttrs []string
+	attrDomain := map[string]cond.Domain{}
+	if f.Set != "" {
+		set := m.Client.Set(f.Set)
+		if set == nil {
+			return fmt.Errorf("unknown entity set %q", f.Set)
+		}
+		keyAttrs = m.Client.KeyOf(set.Type)
+		for _, ty := range append([]string{set.Type}, m.Client.Descendants(set.Type)...) {
+			for _, a := range m.Client.AllAttrs(ty) {
+				attrDomain[a.Name] = a.Domain()
+			}
+		}
+	} else {
+		a := m.Client.Association(f.Assoc)
+		if a == nil {
+			return fmt.Errorf("unknown association %q", f.Assoc)
+		}
+		e1, e2 := cqt.AssocEndCols(m.Client, a)
+		keyAttrs = append(append([]string(nil), e1...), e2...)
+		for i, col := range e1 {
+			attr, _ := m.Client.Attr(a.End1.Type, m.Client.KeyOf(a.End1.Type)[i])
+			attrDomain[col] = attr.Domain()
+		}
+		for i, col := range e2 {
+			attr, _ := m.Client.Attr(a.End2.Type, m.Client.KeyOf(a.End2.Type)[i])
+			attrDomain[col] = attr.Domain()
+		}
+	}
+
+	seen := map[string]bool{}
+	usedCols := map[string]bool{}
+	for _, a := range f.Attrs {
+		if seen[a] {
+			return fmt.Errorf("attribute %q projected twice", a)
+		}
+		seen[a] = true
+		if _, ok := attrDomain[a]; !ok {
+			return fmt.Errorf("unknown client attribute %q", a)
+		}
+		col, ok := f.ColOf[a]
+		if !ok {
+			return fmt.Errorf("attribute %q has no column mapping", a)
+		}
+		c, ok := tab.Col(col)
+		if !ok {
+			return fmt.Errorf("attribute %q maps to unknown column %q of %q", a, col, f.Table)
+		}
+		if usedCols[col] {
+			return fmt.Errorf("column %q mapped twice", col)
+		}
+		usedCols[col] = true
+		if attrDomain[a].Kind != c.Type {
+			return fmt.Errorf("attribute %q kind %v incompatible with column %q kind %v", a, attrDomain[a].Kind, col, c.Type)
+		}
+	}
+	if f.Assoc != "" {
+		// Association fragments project exactly the end keys.
+		for _, k := range keyAttrs {
+			if !seen[k] {
+				return fmt.Errorf("association fragment must project end key %q", k)
+			}
+		}
+	} else {
+		for _, k := range keyAttrs {
+			if !seen[k] {
+				return fmt.Errorf("projection must include key attribute %q", k)
+			}
+		}
+		// β must include the table key.
+		for _, k := range tab.Key {
+			if !usedCols[k] {
+				return fmt.Errorf("projection must cover table key column %q", k)
+			}
+		}
+	}
+	return nil
+}
+
+// SatisfiedBy reports whether the given pair of states is in the mapping's
+// relation M: every fragment equation holds.
+func (m *Mapping) SatisfiedBy(client *state.ClientState, store *state.StoreState) (bool, error) {
+	env := &cqt.Env{Catalog: m.Catalog(), Client: client, Store: store}
+	for _, f := range m.Frags {
+		l, err := cqt.Eval(env, f.ClientQuery())
+		if err != nil {
+			return false, fmt.Errorf("fragment %s left side: %w", f.ID, err)
+		}
+		r, err := cqt.Eval(env, f.StoreQuery())
+		if err != nil {
+			return false, fmt.Errorf("fragment %s right side: %w", f.ID, err)
+		}
+		if !state.EqualRows(l.Rows, r.Rows) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Views is the compiled form of a mapping: one query view per entity type,
+// one query view per association set, and one update view per mapped table
+// (§2.2 of the paper).
+type Views struct {
+	// Query maps entity type names to their (Q | τ) query views.
+	Query map[string]*cqt.View
+	// Assoc maps association names to their query views (trivial τ).
+	Assoc map[string]*cqt.View
+	// Update maps table names to their update views (trivial τ).
+	Update map[string]*cqt.View
+}
+
+// NewViews returns an empty view set.
+func NewViews() *Views {
+	return &Views{
+		Query:  map[string]*cqt.View{},
+		Assoc:  map[string]*cqt.View{},
+		Update: map[string]*cqt.View{},
+	}
+}
+
+// Clone returns a deep copy of the view set.
+func (v *Views) Clone() *Views {
+	out := NewViews()
+	for k, view := range v.Query {
+		out.Query[k] = view.Clone()
+	}
+	for k, view := range v.Assoc {
+		out.Assoc[k] = view.Clone()
+	}
+	for k, view := range v.Update {
+		out.Update[k] = view.Clone()
+	}
+	return out
+}

@@ -1,0 +1,484 @@
+// Package modef reproduces the role MoDEF (Terwilliger et al., ER 2010)
+// plays in the paper's architecture (Figure 7): given an edit to the client
+// model, it examines the existing mapping fragments in the neighbourhood of
+// the change to determine the mapping style in use — Table-per-Type,
+// Table-per-Concrete-type or Table-per-Hierarchy — and synthesises the SMO
+// (including the store-side changes) that maps the edit in the same style.
+// It also converts a diff between two client schemas into an SMO sequence
+// (drops first, then adds), the workflow sketched in §1.2.
+package modef
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+)
+
+// Style identifies an inheritance-mapping strategy.
+type Style int
+
+// Mapping styles.
+const (
+	TPT Style = iota
+	TPC
+	TPH
+	Unmapped
+)
+
+// String names the style as in the paper.
+func (s Style) String() string {
+	switch s {
+	case TPT:
+		return "TPT"
+	case TPC:
+		return "TPC"
+	case TPH:
+		return "TPH"
+	default:
+		return "unmapped"
+	}
+}
+
+// InferStyle determines the mapping style of an entity type from its
+// fragments: a store-side condition means a discriminator (TPH); a
+// fragment covering all attributes of the type means TPC; a fragment
+// covering only the declared attributes, relying on ancestors for the
+// rest, means TPT.
+func InferStyle(m *frag.Mapping, typeName string) Style {
+	set := m.Client.SetFor(typeName)
+	if set == nil {
+		return Unmapped
+	}
+	th := m.Client.TheoryFor(set.Name)
+	var own *frag.Fragment
+	for _, f := range m.FragsOnSet(set.Name) {
+		if cond.Implies(th, cond.TypeIs{Type: typeName, Only: true}, f.ClientCond) &&
+			cond.Implies(th, f.ClientCond, cond.TypeIs{Type: typeName}) {
+			own = f
+			break
+		}
+	}
+	if own == nil {
+		return Unmapped
+	}
+	if _, isTrue := own.StoreCond.(cond.True); !isTrue {
+		return TPH
+	}
+	all := m.Client.AttrNames(typeName)
+	mapped := map[string]bool{}
+	for _, a := range own.Attrs {
+		mapped[a] = true
+	}
+	complete := true
+	for _, a := range all {
+		if !mapped[a] {
+			complete = false
+			break
+		}
+	}
+	if complete && m.Client.Parent(typeName) != "" {
+		return TPC
+	}
+	return TPT
+}
+
+// NeighbourhoodStyle infers the style to use for a new subtype of parent:
+// the style of the nearest mapped ancestor with a non-root mapping, or the
+// style of the parent's own fragment. For a hierarchy root mapped to a
+// single table with no derived types yet, TPT is assumed (the EF default).
+func NeighbourhoodStyle(m *frag.Mapping, parent string) Style {
+	for _, ty := range append([]string{parent}, m.Client.Ancestors(parent)...) {
+		s := InferStyle(m, ty)
+		switch s {
+		case TPH:
+			return TPH
+		case TPC:
+			if ty != m.Client.RootOf(ty) {
+				return TPC
+			}
+		case TPT:
+			if ty != m.Client.RootOf(ty) {
+				return TPT
+			}
+		}
+	}
+	// Root-only hierarchies: TPH if the root fragment carries a
+	// discriminator, else TPT.
+	if InferStyle(m, m.Client.RootOf(parent)) == TPH {
+		return TPH
+	}
+	return TPT
+}
+
+// PlanAddEntity synthesises the AddEntity SMO for a new leaf type in the
+// inferred neighbourhood style, creating the store-side table or columns
+// the directive needs. It returns the SMO; the store schema inside m is
+// extended as a side effect (the "directive on how the change maps to
+// tables" of §1.2).
+func PlanAddEntity(m *frag.Mapping, name, parent string, attrs []edm.Attribute) (core.SMO, error) {
+	if m.Client.Type(parent) == nil {
+		return nil, fmt.Errorf("modef: unknown parent type %q", parent)
+	}
+	return PlanAddEntityWithStyle(m, name, parent, attrs, NeighbourhoodStyle(m, parent))
+}
+
+// PlanAddEntityWithStyle synthesises the AddEntity SMO in an explicitly
+// chosen style, creating the store-side table or columns it needs. The
+// experiment harness uses it to run the full Figure 9/10 SMO suite.
+func PlanAddEntityWithStyle(m *frag.Mapping, name, parent string, attrs []edm.Attribute, style Style) (core.SMO, error) {
+	if m.Client.Type(parent) == nil {
+		return nil, fmt.Errorf("modef: unknown parent type %q", parent)
+	}
+	switch style {
+	case TPH:
+		return planAddEntityTPH(m, name, parent, attrs)
+	case TPC:
+		return planAddEntityTPC(m, name, parent, attrs)
+	default:
+		return planAddEntityTPT(m, name, parent, attrs)
+	}
+}
+
+func kindOf(a edm.Attribute) rel.Column {
+	return rel.Column{Name: a.Name, Type: a.Type, Nullable: true, Enum: a.Enum}
+}
+
+func planAddEntityTPT(m *frag.Mapping, name, parent string, attrs []edm.Attribute) (core.SMO, error) {
+	key := m.Client.KeyOf(parent)
+	table := "T_" + name
+	cols := make([]rel.Column, 0, len(key)+len(attrs))
+	colOf := map[string]string{}
+	for _, k := range key {
+		ka, _ := m.Client.Attr(parent, k)
+		cols = append(cols, rel.Column{Name: k, Type: ka.Type})
+		colOf[k] = k
+	}
+	for _, a := range attrs {
+		cols = append(cols, kindOf(a))
+		colOf[a.Name] = a.Name
+	}
+	t := rel.Table{Name: table, Cols: cols, Key: key}
+	// TPT tables carry a key foreign key to the parent's table.
+	if pt := tableOfType(m, parent); pt != "" {
+		t.FKs = []rel.ForeignKey{{Name: "fk_" + table, Cols: key, RefTable: pt, RefCols: m.Store.Table(pt).Key}}
+	}
+	if err := m.Store.AddTable(t); err != nil {
+		return nil, err
+	}
+	return core.AddEntityTPT(name, parent, attrs, table, colOf), nil
+}
+
+func planAddEntityTPC(m *frag.Mapping, name, parent string, attrs []edm.Attribute) (core.SMO, error) {
+	table := "T_" + name
+	all := append([]edm.Attribute{}, inheritedAttrs(m, parent)...)
+	all = append(all, attrs...)
+	cols := make([]rel.Column, 0, len(all))
+	colOf := map[string]string{}
+	key := m.Client.KeyOf(parent)
+	for _, a := range all {
+		c := kindOf(a)
+		if isIn(key, a.Name) {
+			c.Nullable = false
+		}
+		cols = append(cols, c)
+		colOf[a.Name] = a.Name
+	}
+	if err := m.Store.AddTable(rel.Table{Name: table, Cols: cols, Key: key}); err != nil {
+		return nil, err
+	}
+	return core.AddEntityTPC(name, parent, attrs, table, colOf), nil
+}
+
+func planAddEntityTPH(m *frag.Mapping, name, parent string, attrs []edm.Attribute) (core.SMO, error) {
+	table := tableOfType(m, parent)
+	if table == "" {
+		return nil, fmt.Errorf("modef: no TPH table found for hierarchy of %q", parent)
+	}
+	tab := m.Store.Table(table)
+	disc, val, err := discriminatorFor(m, table, name)
+	if err != nil {
+		return nil, err
+	}
+	colOf := map[string]string{}
+	for _, a := range inheritedAttrs(m, parent) {
+		colOf[a.Name] = a.Name
+	}
+	for _, a := range attrs {
+		// New attributes need new nullable columns in the shared table.
+		if !tab.HasCol(a.Name) {
+			tab.Cols = append(tab.Cols, kindOf(a))
+		}
+		colOf[a.Name] = a.Name
+	}
+	// Extend the discriminator enumeration with the new value.
+	for i := range tab.Cols {
+		if tab.Cols[i].Name == disc {
+			tab.Cols[i].Enum = append(tab.Cols[i].Enum, val)
+		}
+	}
+	return core.AddEntityTPH(name, parent, attrs, table, disc, val, colOf), nil
+}
+
+// PlanAddAssociation synthesises an AddAssociationFK SMO mapped to a new
+// FK column in E1's table (the style the paper's customer model uses), or
+// an AddAssociationJT when the association is many-to-many.
+func PlanAddAssociation(m *frag.Mapping, name, e1, e2 string, m1, m2 edm.Mult) (core.SMO, error) {
+	if m2 == edm.Many && m1 == edm.Many {
+		return planAssociationJT(m, name, e1, e2, m1, m2)
+	}
+	if m2 == edm.Many {
+		// Flip so the ≤1 end is E2.
+		e1, e2 = e2, e1
+		m1, m2 = m2, m1
+	}
+	t1 := tableOfType(m, e1)
+	if t1 == "" {
+		return nil, fmt.Errorf("modef: endpoint %q has no table", e1)
+	}
+	tab := m.Store.Table(t1)
+	key2 := m.Client.KeyOf(e2)
+	t2 := tableOfType(m, e2)
+	fkCols := make([]string, len(key2))
+	for i, k := range key2 {
+		fkCols[i] = "FK_" + name + "_" + k
+		ka, _ := m.Client.Attr(e2, k)
+		tab.Cols = append(tab.Cols, rel.Column{Name: fkCols[i], Type: ka.Type, Nullable: true})
+	}
+	if t2 != "" {
+		if err := m.Store.AddForeignKey(t1, rel.ForeignKey{
+			Name: "fk_" + name, Cols: fkCols, RefTable: t2, RefCols: m.Store.Table(t2).Key,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &core.AddAssociationFK{
+		Name: name,
+		E1:   e1, Mult1: m1,
+		E2: e2, Mult2: m2,
+		Table:    t1,
+		KeyCols1: tab.Key,
+		KeyCols2: fkCols,
+	}, nil
+}
+
+func planAssociationJT(m *frag.Mapping, name, e1, e2 string, m1, m2 edm.Mult) (core.SMO, error) {
+	table := "JT_" + name
+	key1 := m.Client.KeyOf(e1)
+	key2 := m.Client.KeyOf(e2)
+	var cols []rel.Column
+	var kc1, kc2, key []string
+	for _, k := range key1 {
+		ka, _ := m.Client.Attr(e1, k)
+		n := "L_" + k
+		cols = append(cols, rel.Column{Name: n, Type: ka.Type})
+		kc1 = append(kc1, n)
+		key = append(key, n)
+	}
+	for _, k := range key2 {
+		ka, _ := m.Client.Attr(e2, k)
+		n := "R_" + k
+		cols = append(cols, rel.Column{Name: n, Type: ka.Type})
+		kc2 = append(kc2, n)
+		key = append(key, n)
+	}
+	t := rel.Table{Name: table, Cols: cols, Key: key}
+	if t1 := tableOfType(m, e1); t1 != "" {
+		t.FKs = append(t.FKs, rel.ForeignKey{Name: "fk_" + name + "_1", Cols: kc1, RefTable: t1, RefCols: m.Store.Table(t1).Key})
+	}
+	if t2 := tableOfType(m, e2); t2 != "" {
+		t.FKs = append(t.FKs, rel.ForeignKey{Name: "fk_" + name + "_2", Cols: kc2, RefTable: t2, RefCols: m.Store.Table(t2).Key})
+	}
+	if err := m.Store.AddTable(t); err != nil {
+		return nil, err
+	}
+	return &core.AddAssociationJT{
+		Name: name,
+		E1:   e1, Mult1: m1,
+		E2: e2, Mult2: m2,
+		Table:    table,
+		KeyCols1: kc1, KeyCols2: kc2,
+	}, nil
+}
+
+// TableOfType returns the table of the fragment that stores the type's own
+// attributes, or "" when the type is unmapped.
+func TableOfType(m *frag.Mapping, ty string) string { return tableOfType(m, ty) }
+
+// tableOfType returns the table of the fragment that stores the type's own
+// attributes, or "". Among the fragments covering the type, one that maps
+// a declared (non-inherited) attribute wins; ancestors' fragments merely
+// store the inherited part.
+func tableOfType(m *frag.Mapping, ty string) string {
+	set := m.Client.SetFor(ty)
+	if set == nil {
+		return ""
+	}
+	declared := map[string]bool{}
+	if t := m.Client.Type(ty); t != nil {
+		for _, a := range t.Attrs {
+			declared[a.Name] = true
+		}
+	}
+	th := m.Client.TheoryFor(set.Name)
+	fallback := ""
+	for _, f := range m.FragsOnSet(set.Name) {
+		if !cond.Implies(th, cond.TypeIs{Type: ty, Only: true}, f.ClientCond) {
+			continue
+		}
+		if fallback == "" {
+			fallback = f.Table
+		}
+		for _, a := range f.Attrs {
+			if declared[a] {
+				return f.Table
+			}
+		}
+	}
+	return fallback
+}
+
+// discriminatorFor finds the TPH discriminator column of a shared table by
+// inspecting the store conditions of its fragments, and returns a fresh
+// value for the new type.
+func discriminatorFor(m *frag.Mapping, table, newType string) (string, cond.Value, error) {
+	for _, f := range m.FragsOnTable(table) {
+		for _, a := range cond.Atoms(f.StoreCond) {
+			if a.Kind == cond.AtomCmp && a.Op == cond.OpEq {
+				return a.Attr, cond.String(newType), nil
+			}
+		}
+	}
+	return "", cond.Value{}, fmt.Errorf("modef: table %q has no discriminator", table)
+}
+
+func inheritedAttrs(m *frag.Mapping, parent string) []edm.Attribute {
+	return m.Client.AllAttrs(parent)
+}
+
+func isIn(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff computes an SMO sequence turning the mapping's current client schema
+// into the target schema: drop operations for removed leaf types and
+// associations first, then adds for new associations and new leaf types in
+// dependency order. It covers the evolution steps the incremental compiler
+// supports; unsupported edits (moved attributes, retyped hierarchies)
+// return an error.
+func Diff(m *frag.Mapping, target *edm.Schema) ([]core.SMO, error) {
+	var ops []core.SMO
+
+	// Drops: associations absent from the target, then leaf types absent
+	// from the target (leaves first, repeatedly, to unwind branches).
+	for _, a := range m.Client.Associations() {
+		if target.Association(a.Name) == nil {
+			ops = append(ops, &core.DropAssociation{Name: a.Name})
+		}
+	}
+	current := map[string]bool{}
+	for _, t := range m.Client.Types() {
+		current[t.Name] = true
+	}
+	removed := map[string]bool{}
+	for {
+		progress := false
+		for _, t := range m.Client.Types() {
+			if removed[t.Name] || target.Type(t.Name) != nil {
+				continue
+			}
+			leaf := true
+			for _, d := range m.Client.Descendants(t.Name) {
+				if !removed[d] {
+					leaf = false
+				}
+			}
+			if leaf {
+				ops = append(ops, &core.DropEntity{Name: t.Name})
+				removed[t.Name] = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, t := range m.Client.Types() {
+		if target.Type(t.Name) == nil && !removed[t.Name] {
+			return nil, fmt.Errorf("modef: cannot drop non-leaf type %q", t.Name)
+		}
+	}
+
+	// Adds: new types top-down so parents exist first.
+	added := map[string]bool{}
+	for {
+		progress := false
+		for _, t := range target.Types() {
+			if current[t.Name] || added[t.Name] {
+				continue
+			}
+			if t.Base == "" {
+				return nil, fmt.Errorf("modef: cannot add new hierarchy root %q incrementally", t.Name)
+			}
+			if !current[t.Base] && !added[t.Base] {
+				continue
+			}
+			ops = append(ops, &plannedAdd{name: t.Name, parent: t.Base, attrs: t.Attrs})
+			added[t.Name] = true
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, t := range target.Types() {
+		if !current[t.Name] && !added[t.Name] {
+			return nil, fmt.Errorf("modef: cannot order addition of type %q", t.Name)
+		}
+	}
+
+	// New associations last, once both endpoints exist.
+	for _, a := range target.Associations() {
+		if m.Client.Association(a.Name) == nil {
+			ops = append(ops, &plannedAssoc{a: *a})
+		}
+	}
+	return ops, nil
+}
+
+// plannedAdd defers style inference to application time, when earlier SMOs
+// in the sequence have already evolved the mapping.
+type plannedAdd struct {
+	name, parent string
+	attrs        []edm.Attribute
+}
+
+// Describe implements core.SMO.
+func (p *plannedAdd) Describe() string {
+	return fmt.Sprintf("PlanAddEntity(%s < %s)", p.name, p.parent)
+}
+
+// Plan implements core.DeferredSMO.
+func (p *plannedAdd) Plan(m *frag.Mapping) (core.SMO, error) {
+	return PlanAddEntity(m, p.name, p.parent, p.attrs)
+}
+
+type plannedAssoc struct {
+	a edm.Association
+}
+
+// Describe implements core.SMO.
+func (p *plannedAssoc) Describe() string { return fmt.Sprintf("PlanAddAssociation(%s)", p.a.Name) }
+
+// Plan implements core.DeferredSMO.
+func (p *plannedAssoc) Plan(m *frag.Mapping) (core.SMO, error) {
+	return PlanAddAssociation(m, p.a.Name, p.a.End1.Type, p.a.End2.Type, p.a.End1.Mult, p.a.End2.Mult)
+}

@@ -1,0 +1,262 @@
+package modef
+
+import (
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func compiledFull(t *testing.T) (*frag.Mapping, *frag.Views) {
+	t.Helper()
+	m := workload.PaperFull()
+	v, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, v
+}
+
+func TestInferStyle(t *testing.T) {
+	m, _ := compiledFull(t)
+	if s := InferStyle(m, "Employee"); s != TPT {
+		t.Errorf("Employee style = %v, want TPT", s)
+	}
+	if s := InferStyle(m, "Customer"); s != TPC {
+		t.Errorf("Customer style = %v, want TPC", s)
+	}
+	hub := workload.HubRim(workload.HubRimOptions{N: 2, M: 1, TPH: true})
+	if s := InferStyle(hub, "Hub1"); s != TPH {
+		t.Errorf("Hub1 style = %v, want TPH", s)
+	}
+}
+
+func TestNeighbourhoodStyle(t *testing.T) {
+	m, _ := compiledFull(t)
+	if s := NeighbourhoodStyle(m, "Employee"); s != TPT {
+		t.Errorf("below Employee: %v, want TPT", s)
+	}
+	if s := NeighbourhoodStyle(m, "Customer"); s != TPC {
+		t.Errorf("below Customer: %v, want TPC", s)
+	}
+	hub := workload.HubRim(workload.HubRimOptions{N: 2, M: 1, TPH: true})
+	if s := NeighbourhoodStyle(hub, "Hub1"); s != TPH {
+		t.Errorf("below Hub1: %v, want TPH", s)
+	}
+}
+
+// TestPlanAddEntityFollowsStyle plans additions under differently-mapped
+// parents and verifies the synthesized SMOs compile and roundtrip.
+func TestPlanAddEntityFollowsStyle(t *testing.T) {
+	m, v := compiledFull(t)
+	ic := core.NewIncremental()
+
+	op, err := PlanAddEntity(m, "Manager", "Employee",
+		[]edm.Attribute{{Name: "Grade", Type: cond.KindInt, Nullable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*core.AddEntity); !ok {
+		t.Fatalf("planned SMO is %T", op)
+	}
+	m, v, err = ic.Apply(m, v, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := InferStyle(m, "Manager"); got != TPT {
+		t.Errorf("Manager mapped %v, want TPT", got)
+	}
+	if err := orm.Roundtrip(m, v, workload.PaperClientState()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanAddEntityTPH(t *testing.T) {
+	m := workload.HubRim(workload.HubRimOptions{N: 2, M: 1, TPH: true})
+	v, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := PlanAddEntity(m, "Hub2", "Hub1",
+		[]edm.Attribute{{Name: "H2", Type: cond.KindString, Nullable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err = core.NewIncremental().Apply(m, v, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := InferStyle(m, "Hub2"); got != TPH {
+		t.Errorf("Hub2 mapped %v, want TPH", got)
+	}
+}
+
+func TestPlanAddAssociation(t *testing.T) {
+	m, v := compiledFull(t)
+	ic := core.NewIncremental()
+	op, err := PlanAddAssociation(m, "Mentors", "Employee", "Employee", edm.Many, edm.ZeroOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ic.Apply(m, v, op); err != nil {
+		t.Fatal(err)
+	}
+
+	opJT, err := PlanAddAssociation(m, "Handles", "Employee", "Customer", edm.Many, edm.Many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opJT.(*core.AddAssociationJT); !ok {
+		t.Fatalf("m:n association planned as %T", opJT)
+	}
+	if _, _, err := ic.Apply(m, v, opJT); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffGeneratesSMOSequence edits a copy of the client schema and
+// checks the diff-driven evolution reaches it.
+func TestDiffGeneratesSMOSequence(t *testing.T) {
+	m, v := compiledFull(t)
+	target := m.Client.Clone()
+	if err := target.AddType(edm.EntityType{
+		Name: "Manager", Base: "Employee",
+		Attrs: []edm.Attribute{{Name: "Grade", Type: cond.KindInt, Nullable: true}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.AddAssociation(edm.Association{
+		Name: "ReportsTo",
+		End1: edm.End{Type: "Employee", Mult: edm.Many},
+		End2: edm.End{Type: "Manager", Mult: edm.ZeroOne},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, err := Diff(m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(ops))
+	}
+	ic := core.NewIncremental()
+	m2, v2, err := ic.ApplyAll(m, v, ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Client.Type("Manager") == nil || m2.Client.Association("ReportsTo") == nil {
+		t.Fatal("target schema not reached")
+	}
+	if err := orm.Roundtrip(m2, v2, workload.PaperClientState()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffTPCUnderAssociationEndpointRejected mirrors §4.2's observation:
+// most validation failures during testing were AddEntityTPC cases like
+// Figure 6. A TPC subtype below an association endpoint (Customer) removes
+// its keys from the endpoint's table, so the planned SMO must be aborted.
+func TestDiffTPCUnderAssociationEndpointRejected(t *testing.T) {
+	m, v := compiledFull(t)
+	target := m.Client.Clone()
+	if err := target.AddType(edm.EntityType{
+		Name: "Vip", Base: "Customer",
+		Attrs: []edm.Attribute{{Name: "Tier", Type: cond.KindInt, Nullable: true}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Diff(m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.NewIncremental().ApplyAll(m, v, ops...); err == nil {
+		t.Fatal("TPC under an association endpoint must fail validation")
+	}
+}
+
+// TestDiffDropsFirst removes a type and its association from the target.
+func TestDiffDropsFirst(t *testing.T) {
+	m, v := compiledFull(t)
+	target := edm.NewSchema()
+	if err := target.AddType(edm.EntityType{
+		Name: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.AddType(edm.EntityType{
+		Name: "Employee", Base: "Person",
+		Attrs: []edm.Attribute{{Name: "Department", Type: cond.KindString, Nullable: true}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.AddSet(edm.EntitySet{Name: "Persons", Type: "Person"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, err := Diff(m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supports must be dropped before Customer.
+	if len(ops) != 2 {
+		t.Fatalf("ops = %v", ops)
+	}
+	if _, ok := ops[0].(*core.DropAssociation); !ok {
+		t.Fatalf("first op = %T, want DropAssociation", ops[0])
+	}
+	ic := core.NewIncremental()
+	m2, _, err := ic.ApplyAll(m, v, ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Client.Type("Customer") != nil {
+		t.Fatal("Customer survived")
+	}
+}
+
+func TestTableOfType(t *testing.T) {
+	m, _ := compiledFull(t)
+	if got := TableOfType(m, "Employee"); got != "Emp" {
+		t.Errorf("TableOfType(Employee) = %q", got)
+	}
+	if got := TableOfType(m, "Customer"); got != "Client" {
+		t.Errorf("TableOfType(Customer) = %q", got)
+	}
+	if got := TableOfType(m, "Ghost"); got != "" {
+		t.Errorf("TableOfType(Ghost) = %q", got)
+	}
+}
+
+func TestDiffRejectsNewRoot(t *testing.T) {
+	m, _ := compiledFull(t)
+	target := m.Client.Clone()
+	if err := target.AddType(edm.EntityType{
+		Name: "Island", Attrs: []edm.Attribute{{Name: "Id", Type: cond.KindInt}}, Key: []string{"Id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diff(m, target); err == nil {
+		t.Fatal("new hierarchy root accepted by Diff")
+	}
+}
+
+func TestInferStyleUnmapped(t *testing.T) {
+	m, _ := compiledFull(t)
+	if s := InferStyle(m, "Ghost"); s != Unmapped {
+		t.Errorf("style of unknown type = %v", s)
+	}
+	if Unmapped.String() != "unmapped" || TPT.String() != "TPT" {
+		t.Error("style names wrong")
+	}
+}

@@ -1,0 +1,146 @@
+package modelio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    func() ([]byte, error)
+	}{
+		{"paperFull", encode(workload.PaperFull)},
+		{"partitioned", encode(workload.PartitionedAgeModel)},
+		{"gender", encode(workload.GenderConstantModel)},
+		{"hubrim", encode(func() *mapping { return workload.HubRim(workload.HubRimOptions{N: 2, M: 2, TPH: true}) })},
+	} {
+		data, err := tc.m()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		m2, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		data2 := &bytes.Buffer{}
+		if err := Encode(data2, m2); err != nil {
+			t.Fatalf("%s: re-encode: %v", tc.name, err)
+		}
+		if !bytes.Equal(data, data2.Bytes()) {
+			t.Errorf("%s: encode/decode/encode drift", tc.name)
+		}
+	}
+}
+
+// TestDecodedModelCompiles compiles a decoded model and roundtrips data
+// through it, proving serialization preserves semantics.
+func TestDecodedModelCompiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, workload.PaperFull()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orm.Roundtrip(m, views, workload.PaperClientState()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"{",
+		`{"unknown": 1}`,
+		`{"client":{"types":[{"name":"A","attrs":[{"name":"x","type":"nope"}],"key":["x"]}],"sets":[]},"store":{"tables":[]},"fragments":[]}`,
+		`{"client":{"types":[],"sets":[]},"store":{"tables":[]},"fragments":[{"id":"f","set":"S","clientCond":"age >","attrs":[],"table":"T","storeCond":"TRUE","colOf":{}}]}`,
+	} {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("Decode(%q) accepted", in)
+		}
+	}
+}
+
+type mapping = frag.Mapping
+
+func encode(f func() *mapping) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, f()); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+func TestDecodeRejectsBadMultiplicity(t *testing.T) {
+	doc := `{
+	  "client": {
+	    "types": [{"name":"A","attrs":[{"name":"Id","type":"int"}],"key":["Id"]}],
+	    "sets": [{"name":"As","type":"A"}],
+	    "associations": [{"name":"X","end1":{"type":"A","mult":"??"},"end2":{"type":"A","mult":"1"}}]
+	  },
+	  "store": {"tables": [{"name":"T","cols":[{"name":"Id","type":"int"}],"key":["Id"]}]},
+	  "fragments": []
+	}`
+	if _, err := Decode(strings.NewReader(doc)); err == nil {
+		t.Fatal("bad multiplicity accepted")
+	}
+}
+
+func TestDecodeRejectsBadEnumValue(t *testing.T) {
+	doc := `{
+	  "client": {
+	    "types": [{"name":"A","attrs":[{"name":"Id","type":"int"},{"name":"D","type":"int","enum":["notanint"]}],"key":["Id"]}],
+	    "sets": [{"name":"As","type":"A"}]
+	  },
+	  "store": {"tables": [{"name":"T","cols":[{"name":"Id","type":"int"}],"key":["Id"]}]},
+	  "fragments": []
+	}`
+	if _, err := Decode(strings.NewReader(doc)); err == nil {
+		t.Fatal("bad enum value accepted")
+	}
+}
+
+func TestDecodeRejectsIllFormedFragment(t *testing.T) {
+	doc := `{
+	  "client": {
+	    "types": [{"name":"A","attrs":[{"name":"Id","type":"int"}],"key":["Id"]}],
+	    "sets": [{"name":"As","type":"A"}]
+	  },
+	  "store": {"tables": [{"name":"T","cols":[{"name":"Id","type":"int"}],"key":["Id"]}]},
+	  "fragments": [{"id":"f","set":"As","clientCond":"TRUE","attrs":["Ghost"],"table":"T","storeCond":"TRUE","colOf":{"Ghost":"Id"}}]
+	}`
+	if _, err := Decode(strings.NewReader(doc)); err == nil {
+		t.Fatal("fragment over unknown attribute accepted")
+	}
+}
+
+func TestEncodeDecodeChainWithFKs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, workload.Chain(5)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Store.Table("TEntity3").FKs) != 2 {
+		t.Fatalf("foreign keys lost: %+v", m.Store.Table("TEntity3").FKs)
+	}
+	if _, err := compiler.New().Compile(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package orm executes compiled mappings: it materializes client states
+// into store states through update views, loads client states back through
+// query views, and verifies the roundtripping property V ∘ Q = identity
+// (§2.2 of the paper) on concrete data. It is the runtime layer an
+// application uses once its mapping has been compiled.
+package orm
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+// Materialize pushes a client state through the update views, producing the
+// store state the mapping prescribes (the paper's V : C → S).
+func Materialize(m *frag.Mapping, views *frag.Views, cs *state.ClientState) (*state.StoreState, error) {
+	env := &cqt.Env{Catalog: m.Catalog(), Client: cs}
+	ss := state.NewStoreState()
+	for table, v := range views.Update {
+		res, err := cqt.Eval(env, v.Q)
+		if err != nil {
+			return nil, fmt.Errorf("orm: update view for %s: %w", table, err)
+		}
+		for _, r := range res.Rows {
+			ss.InsertRow(table, r)
+		}
+	}
+	return ss, nil
+}
+
+// Load pulls a client state out of a store state through the query views
+// (the paper's Q : S → C). Entity sets are loaded through their root
+// type's view; associations through their association views.
+func Load(m *frag.Mapping, views *frag.Views, ss *state.StoreState) (*state.ClientState, error) {
+	env := &cqt.Env{Catalog: m.Catalog(), Store: ss}
+	cs := state.NewClientState()
+	for _, set := range m.Client.Sets() {
+		v, ok := views.Query[set.Type]
+		if !ok {
+			continue
+		}
+		ents, err := v.ConstructEntities(env)
+		if err != nil {
+			return nil, fmt.Errorf("orm: query view for %s: %w", set.Type, err)
+		}
+		for _, e := range ents {
+			cs.Insert(set.Name, e)
+		}
+	}
+	for _, a := range m.Client.Associations() {
+		v, ok := views.Assoc[a.Name]
+		if !ok {
+			continue
+		}
+		res, err := cqt.Eval(env, v.Q)
+		if err != nil {
+			return nil, fmt.Errorf("orm: association view for %s: %w", a.Name, err)
+		}
+		for _, r := range res.Rows {
+			cs.Relate(a.Name, state.AssocPair{Ends: r})
+		}
+	}
+	return cs, nil
+}
+
+// QueryType loads the entities visible through one entity type's query
+// view (the type's own entities plus those of derived types), the view
+// unfolding a client query over that type would see.
+func QueryType(m *frag.Mapping, views *frag.Views, ss *state.StoreState, entityType string) ([]*state.Entity, error) {
+	v, ok := views.Query[entityType]
+	if !ok {
+		return nil, fmt.Errorf("orm: no query view for type %s", entityType)
+	}
+	env := &cqt.Env{Catalog: m.Catalog(), Store: ss}
+	return v.ConstructEntities(env)
+}
+
+// Roundtrip verifies V ∘ Q = identity on one concrete client state: the
+// state is materialized to the store and loaded back, and the result must
+// equal the original. A non-nil error describes the first difference.
+func Roundtrip(m *frag.Mapping, views *frag.Views, cs *state.ClientState) error {
+	ss, err := Materialize(m, views, cs)
+	if err != nil {
+		return err
+	}
+	back, err := Load(m, views, ss)
+	if err != nil {
+		return err
+	}
+	if d := state.Diff(cs, back); d != "" {
+		return fmt.Errorf("orm: state does not roundtrip:\n%s", d)
+	}
+	return nil
+}

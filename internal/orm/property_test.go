@@ -1,0 +1,176 @@
+package orm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestRoundtripPropertyPartitioned checks V ∘ Q = identity over random
+// states of the §3.3 Adult/Young partitioned mapping, hammering the
+// boundary value.
+func TestRoundtripPropertyPartitioned(t *testing.T) {
+	m := workload.PartitionedAgeModel()
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ages []int8, withName bool) bool {
+		cs := state.NewClientState()
+		for i, a := range ages {
+			if i >= 8 {
+				break
+			}
+			e := &state.Entity{Type: "Person", Attrs: state.Row{
+				"Id": cond.Int(int64(i + 1)), "Age": cond.Int(int64(a))}}
+			if withName && i%2 == 0 {
+				e.Attrs["Name"] = cond.String("n")
+			}
+			cs.Insert("Persons", e)
+		}
+		return Roundtrip(m, views, cs) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundtripPropertyGender does the same for the gender-constant
+// mapping, where an attribute is reconstructed rather than stored.
+func TestRoundtripPropertyGender(t *testing.T) {
+	m := workload.GenderConstantModel()
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(genders []bool) bool {
+		cs := state.NewClientState()
+		for i, g := range genders {
+			if i >= 8 {
+				break
+			}
+			val := "M"
+			if g {
+				val = "F"
+			}
+			cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+				"Id": cond.Int(int64(i + 1)), "Gender": cond.String(val)}})
+		}
+		return Roundtrip(m, views, cs) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundtripPropertyHubRim generates random hub-and-rim instances,
+// including association pairs, over both mapping styles.
+func TestRoundtripPropertyHubRim(t *testing.T) {
+	for _, tph := range []bool{false, true} {
+		m := workload.HubRim(workload.HubRimOptions{N: 2, M: 2, TPH: tph})
+		views, err := compiler.New().Compile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(seed uint32) bool {
+			rnd := seed
+			next := func() uint32 {
+				rnd = rnd*1664525 + 1013904223
+				return rnd
+			}
+			cs := state.NewClientState()
+			id := int64(1)
+			var hubs []int64 // ids of Hub1 entities (deepest hub level)
+			var rims []int64 // ids of Rim1_0 entities
+			for i := 0; i < int(next()%4); i++ {
+				cs.Insert("Hubs", &state.Entity{Type: "Hub0", Attrs: state.Row{"Id": cond.Int(id)}})
+				id++
+			}
+			for i := 0; i < int(next()%4); i++ {
+				cs.Insert("Hubs", &state.Entity{Type: "Hub1", Attrs: state.Row{
+					"Id": cond.Int(id), "H1": cond.String("x")}})
+				hubs = append(hubs, id)
+				id++
+			}
+			for i := 0; i < int(next()%4); i++ {
+				cs.Insert("Hubs", &state.Entity{Type: "Rim1_0", Attrs: state.Row{
+					"Id": cond.Int(id), "R1_0": cond.String("r")}})
+				rims = append(rims, id)
+				id++
+			}
+			// Each rim references at most one hub (the 0..1 end).
+			for _, r := range rims {
+				if len(hubs) > 0 && next()%2 == 0 {
+					h := hubs[int(next())%len(hubs)]
+					cs.Relate("A1_0", state.AssocPair{Ends: state.Row{
+						"Rim1_0_Id": cond.Int(r), "Hub1_Id": cond.Int(h)}})
+				}
+			}
+			return Roundtrip(m, views, cs) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("tph=%v: %v", tph, err)
+		}
+	}
+}
+
+// TestRoundtripPropertyIncrementalViews verifies the central theorem of
+// the paper empirically: views evolved by the incremental compiler
+// roundtrip random states exactly like fully compiled views do. (The
+// incremental side is exercised in internal/core; here we pin the full
+// compiler's TPH views, which the incremental path reuses as Q⁻.)
+func TestRoundtripPropertyChain(t *testing.T) {
+	m := workload.Chain(6)
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint32) bool {
+		rnd := seed
+		next := func() uint32 {
+			rnd = rnd*1664525 + 1013904223
+			return rnd
+		}
+		cs := state.NewClientState()
+		ids := map[int][]int64{}
+		id := int64(1)
+		for level := 1; level <= 6; level++ {
+			for i := 0; i < int(next()%3); i++ {
+				cs.Insert(setName(level), &state.Entity{Type: tyName(level), Attrs: state.Row{
+					"Id": cond.Int(id), "EntityAtt2": cond.String("a")}})
+				ids[level] = append(ids[level], id)
+				id++
+			}
+		}
+		for level := 2; level <= 6; level++ {
+			for _, child := range ids[level] {
+				if len(ids[level-1]) > 0 && next()%2 == 0 {
+					parent := ids[level-1][int(next())%len(ids[level-1])]
+					cs.Relate(relName(level), state.AssocPair{Ends: state.Row{
+						tyName(level) + "_Id":   cond.Int(child),
+						tyName(level-1) + "_Id": cond.Int(parent),
+					}})
+				}
+			}
+		}
+		return Roundtrip(m, views, cs) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tyName(i int) string  { return "Entity" + itoa(i) }
+func setName(i int) string { return "Entity" + itoa(i) + "Set" }
+func relName(i int) string { return "RelOne" + itoa(i) }
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

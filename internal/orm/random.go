@@ -1,0 +1,116 @@
+package orm
+
+import (
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+// RandomState generates a referentially consistent pseudo-random client
+// state for an arbitrary mapping, deterministic in the seed: up to
+// maxPerType entities per concrete type of each mapped set (required
+// attributes always populated, nullable ones by coin flip), and
+// association pairs respecting the at-most-one multiplicity of the
+// non-many end. It backs the CLI's -verify flag and the roundtripping
+// property tests.
+func RandomState(m *frag.Mapping, seed uint32, maxPerType int) *state.ClientState {
+	rnd := seed
+	next := func() uint32 {
+		rnd = rnd*1664525 + 1013904223
+		return rnd
+	}
+	if maxPerType < 1 {
+		maxPerType = 1
+	}
+	cs := state.NewClientState()
+	id := int64(1)
+	byType := map[string][]int64{}
+	for _, set := range m.Client.Sets() {
+		if len(m.FragsOnSet(set.Name)) == 0 {
+			continue
+		}
+		for _, ty := range m.Client.ConcreteIn(set.Type) {
+			n := int(next()) % (maxPerType + 1)
+			for i := 0; i < n; i++ {
+				e := &state.Entity{Type: ty, Attrs: state.Row{}}
+				for _, a := range m.Client.AllAttrs(ty) {
+					if isKeyAttr(m, ty, a.Name) {
+						e.Attrs[a.Name] = cond.Int(id)
+						continue
+					}
+					if !a.Nullable || next()%2 == 0 {
+						e.Attrs[a.Name] = randomValue(a, next)
+					}
+				}
+				cs.Insert(set.Name, e)
+				byType[ty] = append(byType[ty], id)
+				id++
+			}
+		}
+	}
+	for _, a := range m.Client.Associations() {
+		if m.FragForAssoc(a.Name) == nil {
+			continue
+		}
+		ends1 := hierarchyIDs(m, byType, a.End1.Type)
+		ends2 := hierarchyIDs(m, byType, a.End2.Type)
+		if len(ends1) == 0 || len(ends2) == 0 {
+			continue
+		}
+		c1, c2 := endColumns(m, a)
+		// Each entity of the first end pairs with at most one partner,
+		// which respects both the FK-mapped 0..1 shape and join tables.
+		for _, l := range ends1 {
+			if next()%2 == 0 {
+				r := ends2[int(next())%len(ends2)]
+				cs.Relate(a.Name, state.AssocPair{Ends: state.Row{
+					c1: cond.Int(l), c2: cond.Int(r),
+				}})
+			}
+		}
+	}
+	return cs
+}
+
+func isKeyAttr(m *frag.Mapping, ty, attr string) bool {
+	for _, k := range m.Client.KeyOf(ty) {
+		if k == attr {
+			return true
+		}
+	}
+	return false
+}
+
+func randomValue(a edm.Attribute, next func() uint32) cond.Value {
+	if len(a.Enum) > 0 {
+		return a.Enum[int(next())%len(a.Enum)]
+	}
+	switch a.Type {
+	case cond.KindInt:
+		return cond.Int(int64(next() % 100))
+	case cond.KindFloat:
+		return cond.Float(float64(next()%100) / 4)
+	case cond.KindBool:
+		return cond.Bool(next()%2 == 0)
+	default:
+		return cond.String(string(rune('a' + next()%6)))
+	}
+}
+
+func hierarchyIDs(m *frag.Mapping, byType map[string][]int64, ty string) []int64 {
+	var out []int64
+	for _, t := range m.Client.ConcreteIn(ty) {
+		out = append(out, byType[t]...)
+	}
+	return out
+}
+
+func endColumns(m *frag.Mapping, a *edm.Association) (string, string) {
+	b1, b2 := a.End1.Type, a.End2.Type
+	if b1 == b2 {
+		b1 += "1"
+		b2 += "2"
+	}
+	return b1 + "_" + m.Client.KeyOf(a.End1.Type)[0], b2 + "_" + m.Client.KeyOf(a.End2.Type)[0]
+}

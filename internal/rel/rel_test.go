@@ -1,0 +1,171 @@
+package rel
+
+import (
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cond"
+)
+
+// paperStore builds the Fig. 1 store schema: HR(Id,Name), Emp(Id,Dept),
+// Client(Cid,Eid,Name,Score,Addr) with FKs Emp.Id→HR.Id, Client.Eid→Emp.Id.
+func paperStore(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddTable(Table{
+		Name: "HR",
+		Cols: []Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(s.AddTable(Table{
+		Name: "Emp",
+		Cols: []Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Dept", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+		FKs: []ForeignKey{{Name: "fk_emp_hr", Cols: []string{"Id"}, RefTable: "HR", RefCols: []string{"Id"}}},
+	}))
+	must(s.AddTable(Table{
+		Name: "Client",
+		Cols: []Column{
+			{Name: "Cid", Type: cond.KindInt},
+			{Name: "Eid", Type: cond.KindInt, Nullable: true},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+			{Name: "Score", Type: cond.KindInt, Nullable: true},
+			{Name: "Addr", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Cid"},
+		FKs: []ForeignKey{{Name: "fk_client_emp", Cols: []string{"Eid"}, RefTable: "Emp", RefCols: []string{"Id"}}},
+	}))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTableLookup(t *testing.T) {
+	s := paperStore(t)
+	hr := s.Table("HR")
+	if hr == nil || len(hr.Cols) != 2 {
+		t.Fatalf("Table(HR) = %+v", hr)
+	}
+	if c, ok := hr.Col("Name"); !ok || c.Type != cond.KindString || !c.Nullable {
+		t.Errorf("Col(Name) = %+v, %v", c, ok)
+	}
+	if !hr.IsKey("Id") || hr.IsKey("Name") {
+		t.Errorf("IsKey wrong")
+	}
+	if got := hr.ColNames(); len(got) != 2 || got[0] != "Id" {
+		t.Errorf("ColNames = %v", got)
+	}
+	if len(s.Tables()) != 3 {
+		t.Errorf("Tables() = %d", len(s.Tables()))
+	}
+}
+
+func TestAddTableErrors(t *testing.T) {
+	s := paperStore(t)
+	if err := s.AddTable(Table{Name: "HR", Key: []string{"Id"}, Cols: []Column{{Name: "Id", Type: cond.KindInt}}}); err == nil {
+		t.Errorf("duplicate table accepted")
+	}
+	if err := s.AddTable(Table{Name: "X", Cols: []Column{{Name: "A", Type: cond.KindInt}}}); err == nil {
+		t.Errorf("keyless table accepted")
+	}
+	if err := s.AddTable(Table{Name: "X", Cols: []Column{{Name: "A", Type: cond.KindInt, Nullable: true}}, Key: []string{"A"}}); err == nil {
+		t.Errorf("nullable key accepted")
+	}
+	if err := s.AddTable(Table{Name: "X", Cols: []Column{{Name: "A", Type: cond.KindInt}, {Name: "A", Type: cond.KindInt}}, Key: []string{"A"}}); err == nil {
+		t.Errorf("duplicate column accepted")
+	}
+}
+
+func TestValidateForeignKeys(t *testing.T) {
+	s := paperStore(t)
+	if err := s.AddForeignKey("Emp", ForeignKey{Name: "bad", Cols: []string{"Nope"}, RefTable: "HR", RefCols: []string{"Id"}}); err == nil {
+		t.Errorf("FK with unknown column accepted")
+	}
+	if err := s.AddForeignKey("Emp", ForeignKey{Name: "bad2", Cols: []string{"Id"}, RefTable: "Ghost", RefCols: []string{"Id"}}); err != nil {
+		t.Fatal(err) // structural check deferred to Validate
+	}
+	if err := s.Validate(); err == nil {
+		t.Errorf("Validate accepted FK to unknown table")
+	}
+}
+
+func TestRemoveTable(t *testing.T) {
+	s := paperStore(t)
+	if err := s.RemoveTable("HR"); err == nil {
+		t.Errorf("removing a referenced table accepted")
+	}
+	if err := s.RemoveTable("Client"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table("Client") != nil {
+		t.Errorf("Client still present")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := paperStore(t)
+	c := s.Clone()
+	if err := c.AddTable(Table{Name: "New", Cols: []Column{{Name: "Id", Type: cond.KindInt}}, Key: []string{"Id"}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Table("New") != nil {
+		t.Errorf("clone not independent")
+	}
+}
+
+func TestTableTheory(t *testing.T) {
+	s := paperStore(t)
+	th := s.TheoryFor("Client")
+	if th.ConcreteTypes("") != nil {
+		t.Errorf("rows must be untyped")
+	}
+	if th.Nullable("Cid") {
+		t.Errorf("key column must not be nullable")
+	}
+	if !th.Nullable("Eid") {
+		t.Errorf("Eid must be nullable")
+	}
+	// Eid IS NOT NULL AND Eid IS NULL is unsatisfiable.
+	bad := cond.NewAnd(cond.NotNull("Eid"), cond.Null{Attr: "Eid"})
+	if cond.Satisfiable(th, bad) {
+		t.Errorf("contradictory null conditions satisfiable")
+	}
+	// A positive IS OF over rows is unsatisfiable.
+	if cond.Satisfiable(th, cond.TypeIs{Type: "Person"}) {
+		t.Errorf("IS OF over rows must be unsatisfiable")
+	}
+}
+
+func TestDiscriminatorEnumTheory(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddTable(Table{
+		Name: "All",
+		Cols: []Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Disc", Type: cond.KindString, Enum: []cond.Value{cond.String("A"), cond.String("B")}},
+		},
+		Key: []string{"Id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	th := s.TheoryFor("All")
+	split := cond.NewOr(
+		cond.Cmp{Attr: "Disc", Op: cond.OpEq, Val: cond.String("A")},
+		cond.Cmp{Attr: "Disc", Op: cond.OpEq, Val: cond.String("B")},
+	)
+	if !cond.Tautology(th, split) {
+		t.Errorf("discriminator split over its enum must be a tautology")
+	}
+}

@@ -1,0 +1,294 @@
+// Package sqlgen renders store schemas and compiled query views as ANSI
+// SQL. It is the deployment-facing face of the compiler: the DDL a
+// database needs for the store schema, and the SELECT statements a real
+// relational backend would execute for each compiled query view (Entity
+// Framework embeds the equivalent Entity SQL in its generated views file,
+// per §4.1 of the paper).
+//
+// Only queries over tables can be rendered — query views qualify; update
+// views range over client entity sets and stay inside the ORM runtime.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/rel"
+)
+
+// DDL renders CREATE TABLE statements (with primary and foreign keys) for
+// every table of a store schema, in declaration order.
+func DDL(s *rel.Schema) string {
+	var b strings.Builder
+	for i, t := range s.Tables() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n", quoteIdent(t.Name))
+		for _, c := range t.Cols {
+			fmt.Fprintf(&b, "  %s %s", quoteIdent(c.Name), sqlType(c.Type))
+			if !c.Nullable {
+				b.WriteString(" NOT NULL")
+			}
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "  PRIMARY KEY (%s)", identList(t.Key))
+		for _, fk := range t.FKs {
+			fmt.Fprintf(&b, ",\n  CONSTRAINT %s FOREIGN KEY (%s) REFERENCES %s (%s)",
+				quoteIdent(fk.Name), identList(fk.Cols), quoteIdent(fk.RefTable), identList(fk.RefCols))
+		}
+		b.WriteString("\n);\n")
+	}
+	return b.String()
+}
+
+func sqlType(k cond.Kind) string {
+	switch k {
+	case cond.KindString:
+		return "VARCHAR(255)"
+	case cond.KindInt:
+		return "BIGINT"
+	case cond.KindFloat:
+		return "DOUBLE PRECISION"
+	case cond.KindBool:
+		return "BOOLEAN"
+	}
+	return "VARCHAR(255)"
+}
+
+func quoteIdent(s string) string {
+	// Provenance flags and type tags carry leading underscores; quote
+	// anything that is not a plain identifier.
+	plain := true
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r == '_' && i > 0, r >= '0' && r <= '9' && i > 0:
+		default:
+			plain = false
+		}
+	}
+	if plain && s != "" {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func identList(cols []string) string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = quoteIdent(c)
+	}
+	return strings.Join(out, ", ")
+}
+
+// Query renders a query tree over tables as an ANSI SQL SELECT. Trees that
+// scan client entity sets or association sets (update views) cannot be
+// rendered and return an error.
+func Query(cat *cqt.Catalog, e cqt.Expr) (string, error) {
+	g := &generator{cat: cat}
+	sql, err := g.render(e, 0)
+	if err != nil {
+		return "", err
+	}
+	return sql + ";", nil
+}
+
+type generator struct {
+	cat  *cqt.Catalog
+	next int
+}
+
+func (g *generator) alias() string {
+	g.next++
+	return fmt.Sprintf("t%d", g.next)
+}
+
+func (g *generator) render(e cqt.Expr, depth int) (string, error) {
+	ind := strings.Repeat("  ", depth)
+	switch v := e.(type) {
+	case cqt.ScanTable:
+		t := g.cat.Store.Table(v.Table)
+		if t == nil {
+			return "", fmt.Errorf("sqlgen: unknown table %q", v.Table)
+		}
+		return fmt.Sprintf("%sSELECT %s FROM %s", ind, identList(t.ColNames()), quoteIdent(v.Table)), nil
+
+	case cqt.ScanSet, cqt.ScanAssoc:
+		return "", fmt.Errorf("sqlgen: %T ranges over client data and has no SQL form", e)
+
+	case cqt.Select:
+		inner, err := g.render(v.In, depth+1)
+		if err != nil {
+			return "", err
+		}
+		a := g.alias()
+		return fmt.Sprintf("%sSELECT * FROM (\n%s\n%s) AS %s WHERE %s",
+			ind, inner, ind, a, condSQL(v.Cond)), nil
+
+	case cqt.Project:
+		inner, err := g.render(v.In, depth+1)
+		if err != nil {
+			return "", err
+		}
+		a := g.alias()
+		items := make([]string, len(v.Cols))
+		for i, pc := range v.Cols {
+			items[i] = projSQL(pc)
+		}
+		return fmt.Sprintf("%sSELECT %s FROM (\n%s\n%s) AS %s",
+			ind, strings.Join(items, ", "), inner, ind, a), nil
+
+	case cqt.Join:
+		return g.renderJoin(v, depth)
+
+	case cqt.UnionAll:
+		cols, err := g.cat.Cols(e)
+		if err != nil {
+			return "", err
+		}
+		parts := make([]string, 0, len(v.Inputs))
+		for _, in := range v.Inputs {
+			inner, err := g.render(in, depth+1)
+			if err != nil {
+				return "", err
+			}
+			a := g.alias()
+			// SQL unions are positional: align every branch to the shared
+			// column order explicitly.
+			parts = append(parts, fmt.Sprintf("%sSELECT %s FROM (\n%s\n%s) AS %s",
+				ind, identList(cols), inner, ind, a))
+		}
+		return strings.Join(parts, fmt.Sprintf("\n%sUNION ALL\n", ind)), nil
+	}
+	return "", fmt.Errorf("sqlgen: unsupported expression %T", e)
+}
+
+func projSQL(pc cqt.ProjCol) string {
+	if pc.Lit != nil {
+		if pc.Lit.Null {
+			return fmt.Sprintf("CAST(NULL AS %s) AS %s", sqlType(pc.Lit.Kind), quoteIdent(pc.As))
+		}
+		return fmt.Sprintf("%s AS %s", pc.Lit.Val, quoteIdent(pc.As))
+	}
+	if pc.Src == pc.As {
+		return quoteIdent(pc.As)
+	}
+	return fmt.Sprintf("%s AS %s", quoteIdent(pc.Src), quoteIdent(pc.As))
+}
+
+func (g *generator) renderJoin(j cqt.Join, depth int) (string, error) {
+	ind := strings.Repeat("  ", depth)
+	left, err := g.render(j.L, depth+1)
+	if err != nil {
+		return "", err
+	}
+	right, err := g.render(j.R, depth+1)
+	if err != nil {
+		return "", err
+	}
+	la, ra := g.alias(), g.alias()
+	lcols, err := g.cat.Cols(j.L)
+	if err != nil {
+		return "", err
+	}
+	rcols, err := g.cat.Cols(j.R)
+	if err != nil {
+		return "", err
+	}
+
+	inLeft := map[string]bool{}
+	for _, c := range lcols {
+		inLeft[c] = true
+	}
+	onRight := map[string]string{} // right col equated to a left col
+	var on []string
+	for _, p := range j.On {
+		on = append(on, fmt.Sprintf("%s.%s = %s.%s", la, quoteIdent(p[0]), ra, quoteIdent(p[1])))
+		onRight[p[1]] = p[0]
+	}
+
+	// Output columns: left columns first; shared columns are coalesced for
+	// full outer joins (either side may be NULL-padded).
+	var items []string
+	for _, c := range lcols {
+		if j.Kind == cqt.FullOuter {
+			if rc, shared := sharedJoinCol(c, j.On); shared {
+				items = append(items, fmt.Sprintf("COALESCE(%s.%s, %s.%s) AS %s",
+					la, quoteIdent(c), ra, quoteIdent(rc), quoteIdent(c)))
+				continue
+			}
+		}
+		items = append(items, fmt.Sprintf("%s.%s AS %s", la, quoteIdent(c), quoteIdent(c)))
+	}
+	for _, c := range rcols {
+		if inLeft[c] {
+			continue // merged join column, already emitted from the left
+		}
+		items = append(items, fmt.Sprintf("%s.%s AS %s", ra, quoteIdent(c), quoteIdent(c)))
+	}
+
+	kind := "INNER JOIN"
+	switch j.Kind {
+	case cqt.LeftOuter:
+		kind = "LEFT OUTER JOIN"
+	case cqt.FullOuter:
+		kind = "FULL OUTER JOIN"
+	}
+	return fmt.Sprintf("%sSELECT %s\n%sFROM (\n%s\n%s) AS %s %s (\n%s\n%s) AS %s ON %s",
+		ind, strings.Join(items, ", "),
+		ind, left, ind, la, kind, right, ind, ra, strings.Join(on, " AND ")), nil
+}
+
+// sharedJoinCol reports whether col is equated with an identically or
+// differently named right column, returning that right column.
+func sharedJoinCol(col string, on [][2]string) (string, bool) {
+	for _, p := range on {
+		if p[0] == col {
+			return p[1], true
+		}
+	}
+	return "", false
+}
+
+// condSQL renders a condition in SQL syntax. Type atoms cannot occur in
+// table-level queries; they render as FALSE defensively.
+func condSQL(c cond.Expr) string {
+	switch v := c.(type) {
+	case cond.True:
+		return "TRUE"
+	case cond.False:
+		return "FALSE"
+	case cond.TypeIs:
+		return "FALSE /* IS OF has no SQL form */"
+	case cond.Null:
+		return quoteIdent(v.Attr) + " IS NULL"
+	case cond.Cmp:
+		return fmt.Sprintf("%s %s %s", quoteIdent(v.Attr), v.Op, v.Val)
+	case cond.Not:
+		if n, ok := v.X.(cond.Null); ok {
+			return quoteIdent(n.Attr) + " IS NOT NULL"
+		}
+		return "NOT (" + condSQL(v.X) + ")"
+	case cond.And:
+		return joinConds(v.Xs, " AND ")
+	case cond.Or:
+		return joinConds(v.Xs, " OR ")
+	}
+	return "FALSE"
+}
+
+func joinConds(xs []cond.Expr, sep string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		s := condSQL(x)
+		switch x.(type) {
+		case cond.And, cond.Or:
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, sep)
+}

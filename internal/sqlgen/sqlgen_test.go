@@ -1,0 +1,150 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func TestDDLPaperStore(t *testing.T) {
+	m := workload.PaperFull()
+	ddl := DDL(m.Store)
+	for _, want := range []string{
+		"CREATE TABLE HR (",
+		"Id BIGINT NOT NULL",
+		"Name VARCHAR(255),",
+		"PRIMARY KEY (Id)",
+		"CONSTRAINT fk_emp_hr FOREIGN KEY (Id) REFERENCES HR (Id)",
+		"CONSTRAINT fk_client_emp FOREIGN KEY (Eid) REFERENCES Emp (Id)",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	if n := strings.Count(ddl, "CREATE TABLE"); n != 3 {
+		t.Errorf("tables = %d, want 3", n)
+	}
+}
+
+func TestDDLQuotesOddIdentifiers(t *testing.T) {
+	if quoteIdent("__type") != `"__type"` {
+		t.Errorf("leading underscore must be quoted: %s", quoteIdent("__type"))
+	}
+	if quoteIdent("Name") != "Name" {
+		t.Errorf("plain identifier must not be quoted")
+	}
+	if quoteIdent(`a"b`) != `"a""b"` {
+		t.Errorf("embedded quote not escaped: %s", quoteIdent(`a"b`))
+	}
+}
+
+func TestQueryViewSQL(t *testing.T) {
+	m := workload.PaperFull()
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := Query(m.Catalog(), views.Query["Person"].Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SELECT", "FROM HR", "FROM Client", "UNION ALL", "LEFT OUTER JOIN",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("Person view SQL missing %q:\n%s", want, sql)
+		}
+	}
+	if !strings.HasSuffix(sql, ";") {
+		t.Errorf("statement not terminated")
+	}
+}
+
+func TestQueryRejectsClientScans(t *testing.T) {
+	m := workload.PaperFull()
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update views range over entity sets: no SQL form.
+	if _, err := Query(m.Catalog(), views.Update["HR"].Q); err == nil {
+		t.Fatal("update view rendered as SQL")
+	}
+	if _, err := Query(m.Catalog(), cqt.ScanAssoc{Assoc: "Supports"}); err == nil {
+		t.Fatal("association scan rendered as SQL")
+	}
+}
+
+func TestCondSQL(t *testing.T) {
+	cases := []struct {
+		c    cond.Expr
+		want string
+	}{
+		{cond.True{}, "TRUE"},
+		{cond.False{}, "FALSE"},
+		{cond.Null{Attr: "x"}, "x IS NULL"},
+		{cond.NotNull("x"), "x IS NOT NULL"},
+		{cond.Cmp{Attr: "a", Op: cond.OpGe, Val: cond.Int(3)}, "a >= 3"},
+		{cond.NewAnd(cond.NotNull("a"), cond.NewOr(cond.Null{Attr: "b"}, cond.Cmp{Attr: "c", Op: cond.OpEq, Val: cond.String("x")})),
+			"a IS NOT NULL AND (b IS NULL OR c = 'x')"},
+	}
+	for _, tc := range cases {
+		if got := condSQL(tc.c); got != tc.want {
+			t.Errorf("condSQL(%v) = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestFullOuterJoinCoalesce(t *testing.T) {
+	m := workload.PaperFull()
+	j := cqt.Join{
+		Kind: cqt.FullOuter,
+		L:    cqt.ScanTable{Table: "HR"},
+		R: cqt.Project{In: cqt.ScanTable{Table: "Emp"},
+			Cols: []cqt.ProjCol{cqt.Col("Id"), cqt.ColAs("Dept", "Department")}},
+		On: [][2]string{{"Id", "Id"}},
+	}
+	sql, err := Query(m.Catalog(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "COALESCE(") {
+		t.Errorf("full outer join key not coalesced:\n%s", sql)
+	}
+	if !strings.Contains(sql, "FULL OUTER JOIN") {
+		t.Errorf("join kind missing:\n%s", sql)
+	}
+}
+
+func TestGeneratedSQLForEveryQueryView(t *testing.T) {
+	// Every query view of every workload model must be renderable SQL.
+	models := map[string]func() *mapping{
+		"paper":       workload.PaperFull,
+		"partitioned": workload.PartitionedAgeModel,
+		"gender":      workload.GenderConstantModel,
+	}
+	for name, mk := range models {
+		m := mk()
+		views, err := compiler.New().Compile(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for ty, v := range views.Query {
+			if _, err := Query(m.Catalog(), v.Q); err != nil {
+				t.Errorf("%s: query view %s: %v", name, ty, err)
+			}
+		}
+		for a, v := range views.Assoc {
+			if _, err := Query(m.Catalog(), v.Q); err != nil {
+				t.Errorf("%s: association view %s: %v", name, a, err)
+			}
+		}
+	}
+}
+
+type mapping = frag.Mapping

@@ -1,0 +1,135 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ormkit/incmap/internal/cond"
+)
+
+func TestRowCanonicalDeterministic(t *testing.T) {
+	r := Row{"b": cond.Int(2), "a": cond.String("x"), "c": cond.Bool(true)}
+	want := "a='x',b=2,c=true"
+	if got := r.Canonical(); got != want {
+		t.Errorf("Canonical = %q, want %q", got, want)
+	}
+	if got := r.Clone().Canonical(); got != want {
+		t.Errorf("clone changed canonical form: %q", got)
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := Row{"a": cond.Int(1)}
+	c := r.Clone()
+	c["a"] = cond.Int(2)
+	if r["a"].IntVal() != 1 {
+		t.Errorf("clone not independent")
+	}
+}
+
+func TestEqualRowsMultiset(t *testing.T) {
+	a := []Row{{"x": cond.Int(1)}, {"x": cond.Int(2)}, {"x": cond.Int(1)}}
+	b := []Row{{"x": cond.Int(2)}, {"x": cond.Int(1)}, {"x": cond.Int(1)}}
+	if !EqualRows(a, b) {
+		t.Errorf("permuted multisets must be equal")
+	}
+	c := []Row{{"x": cond.Int(2)}, {"x": cond.Int(2)}, {"x": cond.Int(1)}}
+	if EqualRows(a, c) {
+		t.Errorf("different multiplicities must differ")
+	}
+	if EqualRows(a, a[:2]) {
+		t.Errorf("different lengths must differ")
+	}
+}
+
+func TestEqualClientStates(t *testing.T) {
+	mk := func() *ClientState {
+		cs := NewClientState()
+		cs.Insert("S", &Entity{Type: "T", Attrs: Row{"Id": cond.Int(1)}})
+		cs.Insert("S", &Entity{Type: "U", Attrs: Row{"Id": cond.Int(2), "N": cond.String("n")}})
+		cs.Relate("A", AssocPair{Ends: Row{"l": cond.Int(1), "r": cond.Int(2)}})
+		return cs
+	}
+	a, b := mk(), mk()
+	if !EqualClient(a, b) {
+		t.Fatalf("identical states differ:\n%s", Diff(a, b))
+	}
+	b.Entities["S"][0].Attrs["Id"] = cond.Int(9)
+	if EqualClient(a, b) {
+		t.Fatalf("modified state equal")
+	}
+	if Diff(a, b) == "" {
+		t.Fatalf("Diff empty for unequal states")
+	}
+}
+
+func TestEqualClientEmptySetIrrelevant(t *testing.T) {
+	a := NewClientState()
+	b := NewClientState()
+	b.Entities["S"] = nil
+	b.Assocs["A"] = nil
+	if !EqualClient(a, b) {
+		t.Errorf("empty collections must not matter")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	cs := NewClientState()
+	cs.Insert("S", &Entity{Type: "T", Attrs: Row{"Id": cond.Int(1)}})
+	cs.Relate("A", AssocPair{Ends: Row{"l": cond.Int(1)}})
+	cp := cs.Clone()
+	cp.Entities["S"][0].Attrs["Id"] = cond.Int(5)
+	cp.Assocs["A"][0].Ends["l"] = cond.Int(5)
+	if cs.Entities["S"][0].Attrs["Id"].IntVal() != 1 {
+		t.Errorf("entity clone not deep")
+	}
+	if cs.Assocs["A"][0].Ends["l"].IntVal() != 1 {
+		t.Errorf("assoc clone not deep")
+	}
+
+	ss := NewStoreState()
+	ss.InsertRow("T", Row{"a": cond.Int(1)})
+	sp := ss.Clone()
+	sp.Tables["T"][0]["a"] = cond.Int(9)
+	if ss.Tables["T"][0]["a"].IntVal() != 1 {
+		t.Errorf("store clone not deep")
+	}
+}
+
+func TestInstances(t *testing.T) {
+	e := &Entity{Type: "Employee", Attrs: Row{"Id": cond.Int(2)}}
+	ei := EntityInstance{E: e}
+	if ei.InstanceType("") != "Employee" || ei.InstanceType("x") != "" {
+		t.Errorf("entity instance types wrong")
+	}
+	if v, ok := ei.Lookup("Id"); !ok || v.IntVal() != 2 {
+		t.Errorf("entity lookup wrong")
+	}
+	if _, ok := ei.Lookup("Nope"); ok {
+		t.Errorf("missing attribute should be NULL")
+	}
+	ri := RowInstance{R: Row{"c": cond.String("v")}}
+	if ri.InstanceType("") != "" {
+		t.Errorf("rows are untyped")
+	}
+	if v, ok := ri.Lookup("c"); !ok || v.Str() != "v" {
+		t.Errorf("row lookup wrong")
+	}
+}
+
+// TestEqualRowsSymmetric is a property test: multiset equality must be
+// symmetric and reflexive under permutation.
+func TestEqualRowsSymmetric(t *testing.T) {
+	f := func(xs []int8) bool {
+		a := make([]Row, len(xs))
+		b := make([]Row, len(xs))
+		for i, x := range xs {
+			a[i] = Row{"v": cond.Int(int64(x))}
+			b[len(xs)-1-i] = Row{"v": cond.Int(int64(x))}
+		}
+		return EqualRows(a, b) && EqualRows(b, a) && EqualRows(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+)
+
+// Chain builds the Figure 8 synthetic model: n entity types with no
+// inheritance arranged in a chain, each related to the next by two
+// associations (one 1—0..1, one 1—*), every type mapped one-to-one to its
+// own table and every association mapped to a key/foreign-key
+// relationship. The paper uses n = 1002.
+func Chain(n int) *frag.Mapping {
+	if n < 1 {
+		panic("workload: chain needs at least one entity")
+	}
+	c := edm.NewSchema()
+	s := rel.NewSchema()
+	m := &frag.Mapping{Client: c, Store: s}
+
+	ty := func(i int) string { return fmt.Sprintf("Entity%d", i) }
+	tbl := func(i int) string { return fmt.Sprintf("TEntity%d", i) }
+	setName := func(i int) string { return fmt.Sprintf("Entity%dSet", i) }
+
+	for i := 1; i <= n; i++ {
+		must(c.AddType(edm.EntityType{
+			Name: ty(i),
+			Attrs: []edm.Attribute{
+				{Name: "Id", Type: cond.KindInt},
+				{Name: "EntityAtt2", Type: cond.KindString, Nullable: true},
+				{Name: "EntityAtt3", Type: cond.KindString, Nullable: true},
+				{Name: "EntityAtt4", Type: cond.KindString, Nullable: true},
+			},
+			Key: []string{"Id"},
+		}))
+		must(c.AddSet(edm.EntitySet{Name: setName(i), Type: ty(i)}))
+		cols := []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "EntityAtt2", Type: cond.KindString, Nullable: true},
+			{Name: "EntityAtt3", Type: cond.KindString, Nullable: true},
+			{Name: "EntityAtt4", Type: cond.KindString, Nullable: true},
+			// A discriminator makes every table TPH-capable, so the
+			// Figure 9 SMO suite can add subtypes in any style.
+			{Name: "Disc", Type: cond.KindString, Enum: []cond.Value{cond.String(ty(i))}},
+		}
+		if i > 1 {
+			// FK columns for the two associations from the previous link.
+			cols = append(cols,
+				rel.Column{Name: "PrevOne", Type: cond.KindInt, Nullable: true},
+				rel.Column{Name: "PrevMany", Type: cond.KindInt, Nullable: true},
+			)
+		}
+		t := rel.Table{Name: tbl(i), Cols: cols, Key: []string{"Id"}}
+		if i > 1 {
+			t.FKs = []rel.ForeignKey{
+				{Name: fmt.Sprintf("fk_one_%d", i), Cols: []string{"PrevOne"}, RefTable: tbl(i - 1), RefCols: []string{"Id"}},
+				{Name: fmt.Sprintf("fk_many_%d", i), Cols: []string{"PrevMany"}, RefTable: tbl(i - 1), RefCols: []string{"Id"}},
+			}
+		}
+		must(s.AddTable(t))
+
+		colOf := map[string]string{"Id": "Id", "EntityAtt2": "EntityAtt2", "EntityAtt3": "EntityAtt3", "EntityAtt4": "EntityAtt4"}
+		m.Frags = append(m.Frags, &frag.Fragment{
+			ID:         "f_" + ty(i),
+			Set:        setName(i),
+			ClientCond: cond.TypeIs{Type: ty(i)},
+			Attrs:      []string{"Id", "EntityAtt2", "EntityAtt3", "EntityAtt4"},
+			Table:      tbl(i),
+			StoreCond:  cond.Cmp{Attr: "Disc", Op: cond.OpEq, Val: cond.String(ty(i))},
+			ColOf:      colOf,
+		})
+	}
+
+	for i := 2; i <= n; i++ {
+		for _, kind := range []struct {
+			suffix string
+			col    string
+			mult   edm.Mult
+		}{
+			{"One", "PrevOne", edm.ZeroOne},
+			{"Many", "PrevMany", edm.ZeroOne},
+		} {
+			aName := fmt.Sprintf("Rel%s%d", kind.suffix, i)
+			must(c.AddAssociation(edm.Association{
+				Name: aName,
+				End1: edm.End{Type: ty(i), Mult: edm.Many},
+				End2: edm.End{Type: ty(i - 1), Mult: kind.mult},
+			}))
+			e1 := ty(i) + "_Id"
+			e2 := ty(i-1) + "_Id"
+			m.Frags = append(m.Frags, &frag.Fragment{
+				ID:         "f_" + aName,
+				Assoc:      aName,
+				ClientCond: cond.True{},
+				Attrs:      []string{e1, e2},
+				Table:      tbl(i),
+				StoreCond:  cond.NotNull(kind.col),
+				ColOf:      map[string]string{e1: "Id", e2: kind.col},
+			})
+		}
+	}
+	must(c.Validate())
+	must(s.Validate())
+	must(m.CheckWellFormed())
+	return m
+}
+
+// ChainSMOTables adds the fresh store tables the Figure 9 SMO suite needs
+// (targets for AE-TPT/TPC and partitioned additions, plus a join table) to
+// a chain mapping's store schema and returns their names.
+func ChainSMOTables(m *frag.Mapping, parts int) (single string, partTables []string, joinTable string) {
+	single = "T_New"
+	must(m.Store.AddTable(rel.Table{
+		Name: single,
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Extra", Type: cond.KindString, Nullable: true},
+			{Name: "Weight", Type: cond.KindInt, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	for p := 0; p < parts; p++ {
+		name := fmt.Sprintf("T_Part%d", p)
+		partTables = append(partTables, name)
+		must(m.Store.AddTable(rel.Table{
+			Name: name,
+			Cols: []rel.Column{
+				{Name: "Id", Type: cond.KindInt},
+				{Name: "Extra", Type: cond.KindString, Nullable: true},
+				{Name: "Weight", Type: cond.KindInt, Nullable: true},
+			},
+			Key: []string{"Id"},
+		}))
+	}
+	joinTable = "T_Join"
+	must(m.Store.AddTable(rel.Table{
+		Name: joinTable,
+		Cols: []rel.Column{
+			{Name: "LId", Type: cond.KindInt},
+			{Name: "RId", Type: cond.KindInt},
+		},
+		Key: []string{"LId", "RId"},
+	}))
+	return single, partTables, joinTable
+}

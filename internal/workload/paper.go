@@ -1,0 +1,191 @@
+// Package workload builds the client models, store schemas and mappings
+// used throughout the reproduction: the paper's running example (Fig. 1),
+// the hub-and-rim model (Fig. 3), the 1002-entity chain model (Fig. 8),
+// and a synthetic model with the published statistics of the paper's
+// customer model (§4.2).
+package workload
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+}
+
+// paperStore builds the Fig. 1 store schema: HR(Id,Name), Emp(Id,Dept),
+// Client(Cid,Eid,Name,Score,Addr), with Emp.Id → HR.Id and
+// Client.Eid → Emp.Id foreign keys.
+func paperStore() *rel.Schema {
+	s := rel.NewSchema()
+	must(s.AddTable(rel.Table{
+		Name: "HR",
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(s.AddTable(rel.Table{
+		Name: "Emp",
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Dept", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+		FKs: []rel.ForeignKey{{Name: "fk_emp_hr", Cols: []string{"Id"}, RefTable: "HR", RefCols: []string{"Id"}}},
+	}))
+	must(s.AddTable(rel.Table{
+		Name: "Client",
+		Cols: []rel.Column{
+			{Name: "Cid", Type: cond.KindInt},
+			{Name: "Eid", Type: cond.KindInt, Nullable: true},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+			{Name: "Score", Type: cond.KindInt, Nullable: true},
+			{Name: "Addr", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Cid"},
+		FKs: []rel.ForeignKey{{Name: "fk_client_emp", Cols: []string{"Eid"}, RefTable: "Emp", RefCols: []string{"Id"}}},
+	}))
+	must(s.Validate())
+	return s
+}
+
+// PaperInitial builds the starting point of the paper's Example 1: a client
+// schema with only Person mapped to HR (fragment ϕ1), with the full Fig. 1
+// store schema already present so later SMOs can target Emp and Client.
+func PaperInitial() *frag.Mapping {
+	c := edm.NewSchema()
+	must(c.AddType(edm.EntityType{
+		Name: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddSet(edm.EntitySet{Name: "Persons", Type: "Person"}))
+	must(c.Validate())
+
+	m := &frag.Mapping{Client: c, Store: paperStore()}
+	m.Frags = append(m.Frags, &frag.Fragment{
+		ID:         "phi1",
+		Set:        "Persons",
+		ClientCond: cond.TypeIs{Type: "Person"},
+		Attrs:      []string{"Id", "Name"},
+		Table:      "HR",
+		StoreCond:  cond.True{},
+		ColOf:      map[string]string{"Id": "Id", "Name": "Name"},
+	})
+	must(m.CheckWellFormed())
+	return m
+}
+
+// PaperFull builds the complete Fig. 1 mapping Σ4 of Example 7: Person,
+// Employee (TPT on Emp), Customer (TPC on Client) and the Supports
+// association mapped to Client's Eid foreign-key column. The fragment
+// conditions are the adapted forms of Example 5.
+func PaperFull() *frag.Mapping {
+	c := edm.NewSchema()
+	must(c.AddType(edm.EntityType{
+		Name: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddType(edm.EntityType{
+		Name: "Employee", Base: "Person",
+		Attrs: []edm.Attribute{{Name: "Department", Type: cond.KindString, Nullable: true}},
+	}))
+	must(c.AddType(edm.EntityType{
+		Name: "Customer", Base: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "CredScore", Type: cond.KindInt, Nullable: true},
+			{Name: "BillAddr", Type: cond.KindString, Nullable: true},
+		},
+	}))
+	must(c.AddSet(edm.EntitySet{Name: "Persons", Type: "Person"}))
+	must(c.AddAssociation(edm.Association{
+		Name: "Supports",
+		End1: edm.End{Type: "Customer", Mult: edm.Many},
+		End2: edm.End{Type: "Employee", Mult: edm.ZeroOne},
+	}))
+	must(c.Validate())
+
+	m := &frag.Mapping{Client: c, Store: paperStore()}
+	// ϕ1': persons that are not customers go to HR.
+	m.Frags = append(m.Frags, &frag.Fragment{
+		ID:  "phi1",
+		Set: "Persons",
+		ClientCond: cond.NewOr(
+			cond.TypeIs{Type: "Person", Only: true},
+			cond.TypeIs{Type: "Employee"},
+		),
+		Attrs:     []string{"Id", "Name"},
+		Table:     "HR",
+		StoreCond: cond.True{},
+		ColOf:     map[string]string{"Id": "Id", "Name": "Name"},
+	})
+	// ϕ2: employees' extra attributes go to Emp (TPT).
+	m.Frags = append(m.Frags, &frag.Fragment{
+		ID:         "phi2",
+		Set:        "Persons",
+		ClientCond: cond.TypeIs{Type: "Employee"},
+		Attrs:      []string{"Id", "Department"},
+		Table:      "Emp",
+		StoreCond:  cond.True{},
+		ColOf:      map[string]string{"Id": "Id", "Department": "Dept"},
+	})
+	// ϕ3: customers go whole to Client (TPC).
+	m.Frags = append(m.Frags, &frag.Fragment{
+		ID:         "phi3",
+		Set:        "Persons",
+		ClientCond: cond.TypeIs{Type: "Customer"},
+		Attrs:      []string{"Id", "Name", "CredScore", "BillAddr"},
+		Table:      "Client",
+		StoreCond:  cond.True{},
+		ColOf:      map[string]string{"Id": "Cid", "Name": "Name", "CredScore": "Score", "BillAddr": "Addr"},
+	})
+	// ϕ4: Supports mapped to Client's Eid foreign-key column.
+	m.Frags = append(m.Frags, &frag.Fragment{
+		ID:         "phi4",
+		Assoc:      "Supports",
+		ClientCond: cond.True{},
+		Attrs:      []string{"Customer_Id", "Employee_Id"},
+		Table:      "Client",
+		StoreCond:  cond.NotNull("Eid"),
+		ColOf:      map[string]string{"Customer_Id": "Cid", "Employee_Id": "Eid"},
+	})
+	must(m.CheckWellFormed())
+	return m
+}
+
+// PaperClientState builds a small client state for the full paper model:
+// one plain person, two employees, two customers, one of them supported by
+// an employee.
+func PaperClientState() *state.ClientState {
+	cs := state.NewClientState()
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(1), "Name": cond.String("ann")}})
+	cs.Insert("Persons", &state.Entity{Type: "Employee", Attrs: state.Row{
+		"Id": cond.Int(2), "Name": cond.String("bob"), "Department": cond.String("hw")}})
+	cs.Insert("Persons", &state.Entity{Type: "Employee", Attrs: state.Row{
+		"Id": cond.Int(3), "Name": cond.String("cyd")}})
+	cs.Insert("Persons", &state.Entity{Type: "Customer", Attrs: state.Row{
+		"Id": cond.Int(4), "Name": cond.String("dee"), "CredScore": cond.Int(700), "BillAddr": cond.String("1 Main St")}})
+	cs.Insert("Persons", &state.Entity{Type: "Customer", Attrs: state.Row{
+		"Id": cond.Int(5), "Name": cond.String("eve")}})
+	cs.Relate("Supports", state.AssocPair{Ends: state.Row{
+		"Customer_Id": cond.Int(4), "Employee_Id": cond.Int(2)}})
+	return cs
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/rel"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+// PartitionedAgeModel builds the §3.3 example: Person(id, name, age)
+// horizontally partitioned into Adult (age >= 18) and Young (age < 18)
+// tables.
+func PartitionedAgeModel() *frag.Mapping {
+	c := edm.NewSchema()
+	must(c.AddType(edm.EntityType{
+		Name: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+			{Name: "Age", Type: cond.KindInt},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddSet(edm.EntitySet{Name: "Persons", Type: "Person"}))
+	must(c.Validate())
+
+	s := rel.NewSchema()
+	for _, name := range []string{"Adult", "Young"} {
+		must(s.AddTable(rel.Table{
+			Name: name,
+			Cols: []rel.Column{
+				{Name: "Id", Type: cond.KindInt},
+				{Name: "Name", Type: cond.KindString, Nullable: true},
+				{Name: "Age", Type: cond.KindInt},
+			},
+			Key: []string{"Id"},
+		}))
+	}
+	must(s.Validate())
+
+	m := &frag.Mapping{Client: c, Store: s}
+	m.Frags = append(m.Frags,
+		&frag.Fragment{
+			ID:  "adult",
+			Set: "Persons",
+			ClientCond: cond.NewAnd(
+				cond.TypeIs{Type: "Person"},
+				cond.Cmp{Attr: "Age", Op: cond.OpGe, Val: cond.Int(18)},
+			),
+			Attrs:     []string{"Id", "Name", "Age"},
+			Table:     "Adult",
+			StoreCond: cond.True{},
+			ColOf:     map[string]string{"Id": "Id", "Name": "Name", "Age": "Age"},
+		},
+		&frag.Fragment{
+			ID:  "young",
+			Set: "Persons",
+			ClientCond: cond.NewAnd(
+				cond.TypeIs{Type: "Person"},
+				cond.Cmp{Attr: "Age", Op: cond.OpLt, Val: cond.Int(18)},
+			),
+			Attrs:     []string{"Id", "Name", "Age"},
+			Table:     "Young",
+			StoreCond: cond.True{},
+			ColOf:     map[string]string{"Id": "Id", "Name": "Name", "Age": "Age"},
+		},
+	)
+	must(m.CheckWellFormed())
+	return m
+}
+
+// PartitionedAgeState returns a client state spanning both partitions,
+// including the age = 18 boundary.
+func PartitionedAgeState() *state.ClientState {
+	cs := state.NewClientState()
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(1), "Name": cond.String("kid"), "Age": cond.Int(7)}})
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(2), "Name": cond.String("teen"), "Age": cond.Int(17)}})
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(3), "Name": cond.String("boundary"), "Age": cond.Int(18)}})
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(4), "Age": cond.Int(44)}})
+	return cs
+}
+
+// GenderConstantModel builds the second §3.3 example: Person(id, name,
+// gender) with gender ∈ {M, F}, ids partitioned into Men/Women by gender
+// and names stored in a shared Name table. The gender attribute itself is
+// never stored: it is recovered from the partition constants.
+func GenderConstantModel() *frag.Mapping {
+	c := edm.NewSchema()
+	must(c.AddType(edm.EntityType{
+		Name: "Person",
+		Attrs: []edm.Attribute{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+			{Name: "Gender", Type: cond.KindString,
+				Enum: []cond.Value{cond.String("M"), cond.String("F")}},
+		},
+		Key: []string{"Id"},
+	}))
+	must(c.AddSet(edm.EntitySet{Name: "Persons", Type: "Person"}))
+	must(c.Validate())
+
+	s := rel.NewSchema()
+	for _, name := range []string{"Men", "Women"} {
+		must(s.AddTable(rel.Table{
+			Name: name,
+			Cols: []rel.Column{{Name: "Id", Type: cond.KindInt}},
+			Key:  []string{"Id"},
+		}))
+	}
+	must(s.AddTable(rel.Table{
+		Name: "Name",
+		Cols: []rel.Column{
+			{Name: "Id", Type: cond.KindInt},
+			{Name: "Name", Type: cond.KindString, Nullable: true},
+		},
+		Key: []string{"Id"},
+	}))
+	must(s.Validate())
+
+	m := &frag.Mapping{Client: c, Store: s}
+	m.Frags = append(m.Frags,
+		&frag.Fragment{
+			ID:  "men",
+			Set: "Persons",
+			ClientCond: cond.NewAnd(
+				cond.TypeIs{Type: "Person"},
+				cond.Cmp{Attr: "Gender", Op: cond.OpEq, Val: cond.String("M")},
+			),
+			Attrs:     []string{"Id"},
+			Table:     "Men",
+			StoreCond: cond.True{},
+			ColOf:     map[string]string{"Id": "Id"},
+		},
+		&frag.Fragment{
+			ID:  "women",
+			Set: "Persons",
+			ClientCond: cond.NewAnd(
+				cond.TypeIs{Type: "Person"},
+				cond.Cmp{Attr: "Gender", Op: cond.OpEq, Val: cond.String("F")},
+			),
+			Attrs:     []string{"Id"},
+			Table:     "Women",
+			StoreCond: cond.True{},
+			ColOf:     map[string]string{"Id": "Id"},
+		},
+		&frag.Fragment{
+			ID:         "names",
+			Set:        "Persons",
+			ClientCond: cond.TypeIs{Type: "Person"},
+			Attrs:      []string{"Id", "Name"},
+			Table:      "Name",
+			StoreCond:  cond.True{},
+			ColOf:      map[string]string{"Id": "Id", "Name": "Name"},
+		},
+	)
+	must(m.CheckWellFormed())
+	return m
+}
+
+// GenderConstantState returns a client state for GenderConstantModel.
+func GenderConstantState() *state.ClientState {
+	cs := state.NewClientState()
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(1), "Name": cond.String("max"), "Gender": cond.String("M")}})
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(2), "Name": cond.String("fay"), "Gender": cond.String("F")}})
+	cs.Insert("Persons", &state.Entity{Type: "Person", Attrs: state.Row{
+		"Id": cond.Int(3), "Gender": cond.String("F")}})
+	return cs
+}

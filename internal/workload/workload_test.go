@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+func TestPaperModelsWellFormed(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *frag.Mapping
+	}{
+		{"initial", PaperInitial()},
+		{"full", PaperFull()},
+		{"partitioned", PartitionedAgeModel()},
+		{"gender", GenderConstantModel()},
+	}
+	for _, tc := range cases {
+		if err := tc.m.CheckWellFormed(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if err := tc.m.Client.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if err := tc.m.Store.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestHubRimTPTCompiles(t *testing.T) {
+	m := HubRim(HubRimOptions{N: 2, M: 2, TPH: false})
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roundtrip a small instance: one root, one level-1 hub, one rim
+	// related to the level-1 hub.
+	cs := state.NewClientState()
+	cs.Insert("Hubs", &state.Entity{Type: "Hub0", Attrs: state.Row{
+		"Id": cond.Int(1), "H0": cond.String("root")}})
+	cs.Insert("Hubs", &state.Entity{Type: "Hub1", Attrs: state.Row{
+		"Id": cond.Int(2), "H0": cond.String("mid"), "H1": cond.String("deep")}})
+	cs.Insert("Hubs", &state.Entity{Type: "Rim1_0", Attrs: state.Row{
+		"Id": cond.Int(3), "H0": cond.String("rim"), "R1_0": cond.String("x")}})
+	cs.Relate("A1_0", state.AssocPair{Ends: state.Row{
+		"Rim1_0_Id": cond.Int(3), "Hub1_Id": cond.Int(2)}})
+	if err := orm.Roundtrip(m, views, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubRimTPHCompiles(t *testing.T) {
+	m := HubRim(HubRimOptions{N: 2, M: 2, TPH: true})
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := state.NewClientState()
+	cs.Insert("Hubs", &state.Entity{Type: "Hub0", Attrs: state.Row{
+		"Id": cond.Int(1), "H0": cond.String("root")}})
+	cs.Insert("Hubs", &state.Entity{Type: "Rim0_1", Attrs: state.Row{
+		"Id": cond.Int(2), "H0": cond.String("rim"), "R0_1": cond.String("y")}})
+	cs.Relate("A0_1", state.AssocPair{Ends: state.Row{
+		"Rim0_1_Id": cond.Int(2), "Hub0_Id": cond.Int(1)}})
+	if err := orm.Roundtrip(m, views, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubRimTypeCount(t *testing.T) {
+	m := HubRim(HubRimOptions{N: 3, M: 4, TPH: true})
+	want := 3 + 3*4
+	if got := len(m.Client.Types()); got != want {
+		t.Errorf("types = %d, want %d", got, want)
+	}
+	if got := len(m.Client.Associations()); got != 12 {
+		t.Errorf("associations = %d, want 12", got)
+	}
+}
+
+func TestChainModel(t *testing.T) {
+	m := Chain(12)
+	if got := len(m.Client.Types()); got != 12 {
+		t.Fatalf("types = %d", got)
+	}
+	if got := len(m.Client.Associations()); got != 22 {
+		t.Fatalf("associations = %d", got)
+	}
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := state.NewClientState()
+	cs.Insert("Entity1Set", &state.Entity{Type: "Entity1", Attrs: state.Row{
+		"Id": cond.Int(1), "EntityAtt2": cond.String("a")}})
+	cs.Insert("Entity2Set", &state.Entity{Type: "Entity2", Attrs: state.Row{
+		"Id": cond.Int(7), "EntityAtt3": cond.String("b")}})
+	cs.Relate("RelOne2", state.AssocPair{Ends: state.Row{
+		"Entity2_Id": cond.Int(7), "Entity1_Id": cond.Int(1)}})
+	if err := orm.Roundtrip(m, views, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomerModelStatistics(t *testing.T) {
+	opt := CustomerOptions{Types: 40, Hierarchies: 4, LargestTPH: 20, Associations: 6, SharedTableFKs: 1}
+	m := Customer(opt)
+	if got := len(m.Client.Types()); got != 40 {
+		t.Errorf("types = %d, want 40", got)
+	}
+	if got := len(m.Client.Sets()); got != 4 {
+		t.Errorf("hierarchies = %d, want 4", got)
+	}
+	if got := len(m.Client.Associations()); got != 6 {
+		t.Errorf("associations = %d, want 6", got)
+	}
+	views, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoke roundtrip over one entity of the big TPH hierarchy.
+	cs := state.NewClientState()
+	cs.Insert("SetH0", &state.Entity{Type: "H0T5", Attrs: state.Row{"Id": cond.Int(1)}})
+	if err := orm.Roundtrip(m, views, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCustomerStatisticsMatchPaper(t *testing.T) {
+	opt := DefaultCustomerOptions()
+	if opt.Types != 230 || opt.Hierarchies != 18 || opt.LargestTPH != 95 {
+		t.Errorf("defaults do not match the paper: %+v", opt)
+	}
+}
