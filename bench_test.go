@@ -8,9 +8,11 @@ package incmap_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/core"
 	"github.com/ormkit/incmap/internal/experiments"
 	"github.com/ormkit/incmap/internal/frag"
@@ -49,6 +51,72 @@ func BenchmarkFig4HubRimTPT(b *testing.B) {
 				if _, err := compiler.New().Compile(m); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelValidate measures the validation worker pool on the
+// paper's worst published point, the N=3, M=5 TPH hub-and-rim (589,842
+// cells in one table). Workers split the cell space of each table/set, so
+// speedup tracks available cores; at one worker the pipeline is exactly
+// the sequential algorithm.
+func BenchmarkParallelValidate(b *testing.B) {
+	workers := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := workload.HubRim(workload.HubRimOptions{N: 3, M: 5, TPH: true})
+				c := &compiler.Compiler{Opts: compiler.Options{Parallelism: w}}
+				if _, err := c.Compile(m); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(c.Stats.CellsVisited), "cells/op")
+			}
+		})
+	}
+}
+
+// BenchmarkSatCacheWarm measures recompilation against a pre-warmed shared
+// decision cache — the steady state of an edit-compile loop where the
+// schema facts relevant to most queries are unchanged. The hit rate is
+// reported as a benchmark metric; on an identical recompile it is 1.0.
+func BenchmarkSatCacheWarm(b *testing.B) {
+	mk := func() *frag.Mapping {
+		return workload.HubRim(workload.HubRimOptions{N: 2, M: 4, TPH: true})
+	}
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			cache := cond.NewSatCache()
+			if warm {
+				c := &compiler.Compiler{Opts: compiler.Options{SatCache: cache}}
+				if _, err := c.Compile(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var hits, misses int64
+			for i := 0; i < b.N; i++ {
+				opts := compiler.Options{SatCache: cache}
+				if !warm {
+					opts.SatCache = cond.NewSatCache()
+				}
+				c := &compiler.Compiler{Opts: opts}
+				if _, err := c.Compile(mk()); err != nil {
+					b.Fatal(err)
+				}
+				hits += c.Stats.CacheHits
+				misses += c.Stats.CacheMisses
+			}
+			if hits+misses > 0 {
+				b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
 			}
 		})
 	}

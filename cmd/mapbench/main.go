@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/ormkit/incmap/internal/experiments"
@@ -31,11 +33,12 @@ func main() {
 	types := flag.Int("types", 230, "fig10: total entity types")
 	hier := flag.Int("hier", 18, "fig10: hierarchies")
 	largest := flag.Int("largest", 95, "fig10: size of the largest (TPH) hierarchy")
+	jsonOut := flag.Bool("json", false, "fig4: also write machine-readable results to BENCH_fig4.json")
 	flag.Parse()
 
 	switch *exp {
 	case "fig4":
-		runFig4(*maxN, *maxM, *budget)
+		runFig4(*maxN, *maxM, *budget, *jsonOut)
 	case "fig9":
 		runFig9(*chain)
 	case "fig10":
@@ -45,7 +48,7 @@ func main() {
 	case "views":
 		runViewComparison(*chain)
 	case "all":
-		runFig4(*maxN, *maxM, *budget)
+		runFig4(*maxN, *maxM, *budget, *jsonOut)
 		runFig9(*chain)
 		runFig10(*types, *hier, *largest)
 		runAblations()
@@ -56,7 +59,27 @@ func main() {
 	}
 }
 
-func runFig4(maxN, maxM int, budget time.Duration) {
+// fig4JSON is the machine-readable form of one Figure 4 grid point.
+type fig4JSON struct {
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	TPHSeconds float64 `json:"tphSeconds"`
+	TPHError   string  `json:"tphError,omitempty"`
+	TPTSeconds float64 `json:"tptSeconds"`
+	TPTError   string  `json:"tptError,omitempty"`
+}
+
+// fig4File is the envelope written to BENCH_fig4.json.
+type fig4File struct {
+	GoMaxProcs int        `json:"goMaxProcs"`
+	NumCPU     int        `json:"numCPU"`
+	MaxN       int        `json:"maxN"`
+	MaxM       int        `json:"maxM"`
+	BudgetSecs float64    `json:"pointBudgetSeconds"`
+	Rows       []fig4JSON `json:"rows"`
+}
+
+func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
 	fmt.Println("=== Figure 4: full compilation time of the hub-and-rim model ===")
 	fmt.Println("(TPH is exponential in N+N*M; TPT stays flat — §1.1 of the paper)")
 	fmt.Printf("%-4s %-4s %14s %14s\n", "N", "M", "TPH (s)", "TPT (s)")
@@ -64,6 +87,37 @@ func runFig4(maxN, maxM int, budget time.Duration) {
 	for _, r := range rows {
 		fmt.Printf("%-4d %-4d %14.6f %14.6f\n", r.N, r.M, r.TPH.Seconds(), r.TPT.Seconds())
 	}
+	fmt.Println()
+	if !jsonOut {
+		return
+	}
+	out := fig4File{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		MaxN:       maxN,
+		MaxM:       maxM,
+		BudgetSecs: budget.Seconds(),
+	}
+	for _, r := range rows {
+		j := fig4JSON{N: r.N, M: r.M, TPHSeconds: r.TPH.Seconds(), TPTSeconds: r.TPT.Seconds()}
+		if r.TPHErr != nil {
+			j.TPHError = r.TPHErr.Error()
+		}
+		if r.TPTErr != nil {
+			j.TPTError = r.TPTErr.Error()
+		}
+		out.Rows = append(out.Rows, j)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_fig4.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_fig4.json")
 	fmt.Println()
 }
 

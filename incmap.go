@@ -152,11 +152,28 @@ func MustParseCond(in string) Cond { return esql.MustParseCond(in) }
 
 // Full compilation -----------------------------------------------------------
 
-// CompilerOptions tunes the full compiler.
+// CompilerOptions tunes the full compiler. Parallelism sets the validation
+// worker count (0 = runtime.GOMAXPROCS(0), 1 = sequential; any value
+// produces identical views and errors) and SatCache attaches a shared
+// decision cache.
 type CompilerOptions = compiler.Options
 
-// CompileStats reports full-compilation work.
+// CompileStats reports full-compilation work, including decision-cache
+// hit/miss counts and the worker count used.
 type CompileStats = compiler.Stats
+
+// SatCache memoizes satisfiability/implication/disjointness verdicts keyed
+// by a canonical structural encoding of the query and the relevant schema
+// facts. One cache may be shared across compilations — and between the
+// full and the incremental compiler — and is safe for concurrent use.
+type SatCache = cond.SatCache
+
+// SatCacheStats is a snapshot of a cache's hit/miss/entry counters.
+type SatCacheStats = cond.SatCacheStats
+
+// NewSatCache returns an empty decision cache to share across compilations
+// via CompilerOptions.SatCache and IncrementalOptions.SatCache.
+func NewSatCache() *SatCache { return cond.NewSatCache() }
 
 // Compile fully compiles and validates a mapping, generating its query and
 // update views. This is the expensive baseline the incremental compiler is

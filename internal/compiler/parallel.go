@@ -1,0 +1,91 @@
+package compiler
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// vtask is one unit of validation work. Tasks are ordered exactly as the
+// sequential algorithm visits them; a task receives its own ordinal and
+// the shared control block so it can stop early once a lower-ordered task
+// has already produced the winning error.
+type vtask func(ctl *vcontrol, ord int64) error
+
+// vcontrol coordinates deterministic error selection across workers.
+// errOrd holds the lowest ordinal that has produced an error so far
+// (math.MaxInt64 when none); it only ever decreases.
+type vcontrol struct {
+	errOrd atomic.Int64
+}
+
+func newVControl() *vcontrol {
+	ctl := &vcontrol{}
+	ctl.errOrd.Store(math.MaxInt64)
+	return ctl
+}
+
+// cancelled reports whether the task with the given ordinal can no longer
+// influence the result: some strictly lower-ordered task has already
+// failed, and the sequential run would never have reached this task's
+// remaining cells. Tasks at or below the current error ordinal always run
+// to completion, preserving first-error identity.
+func (ctl *vcontrol) cancelled(ord int64) bool {
+	return ord > ctl.errOrd.Load()
+}
+
+// runTasks executes the ordered tasks on the given number of workers and
+// returns the error of the lowest-ordered failing task — the error a
+// sequential run returns first. With workers <= 1 it degenerates to the
+// plain sequential loop with early exit.
+func runTasks(tasks []vtask, workers int) error {
+	ctl := newVControl()
+	if workers <= 1 || len(tasks) <= 1 {
+		for ord, t := range tasks {
+			if err := t(ctl, int64(ord)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		mu      sync.Mutex
+		bestOrd int64 = math.MaxInt64
+		bestErr error
+		next    atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ord := next.Add(1) - 1
+				if ord >= int64(len(tasks)) {
+					return
+				}
+				if ctl.cancelled(ord) {
+					continue
+				}
+				err := tasks[ord](ctl, ord)
+				if err == nil {
+					continue
+				}
+				mu.Lock()
+				// A task interrupted by cancellation reports no error, so
+				// any error seen here is the task's genuine first error;
+				// the lowest ordinal with one matches the sequential run.
+				if ord < bestOrd {
+					bestOrd, bestErr = ord, err
+					ctl.errOrd.Store(ord)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return bestErr
+}

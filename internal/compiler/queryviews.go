@@ -14,6 +14,8 @@ package compiler
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/cqt"
@@ -31,24 +33,101 @@ type Options struct {
 	// NaiveCells disables theory pruning during cell enumeration, visiting
 	// all 2^n boolean assignments (the cell-pruning ablation).
 	NaiveCells bool
+	// Parallelism is the number of validation workers. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the exact sequential algorithm. Any
+	// value produces the same views, the same first validation error, and
+	// the same error text as the sequential run: the cell spaces and
+	// foreign-key checks are partitioned into ordered tasks and the error
+	// of the lowest-ordered failing task wins.
+	Parallelism int
+	// SatCache, when non-nil, memoizes satisfiability/implication verdicts
+	// across compilations. When nil each compilation uses a private cache,
+	// which still deduplicates the (heavily repetitive) queries within one
+	// compile.
+	SatCache *cond.SatCache
 }
 
-// Stats reports the work a compilation performed.
+// Stats reports the work a compilation performed. Counters are plain int64s
+// updated atomically, so a Stats value can be copied freely once the
+// compilation has finished.
 type Stats struct {
-	CellsVisited   int
-	Implications   int
-	Containments   int
-	EquivalenceOps int
+	CellsVisited   int64
+	Implications   int64
+	Containments   int64
+	EquivalenceOps int64
+	// CacheHits and CacheMisses count satisfiability-cache lookups issued by
+	// this compilation (view assembly, validation, and containment checks).
+	CacheHits   int64
+	CacheMisses int64
+	// Workers is the validation worker count the compilation ran with.
+	Workers int64
 }
 
 // Compiler compiles mappings into views.
 type Compiler struct {
 	Opts  Options
 	Stats Stats
+
+	cache *cond.SatCache
 }
 
 // New returns a compiler with default options.
 func New() *Compiler { return &Compiler{} }
+
+// workers resolves Options.Parallelism.
+func (c *Compiler) workers() int {
+	if c.Opts.Parallelism > 0 {
+		return c.Opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// satCache resolves the decision cache: the shared one from Options, or a
+// lazily created private one.
+func (c *Compiler) satCache() *cond.SatCache {
+	if c.cache == nil {
+		if c.Opts.SatCache != nil {
+			c.cache = c.Opts.SatCache
+		} else {
+			c.cache = cond.NewSatCache()
+		}
+	}
+	return c.cache
+}
+
+func (c *Compiler) addEquivalenceOp() { atomic.AddInt64(&c.Stats.EquivalenceOps, 1) }
+
+func (c *Compiler) countCache(hit bool) {
+	if hit {
+		atomic.AddInt64(&c.Stats.CacheHits, 1)
+	} else {
+		atomic.AddInt64(&c.Stats.CacheMisses, 1)
+	}
+}
+
+// satisfiable, implies, equivalent and disjoint are the compiler's
+// cache-backed decision procedures.
+func (c *Compiler) satisfiable(t cond.Theory, x cond.Expr) bool {
+	v, hit := c.satCache().SatisfiableHit(t, x)
+	c.countCache(hit)
+	return v
+}
+
+func (c *Compiler) implies(t cond.Theory, a, b cond.Expr) bool {
+	v, hit := c.satCache().ImpliesHit(t, a, b)
+	c.countCache(hit)
+	return v
+}
+
+func (c *Compiler) equivalent(t cond.Theory, a, b cond.Expr) bool {
+	return c.implies(t, a, b) && c.implies(t, b, a)
+}
+
+func (c *Compiler) disjoint(t cond.Theory, a, b cond.Expr) bool {
+	v, hit := c.satCache().DisjointHit(t, a, b)
+	c.countCache(hit)
+	return v
+}
 
 // Compile validates the mapping and generates its query and update views.
 // A validation failure returns an error describing the first violated
@@ -59,6 +138,8 @@ func (c *Compiler) Compile(m *frag.Mapping) (*frag.Views, error) {
 	}
 	views := frag.NewViews()
 	cat := m.Catalog()
+	c.satCache()
+	c.Stats.Workers = int64(c.workers())
 
 	// Update views come first: validation issues containment checks over
 	// them.
@@ -152,9 +233,9 @@ func fragTableQuery(f *frag.Fragment, attrs []string) cqt.Expr {
 // applicable reports whether a fragment's client condition can hold for
 // entities of exactly the given concrete type.
 func (c *Compiler) applicable(m *frag.Mapping, setName string, f *frag.Fragment, ty string) bool {
-	c.Stats.EquivalenceOps++
+	atomic.AddInt64(&c.Stats.EquivalenceOps, 1)
 	th := m.Client.TheoryFor(setName)
-	return cond.Satisfiable(th, cond.NewAnd(f.ClientCond, cond.TypeIs{Type: ty, Only: true}))
+	return c.satisfiable(th, cond.NewAnd(f.ClientCond, cond.TypeIs{Type: ty, Only: true}))
 }
 
 // assembly builds the query that reconstructs the attribute values of
@@ -179,15 +260,15 @@ func (c *Compiler) assembly(m *frag.Mapping, setName, ty string) (cqt.Expr, map[
 			continue
 		}
 		restricted := cond.NewAnd(f.ClientCond, only)
-		c.Stats.EquivalenceOps++
-		if cond.Implies(th, only, f.ClientCond) {
+		atomic.AddInt64(&c.Stats.EquivalenceOps, 1)
+		if c.implies(th, only, f.ClientCond) {
 			common = append(common, f)
 			continue
 		}
 		placed := false
 		for _, g := range groups {
-			c.Stats.EquivalenceOps++
-			if cond.Equivalent(th, g.cond, restricted) {
+			atomic.AddInt64(&c.Stats.EquivalenceOps, 1)
+			if c.equivalent(th, g.cond, restricted) {
 				g.frags = append(g.frags, f)
 				placed = true
 				break

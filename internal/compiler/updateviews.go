@@ -85,8 +85,8 @@ func (c *Compiler) entityPart(m *frag.Mapping, tab *rel.Table, entity []*frag.Fr
 			if g.set != f.Set {
 				continue
 			}
-			c.Stats.EquivalenceOps++
-			if cond.Equivalent(m.Client.TheoryFor(f.Set), g.cond, f.ClientCond) {
+			c.addEquivalenceOp()
+			if c.equivalent(m.Client.TheoryFor(f.Set), g.cond, f.ClientCond) {
 				g.frags = append(g.frags, f)
 				placed = true
 				break
@@ -103,8 +103,8 @@ func (c *Compiler) entityPart(m *frag.Mapping, tab *rel.Table, entity []*frag.Fr
 			if groups[i].set != groups[j].set {
 				continue
 			}
-			c.Stats.EquivalenceOps++
-			if !cond.Disjoint(m.Client.TheoryFor(groups[i].set), groups[i].cond, groups[j].cond) {
+			c.addEquivalenceOp()
+			if !c.disjoint(m.Client.TheoryFor(groups[i].set), groups[i].cond, groups[j].cond) {
 				return nil, fmt.Errorf("fragments %s and %s on table %s overlap ambiguously",
 					groups[i].frags[0].ID, groups[j].frags[0].ID, tab.Name)
 			}

@@ -2,6 +2,8 @@ package compiler
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/containment"
@@ -29,27 +31,43 @@ func (e *ValidationError) Error() string {
 // query-containment checks over the update views; (5) roundtrip of the
 // view composition, which the cell analysis establishes for this fragment
 // language.
+//
+// The work is expressed as an ordered list of independent tasks — one per
+// unmapped-set check, per (concrete type, cell span), per (table, cell
+// span), and per foreign key — executed on a pool of Options.Parallelism
+// workers. Task order mirrors the sequential algorithm exactly, and the
+// error of the lowest-ordered failing task is returned, so any worker
+// count yields the same first error (byte for byte) as a sequential run.
 func (c *Compiler) validate(m *frag.Mapping, views *frag.Views) error {
+	workers := c.workers()
+	var tasks []vtask
+
 	for _, set := range m.Client.Sets() {
 		if len(m.FragsOnSet(set.Name)) == 0 {
-			if err := c.checkSetUnmapped(m, set); err != nil {
-				return err
-			}
+			set := set
+			tasks = append(tasks, func(*vcontrol, int64) error {
+				return c.checkSetUnmapped(m, set)
+			})
 			continue
 		}
-		if err := c.validateSetCells(m, set); err != nil {
-			return err
-		}
+		tasks = append(tasks, c.setCellTasks(m, set, workers)...)
 	}
 	for _, tn := range m.MappedTables() {
-		if err := c.validateTableCells(m, tn); err != nil {
-			return err
-		}
+		tasks = append(tasks, c.tableCellTasks(m, tn, workers)...)
 	}
-	if err := c.validateForeignKeys(m, views); err != nil {
-		return err
-	}
-	return nil
+
+	ch := containment.NewChecker(m.Catalog())
+	ch.Simplify = !c.Opts.NoSimplify
+	ch.Cache = c.satCache()
+	tasks = append(tasks, c.foreignKeyTasks(m, views, ch)...)
+
+	err := runTasks(tasks, workers)
+
+	atomic.AddInt64(&c.Stats.Containments, atomic.LoadInt64(&ch.Stats.Containments))
+	atomic.AddInt64(&c.Stats.Implications, atomic.LoadInt64(&ch.Stats.Implications))
+	atomic.AddInt64(&c.Stats.CacheHits, atomic.LoadInt64(&ch.Stats.CacheHits))
+	atomic.AddInt64(&c.Stats.CacheMisses, atomic.LoadInt64(&ch.Stats.CacheMisses))
+	return err
 }
 
 // checkSetUnmapped verifies that a set without fragments has no mapped
@@ -87,17 +105,86 @@ func (t exactTheory) Domain(a string) (cond.Domain, bool) { return t.base.Domain
 func (t exactTheory) Nullable(a string) bool              { return t.base.Nullable(a) }
 func (t exactTheory) HasAttr(ct, a string) bool           { return t.base.HasAttr(ct, a) }
 
-// validateSetCells enumerates, for every concrete type of the set, the
-// satisfiable cells of the fragment-condition space and checks that each
-// cell's entities are fully covered: every attribute is stored by an
-// active fragment, fixed by the cell's conditions, or necessarily NULL in
-// the cell. This is the coverage reasoning of §3.3 generalized, and it is
-// exponential in the number of condition atoms by nature.
-func (c *Compiler) validateSetCells(m *frag.Mapping, set *edm.EntitySet) error {
-	frags := m.FragsOnSet(set.Name)
+// cellSpan is one contiguous slice of a cell space: the sub-space of full
+// assignments extending prefix, which fixes the first start atoms. A zero
+// span denotes the whole space.
+type cellSpan struct {
+	prefix cond.Assignment
+	start  int
+}
+
+// splitSpans partitions the DFS enumeration order of the atoms' cell space
+// into spans by enumerating the theory-consistent assignments of a short
+// leading prefix. The spans, in order, visit exactly the cells of a single
+// enumeration in the same order, so per-span first errors combine under
+// task ordering into the sequential first error.
+func (c *Compiler) splitSpans(th cond.Theory, atoms []cond.Atom, workers int) []cellSpan {
+	// Splitting below ~2^16 cells costs more in task bookkeeping than it
+	// buys; the naive ablation enumerates inconsistent cells too and is
+	// kept sequential per space for simplicity.
+	const minSplitAtoms = 16
+	if workers <= 1 || c.Opts.NaiveCells || len(atoms) < minSplitAtoms {
+		return []cellSpan{{}}
+	}
+	d := 0
+	for (1 << d) < 4*workers && d < len(atoms)-8 && d < 12 {
+		d++
+	}
+	if d == 0 {
+		return []cellSpan{{}}
+	}
+	var spans []cellSpan
+	cond.EnumerateAssignments(th, atoms[:d], func(asg cond.Assignment) bool {
+		p := make(cond.Assignment, len(asg))
+		for k, v := range asg {
+			p[k] = v
+		}
+		spans = append(spans, cellSpan{prefix: p, start: d})
+		return true
+	})
+	return spans // empty when the whole space is inconsistent: zero cells
+}
+
+// enumerateSpan drives the per-cell visitor over one span, honouring the
+// naive-cells ablation and cancellation, and accounting visited cells. The
+// visitor returns the validation error that stops the span, if any.
+func (c *Compiler) enumerateSpan(th cond.Theory, atoms []cond.Atom, sp cellSpan, ctl *vcontrol, ord int64, check func(cond.Assignment, []int8) error) error {
+	var cells int64
+	defer func() { atomic.AddInt64(&c.Stats.CellsVisited, cells) }()
+	var verr error
+	visit := func(asg cond.Assignment, vals []int8) bool {
+		if ctl.cancelled(ord) {
+			return false
+		}
+		cells++
+		if verr = check(asg, vals); verr != nil {
+			return false
+		}
+		return true
+	}
+	if c.Opts.NaiveCells {
+		cond.EnumerateAllAssignmentsIndexed(atoms, func(asg cond.Assignment, vals []int8) bool {
+			if ctl.cancelled(ord) {
+				return false
+			}
+			if !cond.ConsistentAssignment(th, asg) {
+				cells++
+				return true
+			}
+			return visit(asg, vals)
+		})
+	} else {
+		cond.EnumerateAssignmentsSeeded(th, atoms, sp.prefix, sp.start, visit)
+	}
+	return verr
+}
+
+// condAtoms collects the distinct atoms of the given conditions in
+// canonical order, plus the index of each atom in that order.
+func condAtoms(conds []cond.Expr) ([]cond.Atom, map[cond.Atom]int) {
 	atomSet := map[cond.Atom]bool{}
-	for _, f := range frags {
-		for _, a := range cond.Atoms(f.ClientCond) {
+	for _, x := range conds {
+		for _, a := range cond.Atoms(x) {
 			atomSet[a] = true
 		}
 	}
@@ -106,82 +193,143 @@ func (c *Compiler) validateSetCells(m *frag.Mapping, set *edm.EntitySet) error {
 		atoms = append(atoms, a)
 	}
 	cond.SortAtoms(atoms)
-
-	baseTheory := m.Client.TheoryFor(set.Name)
-	for _, ty := range m.Client.ConcreteIn(set.Type) {
-		th := exactTheory{base: baseTheory, ty: ty}
-		var verr error
-		visit := func(asg cond.Assignment) bool {
-			c.Stats.CellsVisited++
-			if verr = c.checkClientCell(m, set, ty, frags, asg); verr != nil {
-				return false
-			}
-			return true
-		}
-		if c.Opts.NaiveCells {
-			cond.EnumerateAllAssignments(atoms, func(asg cond.Assignment) bool {
-				if !cond.ConsistentAssignment(th, asg) {
-					c.Stats.CellsVisited++
-					return true
-				}
-				return visit(asg)
-			})
-		} else {
-			cond.EnumerateAssignments(th, atoms, visit)
-		}
-		if verr != nil {
-			return verr
-		}
+	idx := make(map[cond.Atom]int, len(atoms))
+	for i, a := range atoms {
+		idx[a] = i
 	}
-	return nil
+	return atoms, idx
 }
 
-func (c *Compiler) checkClientCell(m *frag.Mapping, set *edm.EntitySet, ty string, frags []*frag.Fragment, asg cond.Assignment) error {
-	covered := map[string]bool{}
-	fixed := map[string]bool{}
-	anyActive := false
-	for _, f := range frags {
-		if !asg.Eval(f.ClientCond) {
-			continue
+// clientChecker holds the per-set state of client-side cell checking,
+// precomputed once and shared read-only by every task of the set: compiled
+// fragment conditions, the attributes each fragment covers or fixes, and
+// the IS NULL atoms of each attribute. It replaces the per-cell condition
+// evaluation, equality collection and map allocation of the sequential
+// implementation.
+type clientChecker struct {
+	set   *edm.EntitySet
+	frags []clientFrag
+	// nullIdx maps an attribute to the indices of its IS NULL atoms; a cell
+	// forces the attribute NULL when any of them is assigned true.
+	nullIdx map[string][]int
+}
+
+type clientFrag struct {
+	f    *frag.Fragment
+	eval func([]int8) bool
+	// covers lists the attributes the fragment stores plus the attributes
+	// its client condition fixes by equality (precomputed: both depend only
+	// on the fragment, not on the cell).
+	covers []string
+}
+
+func newClientChecker(set *edm.EntitySet, frags []*frag.Fragment, atoms []cond.Atom, idx map[cond.Atom]int) *clientChecker {
+	ck := &clientChecker{set: set, nullIdx: map[string][]int{}}
+	for i, a := range atoms {
+		if a.Kind == cond.AtomNull {
+			ck.nullIdx[a.Attr] = append(ck.nullIdx[a.Attr], i)
 		}
-		anyActive = true
+	}
+	for _, f := range frags {
+		cf := clientFrag{f: f, eval: cond.CompileEval(f.ClientCond, idx)}
+		seen := map[string]bool{}
 		for _, a := range f.Attrs {
-			covered[a] = true
+			if !seen[a] {
+				seen[a] = true
+				cf.covers = append(cf.covers, a)
+			}
 		}
 		eqs := map[string]cond.Value{}
 		collectEqualities(f.ClientCond, eqs)
 		for a := range eqs {
-			fixed[a] = true
+			if !seen[a] {
+				seen[a] = true
+				cf.covers = append(cf.covers, a)
+			}
+		}
+		ck.frags = append(ck.frags, cf)
+	}
+	return ck
+}
+
+// check validates one client cell for entities of the given concrete type,
+// whose attribute list is attrs. covered is task-local scratch.
+func (ck *clientChecker) check(ty string, attrs []string, asg cond.Assignment, vals []int8, covered map[string]bool) error {
+	for a := range covered {
+		delete(covered, a)
+	}
+	anyActive := false
+	for i := range ck.frags {
+		cf := &ck.frags[i]
+		if !cf.eval(vals) {
+			continue
+		}
+		anyActive = true
+		for _, a := range cf.covers {
+			covered[a] = true
 		}
 	}
 	if !anyActive {
 		return &ValidationError{
-			Where:  "entity set " + set.Name,
+			Where:  "entity set " + ck.set.Name,
 			Reason: fmt.Sprintf("entities of type %s in cell %s are not mapped by any fragment", ty, cellDesc(asg)),
 		}
 	}
-	for _, a := range m.Client.AttrNames(ty) {
-		if covered[a] || fixed[a] {
+	for _, a := range attrs {
+		if covered[a] {
 			continue
 		}
-		if cellForcesNull(asg, a) {
+		forcedNull := false
+		for _, ni := range ck.nullIdx[a] {
+			if vals[ni] == 1 {
+				forcedNull = true
+				break
+			}
+		}
+		if forcedNull {
 			continue
 		}
 		return &ValidationError{
-			Where:  "entity set " + set.Name,
+			Where:  "entity set " + ck.set.Name,
 			Reason: fmt.Sprintf("attribute %s of type %s is lost in cell %s", a, ty, cellDesc(asg)),
 		}
 	}
 	return nil
 }
 
-func cellForcesNull(asg cond.Assignment, attr string) bool {
-	for a, v := range asg {
-		if a.Kind == cond.AtomNull && a.Attr == attr && v {
-			return true
+// setCellTasks enumerates, for every concrete type of the set, the
+// satisfiable cells of the fragment-condition space and checks that each
+// cell's entities are fully covered: every attribute is stored by an
+// active fragment, fixed by the cell's conditions, or necessarily NULL in
+// the cell. This is the coverage reasoning of §3.3 generalized, and it is
+// exponential in the number of condition atoms by nature; each concrete
+// type's cell space is split into spans that run as independent tasks.
+func (c *Compiler) setCellTasks(m *frag.Mapping, set *edm.EntitySet, workers int) []vtask {
+	frags := m.FragsOnSet(set.Name)
+	conds := make([]cond.Expr, 0, len(frags))
+	for _, f := range frags {
+		conds = append(conds, f.ClientCond)
+	}
+	atoms, idx := condAtoms(conds)
+	ck := newClientChecker(set, frags, atoms, idx)
+
+	baseTheory := m.Client.TheoryFor(set.Name)
+	var tasks []vtask
+	for _, ty := range m.Client.ConcreteIn(set.Type) {
+		ty := ty
+		th := exactTheory{base: baseTheory, ty: ty}
+		attrs := m.Client.AttrNames(ty)
+		for _, sp := range c.splitSpans(th, atoms, workers) {
+			sp := sp
+			tasks = append(tasks, func(ctl *vcontrol, ord int64) error {
+				covered := map[string]bool{}
+				return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
+					return ck.check(ty, attrs, asg, vals, covered)
+				})
+			})
 		}
 	}
-	return false
+	return tasks
 }
 
 func cellDesc(asg cond.Assignment) string {
@@ -190,28 +338,205 @@ func cellDesc(asg cond.Assignment) string {
 		atoms = append(atoms, a)
 	}
 	cond.SortAtoms(atoms)
-	s := "{"
+	var b strings.Builder
+	b.WriteByte('{')
 	for i, a := range atoms {
 		if i > 0 {
-			s += ", "
+			b.WriteString(", ")
 		}
 		if asg[a] {
-			s += a.String()
+			b.WriteString(a.String())
 		} else {
-			s += "NOT(" + a.String() + ")"
+			b.WriteString("NOT(")
+			b.WriteString(a.String())
+			b.WriteByte(')')
 		}
 	}
-	return s + "}"
+	b.WriteByte('}')
+	return b.String()
 }
 
-// validateTableCells enumerates the satisfiable cells of a table's
-// store-side condition space (fragment conditions plus the null-state of
-// columns written by several fragments) and checks that active fragments
-// never conflict on a shared column and that non-nullable columns are
-// always written. For mappings that pack many types and foreign keys into
+// storeChecker holds the per-table state of store-side cell checking,
+// precomputed once and shared read-only by the table's span tasks. Only
+// columns written by at least two fragments can produce a conflict, so the
+// per-cell column loop runs over that subset; fixed-column sets (the TPH
+// discriminator equalities of each fragment's store condition) are
+// computed once per fragment instead of per column per fragment per cell.
+type storeChecker struct {
+	tab      *rel.Table
+	frags    []*frag.Fragment
+	evals    []func([]int8) bool
+	isEntity []bool // fragment has Set != ""
+	shared   []sharedCol
+	nonNull  []nonNullCol
+}
+
+// sharedCol is a column written by two or more fragments, with its writers
+// in fragment order.
+type sharedCol struct {
+	name    string
+	isKey   bool
+	writers []colWriter
+}
+
+type colWriter struct {
+	fi    int  // index into storeChecker.frags
+	assoc bool // written by an association fragment
+	set   string
+	attr  string // source attribute (AttrFor)
+	id    string
+}
+
+// nonNullCol is a non-nullable column with the fragments that write it:
+// those mapping it plus those fixing it by a store-condition equality.
+type nonNullCol struct {
+	name     string
+	coverers []int
+}
+
+func newStoreChecker(tab *rel.Table, frags []*frag.Fragment, idx map[cond.Atom]int) *storeChecker {
+	ck := &storeChecker{tab: tab, frags: frags}
+	fixed := make([]map[string]cond.Value, len(frags))
+	for i, f := range frags {
+		ck.evals = append(ck.evals, cond.CompileEval(f.StoreCond, idx))
+		ck.isEntity = append(ck.isEntity, f.Set != "")
+		fixed[i] = map[string]cond.Value{}
+		collectEqualities(f.StoreCond, fixed[i])
+	}
+	for _, tcol := range tab.Cols {
+		col := tcol.Name
+		var writers []colWriter
+		for i, f := range frags {
+			if !f.MapsCol(col) {
+				continue
+			}
+			attr, _ := f.AttrFor(col)
+			writers = append(writers, colWriter{fi: i, assoc: f.Assoc != "", set: f.Set, attr: attr, id: f.ID})
+		}
+		if len(writers) >= 2 {
+			ck.shared = append(ck.shared, sharedCol{name: col, isKey: tab.IsKey(col), writers: writers})
+		}
+		if !tcol.Nullable {
+			nn := nonNullCol{name: col}
+			for i, f := range frags {
+				_, fixes := fixed[i][col]
+				if f.MapsCol(col) || fixes {
+					nn.coverers = append(nn.coverers, i)
+				}
+			}
+			ck.nonNull = append(ck.nonNull, nn)
+		}
+	}
+	return ck
+}
+
+// storeScratch is the task-local mutable state of store-side cell checks.
+type storeScratch struct {
+	mask    []bool
+	active  []int
+	entityW []colWriter
+	assocW  []colWriter
+}
+
+func (ck *storeChecker) newScratch() *storeScratch {
+	return &storeScratch{mask: make([]bool, len(ck.frags))}
+}
+
+// check validates one store cell: active fragments must never conflict on
+// a shared column, and if the cell holds entity rows every non-nullable
+// column must be written.
+func (ck *storeChecker) check(asg cond.Assignment, vals []int8, sc *storeScratch) error {
+	sc.active = sc.active[:0]
+	for i := range ck.frags {
+		on := ck.evals[i](vals)
+		sc.mask[i] = on
+		if on {
+			sc.active = append(sc.active, i)
+		}
+	}
+	if len(sc.active) == 0 {
+		return nil // unreachable region of the table
+	}
+	// Shared-column agreement.
+	for si := range ck.shared {
+		col := &ck.shared[si]
+		sc.entityW = sc.entityW[:0]
+		sc.assocW = sc.assocW[:0]
+		for _, w := range col.writers {
+			if !sc.mask[w.fi] {
+				continue
+			}
+			if w.assoc {
+				sc.assocW = append(sc.assocW, w)
+			} else {
+				sc.entityW = append(sc.entityW, w)
+			}
+		}
+		if len(sc.entityW) > 1 {
+			w0 := sc.entityW[0]
+			for _, w := range sc.entityW[1:] {
+				if w0.set != w.set || w0.attr != w.attr {
+					return &ValidationError{
+						Where: "table " + ck.tab.Name,
+						Reason: fmt.Sprintf("fragments %s and %s both write column %s from different sources in cell %s",
+							w0.id, w.id, col.name, cellDesc(asg)),
+					}
+				}
+			}
+		}
+		if len(sc.assocW) > 0 && len(sc.entityW) > 0 && !col.isKey {
+			return &ValidationError{
+				Where: "table " + ck.tab.Name,
+				Reason: fmt.Sprintf("column %s is written by both an entity fragment and association fragment %s (check 1 of §3.2)",
+					col.name, sc.assocW[0].id),
+			}
+		}
+		if len(sc.assocW) > 1 && !col.isKey {
+			return &ValidationError{
+				Where:  "table " + ck.tab.Name,
+				Reason: fmt.Sprintf("column %s is written by two association fragments in cell %s", col.name, cellDesc(asg)),
+			}
+		}
+	}
+	// Non-nullable coverage: if the cell holds entity rows, every
+	// non-nullable column must be written by an active fragment.
+	hasEntity := false
+	for _, fi := range sc.active {
+		if ck.isEntity[fi] {
+			hasEntity = true
+			break
+		}
+	}
+	if hasEntity {
+		for ni := range ck.nonNull {
+			nn := &ck.nonNull[ni]
+			written := false
+			for _, fi := range nn.coverers {
+				if sc.mask[fi] {
+					written = true
+					break
+				}
+			}
+			if !written {
+				return &ValidationError{
+					Where:  "table " + ck.tab.Name,
+					Reason: fmt.Sprintf("non-nullable column %s is not written in cell %s", nn.name, cellDesc(asg)),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tableCellTasks enumerates the satisfiable cells of a table's store-side
+// condition space (fragment conditions plus the null-state of columns
+// written by several fragments) and checks each cell with the precomputed
+// storeChecker. For mappings that pack many types and foreign keys into
 // one table (the hub-and-rim TPH model of Figure 3) the atom count grows
-// with N + N·M and this check dominates compilation, reproducing Figure 4.
-func (c *Compiler) validateTableCells(m *frag.Mapping, table string) error {
+// with N + N·M and this check dominates compilation, reproducing Figure 4;
+// splitting the single table's cell space into spans is what lets that
+// worst case use every core.
+func (c *Compiler) tableCellTasks(m *frag.Mapping, table string, workers int) []vtask {
 	tab := m.Store.Table(table)
 	frags := m.FragsOnTable(table)
 
@@ -221,186 +546,77 @@ func (c *Compiler) validateTableCells(m *frag.Mapping, table string) error {
 	// one discriminator equality per type plus one IS NOT NULL per
 	// association column — 2^(N·M) satisfiable cells, the Figure 4
 	// blow-up.
-	atomSet := map[cond.Atom]bool{}
+	conds := make([]cond.Expr, 0, len(frags))
 	for _, f := range frags {
-		for _, a := range cond.Atoms(f.StoreCond) {
-			atomSet[a] = true
-		}
+		conds = append(conds, f.StoreCond)
 	}
-	atoms := make([]cond.Atom, 0, len(atomSet))
-	for a := range atomSet {
-		atoms = append(atoms, a)
-	}
-	cond.SortAtoms(atoms)
+	atoms, idx := condAtoms(conds)
+	ck := newStoreChecker(tab, frags, idx)
 
 	th := m.Store.TheoryFor(table)
-	var verr error
-	visit := func(asg cond.Assignment) bool {
-		c.Stats.CellsVisited++
-		if verr = checkStoreCell(tab, frags, asg); verr != nil {
-			return false
-		}
-		return true
-	}
-	if c.Opts.NaiveCells {
-		cond.EnumerateAllAssignments(atoms, func(asg cond.Assignment) bool {
-			if !cond.ConsistentAssignment(th, asg) {
-				c.Stats.CellsVisited++
-				return true
-			}
-			return visit(asg)
+	var tasks []vtask
+	for _, sp := range c.splitSpans(th, atoms, workers) {
+		sp := sp
+		tasks = append(tasks, func(ctl *vcontrol, ord int64) error {
+			sc := ck.newScratch()
+			return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
+				return ck.check(asg, vals, sc)
+			})
 		})
-	} else {
-		cond.EnumerateAssignments(th, atoms, visit)
 	}
-	return verr
+	return tasks
 }
 
-func checkStoreCell(tab *rel.Table, frags []*frag.Fragment, asg cond.Assignment) error {
-	var active []*frag.Fragment
-	for _, f := range frags {
-		cnd := f.StoreCond
-		if !asg.Eval(cnd) {
-			continue
-		}
-		// A fragment is also inactive in cells where one of its written,
-		// tracked columns is NULL and the fragment is an association
-		// (association rows require the FK value).
-		active = append(active, f)
-	}
-	if len(active) == 0 {
-		return nil // unreachable region of the table
-	}
-	// Shared-column agreement.
-	for _, tcol := range tab.Cols {
-		col := tcol.Name
-		var entityWriters []*frag.Fragment
-		var assocWriters []*frag.Fragment
-		for _, f := range active {
-			if !f.MapsCol(col) {
-				continue
-			}
-			if f.Assoc != "" {
-				assocWriters = append(assocWriters, f)
-			} else {
-				entityWriters = append(entityWriters, f)
-			}
-		}
-		if len(entityWriters) > 1 {
-			for _, w := range entityWriters[1:] {
-				a0, _ := entityWriters[0].AttrFor(col)
-				aw, _ := w.AttrFor(col)
-				if entityWriters[0].Set != w.Set || a0 != aw {
-					return &ValidationError{
-						Where: "table " + tab.Name,
-						Reason: fmt.Sprintf("fragments %s and %s both write column %s from different sources in cell %s",
-							entityWriters[0].ID, w.ID, col, cellDesc(asg)),
-					}
-				}
-			}
-		}
-		if len(assocWriters) > 0 && len(entityWriters) > 0 && !tab.IsKey(col) {
-			return &ValidationError{
-				Where: "table " + tab.Name,
-				Reason: fmt.Sprintf("column %s is written by both an entity fragment and association fragment %s (check 1 of §3.2)",
-					col, assocWriters[0].ID),
-			}
-		}
-		if len(assocWriters) > 1 && !tab.IsKey(col) {
-			return &ValidationError{
-				Where:  "table " + tab.Name,
-				Reason: fmt.Sprintf("column %s is written by two association fragments in cell %s", col, cellDesc(asg)),
-			}
-		}
-	}
-	// Non-nullable coverage: if the cell holds entity rows, every
-	// non-nullable column must be written by an active fragment.
-	hasEntity := false
-	for _, f := range active {
-		if f.Set != "" {
-			hasEntity = true
-		}
-	}
-	if hasEntity {
-		for _, col := range tab.Cols {
-			if col.Nullable {
-				continue
-			}
-			written := false
-			for _, f := range active {
-				if f.MapsCol(col.Name) {
-					written = true
-					break
-				}
-				// A column fixed by the fragment's store condition (a TPH
-				// discriminator) is written as a constant.
-				eqs := map[string]cond.Value{}
-				collectEqualities(f.StoreCond, eqs)
-				if _, fixed := eqs[col.Name]; fixed {
-					written = true
-					break
-				}
-			}
-			if !written {
-				return &ValidationError{
-					Where:  "table " + tab.Name,
-					Reason: fmt.Sprintf("non-nullable column %s is not written in cell %s", col.Name, cellDesc(asg)),
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// validateForeignKeys checks steps (2)-(4): every foreign key between
-// mapped tables must be preserved by the update views, encoded as the
-// query containment π_β(Q_T) ⊆ π_γ(Q_T').
-func (c *Compiler) validateForeignKeys(m *frag.Mapping, views *frag.Views) error {
+// foreignKeyTasks checks steps (2)-(4): every foreign key between mapped
+// tables must be preserved by the update views, encoded as the query
+// containment π_β(Q_T) ⊆ π_γ(Q_T'). Each foreign key is one task; the
+// containment checker is shared (its statistics are atomic and its
+// per-call state is local).
+func (c *Compiler) foreignKeyTasks(m *frag.Mapping, views *frag.Views, ch *containment.Checker) []vtask {
 	mapped := map[string]bool{}
 	for _, t := range m.MappedTables() {
 		mapped[t] = true
 	}
-	ch := containment.NewChecker(m.Catalog())
-	ch.Simplify = !c.Opts.NoSimplify
-	defer func() {
-		c.Stats.Containments += ch.Stats.Containments
-		c.Stats.Implications += ch.Stats.Implications
-	}()
-
+	var tasks []vtask
 	for _, tn := range m.MappedTables() {
+		tn := tn
 		tab := m.Store.Table(tn)
 		for _, fk := range tab.FKs {
-			written := false
-			for _, f := range m.FragsOnTable(tn) {
-				for _, colName := range fk.Cols {
-					if f.MapsCol(colName) {
-						written = true
+			fk := fk
+			tasks = append(tasks, func(*vcontrol, int64) error {
+				written := false
+				for _, f := range m.FragsOnTable(tn) {
+					for _, colName := range fk.Cols {
+						if f.MapsCol(colName) {
+							written = true
+						}
 					}
 				}
-			}
-			if !written {
-				continue // FK columns never populated; vacuously preserved
-			}
-			if !mapped[fk.RefTable] {
-				return &ValidationError{
-					Where:  "table " + tn,
-					Reason: fmt.Sprintf("foreign key %s references unmapped table %s", fk.Name, fk.RefTable),
+				if !written {
+					return nil // FK columns never populated; vacuously preserved
 				}
-			}
-			lhs, rhs := fkContainmentQueries(views, fk, tn)
-			ok, err := ch.Contains(lhs, rhs)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return &ValidationError{
-					Where:  "table " + tn,
-					Reason: fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable),
+				if !mapped[fk.RefTable] {
+					return &ValidationError{
+						Where:  "table " + tn,
+						Reason: fmt.Sprintf("foreign key %s references unmapped table %s", fk.Name, fk.RefTable),
+					}
 				}
-			}
+				lhs, rhs := fkContainmentQueries(views, fk, tn)
+				ok, err := ch.Contains(lhs, rhs)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return &ValidationError{
+						Where:  "table " + tn,
+						Reason: fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable),
+					}
+				}
+				return nil
+			})
 		}
 	}
-	return nil
+	return tasks
 }
 
 // fkContainmentQueries builds π_{β AS γ}(σ_{β NOT NULL}(Q_T)) ⊆ π_γ(Q_T').

@@ -149,7 +149,7 @@ func TestNoSimplifyOptionStillValid(t *testing.T) {
 // TestHubRimCellCountsScale confirms the exponential cell growth driving
 // Figure 4: cells(N=2,M=3) ≫ cells(N=2,M=1).
 func TestHubRimCellCountsScale(t *testing.T) {
-	count := func(mm int) int {
+	count := func(mm int) int64 {
 		m := workload.HubRim(workload.HubRimOptions{N: 2, M: mm, TPH: true})
 		c := New()
 		if _, err := c.Compile(m); err != nil {

@@ -1,0 +1,86 @@
+package cond
+
+// CompileEval compiles x into an evaluator over the dense per-atom truth
+// slices produced by the indexed enumerators (1 true, 0 false, -1
+// unassigned). idx maps each atom to its slice position; atoms of x absent
+// from idx are treated as unassigned. The evaluator agrees with
+// Assignment.Eval on the assignment the slice mirrors: it returns true iff
+// the three-valued truth of x is determined and true.
+//
+// Compiling once per condition moves the per-cell cost of the exhaustive
+// validation loops from repeated map lookups and interface dispatch to a
+// few slice loads.
+func CompileEval(x Expr, idx map[Atom]int) func(vals []int8) bool {
+	f := compile3(x, idx)
+	return func(vals []int8) bool { return f(vals) == 1 }
+}
+
+func const3(v int8) func([]int8) int8 {
+	return func([]int8) int8 { return v }
+}
+
+// compile3 builds the three-valued evaluator, constant-folding subtrees
+// whose truth does not depend on any atom.
+func compile3(x Expr, idx map[Atom]int) func([]int8) int8 {
+	if v, known := evalPartial(x, nil); known {
+		if v {
+			return const3(1)
+		}
+		return const3(0)
+	}
+	switch v := x.(type) {
+	case Not:
+		in := compile3(v.X, idx)
+		return func(vals []int8) int8 {
+			t := in(vals)
+			if t < 0 {
+				return -1
+			}
+			return 1 - t
+		}
+	case And:
+		subs := make([]func([]int8) int8, len(v.Xs))
+		for i, c := range v.Xs {
+			subs[i] = compile3(c, idx)
+		}
+		return func(vals []int8) int8 {
+			res := int8(1)
+			for _, f := range subs {
+				switch f(vals) {
+				case 0:
+					return 0
+				case -1:
+					res = -1
+				}
+			}
+			return res
+		}
+	case Or:
+		subs := make([]func([]int8) int8, len(v.Xs))
+		for i, c := range v.Xs {
+			subs[i] = compile3(c, idx)
+		}
+		return func(vals []int8) int8 {
+			res := int8(0)
+			for _, f := range subs {
+				switch f(vals) {
+				case 1:
+					return 1
+				case -1:
+					res = -1
+				}
+			}
+			return res
+		}
+	default:
+		a, ok := atomOf(x)
+		if !ok {
+			return const3(0)
+		}
+		i, ok := idx[a]
+		if !ok {
+			return const3(-1)
+		}
+		return func(vals []int8) int8 { return vals[i] }
+	}
+}

@@ -105,6 +105,24 @@ func EnumerateAssignments(t Theory, atoms []Atom, visit func(Assignment) bool) b
 	return s.enumerate(0, visit)
 }
 
+// EnumerateAssignmentsSeeded visits every theory-consistent full assignment
+// of the atoms that extends the given prefix assignment over atoms[:start].
+// The prefix must itself be theory-consistent; the enumeration branches only
+// over atoms[start:]. The visitor additionally receives a dense truth slice
+// indexed like atoms (1 true, 0 false), valid only for the duration of the
+// call. Seeded enumeration lets callers partition one exponential cell space
+// into disjoint contiguous sub-spaces — the unit of work of the parallel
+// validation pipeline.
+func EnumerateAssignmentsSeeded(t Theory, atoms []Atom, prefix Assignment, start int, visit func(Assignment, []int8) bool) bool {
+	asg := make(Assignment, len(atoms))
+	for a, v := range prefix {
+		asg[a] = v
+	}
+	s := &solver{t: t, atoms: atoms, asg: asg}
+	s.buildIndex()
+	return s.enumerateIdx(start, visit)
+}
+
 // EnumerateAllAssignments visits every full boolean assignment of the atoms
 // with no theory pruning (2^len(atoms) visits). It exists for the
 // cell-pruning ablation benchmark; use EnumerateAssignments otherwise.
@@ -122,6 +140,37 @@ func EnumerateAllAssignments(atoms []Atom, visit func(Assignment) bool) bool {
 			}
 		}
 		delete(asg, atoms[i])
+		return true
+	}
+	return rec(0)
+}
+
+// EnumerateAllAssignmentsIndexed is EnumerateAllAssignments extended with
+// the dense truth slice of EnumerateAssignmentsSeeded.
+func EnumerateAllAssignmentsIndexed(atoms []Atom, visit func(Assignment, []int8) bool) bool {
+	asg := Assignment{}
+	vals := make([]int8, len(atoms))
+	for i := range vals {
+		vals[i] = -1
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i >= len(atoms) {
+			return visit(asg, vals)
+		}
+		for _, val := range [2]bool{true, false} {
+			asg[atoms[i]] = val
+			if val {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		delete(asg, atoms[i])
+		vals[i] = -1
 		return true
 	}
 	return rec(0)
@@ -249,6 +298,27 @@ func (s *solver) enumerate(i int, visit func(Assignment) bool) bool {
 		s.assign(i, a, val)
 		if s.consistentForIdx(i) {
 			if !s.enumerate(i+1, visit) {
+				s.unassign(i, a)
+				return false
+			}
+		}
+	}
+	s.unassign(i, a)
+	return true
+}
+
+// enumerateIdx is enumerate with the dense truth slice passed alongside the
+// assignment, so visitors can use compiled index-based evaluators instead of
+// map lookups.
+func (s *solver) enumerateIdx(i int, visit func(Assignment, []int8) bool) bool {
+	if i >= len(s.atoms) {
+		return visit(s.asg, s.vals)
+	}
+	a := s.atoms[i]
+	for _, val := range [2]bool{true, false} {
+		s.assign(i, a, val)
+		if s.consistentForIdx(i) {
+			if !s.enumerateIdx(i+1, visit) {
 				s.unassign(i, a)
 				return false
 			}

@@ -1,0 +1,293 @@
+package cond
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SatCache memoizes the theory-level decision procedures (Satisfiable,
+// Implies, Disjoint, Tautology, Equivalent). Each verdict is keyed by a
+// canonical structural encoding of the query expression together with a
+// fingerprint of the theory facts the solver can consult for that
+// expression (concrete types, subtype relations, attribute domains,
+// nullability, attribute presence). Because the key captures the exact
+// dependence set of the decision, a cache may safely outlive the theory it
+// was filled against: verdicts are reused across compilations — and across
+// full and incremental compilation — exactly when the relevant schema
+// facts are unchanged, and miss otherwise.
+//
+// All derived procedures reduce to Satisfiable before keying, so e.g.
+// Implies(a, b), Disjoint(a, ¬b) and Satisfiable(a ∧ ¬b) share one entry.
+//
+// A SatCache is safe for concurrent use. The zero value is not usable;
+// construct with NewSatCache.
+type SatCache struct {
+	entries sync.Map // string -> bool
+	hits    atomic.Int64
+	misses  atomic.Int64
+	size    atomic.Int64
+	// maxEntries bounds memory: once reached, new verdicts are computed but
+	// not stored.
+	maxEntries int64
+}
+
+// SatCacheStats is a snapshot of a cache's counters.
+type SatCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+// defaultSatCacheEntries bounds a cache at roughly a few hundred MB of keys
+// in the worst case; real workloads stay far below it.
+const defaultSatCacheEntries = 1 << 20
+
+// NewSatCache returns an empty decision cache.
+func NewSatCache() *SatCache {
+	return &SatCache{maxEntries: defaultSatCacheEntries}
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *SatCache) Stats() SatCacheStats {
+	return SatCacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.size.Load(),
+	}
+}
+
+// Reset drops every cached verdict and zeroes the counters.
+func (c *SatCache) Reset() {
+	c.entries.Range(func(k, _ any) bool {
+		c.entries.Delete(k)
+		return true
+	})
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.size.Store(0)
+}
+
+// Satisfiable is the memoized form of the package-level Satisfiable.
+func (c *SatCache) Satisfiable(t Theory, x Expr) bool {
+	v, _ := c.SatisfiableHit(t, x)
+	return v
+}
+
+// SatisfiableHit reports the verdict and whether it was served from cache.
+func (c *SatCache) SatisfiableHit(t Theory, x Expr) (sat, hit bool) {
+	key := cacheKey(t, x)
+	if v, ok := c.entries.Load(key); ok {
+		c.hits.Add(1)
+		return v.(bool), true
+	}
+	c.misses.Add(1)
+	v := Satisfiable(t, x)
+	if c.size.Load() < c.maxEntries {
+		if _, loaded := c.entries.LoadOrStore(key, v); !loaded {
+			c.size.Add(1)
+		}
+	}
+	return v, false
+}
+
+// Implies is the memoized form of the package-level Implies.
+func (c *SatCache) Implies(t Theory, a, b Expr) bool {
+	v, _ := c.ImpliesHit(t, a, b)
+	return v
+}
+
+// ImpliesHit reports the verdict and whether it was served from cache.
+func (c *SatCache) ImpliesHit(t Theory, a, b Expr) (implies, hit bool) {
+	sat, hit := c.SatisfiableHit(t, NewAnd(a, NewNot(b)))
+	return !sat, hit
+}
+
+// Disjoint is the memoized form of the package-level Disjoint.
+func (c *SatCache) Disjoint(t Theory, a, b Expr) bool {
+	v, _ := c.DisjointHit(t, a, b)
+	return v
+}
+
+// DisjointHit reports the verdict and whether it was served from cache.
+func (c *SatCache) DisjointHit(t Theory, a, b Expr) (disjoint, hit bool) {
+	sat, hit := c.SatisfiableHit(t, NewAnd(a, b))
+	return !sat, hit
+}
+
+// Tautology is the memoized form of the package-level Tautology.
+func (c *SatCache) Tautology(t Theory, x Expr) bool {
+	return !c.Satisfiable(t, NewNot(x))
+}
+
+// Equivalent is the memoized form of the package-level Equivalent.
+func (c *SatCache) Equivalent(t Theory, a, b Expr) bool {
+	return c.Implies(t, a, b) && c.Implies(t, b, a)
+}
+
+// cacheKey builds the canonical key for one Satisfiable query: the
+// structural encoding of the expression followed by the theory fingerprint
+// restricted to the expression's atoms.
+func cacheKey(t Theory, x Expr) string {
+	var b strings.Builder
+	encodeExpr(&b, x)
+	b.WriteByte('#')
+	encodeTheory(&b, t, Atoms(x))
+	return b.String()
+}
+
+// encStr writes a length-prefixed string, so concatenated fields can never
+// be confused with one another.
+func encStr(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
+func encBool(b *strings.Builder, v bool) {
+	if v {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+}
+
+func encVal(b *strings.Builder, v Value) {
+	switch v.K {
+	case KindString:
+		b.WriteByte('s')
+		encStr(b, v.s)
+	case KindInt:
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(v.i, 10))
+		b.WriteByte(';')
+	case KindFloat:
+		b.WriteByte('f')
+		b.WriteString(strconv.FormatFloat(v.f, 'b', -1, 64))
+		b.WriteByte(';')
+	case KindBool:
+		b.WriteByte('b')
+		encBool(b, v.b)
+	default:
+		b.WriteByte('?')
+	}
+}
+
+// encodeExpr writes an unambiguous prefix encoding of the expression. The
+// Expr interface is closed (isExpr is unexported), so the switch is
+// exhaustive.
+func encodeExpr(b *strings.Builder, x Expr) {
+	switch v := x.(type) {
+	case True:
+		b.WriteByte('T')
+	case False:
+		b.WriteByte('F')
+	case Not:
+		b.WriteByte('!')
+		encodeExpr(b, v.X)
+	case And:
+		b.WriteByte('&')
+		b.WriteString(strconv.Itoa(len(v.Xs)))
+		b.WriteByte(':')
+		for _, c := range v.Xs {
+			encodeExpr(b, c)
+		}
+	case Or:
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(v.Xs)))
+		b.WriteByte(':')
+		for _, c := range v.Xs {
+			encodeExpr(b, c)
+		}
+	case TypeIs:
+		b.WriteByte('t')
+		encBool(b, v.Only)
+		encStr(b, v.Var)
+		encStr(b, v.Type)
+	case Null:
+		b.WriteByte('n')
+		encStr(b, v.Attr)
+	case Cmp:
+		b.WriteByte('c')
+		b.WriteByte(byte('0' + int(v.Op)))
+		encStr(b, v.Attr)
+		encVal(b, v.Val)
+	default:
+		b.WriteByte('?')
+	}
+}
+
+// encodeTheory fingerprints every theory fact the solver may consult while
+// deciding a query over the given atoms: per-attribute domains and
+// nullability, per-subject concrete-type candidates, and for each candidate
+// the subtype facts against the query's type atoms and the attribute-
+// presence facts against the query's attribute atoms.
+func encodeTheory(b *strings.Builder, t Theory, atoms []Atom) {
+	// Distinct attributes and subjects, in the deterministic atom order.
+	var attrs []string
+	seenAttr := map[string]bool{}
+	subjSet := map[string]bool{}
+	for _, a := range atoms {
+		subjSet[a.subject()] = true
+		if a.Kind == AtomNull || a.Kind == AtomCmp {
+			if !seenAttr[a.Attr] {
+				seenAttr[a.Attr] = true
+				attrs = append(attrs, a.Attr)
+			}
+		}
+	}
+	subjects := make([]string, 0, len(subjSet))
+	for s := range subjSet {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+
+	for _, attr := range attrs {
+		b.WriteByte('D')
+		encStr(b, attr)
+		dom, known := t.Domain(attr)
+		encBool(b, known)
+		if known {
+			b.WriteByte(byte('0' + int(dom.Kind)))
+			b.WriteString(strconv.Itoa(len(dom.Enum)))
+			b.WriteByte(':')
+			for _, v := range dom.Enum {
+				encVal(b, v)
+			}
+		}
+		encBool(b, t.Nullable(attr))
+	}
+	for _, subj := range subjects {
+		b.WriteByte('S')
+		encStr(b, subj)
+		cts := t.ConcreteTypes(subj)
+		b.WriteString(strconv.Itoa(len(cts)))
+		b.WriteByte(':')
+		for _, ct := range cts {
+			encStr(b, ct)
+			for _, a := range atoms {
+				if a.Kind != AtomType || a.subject() != subj {
+					continue
+				}
+				encBool(b, t.IsSubtype(ct, a.Type))
+			}
+			for _, attr := range attrs {
+				if subjectOfAttr(attr) != subj {
+					continue
+				}
+				encBool(b, t.HasAttr(ct, bareAttr(attr)))
+			}
+		}
+	}
+}
+
+// subjectOfAttr is Atom.subject for attribute atoms: the alias prefix of a
+// qualified name, "" for bare names.
+func subjectOfAttr(attr string) string {
+	if i := strings.IndexByte(attr, '.'); i >= 0 {
+		return attr[:i]
+	}
+	return ""
+}

@@ -1,18 +1,26 @@
 package containment
 
 import (
+	"sync/atomic"
+
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/cqt"
 )
 
 // Stats counts the work a checker performed, for the experiment harness.
+// The counters are updated atomically, so one checker may serve concurrent
+// Contains calls (all other per-call state is local).
 type Stats struct {
 	// Containments is the number of Contains calls.
-	Containments int
+	Containments int64
 	// BlockPairs is the number of conjunctive-block pairs compared.
-	BlockPairs int
+	BlockPairs int64
 	// Implications is the number of theory implication checks issued.
-	Implications int
+	Implications int64
+	// CacheHits and CacheMisses count decision-cache lookups (zero when no
+	// cache is attached).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Checker decides query containment over a catalog. The zero value is not
@@ -24,12 +32,43 @@ type Checker struct {
 	// conservative approximations and is measured by the simplifier
 	// ablation benchmark.
 	Simplify bool
-	Stats    Stats
+	// Cache, when non-nil, memoizes the satisfiability and implication
+	// verdicts the containment check reduces to. Sharing one cache between
+	// the full compiler and the incremental compiler lets neighbourhood
+	// re-validation after an SMO reuse verdicts from the original compile.
+	Cache *cond.SatCache
+	Stats Stats
 }
 
 // NewChecker returns a checker with simplification enabled.
 func NewChecker(cat *cqt.Catalog) *Checker {
 	return &Checker{Cat: cat, Simplify: true}
+}
+
+func (ch *Checker) countCache(hit bool) {
+	if hit {
+		atomic.AddInt64(&ch.Stats.CacheHits, 1)
+	} else {
+		atomic.AddInt64(&ch.Stats.CacheMisses, 1)
+	}
+}
+
+func (ch *Checker) satisfiable(t cond.Theory, x cond.Expr) bool {
+	if ch.Cache == nil {
+		return cond.Satisfiable(t, x)
+	}
+	v, hit := ch.Cache.SatisfiableHit(t, x)
+	ch.countCache(hit)
+	return v
+}
+
+func (ch *Checker) implies(t cond.Theory, a, b cond.Expr) bool {
+	if ch.Cache == nil {
+		return cond.Implies(t, a, b)
+	}
+	v, hit := ch.Cache.ImpliesHit(t, a, b)
+	ch.countCache(hit)
+	return v
 }
 
 // Contains reports whether query a is contained in query b (a ⊆ b) on
@@ -38,7 +77,7 @@ func NewChecker(cat *cqt.Catalog) *Checker {
 // generates the check is complete, so false is reported to the user as a
 // validation failure, matching the paper's behaviour of aborting the SMO.
 func (ch *Checker) Contains(a, b cqt.Expr) (bool, error) {
-	ch.Stats.Containments++
+	atomic.AddInt64(&ch.Stats.Containments, 1)
 	if ch.Simplify {
 		a = cqt.Simplify(ch.Cat, a)
 		b = cqt.Simplify(ch.Cat, b)
@@ -58,7 +97,7 @@ func (ch *Checker) Contains(a, b cqt.Expr) (bool, error) {
 		th := ch.theoryFor(ab)
 		cls := newClasses(ab)
 		acond := cls.rewrite(ab.reasoningCond())
-		if !cond.Satisfiable(th, acond) {
+		if !ch.satisfiable(th, acond) {
 			continue // empty block is contained in anything
 		}
 		// A block of the left side may be covered jointly by several blocks
@@ -68,11 +107,11 @@ func (ch *Checker) Contains(a, b cqt.Expr) (bool, error) {
 		// condition implies their disjunction.
 		var coverage []cond.Expr
 		for j := range B {
-			ch.Stats.BlockPairs++
+			atomic.AddInt64(&ch.Stats.BlockPairs, 1)
 			coverage = append(coverage, ch.homRequirements(ab, &B[j], cls)...)
 		}
-		ch.Stats.Implications++
-		if !cond.Implies(th, acond, cond.NewOr(coverage...)) {
+		atomic.AddInt64(&ch.Stats.Implications, 1)
+		if !ch.implies(th, acond, cond.NewOr(coverage...)) {
 			return false, nil
 		}
 	}

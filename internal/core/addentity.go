@@ -288,7 +288,7 @@ func (op *AddEntity) validate(ic *Incremental, m *frag.Mapping, v *frag.Views, t
 			if g.Assoc != "" || g.ClientCond.String() == (cond.TypeIs{Type: op.Name}).String() {
 				continue
 			}
-			if !cond.Disjoint(th, g.StoreCond, op.StoreCond) {
+			if !ic.disjoint(th, g.StoreCond, op.StoreCond) {
 				return fmt.Errorf("validation failed: discriminator region of %s overlaps fragment %s", op.Name, g.ID)
 			}
 		}

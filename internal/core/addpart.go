@@ -62,7 +62,7 @@ func (op *AddEntityPart) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) 
 	// --- Side conditions per part ----------------------------------------
 	for i := range op.Parts {
 		p := &op.Parts[i]
-		if !cond.Satisfiable(th, p.Cond) {
+		if !ic.satisfiable(th, p.Cond) {
 			return fmt.Errorf("part %d condition %s is unsatisfiable", i, p.Cond)
 		}
 		tab := m.Store.Table(p.Table)
@@ -140,7 +140,7 @@ func (op *AddEntityPart) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) 
 			}
 		}
 		ic.Stats.Implications++
-		if !cond.Tautology(th, cond.NewOr(covering...)) {
+		if !ic.tautology(th, cond.NewOr(covering...)) {
 			return fmt.Errorf("validation failed: attribute %q of %q is not covered by the partition conditions", a, op.Name)
 		}
 	}

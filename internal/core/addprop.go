@@ -67,7 +67,7 @@ func (op *AddProperty) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) er
 			continue
 		}
 		ic.Stats.Implications++
-		if cond.Implies(th, cond.TypeIs{Type: op.Type}, f.ClientCond) {
+		if ic.implies(th, cond.TypeIs{Type: op.Type}, f.ClientCond) {
 			host = f
 			break
 		}
@@ -208,5 +208,5 @@ func hostExactlyCovers(th cond.Theory, host *frag.Fragment, ty string, m *frag.M
 		return false
 	}
 	ic.Stats.Implications++
-	return cond.Implies(th, host.ClientCond, cond.TypeIs{Type: ty})
+	return ic.implies(th, host.ClientCond, cond.TypeIs{Type: ty})
 }

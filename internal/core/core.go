@@ -29,20 +29,32 @@ type Options struct {
 	// instead of only the SMO's neighbourhood (the neighbourhood-
 	// restriction ablation).
 	WideValidation bool
+	// SatCache, when non-nil, memoizes satisfiability/implication verdicts.
+	// Passing the cache the full compiler used lets neighbourhood
+	// re-validation after an SMO reuse verdicts from the original compile;
+	// when nil a private cache is created, still deduplicating within the
+	// incremental compilation itself.
+	SatCache *cond.SatCache
 }
 
 // Stats reports the work one or more Apply calls performed.
 type Stats struct {
-	Containments int
-	Implications int
-	AdaptedViews int
-	BuiltViews   int
+	Containments int64
+	Implications int64
+	AdaptedViews int64
+	BuiltViews   int64
+	// CacheHits and CacheMisses count satisfiability-cache lookups issued
+	// by incremental validation.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Incremental is the incremental mapping compiler.
 type Incremental struct {
 	Opts  Options
 	Stats Stats
+
+	cache *cond.SatCache
 
 	// touchedQuery/touchedUpdate track the views an SMO created or
 	// restructured, so only the neighbourhood of the change is
@@ -146,15 +158,64 @@ func (ic *Incremental) simplifyViews(m *frag.Mapping, v *frag.Views) {
 	}
 }
 
+// satCache resolves the decision cache: the shared one from Options, or a
+// lazily created private one.
+func (ic *Incremental) satCache() *cond.SatCache {
+	if ic.cache == nil {
+		if ic.Opts.SatCache != nil {
+			ic.cache = ic.Opts.SatCache
+		} else {
+			ic.cache = cond.NewSatCache()
+		}
+	}
+	return ic.cache
+}
+
+func (ic *Incremental) countCache(hit bool) {
+	if hit {
+		ic.Stats.CacheHits++
+	} else {
+		ic.Stats.CacheMisses++
+	}
+}
+
+// satisfiable, implies, disjoint and tautology are the incremental
+// compiler's cache-backed decision procedures, used by the SMO
+// neighbourhood checks.
+func (ic *Incremental) satisfiable(t cond.Theory, x cond.Expr) bool {
+	v, hit := ic.satCache().SatisfiableHit(t, x)
+	ic.countCache(hit)
+	return v
+}
+
+func (ic *Incremental) implies(t cond.Theory, a, b cond.Expr) bool {
+	v, hit := ic.satCache().ImpliesHit(t, a, b)
+	ic.countCache(hit)
+	return v
+}
+
+func (ic *Incremental) disjoint(t cond.Theory, a, b cond.Expr) bool {
+	v, hit := ic.satCache().DisjointHit(t, a, b)
+	ic.countCache(hit)
+	return v
+}
+
+func (ic *Incremental) tautology(t cond.Theory, x cond.Expr) bool {
+	return !ic.satisfiable(t, cond.NewNot(x))
+}
+
 func (ic *Incremental) checker(m *frag.Mapping) *containment.Checker {
 	ch := containment.NewChecker(m.Catalog())
 	ch.Simplify = !ic.Opts.NoSimplify
+	ch.Cache = ic.satCache()
 	return ch
 }
 
 func (ic *Incremental) absorb(ch *containment.Checker) {
 	ic.Stats.Containments += ch.Stats.Containments
 	ic.Stats.Implications += ch.Stats.Implications
+	ic.Stats.CacheHits += ch.Stats.CacheHits
+	ic.Stats.CacheMisses += ch.Stats.CacheMisses
 }
 
 // adaptClientCond implements the condition adaptation shared by fragment

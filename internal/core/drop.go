@@ -96,7 +96,7 @@ func (op *DropEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) err
 			continue
 		}
 		f.ClientCond = eliminate(f.ClientCond)
-		if !cond.Satisfiable(th, f.ClientCond) {
+		if !ic.satisfiable(th, f.ClientCond) {
 			removedTables[f.Table] = true
 			continue
 		}
