@@ -193,6 +193,62 @@ func BenchmarkFig9SMO(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalSMO measures one SMO applied to the full chain-1002
+// model of the paper, comparing the copy-on-write generation path ("cow",
+// the production path: Apply's internal clones share untouched fragments,
+// schema entries and view trees) against a deep-clone arm that reproduces
+// the pre-CoW cost of copying the whole model per SMO. Run with -benchmem:
+// the cow arm must be ≥5× faster and allocate ≥10× less than deepclone.
+func BenchmarkIncrementalSMO(b *testing.B) {
+	const n = 1002
+	fix := chainFixture(b, n)
+	mid := n / 2
+	ty := func(i int) string { return fmt.Sprintf("Entity%d", i) }
+	targets := experiments.SuiteTargets{
+		TPTParent: ty(mid), TPCParent: ty(mid + 1), TPHParent: ty(mid + 2),
+		FKEnd1: ty(n / 5), FKEnd2: ty(2 * n / 5),
+		JTEnd1: ty(3 * n / 5), JTEnd2: ty(4 * n / 5),
+		PropType: ty(mid),
+	}
+	var ops []experiments.NamedOp
+	for _, op := range experiments.Suite(targets) {
+		if op.Name == "AE-TPT" || op.Name == "AE-TPH" {
+			ops = append(ops, op)
+		}
+	}
+	for _, op := range ops {
+		op := op
+		for _, deep := range []bool{false, true} {
+			deep := deep
+			arm := "cow"
+			if deep {
+				arm = "deepclone"
+			}
+			b.Run(op.Name+"/"+arm, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ic := core.NewIncremental()
+					m2 := fix.m.Clone()
+					if deep {
+						// Pre-CoW, Apply deep-copied the model and all
+						// views before touching anything; charge that
+						// cost to this arm.
+						m2 = fix.m.DeepClone()
+						fix.views.DeepClone()
+					}
+					smo, err := op.Make(m2)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := ic.Apply(m2, fix.views, smo); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Figure 10: customer model ---------------------------------------------------
 
 // benchCustomerOpt scales the customer model down for the default run;

@@ -10,6 +10,10 @@
 //	mapbench -exp fig10 [-types 230 -hier 18 -largest 95]
 //	mapbench -exp ablations
 //	mapbench -exp all
+//
+// With -json, machine-readable results are also written next to the
+// terminal tables: BENCH_fig4.json, BENCH_fig9.json and BENCH_fig10.json
+// (per-SMO wall time, containment counts and allocation counts).
 package main
 
 import (
@@ -33,24 +37,24 @@ func main() {
 	types := flag.Int("types", 230, "fig10: total entity types")
 	hier := flag.Int("hier", 18, "fig10: hierarchies")
 	largest := flag.Int("largest", 95, "fig10: size of the largest (TPH) hierarchy")
-	jsonOut := flag.Bool("json", false, "fig4: also write machine-readable results to BENCH_fig4.json")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_fig{4,9,10}.json")
 	flag.Parse()
 
 	switch *exp {
 	case "fig4":
 		runFig4(*maxN, *maxM, *budget, *jsonOut)
 	case "fig9":
-		runFig9(*chain)
+		runFig9(*chain, *jsonOut)
 	case "fig10":
-		runFig10(*types, *hier, *largest)
+		runFig10(*types, *hier, *largest, *jsonOut)
 	case "ablations":
 		runAblations()
 	case "views":
 		runViewComparison(*chain)
 	case "all":
 		runFig4(*maxN, *maxM, *budget, *jsonOut)
-		runFig9(*chain)
-		runFig10(*types, *hier, *largest)
+		runFig9(*chain, *jsonOut)
+		runFig10(*types, *hier, *largest, *jsonOut)
 		runAblations()
 		runViewComparison(200)
 	default:
@@ -121,14 +125,74 @@ func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
 	fmt.Println()
 }
 
-func runFig9(chain int) {
+// smoJSON is the machine-readable form of one SMO suite row.
+type smoJSON struct {
+	Name         string  `json:"name"`
+	Seconds      float64 `json:"seconds"`
+	Containments int64   `json:"containments"`
+	Allocs       uint64  `json:"allocs"`
+	Error        string  `json:"error,omitempty"`
+	Note         string  `json:"note,omitempty"`
+}
+
+// suiteFile is the envelope written to BENCH_fig9.json / BENCH_fig10.json.
+type suiteFile struct {
+	GoMaxProcs int `json:"goMaxProcs"`
+	NumCPU     int `json:"numCPU"`
+	// Model parameters: Chain for fig9; Types/Hierarchies/LargestTPH for fig10.
+	Chain            int       `json:"chain,omitempty"`
+	Types            int       `json:"types,omitempty"`
+	Hierarchies      int       `json:"hierarchies,omitempty"`
+	LargestTPH       int       `json:"largestTPH,omitempty"`
+	FullSeconds      float64   `json:"fullCompileSeconds"`
+	FullContainments int64     `json:"fullCompileContainments"`
+	FullAllocs       uint64    `json:"fullCompileAllocs"`
+	Rows             []smoJSON `json:"rows"`
+}
+
+func writeSuiteJSON(path string, out suiteFile, full experiments.Result, suite []experiments.Result) {
+	out.GoMaxProcs = runtime.GOMAXPROCS(0)
+	out.NumCPU = runtime.NumCPU()
+	out.FullSeconds = full.D.Seconds()
+	out.FullContainments = full.Containments
+	out.FullAllocs = full.Allocs
+	for _, r := range suite {
+		j := smoJSON{
+			Name:         r.Name,
+			Seconds:      r.D.Seconds(),
+			Containments: r.Containments,
+			Allocs:       r.Allocs,
+			Note:         r.Note,
+		}
+		if r.Err != nil {
+			j.Error = r.Err.Error()
+		}
+		out.Rows = append(out.Rows, j)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote " + path)
+	fmt.Println()
+}
+
+func runFig9(chain int, jsonOut bool) {
 	fmt.Printf("=== Figure 9: SMO suite on the chain model (%d entity types) ===\n", chain)
 	full, suite := experiments.Fig9(chain)
 	fmt.Println(full)
 	printSuite(full, suite)
+	if jsonOut {
+		writeSuiteJSON("BENCH_fig9.json", suiteFile{Chain: chain}, full, suite)
+	}
 }
 
-func runFig10(types, hier, largest int) {
+func runFig10(types, hier, largest int, jsonOut bool) {
 	fmt.Printf("=== Figure 10: SMO suite on the customer model (%d types, %d hierarchies, largest %d) ===\n",
 		types, hier, largest)
 	opt := workload.DefaultCustomerOptions()
@@ -136,6 +200,9 @@ func runFig10(types, hier, largest int) {
 	full, suite := experiments.Fig10(opt)
 	fmt.Println(full)
 	printSuite(full, suite)
+	if jsonOut {
+		writeSuiteJSON("BENCH_fig10.json", suiteFile{Types: types, Hierarchies: hier, LargestTPH: largest}, full, suite)
+	}
 }
 
 func printSuite(full experiments.Result, suite []experiments.Result) {

@@ -391,7 +391,7 @@ func collectEqualities(e cond.Expr, out map[string]cond.Value) {
 		if v.Op == cond.OpEq {
 			out[v.Attr] = v.Val
 		}
-	case cond.And:
+	case *cond.And:
 		for _, x := range v.Xs {
 			collectEqualities(x, out)
 		}

@@ -39,16 +39,16 @@ func EvalOn(t Theory, x Expr, in Instance) bool {
 			return false
 		}
 		return cmpHolds(val, v.Op, v.Val)
-	case Not:
+	case *Not:
 		return !EvalOn(t, v.X, in)
-	case And:
+	case *And:
 		for _, c := range v.Xs {
 			if !EvalOn(t, c, in) {
 				return false
 			}
 		}
 		return true
-	case Or:
+	case *Or:
 		for _, c := range v.Xs {
 			if EvalOn(t, c, in) {
 				return true

@@ -96,19 +96,38 @@ type Cmp struct {
 	Val  Value
 }
 
-// Not is logical negation.
+// Not is logical negation. Composite nodes (Not, And, Or) are pointer
+// types built only through the New* constructors, which hash-cons them in
+// a process-wide intern table: structurally identical composites share one
+// node. Every dynamic type of Expr is therefore comparable — atoms by
+// value, composites by pointer — and == on two interned expressions is a
+// structural-equality test.
 type Not struct {
 	X Expr
+
+	key   string // canonical structural encoding (intern key)
+	hc    uint64 // nonzero iff the node is interned
+	atoms []Atom // memoized Atoms result, fixed at construction
 }
 
-// And is n-ary conjunction. An empty And is true.
+// And is n-ary conjunction (hash-consed; see Not). The constructors never
+// produce an empty or single-element And.
 type And struct {
 	Xs []Expr
+
+	key   string
+	hc    uint64
+	atoms []Atom
 }
 
-// Or is n-ary disjunction. An empty Or is false.
+// Or is n-ary disjunction (hash-consed; see Not). The constructors never
+// produce an empty or single-element Or.
 type Or struct {
 	Xs []Expr
+
+	key   string
+	hc    uint64
+	atoms []Atom
 }
 
 func (True) isExpr()   {}
@@ -116,9 +135,9 @@ func (False) isExpr()  {}
 func (TypeIs) isExpr() {}
 func (Null) isExpr()   {}
 func (Cmp) isExpr()    {}
-func (Not) isExpr()    {}
-func (And) isExpr()    {}
-func (Or) isExpr()     {}
+func (*Not) isExpr()   {}
+func (*And) isExpr()   {}
+func (*Or) isExpr()    {}
 
 func (True) String() string  { return "TRUE" }
 func (False) String() string { return "FALSE" }
@@ -138,15 +157,15 @@ func (n Null) String() string { return n.Attr + " IS NULL" }
 
 func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Val) }
 
-func (n Not) String() string {
+func (n *Not) String() string {
 	if in, ok := n.X.(Null); ok {
 		return in.Attr + " IS NOT NULL"
 	}
 	return "NOT (" + n.X.String() + ")"
 }
 
-func (a And) String() string { return joinExprs(a.Xs, " AND ", "TRUE") }
-func (o Or) String() string  { return joinExprs(o.Xs, " OR ", "FALSE") }
+func (a *And) String() string { return joinExprs(a.Xs, " AND ", "TRUE") }
+func (o *Or) String() string  { return joinExprs(o.Xs, " OR ", "FALSE") }
 
 func joinExprs(xs []Expr, sep, empty string) string {
 	if len(xs) == 0 {
@@ -165,14 +184,14 @@ func joinExprs(xs []Expr, sep, empty string) string {
 
 func needsParens(x Expr) bool {
 	switch x.(type) {
-	case And, Or:
+	case *And, *Or:
 		return true
 	}
 	return false
 }
 
 // NotNull returns the condition Attr IS NOT NULL.
-func NotNull(attr string) Expr { return Not{Null{Attr: attr}} }
+func NotNull(attr string) Expr { return NewNot(Null{Attr: attr}) }
 
 // NewAnd builds a conjunction, flattening nested Ands and applying the
 // obvious True/False simplifications.
@@ -184,7 +203,7 @@ func NewAnd(xs ...Expr) Expr {
 		case True:
 		case False:
 			return False{}
-		case And:
+		case *And:
 			out = append(out, v.Xs...)
 		default:
 			out = append(out, x)
@@ -196,7 +215,7 @@ func NewAnd(xs ...Expr) Expr {
 	case 1:
 		return out[0]
 	}
-	return And{Xs: out}
+	return internAnd(out)
 }
 
 // NewOr builds a disjunction, flattening nested Ors and applying the obvious
@@ -209,7 +228,7 @@ func NewOr(xs ...Expr) Expr {
 		case False:
 		case True:
 			return True{}
-		case Or:
+		case *Or:
 			out = append(out, v.Xs...)
 		default:
 			out = append(out, x)
@@ -221,7 +240,7 @@ func NewOr(xs ...Expr) Expr {
 	case 1:
 		return out[0]
 	}
-	return Or{Xs: out}
+	return internOr(out)
 }
 
 // NewNot negates an expression, pushing negation through constants and
@@ -232,10 +251,10 @@ func NewNot(x Expr) Expr {
 		return False{}
 	case False:
 		return True{}
-	case Not:
+	case *Not:
 		return v.X
 	}
-	return Not{X: x}
+	return internNot(x)
 }
 
 // AtomKind distinguishes the atom families.
@@ -289,8 +308,29 @@ func atomOf(x Expr) (Atom, bool) {
 }
 
 // Atoms returns the distinct atoms of the expression in a deterministic
-// order.
+// order. Composite nodes memoize the result at construction, so repeated
+// calls on interned trees are O(1). Callers must not modify the returned
+// slice.
 func Atoms(x Expr) []Atom {
+	switch v := x.(type) {
+	case *Not:
+		if v.atoms != nil {
+			return v.atoms
+		}
+	case *And:
+		if v.atoms != nil {
+			return v.atoms
+		}
+	case *Or:
+		if v.atoms != nil {
+			return v.atoms
+		}
+	}
+	return collectAtoms(x)
+}
+
+// collectAtoms walks the tree, using child memos where present.
+func collectAtoms(x Expr) []Atom {
 	seen := map[Atom]bool{}
 	var collect func(Expr)
 	collect = func(e Expr) {
@@ -299,13 +339,31 @@ func Atoms(x Expr) []Atom {
 			return
 		}
 		switch v := e.(type) {
-		case Not:
+		case *Not:
+			if v.atoms != nil {
+				for _, a := range v.atoms {
+					seen[a] = true
+				}
+				return
+			}
 			collect(v.X)
-		case And:
+		case *And:
+			if v.atoms != nil {
+				for _, a := range v.atoms {
+					seen[a] = true
+				}
+				return
+			}
 			for _, c := range v.Xs {
 				collect(c)
 			}
-		case Or:
+		case *Or:
+			if v.atoms != nil {
+				for _, a := range v.atoms {
+					seen[a] = true
+				}
+				return
+			}
 			for _, c := range v.Xs {
 				collect(c)
 			}
@@ -351,15 +409,15 @@ func MapAtoms(x Expr, f func(Expr) Expr) Expr {
 		return x
 	case TypeIs, Null, Cmp:
 		return f(x)
-	case Not:
+	case *Not:
 		return NewNot(MapAtoms(v.X, f))
-	case And:
+	case *And:
 		out := make([]Expr, len(v.Xs))
 		for i, c := range v.Xs {
 			out[i] = MapAtoms(c, f)
 		}
 		return NewAnd(out...)
-	case Or:
+	case *Or:
 		out := make([]Expr, len(v.Xs))
 		for i, c := range v.Xs {
 			out[i] = MapAtoms(c, f)

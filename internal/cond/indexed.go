@@ -29,7 +29,7 @@ func compile3(x Expr, idx map[Atom]int) func([]int8) int8 {
 		return const3(0)
 	}
 	switch v := x.(type) {
-	case Not:
+	case *Not:
 		in := compile3(v.X, idx)
 		return func(vals []int8) int8 {
 			t := in(vals)
@@ -38,7 +38,7 @@ func compile3(x Expr, idx map[Atom]int) func([]int8) int8 {
 			}
 			return 1 - t
 		}
-	case And:
+	case *And:
 		subs := make([]func([]int8) int8, len(v.Xs))
 		for i, c := range v.Xs {
 			subs[i] = compile3(c, idx)
@@ -55,7 +55,7 @@ func compile3(x Expr, idx map[Atom]int) func([]int8) int8 {
 			}
 			return res
 		}
-	case Or:
+	case *Or:
 		subs := make([]func([]int8) int8, len(v.Xs))
 		for i, c := range v.Xs {
 			subs[i] = compile3(c, idx)

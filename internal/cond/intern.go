@@ -1,0 +1,168 @@
+package cond
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Hash-consing of composite condition nodes. The New* constructors funnel
+// every Not/And/Or through a process-wide intern table keyed by the same
+// canonical structural encoding SatCache uses, so structurally identical
+// composites share one node. Consequences:
+//
+//   - sharing subtrees across mapping generations is safe by construction
+//     (the nodes are immutable and unique),
+//   - == on Expr is O(1) structural equality for interned trees,
+//   - SatCache keys composites by their (memoized) canonical encoding
+//     instead of re-walking the subtree on every decision, and
+//   - the simplifier's rebuild-heavy rewrites reuse existing nodes rather
+//     than allocating fresh copies of unchanged subtrees.
+//
+// The table is bounded; once full, constructors return fresh non-interned
+// nodes (hc == 0) that still carry their canonical key and atom memo, so
+// correctness never depends on residency — only == precision and key
+// brevity degrade.
+
+// internMaxEntries bounds the intern table. Keys of resident nodes are
+// O(fan-out) because interned children contribute a short "@id" reference.
+const internMaxEntries = 1 << 20
+
+var (
+	internTab  sync.Map // canonical key (string) -> *Not | *And | *Or
+	internSize atomic.Int64
+	internNext atomic.Uint64 // id source; ids are stable for the process lifetime
+)
+
+// InternStats reports the number of live interned composite nodes.
+func InternStats() int64 { return internSize.Load() }
+
+// internKeyOf returns the canonical encoding of x as it appears inside a
+// parent's intern key: interned composites contribute "@id" (ids are
+// unique per structure, so this is canonical), non-interned composites
+// contribute their full key, and atoms their structural encoding.
+func internKeyOf(x Expr) string {
+	switch v := x.(type) {
+	case *Not:
+		if v.hc != 0 {
+			return "@" + strconv.FormatUint(v.hc, 36)
+		}
+		return v.key
+	case *And:
+		if v.hc != 0 {
+			return "@" + strconv.FormatUint(v.hc, 36)
+		}
+		return v.key
+	case *Or:
+		if v.hc != 0 {
+			return "@" + strconv.FormatUint(v.hc, 36)
+		}
+		return v.key
+	}
+	var b strings.Builder
+	encodeAtomExpr(&b, x)
+	return b.String()
+}
+
+// encodeAtomExpr writes the unambiguous prefix encoding of a non-composite
+// expression (the atom cases of the historical encodeExpr).
+func encodeAtomExpr(b *strings.Builder, x Expr) {
+	switch v := x.(type) {
+	case True:
+		b.WriteByte('T')
+	case False:
+		b.WriteByte('F')
+	case TypeIs:
+		b.WriteByte('t')
+		encBool(b, v.Only)
+		encStr(b, v.Var)
+		encStr(b, v.Type)
+	case Null:
+		b.WriteByte('n')
+		encStr(b, v.Attr)
+	case Cmp:
+		b.WriteByte('c')
+		b.WriteByte(byte('0' + int(v.Op)))
+		encStr(b, v.Attr)
+		encVal(b, v.Val)
+	default:
+		b.WriteByte('?')
+	}
+}
+
+// intern publishes a fully-built node under its key, or returns the
+// already-resident structural twin. Nodes are complete (key and atom memo
+// set) before publication, so readers never observe partial state. When
+// the table is full the fresh node is returned un-interned: its hc is
+// cleared so parents embed its full key rather than a dangling "@id".
+func intern(key string, mk func() Expr) Expr {
+	if e, ok := internTab.Load(key); ok {
+		return e.(Expr)
+	}
+	n := mk()
+	if internSize.Load() >= internMaxEntries {
+		clearHC(n)
+		return n
+	}
+	if e, loaded := internTab.LoadOrStore(key, n); loaded {
+		return e.(Expr)
+	}
+	internSize.Add(1)
+	return n
+}
+
+func clearHC(x Expr) {
+	switch v := x.(type) {
+	case *Not:
+		v.hc = 0
+	case *And:
+		v.hc = 0
+	case *Or:
+		v.hc = 0
+	}
+}
+
+func internNot(x Expr) Expr {
+	var b strings.Builder
+	b.WriteByte('!')
+	b.WriteString(internKeyOf(x))
+	key := b.String()
+	return intern(key, func() Expr {
+		n := &Not{X: x, key: key}
+		n.atoms = collectAtoms(n.X)
+		n.hc = internNext.Add(1)
+		return n
+	})
+}
+
+func internAnd(xs []Expr) Expr {
+	key := compositeKey('&', xs)
+	return intern(key, func() Expr {
+		n := &And{Xs: xs, key: key}
+		n.atoms = collectAtoms(n)
+		n.hc = internNext.Add(1)
+		return n
+	})
+}
+
+func internOr(xs []Expr) Expr {
+	key := compositeKey('|', xs)
+	return intern(key, func() Expr {
+		n := &Or{Xs: xs, key: key}
+		n.atoms = collectAtoms(n)
+		n.hc = internNext.Add(1)
+		return n
+	})
+}
+
+func compositeKey(tag byte, xs []Expr) string {
+	var b strings.Builder
+	b.WriteByte(tag)
+	b.WriteString(strconv.Itoa(len(xs)))
+	b.WriteByte(':')
+	for _, x := range xs {
+		encStr(&b, internKeyOf(x))
+	}
+	return b.String()
+}

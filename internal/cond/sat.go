@@ -24,10 +24,10 @@ func evalPartial(x Expr, asg Assignment) (val, known bool) {
 		return true, true
 	case False:
 		return false, true
-	case Not:
+	case *Not:
 		iv, ik := evalPartial(v.X, asg)
 		return !iv, ik
-	case And:
+	case *And:
 		all := true
 		for _, c := range v.Xs {
 			cv, ck := evalPartial(c, asg)
@@ -39,7 +39,7 @@ func evalPartial(x Expr, asg Assignment) (val, known bool) {
 			}
 		}
 		return true, all
-	case Or:
+	case *Or:
 		none := true
 		for _, c := range v.Xs {
 			cv, ck := evalPartial(c, asg)

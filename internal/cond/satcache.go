@@ -175,47 +175,16 @@ func encVal(b *strings.Builder, v Value) {
 	}
 }
 
-// encodeExpr writes an unambiguous prefix encoding of the expression. The
-// Expr interface is closed (isExpr is unexported), so the switch is
-// exhaustive.
+// encodeExpr writes an unambiguous prefix encoding of the expression.
+// Composite nodes are hash-consed (see intern.go) and contribute their
+// memoized canonical key — "@id" when interned — so encoding is O(1) in
+// the subtree size instead of a full walk.
 func encodeExpr(b *strings.Builder, x Expr) {
-	switch v := x.(type) {
-	case True:
-		b.WriteByte('T')
-	case False:
-		b.WriteByte('F')
-	case Not:
-		b.WriteByte('!')
-		encodeExpr(b, v.X)
-	case And:
-		b.WriteByte('&')
-		b.WriteString(strconv.Itoa(len(v.Xs)))
-		b.WriteByte(':')
-		for _, c := range v.Xs {
-			encodeExpr(b, c)
-		}
-	case Or:
-		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(len(v.Xs)))
-		b.WriteByte(':')
-		for _, c := range v.Xs {
-			encodeExpr(b, c)
-		}
-	case TypeIs:
-		b.WriteByte('t')
-		encBool(b, v.Only)
-		encStr(b, v.Var)
-		encStr(b, v.Type)
-	case Null:
-		b.WriteByte('n')
-		encStr(b, v.Attr)
-	case Cmp:
-		b.WriteByte('c')
-		b.WriteByte(byte('0' + int(v.Op)))
-		encStr(b, v.Attr)
-		encVal(b, v.Val)
+	switch x.(type) {
+	case *Not, *And, *Or:
+		b.WriteString(internKeyOf(x))
 	default:
-		b.WriteByte('?')
+		encodeAtomExpr(b, x)
 	}
 }
 

@@ -159,10 +159,10 @@ func (op *AddAssociationFK) apply(ic *Incremental, m *frag.Mapping, v *frag.View
 	for i, c := range e2cols {
 		qaCols = append(qaCols, cqt.ColAs(op.KeyCols2[i], c))
 	}
-	v.Assoc[op.Name] = &cqt.View{Q: cqt.Project{
+	v.SetAssoc(op.Name, &cqt.View{Q: cqt.Project{
 		In:   cqt.Select{In: cqt.ScanTable{Table: op.Table}, Cond: cond.NewAnd(notNull...)},
 		Cols: qaCols,
-	}}
+	}})
 	ic.Stats.BuiltViews++
 
 	// --- Update view Q_T (§3.2.1) -------------------------------------------
@@ -181,12 +181,12 @@ func (op *AddAssociationFK) apply(ic *Incremental, m *frag.Mapping, v *frag.View
 	for i, c := range op.KeyCols1 {
 		on[i] = [2]string{c, c}
 	}
-	v.Update[op.Table] = &cqt.View{Q: cqt.Join{
+	v.SetUpdate(op.Table, &cqt.View{Q: cqt.Join{
 		Kind: cqt.LeftOuter,
 		L:    base,
 		R:    cqt.Project{In: cqt.ScanAssoc{Assoc: op.Name}, Cols: part},
 		On:   on,
-	}}
+	}})
 	ic.Stats.AdaptedViews++
 	ic.markUpdate(op.Table)
 	return nil
@@ -349,8 +349,8 @@ func (op *AddAssociationJT) apply(ic *Incremental, m *frag.Mapping, v *frag.View
 			utCols = append(utCols, cqt.LitAs(cqt.NullOf(tc.Type), tc.Name))
 		}
 	}
-	v.Assoc[op.Name] = &cqt.View{Q: cqt.Project{In: cqt.ScanTable{Table: op.Table}, Cols: qaCols}}
-	v.Update[op.Table] = &cqt.View{Q: cqt.Project{In: cqt.ScanAssoc{Assoc: op.Name}, Cols: utCols}}
+	v.SetAssoc(op.Name, &cqt.View{Q: cqt.Project{In: cqt.ScanTable{Table: op.Table}, Cols: qaCols}})
+	v.SetUpdate(op.Table, &cqt.View{Q: cqt.Project{In: cqt.ScanAssoc{Assoc: op.Name}, Cols: utCols}})
 	ic.Stats.BuiltViews += 2
 	ic.markUpdate(op.Table)
 	return nil

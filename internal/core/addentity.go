@@ -147,15 +147,15 @@ func (op *AddEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) erro
 	if op.sharedTable() {
 		old := v.Update[op.Table]
 		if old == nil {
-			v.Update[op.Table] = &cqt.View{Q: contribution}
+			v.SetUpdate(op.Table, &cqt.View{Q: contribution})
 		} else {
 			adapted := cqt.MapConds(old.Q, func(c cond.Expr) cond.Expr {
 				return adaptClientCond(m, c, op.Name, op.P, pset)
 			})
-			v.Update[op.Table] = &cqt.View{Q: cqt.UnionAll{Inputs: []cqt.Expr{adapted, contribution}}}
+			v.SetUpdate(op.Table, &cqt.View{Q: cqt.UnionAll{Inputs: []cqt.Expr{adapted, contribution}}})
 		}
 	} else {
-		v.Update[op.Table] = &cqt.View{Q: contribution}
+		v.SetUpdate(op.Table, &cqt.View{Q: contribution})
 	}
 	ic.Stats.BuiltViews++
 	ic.markUpdate(op.Table)
@@ -398,7 +398,7 @@ func (op *AddEntity) evolveQueryViews(ic *Incremental, m *frag.Mapping, v *frag.
 		qE = cqt.Join{Kind: cqt.Inner, L: base, R: tPart(false), On: keyOn}
 		qAux = cqt.Join{Kind: cqt.Inner, L: base, R: tPart(true), On: keyOn}
 	}
-	v.Query[op.Name] = &cqt.View{Q: qE, Cases: []cqt.Case{tauE}}
+	v.SetQuery(op.Name, &cqt.View{Q: qE, Cases: []cqt.Case{tauE}})
 	ic.Stats.BuiltViews++
 	ic.markQuery(op.Name)
 
@@ -430,7 +430,7 @@ func (ic *Incremental) evolveAncestorViews(m *frag.Mapping, v *frag.Views, setNa
 	// new type's rows — so the new source's copies are renamed and the new
 	// constructor case reads the renamed columns.
 	for _, f := range ancestorsOfP(m, p) {
-		qf := v.Query[f]
+		qf := v.MutableQuery(f)
 		if qf == nil {
 			continue
 		}
@@ -489,7 +489,7 @@ func (ic *Incremental) evolveAncestorViews(m *frag.Mapping, v *frag.Views, setNa
 		Attrs: attrIdentity(m, newType),
 	}
 	for _, f := range pset {
-		qf := v.Query[f]
+		qf := v.MutableQuery(f)
 		if qf == nil {
 			continue
 		}
@@ -625,7 +625,7 @@ func collectStoreEqualities(e cond.Expr, out map[string]cond.Value) {
 		if v.Op == cond.OpEq {
 			out[v.Attr] = v.Val
 		}
-	case cond.And:
+	case *cond.And:
 		for _, x := range v.Xs {
 			collectStoreEqualities(x, out)
 		}

@@ -180,13 +180,13 @@ func (op *AddEntityPart) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) 
 				cols = append(cols, cqt.LitAs(cqt.NullOf(tc.Type), tc.Name))
 			}
 		}
-		v.Update[p.Table] = &cqt.View{Q: cqt.Project{
+		v.SetUpdate(p.Table, &cqt.View{Q: cqt.Project{
 			In: cqt.Select{
 				In:   cqt.ScanSet{Set: set.Name},
 				Cond: cond.NewAnd(cond.TypeIs{Type: op.Name}, p.Cond),
 			},
 			Cols: cols,
-		}}
+		}})
 		ic.Stats.BuiltViews++
 		ic.markUpdate(p.Table)
 	}
@@ -225,9 +225,9 @@ func (op *AddEntityPart) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) 
 	if err != nil {
 		return err
 	}
-	v.Query[op.Name] = &cqt.View{Q: qE, Cases: []cqt.Case{{
+	v.SetQuery(op.Name, &cqt.View{Q: qE, Cases: []cqt.Case{{
 		When: cond.True{}, Type: op.Name, Attrs: attrIdentity(m, op.Name),
-	}}}
+	}}})
 	ic.Stats.BuiltViews++
 	ic.markQuery(op.Name)
 

@@ -79,6 +79,7 @@ func (op *AddProperty) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) er
 		if !tc.Nullable && !hostExactlyCovers(th, host, op.Type, m, op.Table, ic) {
 			return fmt.Errorf("column %s.%s must be nullable: table rows exist that are not %s entities", op.Table, op.Col, op.Type)
 		}
+		host = m.MutableFrag(host)
 		host.Attrs = append(host.Attrs, op.Attr.Name)
 		host.ColOf[op.Attr.Name] = op.Col
 		sourceCond = host.StoreCond
@@ -131,7 +132,7 @@ func (op *AddProperty) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) er
 	if err != nil {
 		return err
 	}
-	v.Update[op.Table] = uv
+	v.SetUpdate(op.Table, uv)
 	ic.Stats.BuiltViews++
 	ic.markUpdate(op.Table)
 
@@ -179,7 +180,7 @@ func (op *AddProperty) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) er
 		affected[d] = true
 	}
 	for ty := range affected {
-		qv := v.Query[ty]
+		qv := v.MutableQuery(ty)
 		if qv == nil {
 			continue
 		}

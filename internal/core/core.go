@@ -102,6 +102,12 @@ type Planner interface {
 // validates the neighbourhood of the change. On success the evolved mapping
 // and views are returned; on failure an error is returned and the inputs
 // are left untouched, matching the paper's abort semantics.
+//
+// The evolved generation is a copy-on-write snapshot of the inputs:
+// untouched fragments, schema entries and view trees are shared with the
+// originals, and appliers copy exactly the objects they change (through
+// MutableFrag, MutableQuery/MutableUpdate and the schema mutators). Apply
+// therefore does O(change) copying work per SMO, not O(model).
 func (ic *Incremental) Apply(m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapping, *frag.Views, error) {
 	nm := m.Clone()
 	nv := v.Clone()
@@ -133,6 +139,10 @@ func (ic *Incremental) Apply(m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapp
 }
 
 // ApplyAll compiles a sequence of SMOs, aborting at the first failure.
+// Each step derives a copy-on-write generation from the previous one, so
+// state is shared across the whole sequence and the total copying work is
+// O(total change) — one cheap generation per op — rather than one full
+// clone per op.
 func (ic *Incremental) ApplyAll(m *frag.Mapping, v *frag.Views, ops ...SMO) (*frag.Mapping, *frag.Views, error) {
 	for _, op := range ops {
 		var err error
@@ -147,12 +157,12 @@ func (ic *Incremental) ApplyAll(m *frag.Mapping, v *frag.Views, ops ...SMO) (*fr
 func (ic *Incremental) simplifyViews(m *frag.Mapping, v *frag.Views) {
 	cat := m.Catalog()
 	for ty := range ic.touchedQuery {
-		if view := v.Query[ty]; view != nil {
+		if view := v.MutableQuery(ty); view != nil {
 			view.Q = cqt.Simplify(cat, view.Q)
 		}
 	}
 	for table := range ic.touchedUpdate {
-		if view := v.Update[table]; view != nil {
+		if view := v.MutableUpdate(table); view != nil {
 			view.Q = cqt.Simplify(cat, view.Q)
 		}
 	}
@@ -261,13 +271,20 @@ func adaptClientCond(m *frag.Mapping, x cond.Expr, newType, p string, pset []str
 }
 
 // adaptFragments rewrites the client conditions of the fragments over one
-// entity set (§3.1.3).
+// entity set (§3.1.3). Fragments whose condition is unaffected stay shared
+// with the previous generation; only genuinely rewritten ones are copied
+// (the rewrite rebuilds through the hash-consing constructors, so == tells
+// the two cases apart).
 func adaptFragments(m *frag.Mapping, setName, newType, p string, pset []string) {
 	for _, f := range m.Frags {
 		if f.Set != setName {
 			continue
 		}
-		f.ClientCond = adaptClientCond(m, f.ClientCond, newType, p, pset)
+		nc := adaptClientCond(m, f.ClientCond, newType, p, pset)
+		if nc == f.ClientCond {
+			continue
+		}
+		m.MutableFrag(f).ClientCond = nc
 	}
 }
 
@@ -301,7 +318,8 @@ func (ic *Incremental) adaptUpdateViews(m *frag.Mapping, v *frag.Views, skipTabl
 		if !cqt.AnyCond(view.Q, affected) {
 			continue
 		}
-		view.Q = cqt.MapConds(view.Q, func(c cond.Expr) cond.Expr {
+		nview := v.MutableUpdate(table)
+		nview.Q = cqt.MapConds(nview.Q, func(c cond.Expr) cond.Expr {
 			return adaptClientCond(m, c, newType, p, pset)
 		})
 		ic.Stats.AdaptedViews++

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/modelio"
+)
+
+// These tests pin down the aliasing contract of the copy-on-write
+// generations produced by Apply: the evolved mapping and views share
+// untouched state with their inputs, so mutating either generation through
+// the sanctioned mutators must never be visible in the other, and a failed
+// SMO must leave its inputs byte-identical.
+
+// fingerprintMapping renders a mapping to its canonical serialized form.
+func fingerprintMapping(t *testing.T, m *frag.Mapping) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := modelio.Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fingerprintViews renders every view of all three families in sorted
+// order.
+func fingerprintViews(v *frag.Views) string {
+	var b strings.Builder
+	family := func(tag string, views map[string]*cqt.View) {
+		names := make([]string, 0, len(views))
+		for n := range views {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s %s:\n%s\n", tag, n, cqt.FormatView(views[n]))
+		}
+	}
+	family("query", v.Query)
+	family("assoc", v.Assoc)
+	family("update", v.Update)
+	return b.String()
+}
+
+// TestApplySnapshotIsolation applies SMOs and checks isolation in both
+// directions: evolving a generation leaves the input generation untouched,
+// and evolving the old generation again does not leak into the previously
+// derived one.
+func TestApplySnapshotIsolation(t *testing.T) {
+	m0, v0 := compiled(t)
+	ic := NewIncremental()
+
+	fpM0 := fingerprintMapping(t, m0)
+	fpV0 := fingerprintViews(v0)
+
+	m1, v1, err := ic.Apply(m0, v0, employeeSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward direction: deriving m1/v1 must not disturb m0/v0.
+	if !bytes.Equal(fpM0, fingerprintMapping(t, m0)) {
+		t.Error("applying an SMO mutated the input mapping")
+	}
+	if fpV0 != fingerprintViews(v0) {
+		t.Error("applying an SMO mutated the input views")
+	}
+
+	fpM1 := fingerprintMapping(t, m1)
+	fpV1 := fingerprintViews(v1)
+
+	// Backward direction: evolving the old generation again (a sibling
+	// branch sharing state with m1/v1) must not leak into m1/v1.
+	if _, _, err := ic.Apply(m0, v0, customerSMO()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fpM1, fingerprintMapping(t, m1)) {
+		t.Error("evolving the old generation mutated a sibling generation's mapping")
+	}
+	if fpV1 != fingerprintViews(v1) {
+		t.Error("evolving the old generation mutated a sibling generation's views")
+	}
+	// And m0/v0 are still the original snapshot.
+	if !bytes.Equal(fpM0, fingerprintMapping(t, m0)) {
+		t.Error("second apply mutated the input mapping")
+	}
+	if fpV0 != fingerprintViews(v0) {
+		t.Error("second apply mutated the input views")
+	}
+
+	// Deeper chains keep every intermediate generation intact.
+	m2, v2, err := ic.Apply(m1, v1, customerSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ic.Apply(m2, v2, supportsSMO()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fpM1, fingerprintMapping(t, m1)) || fpV1 != fingerprintViews(v1) {
+		t.Error("chained applies mutated an intermediate generation")
+	}
+}
+
+// TestFailedApplyLeavesInputsIdentical replays the Figure 6 rejection: the
+// applier mutates its working clone before validation fails, and the abort
+// contract demands the caller's generation is untouched, byte for byte.
+func TestFailedApplyLeavesInputsIdentical(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO(), supportsSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store.AddTable(relTableContractors()); err != nil {
+		t.Fatal(err)
+	}
+	fpM := fingerprintMapping(t, m)
+	fpV := fingerprintViews(v)
+
+	op := AddEntityTPC("Contractor", "Employee",
+		nil,
+		"Contractors", map[string]string{
+			"Id": "Id", "Name": "Name", "Department": "Dept",
+		})
+	if _, _, err := ic.Apply(m, v, op); err == nil {
+		t.Fatal("Figure 6 violation unexpectedly accepted")
+	}
+	if !bytes.Equal(fpM, fingerprintMapping(t, m)) {
+		t.Error("failed SMO mutated the input mapping")
+	}
+	if fpV != fingerprintViews(v) {
+		t.Error("failed SMO mutated the input views")
+	}
+}
+
+// TestConcurrentReadersOfOldGeneration derives new generations while other
+// goroutines continuously read the old one. Run under -race this checks
+// that copy-on-write sharing never writes into state a reader can see.
+func TestConcurrentReadersOfOldGeneration(t *testing.T) {
+	m0, v0 := compiled(t)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Read-only traversal of the shared generation.
+				for _, f := range m0.Frags {
+					_ = f.String()
+					_ = f.ClientCond.String()
+				}
+				for _, ty := range m0.Client.Types() {
+					_ = m0.Client.AttrNames(ty.Name)
+				}
+				_ = fingerprintViews(v0)
+			}
+		}()
+	}
+
+	ic := NewIncremental()
+	for i := 0; i < 5; i++ {
+		if _, _, err := ic.ApplyAll(m0, v0, employeeSMO(), customerSMO(), supportsSMO()); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+}

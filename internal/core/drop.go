@@ -29,12 +29,7 @@ func (op *DropAssociation) apply(ic *Incremental, m *frag.Mapping, v *frag.Views
 	if g == nil {
 		return nil
 	}
-	for i, f := range m.Frags {
-		if f == g {
-			m.Frags = append(m.Frags[:i], m.Frags[i+1:]...)
-			break
-		}
-	}
+	m.RemoveFrag(g)
 	if len(m.FragsOnTable(g.Table)) == 0 {
 		delete(v.Update, g.Table)
 		return nil
@@ -43,7 +38,7 @@ func (op *DropAssociation) apply(ic *Incremental, m *frag.Mapping, v *frag.Views
 	if err != nil {
 		return err
 	}
-	v.Update[g.Table] = uv
+	v.SetUpdate(g.Table, uv)
 	ic.Stats.BuiltViews++
 	ic.markUpdate(g.Table)
 	return nil
@@ -88,14 +83,20 @@ func (op *DropEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) err
 	}
 
 	th := m.Client.TheoryFor(set.Name)
-	var keep []*frag.Fragment
+	keep := make([]*frag.Fragment, 0, len(m.Frags))
 	removedTables := map[string]bool{}
 	for _, f := range m.Frags {
 		if f.Set != set.Name {
 			keep = append(keep, f)
 			continue
 		}
-		f.ClientCond = eliminate(f.ClientCond)
+		// Rewritten fragments get private copies; untouched ones stay
+		// shared with the previous generation.
+		if nc := eliminate(f.ClientCond); nc != f.ClientCond {
+			nf := f.Clone()
+			nf.ClientCond = nc
+			f = nf
+		}
 		if !ic.satisfiable(th, f.ClientCond) {
 			removedTables[f.Table] = true
 			continue
@@ -118,7 +119,7 @@ func (op *DropEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) err
 		if err != nil {
 			return err
 		}
-		v.Query[f] = qv
+		v.SetQuery(f, qv)
 		ic.Stats.BuiltViews++
 		ic.markQuery(f)
 	}
@@ -138,7 +139,8 @@ func (op *DropEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) err
 		if !cqt.AnyCond(view.Q, mentions) {
 			continue
 		}
-		view.Q = cqt.MapConds(view.Q, eliminate)
+		nview := v.MutableUpdate(table)
+		nview.Q = cqt.MapConds(nview.Q, eliminate)
 		ic.Stats.AdaptedViews++
 		ic.markUpdate(table)
 	}

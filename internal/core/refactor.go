@@ -122,6 +122,7 @@ func (op *RefactorAssocToInheritance) apply(ic *Incremental, m *frag.Mapping, v 
 	// key (through the former FK columns) plus E2's own attributes
 	// (including its former key, now a plain unique attribute).
 	adaptFragments(m, set1.Name, e2, e1, nil)
+	f2 = m.MutableFrag(f2)
 	f2.Set = set1.Name
 	f2.ClientCond = cond.TypeIs{Type: e2}
 	f2.Attrs = append(append([]string(nil), key1...), oldAttrs2...)
@@ -135,12 +136,7 @@ func (op *RefactorAssocToInheritance) apply(ic *Incremental, m *frag.Mapping, v 
 	f2.ColOf = newColOf
 	f2.StoreCond = cond.NewAnd(notNullAll(fkCols)...)
 	// Remove the association fragment.
-	for i, f := range m.Frags {
-		if f == g {
-			m.Frags = append(m.Frags[:i], m.Frags[i+1:]...)
-			break
-		}
-	}
+	m.RemoveFrag(g)
 	if err := m.CheckFragment(f2); err != nil {
 		return err
 	}
@@ -154,7 +150,7 @@ func (op *RefactorAssocToInheritance) apply(ic *Incremental, m *frag.Mapping, v 
 	if err != nil {
 		return err
 	}
-	v.Update[g.Table] = uv
+	v.SetUpdate(g.Table, uv)
 	ic.Stats.BuiltViews++
 	ic.markUpdate(g.Table)
 	ic.adaptUpdateViews(m, v, g.Table, e2, e1, nil)
@@ -167,7 +163,7 @@ func (op *RefactorAssocToInheritance) apply(ic *Incremental, m *frag.Mapping, v 
 		if err != nil {
 			return err
 		}
-		v.Query[ty] = qv
+		v.SetQuery(ty, qv)
 		ic.Stats.BuiltViews++
 		ic.markQuery(ty)
 	}

@@ -219,8 +219,9 @@ func TestAddPropertySameTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Widen the store first (the developer adds the column).
-	m = m.Clone()
+	// Widen the store first (the developer adds the column). DeepClone:
+	// the table entry itself is edited in place.
+	m = m.DeepClone()
 	tab := m.Store.Table("Emp")
 	tab.Cols = append(tab.Cols, rel.Column{Name: "Salary", Type: cond.KindFloat, Nullable: true})
 

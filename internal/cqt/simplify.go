@@ -250,23 +250,56 @@ func AnyCond(e Expr, pred func(cond.Expr) bool) bool {
 // MapConds rewrites every selection condition in the tree through f,
 // leaving the relational structure intact. The incremental compiler uses it
 // to apply the IS OF (ONLY P) and IS OF F adaptations of §3.1.2 of the
-// paper to existing update views.
+// paper to existing update views. Subtrees whose conditions f leaves
+// unchanged are returned as-is, so an identity rewrite costs no
+// allocations and keeps the original tree shared. (Condition identity is
+// decided with ==, which hash-consing in package cond makes both safe and
+// structural.)
 func MapConds(e Expr, f func(cond.Expr) cond.Expr) Expr {
+	out, _ := mapConds(e, f)
+	return out
+}
+
+func mapConds(e Expr, f func(cond.Expr) cond.Expr) (Expr, bool) {
 	switch v := e.(type) {
 	case Select:
-		return Select{In: MapConds(v.In, f), Cond: f(v.Cond)}
-	case Project:
-		return Project{In: MapConds(v.In, f), Cols: v.Cols}
-	case Join:
-		return Join{Kind: v.Kind, L: MapConds(v.L, f), R: MapConds(v.R, f), On: v.On}
-	case UnionAll:
-		out := make([]Expr, len(v.Inputs))
-		for i, in := range v.Inputs {
-			out[i] = MapConds(in, f)
+		in, inCh := mapConds(v.In, f)
+		nc := f(v.Cond)
+		if !inCh && nc == v.Cond {
+			return e, false
 		}
-		return UnionAll{Inputs: out}
+		return Select{In: in, Cond: nc}, true
+	case Project:
+		in, inCh := mapConds(v.In, f)
+		if !inCh {
+			return e, false
+		}
+		return Project{In: in, Cols: v.Cols}, true
+	case Join:
+		l, lCh := mapConds(v.L, f)
+		r, rCh := mapConds(v.R, f)
+		if !lCh && !rCh {
+			return e, false
+		}
+		return Join{Kind: v.Kind, L: l, R: r, On: v.On}, true
+	case UnionAll:
+		var out []Expr
+		for i, in := range v.Inputs {
+			ni, ch := mapConds(in, f)
+			if ch && out == nil {
+				out = make([]Expr, len(v.Inputs))
+				copy(out, v.Inputs[:i])
+			}
+			if out != nil {
+				out[i] = ni
+			}
+		}
+		if out == nil {
+			return e, false
+		}
+		return UnionAll{Inputs: out}, true
 	}
-	return e
+	return e, false
 }
 
 func isIdentityProj(cols []ProjCol, inCols []string) bool {

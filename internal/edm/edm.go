@@ -217,6 +217,7 @@ func (s *Schema) RerootType(typeName, newBase string) error {
 			break
 		}
 	}
+	t = s.mutableType(typeName)
 	t.Base = newBase
 	t.Key = nil
 	return nil
@@ -233,6 +234,7 @@ func (s *Schema) AddAttr(typeName string, a Attribute) error {
 			return fmt.Errorf("edm: attribute %q already exists in the hierarchy of %q", a.Name, typeName)
 		}
 	}
+	t = s.mutableType(typeName)
 	t.Attrs = append(t.Attrs, a)
 	return nil
 }
@@ -560,8 +562,30 @@ func (s *Schema) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the schema.
+// Clone returns a copy-on-write snapshot of the schema: the containers
+// (type map, declaration order, set and association lists) are copied so
+// each generation can add or remove entries privately, while the entries
+// themselves — *EntityType, *EntitySet, *Association — are shared. Every
+// mutator that changes an entry in place first replaces it with a private
+// copy (see mutableType), so a clone and its source never observe each
+// other's changes.
 func (s *Schema) Clone() *Schema {
+	c := &Schema{
+		types:  make(map[string]*EntityType, len(s.types)),
+		order:  append(make([]string, 0, len(s.order)), s.order...),
+		sets:   append(make([]*EntitySet, 0, len(s.sets)), s.sets...),
+		assocs: append(make([]*Association, 0, len(s.assocs)), s.assocs...),
+	}
+	for n, t := range s.types {
+		c.types[n] = t
+	}
+	return c
+}
+
+// DeepClone returns a fully independent copy of the schema, sharing no
+// structure with the receiver. It exists for callers that need the
+// pre-CoW deep-copy semantics (aliasing tests, benchmark baselines).
+func (s *Schema) DeepClone() *Schema {
 	c := NewSchema()
 	for _, n := range s.order {
 		t := *s.types[n]
@@ -579,6 +603,17 @@ func (s *Schema) Clone() *Schema {
 		c.assocs = append(c.assocs, &cp)
 	}
 	return c
+}
+
+// mutableType replaces the named type's entry with a private copy and
+// returns it. After Clone, entries are shared across generations; callers
+// must go through this before any in-place entry mutation.
+func (s *Schema) mutableType(name string) *EntityType {
+	t := *s.types[name]
+	t.Attrs = append([]Attribute(nil), t.Attrs...)
+	t.Key = append([]string(nil), t.Key...)
+	s.types[name] = &t
+	return &t
 }
 
 // SortedTypeNames returns all type names sorted alphabetically (useful for

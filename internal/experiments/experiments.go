@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/ormkit/incmap/internal/compiler"
@@ -26,6 +27,11 @@ type Result struct {
 	Err error
 	// Note carries auxiliary information (cells visited, containments).
 	Note string
+	// Containments counts the containment checks the operation issued.
+	Containments int64
+	// Allocs is the number of heap allocations observed over the run
+	// (a runtime.MemStats Mallocs delta; approximate under concurrency).
+	Allocs uint64
 }
 
 // String formats the result as a table row.
@@ -43,14 +49,19 @@ func (r Result) String() string {
 // FullCompile measures one full compilation.
 func FullCompile(m *frag.Mapping) (Result, *frag.Views) {
 	c := compiler.New()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	views, err := c.Compile(m)
 	d := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	return Result{
-		Name: "full",
-		D:    d,
-		Err:  err,
-		Note: fmt.Sprintf("cells=%d containments=%d", c.Stats.CellsVisited, c.Stats.Containments),
+		Name:         "full",
+		D:            d,
+		Err:          err,
+		Note:         fmt.Sprintf("cells=%d containments=%d", c.Stats.CellsVisited, c.Stats.Containments),
+		Containments: c.Stats.Containments,
+		Allocs:       ms1.Mallocs - ms0.Mallocs,
 	}, views
 }
 
@@ -68,6 +79,8 @@ type NamedOp struct {
 // the incremental compile itself.
 func RunOp(base *frag.Mapping, views *frag.Views, op NamedOp) Result {
 	ic := core.NewIncremental()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	m := base.Clone()
 	smo, err := op.Make(m)
@@ -75,11 +88,14 @@ func RunOp(base *frag.Mapping, views *frag.Views, op NamedOp) Result {
 		_, _, err = ic.Apply(m, views, smo)
 	}
 	d := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	return Result{
-		Name: op.Name,
-		D:    d,
-		Err:  err,
-		Note: fmt.Sprintf("containments=%d", ic.Stats.Containments),
+		Name:         op.Name,
+		D:            d,
+		Err:          err,
+		Note:         fmt.Sprintf("containments=%d", ic.Stats.Containments),
+		Containments: ic.Stats.Containments,
+		Allocs:       ms1.Mallocs - ms0.Mallocs,
 	}
 }
 

@@ -125,16 +125,76 @@ type Mapping struct {
 	Client *edm.Schema
 	Store  *rel.Schema
 	Frags  []*Fragment
+
+	// fragsShared marks the Frags backing array as possibly shared with
+	// another generation (set on both sides by Clone). In-place writes to
+	// the slice must go through ensureOwnedFrags first; appends are always
+	// safe because the clone's slice is capacity-clamped.
+	fragsShared bool
 }
 
-// Clone returns a deep copy of the mapping.
+// Clone returns a copy-on-write generation of the mapping: the schemas
+// take CoW snapshots (see edm.Schema.Clone, rel.Schema.Clone) and the
+// fragment slice is shared, capacity-clamped so appends on the clone
+// reallocate. Fragments themselves are shared until a mutator replaces
+// one through MutableFrag. Cloning is O(model) only in cheap pointer
+// copies — no fragment, view tree, or schema entry is duplicated.
 func (m *Mapping) Clone() *Mapping {
-	out := &Mapping{Client: m.Client.Clone(), Store: m.Store.Clone()}
+	m.fragsShared = true
+	return &Mapping{
+		Client:      m.Client.Clone(),
+		Store:       m.Store.Clone(),
+		Frags:       m.Frags[:len(m.Frags):len(m.Frags)],
+		fragsShared: true,
+	}
+}
+
+// DeepClone returns a fully independent copy of the mapping, sharing no
+// mutable structure with the receiver (the pre-CoW Clone semantics).
+func (m *Mapping) DeepClone() *Mapping {
+	out := &Mapping{Client: m.Client.DeepClone(), Store: m.Store.DeepClone()}
 	out.Frags = make([]*Fragment, len(m.Frags))
 	for i, f := range m.Frags {
 		out.Frags[i] = f.Clone()
 	}
 	return out
+}
+
+// MutableFrag replaces f with a private copy in the fragment slice and
+// returns the copy. Fragments are shared across generations after Clone;
+// appliers must route every in-place fragment mutation through this.
+// Callers are responsible for using the returned pointer afterwards.
+func (m *Mapping) MutableFrag(f *Fragment) *Fragment {
+	nf := f.Clone()
+	m.ensureOwnedFrags()
+	for i, g := range m.Frags {
+		if g == f {
+			m.Frags[i] = nf
+			break
+		}
+	}
+	return nf
+}
+
+// RemoveFrag deletes the fragment (by identity) from the slice.
+func (m *Mapping) RemoveFrag(f *Fragment) {
+	m.ensureOwnedFrags()
+	for i, g := range m.Frags {
+		if g == f {
+			m.Frags = append(m.Frags[:i], m.Frags[i+1:]...)
+			return
+		}
+	}
+}
+
+// ensureOwnedFrags gives the generation a private backing array before an
+// in-place write to the fragment slice.
+func (m *Mapping) ensureOwnedFrags() {
+	if !m.fragsShared {
+		return
+	}
+	m.Frags = append(make([]*Fragment, 0, len(m.Frags)), m.Frags...)
+	m.fragsShared = false
 }
 
 // Catalog returns a query-tree catalog over the mapping's schemas.
@@ -330,6 +390,11 @@ type Views struct {
 	Assoc map[string]*cqt.View
 	// Update maps table names to their update views (trivial τ).
 	Update map[string]*cqt.View
+
+	// owned marks views this generation created or already copied, which
+	// are therefore safe to mutate in place. Clone clears it on both
+	// sides: after a snapshot, neither generation owns any shared view.
+	owned map[*cqt.View]bool
 }
 
 // NewViews returns an empty view set.
@@ -341,8 +406,34 @@ func NewViews() *Views {
 	}
 }
 
-// Clone returns a deep copy of the view set.
+// Clone returns a copy-on-write generation of the view set: the three
+// maps are copied (so adds and deletes stay private) but every *cqt.View
+// is shared. A view is copied only when a mutator touches it, through
+// MutableQuery/MutableAssoc/MutableUpdate — O(change) work per SMO
+// instead of O(model).
 func (v *Views) Clone() *Views {
+	v.owned = nil
+	out := &Views{
+		Query:  make(map[string]*cqt.View, len(v.Query)),
+		Assoc:  make(map[string]*cqt.View, len(v.Assoc)),
+		Update: make(map[string]*cqt.View, len(v.Update)),
+	}
+	for k, view := range v.Query {
+		out.Query[k] = view
+	}
+	for k, view := range v.Assoc {
+		out.Assoc[k] = view
+	}
+	for k, view := range v.Update {
+		out.Update[k] = view
+	}
+	return out
+}
+
+// DeepClone returns a fully independent copy of the view set (the pre-CoW
+// Clone semantics: case lists and constructor maps are duplicated; the
+// immutable query trees are still shared, as they always were).
+func (v *Views) DeepClone() *Views {
 	out := NewViews()
 	for k, view := range v.Query {
 		out.Query[k] = view.Clone()
@@ -354,4 +445,57 @@ func (v *Views) Clone() *Views {
 		out.Update[k] = view.Clone()
 	}
 	return out
+}
+
+// MutableQuery returns the query view for the named type, copied first if
+// it is still shared with another generation. Returns nil if absent.
+func (v *Views) MutableQuery(name string) *cqt.View {
+	return v.mutable(v.Query, name)
+}
+
+// MutableAssoc is MutableQuery for association views.
+func (v *Views) MutableAssoc(name string) *cqt.View {
+	return v.mutable(v.Assoc, name)
+}
+
+// MutableUpdate is MutableQuery for update views.
+func (v *Views) MutableUpdate(name string) *cqt.View {
+	return v.mutable(v.Update, name)
+}
+
+func (v *Views) mutable(m map[string]*cqt.View, name string) *cqt.View {
+	view := m[name]
+	if view == nil || v.owned[view] {
+		return view
+	}
+	nv := view.Clone()
+	v.own(nv)
+	m[name] = nv
+	return nv
+}
+
+// SetQuery installs a freshly built query view, marking it owned so later
+// in-place rewrites (adaptation, simplification) need not copy it again.
+func (v *Views) SetQuery(name string, view *cqt.View) {
+	v.Query[name] = view
+	v.own(view)
+}
+
+// SetAssoc is SetQuery for association views.
+func (v *Views) SetAssoc(name string, view *cqt.View) {
+	v.Assoc[name] = view
+	v.own(view)
+}
+
+// SetUpdate is SetQuery for update views.
+func (v *Views) SetUpdate(name string, view *cqt.View) {
+	v.Update[name] = view
+	v.own(view)
+}
+
+func (v *Views) own(view *cqt.View) {
+	if v.owned == nil {
+		v.owned = map[*cqt.View]bool{}
+	}
+	v.owned[view] = true
 }

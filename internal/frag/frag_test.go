@@ -109,40 +109,75 @@ func TestMappingLookups(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	// Clone is copy-on-write: mutation must go through MutableFrag, which
+	// clones the touched fragment and leaves the source generation intact.
 	m := testMapping(t)
 	c := m.Clone()
-	c.Frags[0].ClientCond = cond.False{}
-	c.Frags[0].ColOf["Id"] = "X"
+	f := c.MutableFrag(c.Frags[0])
+	f.ClientCond = cond.False{}
+	f.ColOf["Id"] = "X"
 	if _, isFalse := m.Frags[0].ClientCond.(cond.False); isFalse {
 		t.Errorf("clone shares conditions")
 	}
 	if m.Frags[0].ColOf["Id"] != "Id" {
 		t.Errorf("clone shares ColOf")
 	}
+	if c.Frags[0] != f {
+		t.Errorf("MutableFrag did not replace the fragment in the clone")
+	}
+	if _, isFalse := c.Frags[0].ClientCond.(cond.False); !isFalse {
+		t.Errorf("mutation lost on the clone")
+	}
+}
+
+func TestDeepCloneIndependence(t *testing.T) {
+	// DeepClone permits unrestricted in-place mutation of the copy.
+	m := testMapping(t)
+	c := m.DeepClone()
+	c.Frags[0].ClientCond = cond.False{}
+	c.Frags[0].ColOf["Id"] = "X"
+	if _, isFalse := m.Frags[0].ClientCond.(cond.False); isFalse {
+		t.Errorf("deep clone shares conditions")
+	}
+	if m.Frags[0].ColOf["Id"] != "Id" {
+		t.Errorf("deep clone shares ColOf")
+	}
+}
+
+func TestRemoveFragPreservesSource(t *testing.T) {
+	m := testMapping(t)
+	c := m.Clone()
+	c.RemoveFrag(c.Frags[0])
+	if len(c.Frags) != 1 || c.Frags[0].ID != "f2" {
+		t.Errorf("RemoveFrag left %v", c.Frags)
+	}
+	if len(m.Frags) != 2 || m.Frags[0].ID != "f1" {
+		t.Errorf("RemoveFrag disturbed the source generation: %v", m.Frags)
+	}
 }
 
 func TestCheckWellFormedErrors(t *testing.T) {
 	m := testMapping(t)
-	bad := m.Clone()
+	bad := m.DeepClone()
 	bad.Frags[0].ColOf["Name"] = "Nope"
 	if err := bad.CheckWellFormed(); err == nil {
 		t.Errorf("unknown column accepted")
 	}
 
-	bad = m.Clone()
+	bad = m.DeepClone()
 	bad.Frags[0].Attrs = []string{"Name"} // key missing
 	bad.Frags[0].ColOf = map[string]string{"Name": "Name"}
 	if err := bad.CheckWellFormed(); err == nil {
 		t.Errorf("fragment without key accepted")
 	}
 
-	bad = m.Clone()
+	bad = m.DeepClone()
 	bad.Frags[0].Set = ""
 	if err := bad.CheckWellFormed(); err == nil {
 		t.Errorf("fragment with neither set nor assoc accepted")
 	}
 
-	bad = m.Clone()
+	bad = m.DeepClone()
 	bad.Frags[0].Attrs = []string{"Id", "Ghost"}
 	bad.Frags[0].ColOf["Ghost"] = "Name"
 	if err := bad.CheckWellFormed(); err == nil {
@@ -183,13 +218,40 @@ func TestFragmentQueries(t *testing.T) {
 }
 
 func TestViewsClone(t *testing.T) {
+	// Clone shares view pointers; MutableQuery clones on first touch so the
+	// source generation keeps its constructor maps.
 	v := NewViews()
 	v.Query["A"] = &cqt.View{Q: cqt.ScanTable{Table: "T"}, Cases: []cqt.Case{{
 		When: cond.True{}, Type: "A", Attrs: map[string]string{"x": "x"},
 	}}}
 	c := v.Clone()
-	c.Query["A"].Cases[0].Attrs["x"] = "y"
+	if c.Query["A"] != v.Query["A"] {
+		t.Errorf("clone should share untouched view pointers")
+	}
+	q := c.MutableQuery("A")
+	q.Cases[0].Attrs["x"] = "y"
 	if v.Query["A"].Cases[0].Attrs["x"] != "x" {
 		t.Errorf("view clone shares constructor maps")
+	}
+	if c.Query["A"].Cases[0].Attrs["x"] != "y" {
+		t.Errorf("mutation lost on the clone")
+	}
+	if c.MutableQuery("A") != q {
+		t.Errorf("second MutableQuery should return the owned view")
+	}
+	if c.MutableQuery("missing") != nil {
+		t.Errorf("MutableQuery of an absent view should be nil")
+	}
+}
+
+func TestViewsDeepClone(t *testing.T) {
+	v := NewViews()
+	v.Query["A"] = &cqt.View{Q: cqt.ScanTable{Table: "T"}, Cases: []cqt.Case{{
+		When: cond.True{}, Type: "A", Attrs: map[string]string{"x": "x"},
+	}}}
+	c := v.DeepClone()
+	c.Query["A"].Cases[0].Attrs["x"] = "y"
+	if v.Query["A"].Cases[0].Attrs["x"] != "x" {
+		t.Errorf("deep view clone shares constructor maps")
 	}
 }

@@ -142,6 +142,7 @@ func (s *Schema) AddForeignKey(table string, fk ForeignKey) error {
 			return fmt.Errorf("rel: foreign key %q references unknown column %q of %q", fk.Name, c, table)
 		}
 	}
+	t = s.mutableTable(table)
 	t.FKs = append(t.FKs, fk)
 	return nil
 }
@@ -216,8 +217,25 @@ func (s *Schema) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the schema.
+// Clone returns a copy-on-write snapshot of the schema: the table map and
+// declaration order are copied so each generation can add or remove tables
+// privately, while the *Table entries are shared. Mutators that change a
+// table in place first replace it with a private copy (see mutableTable),
+// so a clone and its source never observe each other's changes.
 func (s *Schema) Clone() *Schema {
+	c := &Schema{
+		tables: make(map[string]*Table, len(s.tables)),
+		order:  append(make([]string, 0, len(s.order)), s.order...),
+	}
+	for n, t := range s.tables {
+		c.tables[n] = t
+	}
+	return c
+}
+
+// DeepClone returns a fully independent copy of the schema, sharing no
+// structure with the receiver (the pre-CoW deep-copy semantics).
+func (s *Schema) DeepClone() *Schema {
 	c := NewSchema()
 	for _, n := range s.order {
 		t := *s.tables[n]
@@ -228,6 +246,18 @@ func (s *Schema) Clone() *Schema {
 		c.order = append(c.order, n)
 	}
 	return c
+}
+
+// mutableTable replaces the named table's entry with a private copy and
+// returns it. After Clone, entries are shared across generations; callers
+// must go through this before any in-place entry mutation.
+func (s *Schema) mutableTable(name string) *Table {
+	t := *s.tables[name]
+	t.Cols = append([]Column(nil), t.Cols...)
+	t.Key = append([]string(nil), t.Key...)
+	t.FKs = append([]ForeignKey(nil), t.FKs...)
+	s.tables[name] = &t
+	return &t
 }
 
 // TableTheory adapts one table to the condition-reasoning theory for

@@ -267,14 +267,14 @@ func condSQL(c cond.Expr) string {
 		return quoteIdent(v.Attr) + " IS NULL"
 	case cond.Cmp:
 		return fmt.Sprintf("%s %s %s", quoteIdent(v.Attr), v.Op, v.Val)
-	case cond.Not:
+	case *cond.Not:
 		if n, ok := v.X.(cond.Null); ok {
 			return quoteIdent(n.Attr) + " IS NOT NULL"
 		}
 		return "NOT (" + condSQL(v.X) + ")"
-	case cond.And:
+	case *cond.And:
 		return joinConds(v.Xs, " AND ")
-	case cond.Or:
+	case *cond.Or:
 		return joinConds(v.Xs, " OR ")
 	}
 	return "FALSE"
@@ -285,7 +285,7 @@ func joinConds(xs []cond.Expr, sep string) string {
 	for i, x := range xs {
 		s := condSQL(x)
 		switch x.(type) {
-		case cond.And, cond.Or:
+		case *cond.And, *cond.Or:
 			s = "(" + s + ")"
 		}
 		parts[i] = s
