@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, ablations, views, all")
+	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, ablations, views, fallback, all")
 	maxN := flag.Int("maxn", 4, "fig4: maximum hierarchy depth N")
 	maxM := flag.Int("maxm", 8, "fig4: maximum fan-out M")
 	budget := flag.Duration("budget", 10*time.Second, "fig4: per-point budget before a depth's curve is cut off")
@@ -51,12 +51,15 @@ func main() {
 		runAblations()
 	case "views":
 		runViewComparison(*chain)
+	case "fallback":
+		runFallback(*chain, *jsonOut)
 	case "all":
 		runFig4(*maxN, *maxM, *budget, *jsonOut)
 		runFig9(*chain, *jsonOut)
 		runFig10(*types, *hier, *largest, *jsonOut)
 		runAblations()
 		runViewComparison(200)
+		runFallback(*chain, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -112,27 +115,40 @@ func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
 		}
 		out.Rows = append(out.Rows, j)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mapbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile("BENCH_fig4.json", append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "mapbench:", err)
-		os.Exit(1)
-	}
-	fmt.Println("wrote BENCH_fig4.json")
-	fmt.Println()
+	writeJSONFile("BENCH_fig4.json", out)
 }
 
-// smoJSON is the machine-readable form of one SMO suite row.
+// smoJSON is the machine-readable form of one SMO suite row. The
+// degradation counters record how the row completed: fallbacks taken by
+// the pipeline ladder, compilations stopped by cancellation or deadline,
+// and worker panics recovered into errors.
 type smoJSON struct {
-	Name         string  `json:"name"`
-	Seconds      float64 `json:"seconds"`
-	Containments int64   `json:"containments"`
-	Allocs       uint64  `json:"allocs"`
-	Error        string  `json:"error,omitempty"`
-	Note         string  `json:"note,omitempty"`
+	Name            string  `json:"name"`
+	Seconds         float64 `json:"seconds"`
+	Containments    int64   `json:"containments"`
+	Allocs          uint64  `json:"allocs"`
+	Error           string  `json:"error,omitempty"`
+	Note            string  `json:"note,omitempty"`
+	Fallbacks       int64   `json:"fallbacks,omitempty"`
+	Cancelled       int64   `json:"cancelled,omitempty"`
+	PanicsRecovered int64   `json:"panicsRecovered,omitempty"`
+}
+
+func toSMOJSON(r experiments.Result) smoJSON {
+	j := smoJSON{
+		Name:            r.Name,
+		Seconds:         r.D.Seconds(),
+		Containments:    r.Containments,
+		Allocs:          r.Allocs,
+		Note:            r.Note,
+		Fallbacks:       r.Fallbacks,
+		Cancelled:       r.Cancelled,
+		PanicsRecovered: r.PanicsRecovered,
+	}
+	if r.Err != nil {
+		j.Error = r.Err.Error()
+	}
+	return j
 }
 
 // suiteFile is the envelope written to BENCH_fig9.json / BENCH_fig10.json.
@@ -157,18 +173,12 @@ func writeSuiteJSON(path string, out suiteFile, full experiments.Result, suite [
 	out.FullContainments = full.Containments
 	out.FullAllocs = full.Allocs
 	for _, r := range suite {
-		j := smoJSON{
-			Name:         r.Name,
-			Seconds:      r.D.Seconds(),
-			Containments: r.Containments,
-			Allocs:       r.Allocs,
-			Note:         r.Note,
-		}
-		if r.Err != nil {
-			j.Error = r.Err.Error()
-		}
-		out.Rows = append(out.Rows, j)
+		out.Rows = append(out.Rows, toSMOJSON(r))
 	}
+	writeJSONFile(path, out)
+}
+
+func writeJSONFile(path string, out any) {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapbench:", err)
@@ -214,6 +224,35 @@ func printSuite(full experiments.Result, suite []experiments.Result) {
 		fmt.Printf("%s %s\n", r, speedup)
 	}
 	fmt.Println()
+}
+
+// fallbackFile is the envelope written to BENCH_fallback.json.
+type fallbackFile struct {
+	GoMaxProcs int       `json:"goMaxProcs"`
+	NumCPU     int       `json:"numCPU"`
+	Chain      int       `json:"chain"`
+	Rows       []smoJSON `json:"rows"`
+}
+
+func runFallback(chain int, jsonOut bool) {
+	fmt.Printf("=== Fallback ladder overhead: incremental vs forced full-compile fallback (chain %d) ===\n", chain)
+	rows, err := experiments.FallbackOverhead(chain)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Println()
+	if !jsonOut {
+		return
+	}
+	out := fallbackFile{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Chain: chain}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, toSMOJSON(r))
+	}
+	writeJSONFile("BENCH_fallback.json", out)
 }
 
 func runViewComparison(chain int) {

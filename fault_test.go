@@ -1,0 +1,88 @@
+package incmap_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	incmap "github.com/ormkit/incmap"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestFacadeCompileCtxCancel drives cancellation through the public facade:
+// a pre-cancelled context stops compilation before any validation work.
+func TestFacadeCompileCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	views, err := incmap.CompileCtx(ctx, workload.PaperFull())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if views != nil {
+		t.Fatal("cancelled compile returned views")
+	}
+}
+
+// TestFacadeBudgetExceeded exercises the public Budget / BudgetExceededError
+// aliases end to end.
+func TestFacadeBudgetExceeded(t *testing.T) {
+	m := workload.PaperFull()
+	opts := incmap.CompilerOptions{Budget: incmap.Budget{MaxWallTime: time.Nanosecond}}
+	_, stats, err := incmap.CompileWithCtx(context.Background(), m, opts)
+	var be *incmap.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *incmap.BudgetExceededError", err)
+	}
+	if be.Reason != "wall time" {
+		t.Fatalf("Reason = %q, want wall time", be.Reason)
+	}
+	if stats.Cancelled == 0 && be.Elapsed == 0 {
+		t.Fatalf("budget error carries no partial stats: %+v", be)
+	}
+}
+
+// TestFacadeSessionEvolveFallback runs the fallback ladder through the
+// public Session type: an incremental attempt that exhausts its budget on
+// the first containment check falls back to a full recompile, and the
+// evolved mapping still compiles and answers.
+func TestFacadeSessionEvolveFallback(t *testing.T) {
+	m := workload.PaperInitial()
+	s, err := incmap.NewSessionCompile(context.Background(),
+		m, incmap.SessionOptions{
+			Incremental: incmap.IncrementalOptions{
+				Budget: incmap.Budget{MaxWallTime: time.Nanosecond},
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := incmap.AddEntityTPT("Employee", "Person",
+		[]incmap.Attribute{{Name: "Department", Type: incmap.KindString, Nullable: true}},
+		"Emp", map[string]string{"Id": "Id", "Department": "Dept"})
+	if _, _, err := s.Evolve(context.Background(), op); err != nil {
+		t.Fatalf("Evolve: %v", err)
+	}
+	st := s.Stats()
+	if st.Fallbacks != 1 || st.Incremental != 0 {
+		t.Fatalf("stats = %+v, want exactly one fallback", st)
+	}
+	nm, nv := s.Generation()
+	if nm.Client.Type("Employee") == nil {
+		t.Fatal("fallback did not install the evolved generation")
+	}
+	if err := incmap.Roundtrip(nm, nv, incmap.NewClientState()); err != nil {
+		t.Fatalf("evolved generation does not roundtrip: %v", err)
+	}
+}
+
+// TestFacadeErrUnsupportedSMO pins the exported sentinel: a Session with no
+// FullEvolver capability reports unsupported operations via the public var.
+func TestFacadeErrUnsupportedSMO(t *testing.T) {
+	if incmap.ErrUnsupportedSMO == nil {
+		t.Fatal("ErrUnsupportedSMO is nil")
+	}
+	if !errors.Is(incmap.ErrUnsupportedSMO, incmap.ErrUnsupportedSMO) {
+		t.Fatal("sentinel does not match itself")
+	}
+}

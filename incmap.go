@@ -28,6 +28,7 @@
 package incmap
 
 import (
+	"context"
 	"io"
 
 	"github.com/ormkit/incmap/internal/compiler"
@@ -37,10 +38,12 @@ import (
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/edm"
 	"github.com/ormkit/incmap/internal/esql"
+	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/modef"
 	"github.com/ormkit/incmap/internal/modelio"
 	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/pipeline"
 	"github.com/ormkit/incmap/internal/rel"
 	"github.com/ormkit/incmap/internal/sqlgen"
 	"github.com/ormkit/incmap/internal/state"
@@ -185,6 +188,67 @@ func CompileWith(m *Mapping, opts CompilerOptions) (*Views, CompileStats, error)
 	c := &compiler.Compiler{Opts: opts}
 	v, err := c.Compile(m)
 	return v, c.Stats, err
+}
+
+// CompileCtx is Compile under a context: cancellation or deadline expiry
+// stops validation within one cell-span and returns an error satisfying
+// errors.Is(err, ctx.Err()). The input mapping is never mutated.
+func CompileCtx(ctx context.Context, m *Mapping) (*Views, error) {
+	return compiler.New().CompileCtx(ctx, m)
+}
+
+// CompileWithCtx is CompileWith under a context.
+func CompileWithCtx(ctx context.Context, m *Mapping, opts CompilerOptions) (*Views, CompileStats, error) {
+	c := &compiler.Compiler{Opts: opts}
+	v, err := c.CompileCtx(ctx, m)
+	return v, c.Stats, err
+}
+
+// Fault tolerance ------------------------------------------------------------
+
+// Budget bounds validation work. A zero Budget is unlimited. When a limit
+// is hit, compilation stops with a *BudgetExceededError.
+type Budget = fault.Budget
+
+// BudgetExceededError reports which validation budget was exhausted,
+// carrying the partial work statistics accumulated up to that point.
+type BudgetExceededError = fault.BudgetExceededError
+
+// PanicError wraps a panic recovered inside the compilation pipeline,
+// preserving the panic value and its stack trace.
+type PanicError = fault.PanicError
+
+// ErrUnsupportedSMO is returned (wrapped) by the incremental compiler for
+// operations it cannot evolve incrementally; Session.Evolve falls back to
+// full compilation on it.
+var ErrUnsupportedSMO = core.ErrUnsupportedSMO
+
+// Session serializes schema evolution over one mapping generation and
+// implements the fallback ladder of §1.2: incremental compilation first,
+// full recompilation when the incremental path is unsupported, over budget,
+// or panics. A failed Evolve leaves the previous generation installed.
+type Session = pipeline.Session
+
+// SessionOptions configures a Session's incremental and full compilers.
+type SessionOptions = pipeline.Options
+
+// SessionStats counts a Session's evolutions by outcome: incremental
+// successes, full-compile fallbacks, cancellations and recovered panics.
+type SessionStats = pipeline.Stats
+
+// FullEvolver is an optional SMO capability: operations that can transform
+// a mapping structurally even when the incremental compiler does not
+// support them, enabling the full-compile fallback to proceed.
+type FullEvolver = pipeline.FullEvolver
+
+// NewSession wraps an already-compiled generation in a Session.
+func NewSession(m *Mapping, v *Views, opts SessionOptions) *Session {
+	return pipeline.NewSession(m, v, opts)
+}
+
+// NewSessionCompile full-compiles m and wraps the result in a Session.
+func NewSessionCompile(ctx context.Context, m *Mapping, opts SessionOptions) (*Session, error) {
+	return pipeline.NewSessionCompile(ctx, m, opts)
 }
 
 // Incremental compilation ----------------------------------------------------

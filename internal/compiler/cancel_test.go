@@ -1,0 +1,204 @@
+package compiler
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/faultinject"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestCompileCancelDeadlineTPH is the acceptance check of the cancellation
+// tentpole: compiling the N=3, M=5 TPH hub-and-rim model — the Figure 4
+// blow-up, minutes of cell enumeration — under a 50ms deadline must return
+// context.DeadlineExceeded within twice the deadline, not hang or panic.
+func TestCompileCancelDeadlineTPH(t *testing.T) {
+	m := workload.HubRim(workload.HubRimOptions{N: 3, M: 5, TPH: true})
+	const deadline = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	c := New()
+	start := time.Now()
+	views, err := c.CompileCtx(ctx, m)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if views != nil {
+		t.Fatal("cancelled compile returned views")
+	}
+	if elapsed > 2*deadline {
+		t.Fatalf("compile took %v to observe a %v deadline (bound: %v)", elapsed, deadline, 2*deadline)
+	}
+	if c.Stats.Cancelled == 0 {
+		t.Fatal("Stats.Cancelled not incremented")
+	}
+}
+
+func TestCompileCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New()
+	views, err := c.CompileCtx(ctx, workload.PaperFull())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if views != nil {
+		t.Fatal("cancelled compile returned views")
+	}
+}
+
+// TestCompileCancelParallelWorkers cancels a parallel compile mid-
+// validation and checks the workers all drain: the deterministic verdict
+// is ctx.Err() regardless of worker count or which cell each worker was
+// visiting.
+func TestCompileCancelParallelWorkers(t *testing.T) {
+	m := workload.HubRim(workload.HubRimOptions{N: 3, M: 4, TPH: true})
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		c := New()
+		c.Opts.Parallelism = workers
+		views, err := c.CompileCtx(ctx, m)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if views != nil {
+			t.Fatalf("workers=%d: cancelled compile returned views", workers)
+		}
+	}
+}
+
+func TestCompileBudgetMaxContainments(t *testing.T) {
+	// The paper-full mapping issues foreign-key containment checks; a
+	// budget of one is exhausted by the second.
+	c := New()
+	c.Opts.Budget = fault.Budget{MaxContainments: 1}
+	views, err := c.Compile(workload.PaperFull())
+	var be *fault.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *fault.BudgetExceededError", err)
+	}
+	if views != nil {
+		t.Fatal("budget-stopped compile returned views")
+	}
+	if be.Containments < 1 {
+		t.Fatalf("partial stats missing: %+v", be)
+	}
+	if be.Reason != "containments" {
+		t.Fatalf("Reason = %q, want containments", be.Reason)
+	}
+}
+
+func TestCompileBudgetMaxWallTime(t *testing.T) {
+	m := workload.HubRim(workload.HubRimOptions{N: 3, M: 5, TPH: true})
+	c := New()
+	c.Opts.Budget = fault.Budget{MaxWallTime: 30 * time.Millisecond}
+	start := time.Now()
+	views, err := c.CompileCtx(context.Background(), m)
+	elapsed := time.Since(start)
+	var be *fault.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *fault.BudgetExceededError", err)
+	}
+	if views != nil {
+		t.Fatal("budget-stopped compile returned views")
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("wall-time budget of 30ms observed only after %v", elapsed)
+	}
+}
+
+// TestCompileBudgetDistinguishableFromInvalid checks the property the
+// budget exists for: a budget stop must not read as "invalid mapping".
+func TestCompileBudgetDistinguishableFromInvalid(t *testing.T) {
+	c := New()
+	c.Opts.Budget = fault.Budget{MaxContainments: 1}
+	_, err := c.Compile(workload.PaperFull())
+	var be *fault.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+	if strings.Contains(err.Error(), "not contained") {
+		t.Fatalf("budget error reads like a validation verdict: %v", err)
+	}
+	// The same mapping with no budget compiles fine.
+	if _, err := New().Compile(workload.PaperFull()); err != nil {
+		t.Fatalf("unbudgeted compile failed: %v", err)
+	}
+}
+
+// TestCompileFaultWorkerPanicIsolated injects a panic into a validation
+// worker and checks it surfaces as a typed, labelled error instead of
+// crashing the process, for both sequential and parallel pools.
+func TestCompileFaultWorkerPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+				{Site: faultinject.SiteWorker, Kind: faultinject.KindPanic, Nth: 2},
+			}})
+			defer deactivate()
+			c := New()
+			c.Opts.Parallelism = workers
+			views, err := c.Compile(workload.PaperFull())
+			var pe *fault.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("workers=%d: err = %v, want *fault.PanicError", workers, err)
+			}
+			if views != nil {
+				t.Fatalf("workers=%d: panicked compile returned views", workers)
+			}
+			if pe.Where == "" || len(pe.Stack) == 0 {
+				t.Fatalf("workers=%d: panic error not labelled: %+v", workers, pe)
+			}
+			if c.Stats.PanicsRecovered == 0 {
+				t.Fatalf("workers=%d: Stats.PanicsRecovered not incremented", workers)
+			}
+		}()
+	}
+}
+
+// TestCompileFaultWorkerErrorPropagates injects a spurious error at the
+// worker hook and checks it propagates as the typed injected error.
+func TestCompileFaultWorkerErrorPropagates(t *testing.T) {
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteWorker, Kind: faultinject.KindError, Nth: 1},
+	}})
+	defer deactivate()
+	_, err := New().Compile(workload.PaperFull())
+	var ie *faultinject.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *faultinject.InjectedError", err)
+	}
+}
+
+// TestCompileFaultSatCacheDelayStillCorrect slows every 7th sat-cache
+// lookup and checks the compile still succeeds with the same views.
+func TestCompileFaultSatCacheDelayStillCorrect(t *testing.T) {
+	want, err := New().Compile(workload.PaperFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteSatCache, Kind: faultinject.KindDelay, Nth: 7, Every: 7, Delay: time.Millisecond},
+	}})
+	defer deactivate()
+	got, err := New().Compile(workload.PaperFull())
+	if err != nil {
+		t.Fatalf("delayed compile failed: %v", err)
+	}
+	if len(got.Query) != len(want.Query) || len(got.Update) != len(want.Update) {
+		t.Fatal("delayed compile produced different view sets")
+	}
+	if faultinject.Fired() == 0 {
+		t.Fatal("delay rule never fired")
+	}
+}

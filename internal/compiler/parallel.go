@@ -1,62 +1,209 @@
 package compiler
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/faultinject"
 )
 
-// vtask is one unit of validation work. Tasks are ordered exactly as the
-// sequential algorithm visits them; a task receives its own ordinal and
-// the shared control block so it can stop early once a lower-ordered task
-// has already produced the winning error.
-type vtask func(ctl *vcontrol, ord int64) error
-
-// vcontrol coordinates deterministic error selection across workers.
-// errOrd holds the lowest ordinal that has produced an error so far
-// (math.MaxInt64 when none); it only ever decreases.
-type vcontrol struct {
-	errOrd atomic.Int64
+// vtask is one unit of validation work, labelled with the cell span,
+// table, or foreign key it checks so a recovered panic can name the
+// failing unit. Tasks are ordered exactly as the sequential algorithm
+// visits them; a task receives its own ordinal and the shared control
+// block so it can stop early once a lower-ordered task has already
+// produced the winning error.
+type vtask struct {
+	label string
+	run   func(ctl *vcontrol, ord int64) error
 }
 
-func newVControl() *vcontrol {
-	ctl := &vcontrol{}
+// Stop reasons, in increasing precedence order of the final error
+// assembly (a genuine validation error always wins over both).
+const (
+	stopNone int32 = iota
+	stopBudget
+	stopCtx
+)
+
+// vcontrol coordinates deterministic error selection and cooperative
+// cancellation across workers. errOrd holds the lowest ordinal that has
+// produced an error so far (math.MaxInt64 when none); it only ever
+// decreases. stop is latched once the context is cancelled or the
+// wall-time budget expires; every task observes it within one cell.
+type vcontrol struct {
+	errOrd atomic.Int64
+	stop   atomic.Int32
+	ctx    context.Context
+}
+
+func newVControl(ctx context.Context) *vcontrol {
+	ctl := &vcontrol{ctx: ctx}
 	ctl.errOrd.Store(math.MaxInt64)
 	return ctl
 }
 
 // cancelled reports whether the task with the given ordinal can no longer
-// influence the result: some strictly lower-ordered task has already
-// failed, and the sequential run would never have reached this task's
-// remaining cells. Tasks at or below the current error ordinal always run
-// to completion, preserving first-error identity.
+// influence the result: compilation is being stopped (cancellation or
+// budget), or some strictly lower-ordered task has already failed and the
+// sequential run would never have reached this task's remaining cells.
+// Tasks at or below the current error ordinal run to completion while no
+// stop is latched, preserving first-error identity.
 func (ctl *vcontrol) cancelled(ord int64) bool {
+	if ctl.stop.Load() != stopNone {
+		return true
+	}
 	return ord > ctl.errOrd.Load()
 }
 
-// runTasks executes the ordered tasks on the given number of workers and
-// returns the error of the lowest-ordered failing task — the error a
-// sequential run returns first. With workers <= 1 it degenerates to the
-// plain sequential loop with early exit.
-func runTasks(tasks []vtask, workers int) error {
-	ctl := newVControl()
-	if workers <= 1 || len(tasks) <= 1 {
-		for ord, t := range tasks {
-			if err := t(ctl, int64(ord)); err != nil {
-				return err
+// latchStop records a stop reason. Cancellation outranks budget
+// exhaustion: a cancelled compile reports ctx.Err() even if the budget
+// also ran out while stopping.
+func (ctl *vcontrol) latchStop(reason int32) {
+	for {
+		cur := ctl.stop.Load()
+		if cur >= reason {
+			return
+		}
+		if ctl.stop.CompareAndSwap(cur, reason) {
+			return
+		}
+	}
+}
+
+// watch latches a stop when the context is cancelled or the wall-time
+// budget deadline passes. The returned function releases the watcher; it
+// must be called before runTasks returns.
+func (ctl *vcontrol) watch(deadline time.Time) (release func()) {
+	ctxDone := ctl.ctx.Done()
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		timer = time.NewTimer(time.Until(deadline))
+		timerC = timer.C
+	}
+	if ctxDone == nil && timerC == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ctxDone:
+				ctl.latchStop(stopCtx)
+				ctxDone = nil // latched; keep waiting for release
+			case <-timerC:
+				ctl.latchStop(stopBudget)
+				timerC = nil
+			case <-done:
+				return
 			}
 		}
-		return nil
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		if timer != nil {
+			timer.Stop()
+		}
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
+}
+
+// runTask executes one task, recovering a panic into a typed
+// *fault.PanicError labelled with the task's unit of work, so one
+// poisonous cell span or foreign-key check cannot crash the process.
+func (c *Compiler) runTask(t vtask, ctl *vcontrol, ord int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&c.Stats.PanicsRecovered, 1)
+			err = &fault.PanicError{Where: t.label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.At(faultinject.SiteWorker); err != nil {
+		return err
 	}
+	return t.run(ctl, ord)
+}
+
+// runTasks executes the ordered tasks on the given number of workers and
+// assembles the final verdict:
+//
+//   - the error of the lowest-ordered failing task — the error a
+//     sequential run returns first — when any task genuinely failed;
+//   - ctx.Err() when the context was cancelled (deterministically: a
+//     cancelled compile of a valid mapping always reports the
+//     cancellation, never a partial verdict);
+//   - a *fault.BudgetExceededError when a budget limit stopped the run.
+//
+// Budget and cancellation errors surfacing from individual tasks (e.g.
+// from a containment check) latch the corresponding stop instead of
+// competing with validation errors for the first-error ordinal, so
+// first-error identity across worker counts is preserved.
+func (c *Compiler) runTasks(ctx context.Context, tasks []vtask, workers int, budgetDeadline time.Time) error {
+	ctl := newVControl(ctx)
+	release := ctl.watch(budgetDeadline)
+	defer release()
+
 	var (
 		mu      sync.Mutex
 		bestOrd int64 = math.MaxInt64
 		bestErr error
-		next    atomic.Int64
 	)
+	collect := func(ord int64, err error) {
+		if err == nil {
+			return
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctl.latchStop(stopCtx)
+			return
+		}
+		var be *fault.BudgetExceededError
+		if errors.As(err, &be) {
+			mu.Lock()
+			if c.budgetErr == nil {
+				c.budgetErr = be
+			}
+			mu.Unlock()
+			ctl.latchStop(stopBudget)
+			return
+		}
+		mu.Lock()
+		// A task interrupted by cancellation reports no error, so any
+		// error seen here is the task's genuine first error; the lowest
+		// ordinal with one matches the sequential run.
+		if ord < bestOrd {
+			bestOrd, bestErr = ord, err
+			ctl.errOrd.Store(ord)
+		}
+		mu.Unlock()
+	}
+
+	if workers <= 1 || len(tasks) <= 1 {
+		for ord, t := range tasks {
+			if ctl.cancelled(int64(ord)) {
+				break
+			}
+			collect(int64(ord), c.runTask(t, ctl, int64(ord)))
+			if bestErr != nil {
+				break
+			}
+		}
+		return c.finishTasks(ctl, bestErr)
+	}
+
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -68,24 +215,43 @@ func runTasks(tasks []vtask, workers int) error {
 					return
 				}
 				if ctl.cancelled(ord) {
+					if ctl.stop.Load() != stopNone {
+						return
+					}
 					continue
 				}
-				err := tasks[ord](ctl, ord)
-				if err == nil {
-					continue
-				}
-				mu.Lock()
-				// A task interrupted by cancellation reports no error, so
-				// any error seen here is the task's genuine first error;
-				// the lowest ordinal with one matches the sequential run.
-				if ord < bestOrd {
-					bestOrd, bestErr = ord, err
-					ctl.errOrd.Store(ord)
-				}
-				mu.Unlock()
+				collect(ord, c.runTask(tasks[ord], ctl, ord))
 			}
 		}()
 	}
 	wg.Wait()
-	return bestErr
+	return c.finishTasks(ctl, bestErr)
+}
+
+// finishTasks turns the control block's final state into the verdict,
+// counting cancellations in Stats.
+func (c *Compiler) finishTasks(ctl *vcontrol, bestErr error) error {
+	if bestErr != nil {
+		return bestErr
+	}
+	switch ctl.stop.Load() {
+	case stopCtx:
+		atomic.AddInt64(&c.Stats.Cancelled, 1)
+		if err := ctl.ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	case stopBudget:
+		if c.budgetErr != nil {
+			return c.budgetErr
+		}
+		return &fault.BudgetExceededError{
+			Op:           "full compile",
+			Reason:       "wall time",
+			Containments: atomic.LoadInt64(&c.Stats.Containments),
+			CellsVisited: atomic.LoadInt64(&c.Stats.CellsVisited),
+			Elapsed:      time.Since(c.start),
+		}
+	}
+	return nil
 }

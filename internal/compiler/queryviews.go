@@ -13,12 +13,15 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
 )
 
@@ -45,6 +48,12 @@ type Options struct {
 	// which still deduplicates the (heavily repetitive) queries within one
 	// compile.
 	SatCache *cond.SatCache
+	// Budget bounds the validation work of one compilation. When a limit
+	// is reached, CompileCtx returns a *fault.BudgetExceededError carrying
+	// the partial Stats, which callers can distinguish from a validation
+	// failure (invalid mapping) and respond to — e.g. by retrying with a
+	// larger budget or queueing a full recompilation.
+	Budget fault.Budget
 }
 
 // Stats reports the work a compilation performed. Counters are plain int64s
@@ -61,6 +70,12 @@ type Stats struct {
 	CacheMisses int64
 	// Workers is the validation worker count the compilation ran with.
 	Workers int64
+	// Cancelled counts compilations stopped by context cancellation or
+	// deadline expiry; PanicsRecovered counts worker panics recovered into
+	// typed errors instead of crashing the process. Both are merged
+	// atomically across workers.
+	Cancelled       int64
+	PanicsRecovered int64
 }
 
 // Compiler compiles mappings into views.
@@ -69,6 +84,11 @@ type Compiler struct {
 	Stats Stats
 
 	cache *cond.SatCache
+	// start anchors the wall-time budget; set at CompileCtx entry.
+	start time.Time
+	// budgetErr records the first budget error a validation task surfaced
+	// (the containment checker builds richer errors than the watcher).
+	budgetErr *fault.BudgetExceededError
 }
 
 // New returns a compiler with default options.
@@ -133,17 +153,44 @@ func (c *Compiler) disjoint(t cond.Theory, a, b cond.Expr) bool {
 // A validation failure returns an error describing the first violated
 // condition; the mapping is then not valid (it does not roundtrip).
 func (c *Compiler) Compile(m *frag.Mapping) (*frag.Views, error) {
+	return c.CompileCtx(context.Background(), m)
+}
+
+// CompileCtx is Compile with cooperative cancellation and budget
+// enforcement. Cancellation is observed between view generations, between
+// validation tasks and — inside the exponential cell walks — within one
+// cell, so a timed-out or user-cancelled compile stops promptly and
+// returns ctx.Err() deterministically. When Options.Budget is limited, a
+// compilation that exhausts it returns a *fault.BudgetExceededError
+// carrying the partial work counters; both outcomes are distinguishable
+// from a validation failure, which reports the mapping as invalid.
+func (c *Compiler) CompileCtx(ctx context.Context, m *frag.Mapping) (*frag.Views, error) {
 	if err := m.CheckWellFormed(); err != nil {
 		return nil, err
 	}
+	c.start = time.Now()
 	views := frag.NewViews()
 	cat := m.Catalog()
 	c.satCache()
 	c.Stats.Workers = int64(c.workers())
 
+	checkCtx := func() error {
+		if err := ctx.Err(); err != nil {
+			atomic.AddInt64(&c.Stats.Cancelled, 1)
+			return err
+		}
+		return nil
+	}
+	if err := checkCtx(); err != nil {
+		return nil, err
+	}
+
 	// Update views come first: validation issues containment checks over
 	// them.
 	for _, tn := range m.MappedTables() {
+		if err := checkCtx(); err != nil {
+			return nil, err
+		}
 		v, err := c.updateView(m, tn)
 		if err != nil {
 			return nil, fmt.Errorf("update view for %s: %w", tn, err)
@@ -155,7 +202,7 @@ func (c *Compiler) Compile(m *frag.Mapping) (*frag.Views, error) {
 	}
 
 	if !c.Opts.SkipValidation {
-		if err := c.validate(m, views); err != nil {
+		if err := c.validate(ctx, m, views); err != nil {
 			return nil, err
 		}
 	}
@@ -166,6 +213,9 @@ func (c *Compiler) Compile(m *frag.Mapping) (*frag.Views, error) {
 		}
 		types := append([]string{set.Type}, m.Client.Descendants(set.Type)...)
 		for _, ty := range types {
+			if err := checkCtx(); err != nil {
+				return nil, err
+			}
 			v, err := c.queryView(m, set.Name, ty)
 			if err != nil {
 				return nil, fmt.Errorf("query view for %s: %w", ty, err)

@@ -1,9 +1,11 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/containment"
@@ -38,15 +40,18 @@ func (e *ValidationError) Error() string {
 // workers. Task order mirrors the sequential algorithm exactly, and the
 // error of the lowest-ordered failing task is returned, so any worker
 // count yields the same first error (byte for byte) as a sequential run.
-func (c *Compiler) validate(m *frag.Mapping, views *frag.Views) error {
+func (c *Compiler) validate(ctx context.Context, m *frag.Mapping, views *frag.Views) error {
 	workers := c.workers()
 	var tasks []vtask
 
 	for _, set := range m.Client.Sets() {
 		if len(m.FragsOnSet(set.Name)) == 0 {
 			set := set
-			tasks = append(tasks, func(*vcontrol, int64) error {
-				return c.checkSetUnmapped(m, set)
+			tasks = append(tasks, vtask{
+				label: "unmapped-set check of " + set.Name,
+				run: func(*vcontrol, int64) error {
+					return c.checkSetUnmapped(m, set)
+				},
 			})
 			continue
 		}
@@ -59,9 +64,16 @@ func (c *Compiler) validate(m *frag.Mapping, views *frag.Views) error {
 	ch := containment.NewChecker(m.Catalog())
 	ch.Simplify = !c.Opts.NoSimplify
 	ch.Cache = c.satCache()
+	ch.Budget = c.Opts.Budget
+	ch.Start = c.start
+	ch.Op = "full compile"
 	tasks = append(tasks, c.foreignKeyTasks(m, views, ch)...)
 
-	err := runTasks(tasks, workers)
+	var budgetDeadline time.Time
+	if c.Opts.Budget.MaxWallTime > 0 {
+		budgetDeadline = c.start.Add(c.Opts.Budget.MaxWallTime)
+	}
+	err := c.runTasks(ctx, tasks, workers, budgetDeadline)
 
 	atomic.AddInt64(&c.Stats.Containments, atomic.LoadInt64(&ch.Stats.Containments))
 	atomic.AddInt64(&c.Stats.Implications, atomic.LoadInt64(&ch.Stats.Implications))
@@ -319,13 +331,16 @@ func (c *Compiler) setCellTasks(m *frag.Mapping, set *edm.EntitySet, workers int
 		ty := ty
 		th := exactTheory{base: baseTheory, ty: ty}
 		attrs := m.Client.AttrNames(ty)
-		for _, sp := range c.splitSpans(th, atoms, workers) {
+		for si, sp := range c.splitSpans(th, atoms, workers) {
 			sp := sp
-			tasks = append(tasks, func(ctl *vcontrol, ord int64) error {
-				covered := map[string]bool{}
-				return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
-					return ck.check(ty, attrs, asg, vals, covered)
-				})
+			tasks = append(tasks, vtask{
+				label: fmt.Sprintf("client cell span %d of set %s, type %s", si, set.Name, ty),
+				run: func(ctl *vcontrol, ord int64) error {
+					covered := map[string]bool{}
+					return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
+						return ck.check(ty, attrs, asg, vals, covered)
+					})
+				},
 			})
 		}
 	}
@@ -555,13 +570,16 @@ func (c *Compiler) tableCellTasks(m *frag.Mapping, table string, workers int) []
 
 	th := m.Store.TheoryFor(table)
 	var tasks []vtask
-	for _, sp := range c.splitSpans(th, atoms, workers) {
+	for si, sp := range c.splitSpans(th, atoms, workers) {
 		sp := sp
-		tasks = append(tasks, func(ctl *vcontrol, ord int64) error {
-			sc := ck.newScratch()
-			return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
-				return ck.check(asg, vals, sc)
-			})
+		tasks = append(tasks, vtask{
+			label: fmt.Sprintf("store cell span %d of table %s", si, table),
+			run: func(ctl *vcontrol, ord int64) error {
+				sc := ck.newScratch()
+				return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
+					return ck.check(asg, vals, sc)
+				})
+			},
 		})
 	}
 	return tasks
@@ -583,36 +601,39 @@ func (c *Compiler) foreignKeyTasks(m *frag.Mapping, views *frag.Views, ch *conta
 		tab := m.Store.Table(tn)
 		for _, fk := range tab.FKs {
 			fk := fk
-			tasks = append(tasks, func(*vcontrol, int64) error {
-				written := false
-				for _, f := range m.FragsOnTable(tn) {
-					for _, colName := range fk.Cols {
-						if f.MapsCol(colName) {
-							written = true
+			tasks = append(tasks, vtask{
+				label: fmt.Sprintf("foreign-key check %s of table %s", fk.Name, tn),
+				run: func(ctl *vcontrol, _ int64) error {
+					written := false
+					for _, f := range m.FragsOnTable(tn) {
+						for _, colName := range fk.Cols {
+							if f.MapsCol(colName) {
+								written = true
+							}
 						}
 					}
-				}
-				if !written {
-					return nil // FK columns never populated; vacuously preserved
-				}
-				if !mapped[fk.RefTable] {
-					return &ValidationError{
-						Where:  "table " + tn,
-						Reason: fmt.Sprintf("foreign key %s references unmapped table %s", fk.Name, fk.RefTable),
+					if !written {
+						return nil // FK columns never populated; vacuously preserved
 					}
-				}
-				lhs, rhs := fkContainmentQueries(views, fk, tn)
-				ok, err := ch.Contains(lhs, rhs)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return &ValidationError{
-						Where:  "table " + tn,
-						Reason: fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable),
+					if !mapped[fk.RefTable] {
+						return &ValidationError{
+							Where:  "table " + tn,
+							Reason: fmt.Sprintf("foreign key %s references unmapped table %s", fk.Name, fk.RefTable),
+						}
 					}
-				}
-				return nil
+					lhs, rhs := fkContainmentQueries(views, fk, tn)
+					ok, err := ch.ContainsCtx(ctl.ctx, lhs, rhs)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return &ValidationError{
+							Where:  "table " + tn,
+							Reason: fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable),
+						}
+					}
+					return nil
+				},
 			})
 		}
 	}

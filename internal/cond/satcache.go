@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"github.com/ormkit/incmap/internal/faultinject"
 )
 
 // SatCache memoizes the theory-level decision procedures (Satisfiable,
@@ -78,6 +80,9 @@ func (c *SatCache) Satisfiable(t Theory, x Expr) bool {
 
 // SatisfiableHit reports the verdict and whether it was served from cache.
 func (c *SatCache) SatisfiableHit(t Theory, x Expr) (sat, hit bool) {
+	// Fault-injection hook: lookups cannot propagate an error, so only
+	// injected panics and delays take effect here.
+	faultinject.At(faultinject.SiteSatCache) //nolint:errcheck
 	key := cacheKey(t, x)
 	if v, ok := c.entries.Load(key); ok {
 		c.hits.Add(1)

@@ -1,0 +1,74 @@
+package containment
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/fault"
+)
+
+func TestContainsCtxCancelled(t *testing.T) {
+	ch := checker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	emp := persons(cond.TypeIs{Type: "Employee"}, "Id")
+	per := persons(cond.TypeIs{Type: "Person"}, "Id")
+	_, err := ch.ContainsCtx(ctx, emp, per)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ch.Stats.Containments != 0 {
+		t.Fatalf("cancelled check still counted: %+v", ch.Stats)
+	}
+}
+
+func TestContainsCtxBudgetContainments(t *testing.T) {
+	ch := checker(t)
+	ch.Budget = fault.Budget{MaxContainments: 1}
+	ch.Op = "unit test"
+	emp := persons(cond.TypeIs{Type: "Employee"}, "Id")
+	per := persons(cond.TypeIs{Type: "Person"}, "Id")
+	if _, err := ch.ContainsCtx(context.Background(), emp, per); err != nil {
+		t.Fatalf("first check should fit the budget: %v", err)
+	}
+	_, err := ch.ContainsCtx(context.Background(), emp, per)
+	var be *fault.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *fault.BudgetExceededError", err)
+	}
+	if be.Op != "unit test" || be.Reason != "containments" {
+		t.Fatalf("budget error mislabelled: %+v", be)
+	}
+}
+
+func TestContainsCtxBudgetWallTime(t *testing.T) {
+	ch := checker(t)
+	ch.Budget = fault.Budget{MaxWallTime: time.Nanosecond}
+	ch.Start = time.Now().Add(-time.Second)
+	emp := persons(cond.TypeIs{Type: "Employee"}, "Id")
+	per := persons(cond.TypeIs{Type: "Person"}, "Id")
+	_, err := ch.ContainsCtx(context.Background(), emp, per)
+	var be *fault.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *fault.BudgetExceededError", err)
+	}
+	if be.Reason != "wall time" {
+		t.Fatalf("Reason = %q, want wall time", be.Reason)
+	}
+}
+
+// TestContainsUnchangedByCtxVariant pins the compatibility contract: the
+// ctx-less Contains is exactly ContainsCtx with a background context.
+func TestContainsUnchangedByCtxVariant(t *testing.T) {
+	ch := checker(t)
+	emp := persons(cond.TypeIs{Type: "Employee"}, "Id")
+	per := persons(cond.TypeIs{Type: "Person"}, "Id")
+	a, errA := ch.Contains(emp, per)
+	b, errB := ch.ContainsCtx(context.Background(), emp, per)
+	if a != b || (errA == nil) != (errB == nil) {
+		t.Fatalf("Contains=%v/%v ContainsCtx=%v/%v", a, errA, b, errB)
+	}
+}

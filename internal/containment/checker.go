@@ -1,10 +1,14 @@
 package containment
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/faultinject"
 )
 
 // Stats counts the work a checker performed, for the experiment harness.
@@ -37,6 +41,18 @@ type Checker struct {
 	// the full compiler and the incremental compiler lets neighbourhood
 	// re-validation after an SMO reuse verdicts from the original compile.
 	Cache *cond.SatCache
+	// Budget, when limited, bounds the work of this checker's containment
+	// calls: once Stats.Containments reaches Budget.MaxContainments, or
+	// the wall clock passes Start+Budget.MaxWallTime, ContainsCtx returns
+	// a *fault.BudgetExceededError instead of deciding. Op labels the
+	// error with the operation being validated.
+	Budget fault.Budget
+	// Start anchors Budget.MaxWallTime; the zero value disables the
+	// wall-time limit.
+	Start time.Time
+	// Op names the operation for budget errors ("full compile", an SMO
+	// description, ...).
+	Op    string
 	Stats Stats
 }
 
@@ -77,7 +93,60 @@ func (ch *Checker) implies(t cond.Theory, a, b cond.Expr) bool {
 // generates the check is complete, so false is reported to the user as a
 // validation failure, matching the paper's behaviour of aborting the SMO.
 func (ch *Checker) Contains(a, b cqt.Expr) (bool, error) {
+	return ch.ContainsCtx(context.Background(), a, b)
+}
+
+// budgetErr reports whether the checker's budget is exhausted, building
+// the typed error if so. Containment is the NP-hard step of validation, so
+// the budget is re-checked before every Contains call and between the
+// left-side blocks of one call.
+func (ch *Checker) budgetErr() *fault.BudgetExceededError {
+	op := ch.Op
+	if op == "" {
+		op = "containment"
+	}
+	if ch.Budget.MaxContainments > 0 && atomic.LoadInt64(&ch.Stats.Containments) > ch.Budget.MaxContainments {
+		return &fault.BudgetExceededError{
+			Op:           op,
+			Reason:       "containments",
+			Containments: atomic.LoadInt64(&ch.Stats.Containments),
+			Elapsed:      ch.elapsed(),
+		}
+	}
+	if ch.Budget.MaxWallTime > 0 && !ch.Start.IsZero() && time.Since(ch.Start) > ch.Budget.MaxWallTime {
+		return &fault.BudgetExceededError{
+			Op:           op,
+			Reason:       "wall time",
+			Containments: atomic.LoadInt64(&ch.Stats.Containments),
+			Elapsed:      ch.elapsed(),
+		}
+	}
+	return nil
+}
+
+func (ch *Checker) elapsed() time.Duration {
+	if ch.Start.IsZero() {
+		return 0
+	}
+	return time.Since(ch.Start)
+}
+
+// ContainsCtx is Contains with cooperative cancellation and budget
+// enforcement: it returns ctx.Err() once the context is cancelled and a
+// *fault.BudgetExceededError once the checker's Budget is exhausted,
+// checking both between the normalized blocks of the left side so a
+// runaway check stops within one block's homomorphism enumeration.
+func (ch *Checker) ContainsCtx(ctx context.Context, a, b cqt.Expr) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if err := faultinject.At(faultinject.SiteContainment); err != nil {
+		return false, err
+	}
 	atomic.AddInt64(&ch.Stats.Containments, 1)
+	if be := ch.budgetErr(); be != nil {
+		return false, be
+	}
 	if ch.Simplify {
 		a = cqt.Simplify(ch.Cat, a)
 		b = cqt.Simplify(ch.Cat, b)
@@ -93,6 +162,12 @@ func (ch *Checker) Contains(a, b cqt.Expr) (bool, error) {
 		return false, err
 	}
 	for i := range A {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if be := ch.budgetErr(); be != nil {
+			return false, be
+		}
 		ab := &A[i]
 		th := ch.theoryFor(ab)
 		cls := newClasses(ab)

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// cancelPlanner resolves to the wrapped SMO after firing cancel, so the
+// cancellation lands deterministically between SMO resolution and the
+// applier's neighbourhood validation — "mid-compile" without sleeping.
+type cancelPlanner struct {
+	op     SMO
+	cancel context.CancelFunc
+}
+
+func (p cancelPlanner) Describe() string { return p.op.Describe() }
+func (p cancelPlanner) Plan(m *frag.Mapping) (SMO, error) {
+	p.cancel()
+	return p.op, nil
+}
+
+func TestApplyCancelBeforeStart(t *testing.T) {
+	m, v := compiled(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ic := NewIncremental()
+	nm, nv, err := ic.ApplyCtx(ctx, m, v, employeeSMO())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if nm != nil || nv != nil {
+		t.Fatal("cancelled Apply returned a generation")
+	}
+	if ic.Stats.Cancelled != 1 {
+		t.Fatalf("Stats.Cancelled = %d, want 1", ic.Stats.Cancelled)
+	}
+}
+
+func TestApplyCancelMidValidationLeavesInputsIntact(t *testing.T) {
+	m, v := compiled(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ic := NewIncremental()
+	nm, nv, err := ic.ApplyCtx(ctx, m, v, cancelPlanner{op: employeeSMO(), cancel: cancel})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if nm != nil || nv != nil {
+		t.Fatal("cancelled Apply returned a generation")
+	}
+	if ic.Stats.Cancelled != 1 {
+		t.Fatalf("Stats.Cancelled = %d, want 1", ic.Stats.Cancelled)
+	}
+	// The pre-SMO generation must be untouched: no Employee type leaked
+	// into the client schema, and the original views still roundtrip.
+	if m.Client.Type("Employee") != nil {
+		t.Fatal("cancelled Apply leaked the new type into the input mapping")
+	}
+	cs := state.NewClientState()
+	if err := orm.Roundtrip(m, v, cs); err != nil {
+		t.Fatalf("pre-SMO generation no longer roundtrips: %v", err)
+	}
+}
+
+// TestApplyAllCancelAbort is the regression test for ApplyAll abort
+// semantics under cancellation: when a later op of the sequence is
+// cancelled, the whole sequence aborts — no partial generation is
+// returned, and the original inputs stay untouched — exactly as it aborts
+// on a validation error.
+func TestApplyAllCancelAbort(t *testing.T) {
+	m, v := compiled(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ic := NewIncremental()
+	// Op 1 (Employee) succeeds; op 2 (Customer) cancels the context while
+	// resolving, so its validation observes the cancellation.
+	nm, nv, err := ic.ApplyAllCtx(ctx, m, v,
+		employeeSMO(),
+		cancelPlanner{op: customerSMO(), cancel: cancel})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if nm != nil || nv != nil {
+		t.Fatal("aborted ApplyAll returned a partial generation")
+	}
+	if m.Client.Type("Employee") != nil || m.Client.Type("Customer") != nil {
+		t.Fatal("aborted ApplyAll leaked types into the input mapping")
+	}
+	if _, ok := v.Update["Emp"]; ok {
+		t.Fatal("aborted ApplyAll leaked an update view into the input views")
+	}
+}
+
+func TestApplyBudgetWallTime(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	ic.Opts.Budget = fault.Budget{MaxWallTime: time.Nanosecond}
+	nm, nv, err := ic.Apply(m, v, employeeSMO())
+	var be *fault.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *fault.BudgetExceededError", err)
+	}
+	if nm != nil || nv != nil {
+		t.Fatal("budget-stopped Apply returned a generation")
+	}
+	if be.Op == "" {
+		t.Fatalf("budget error not labelled with the SMO: %+v", be)
+	}
+}
+
+func TestApplyBudgetContainments(t *testing.T) {
+	m, v := compiled(t)
+	ic := NewIncremental()
+	m, v, err := ic.ApplyAll(m, v, employeeSMO(), customerSMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	icb := NewIncremental()
+	icb.Opts.Budget = fault.Budget{MaxContainments: 1}
+	icb.Opts.WideValidation = true // re-check every FK: guaranteed > 1 containment
+	_, _, err = icb.Apply(m, v, supportsSMO())
+	var be *fault.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *fault.BudgetExceededError", err)
+	}
+	if be.Reason != "containments" {
+		t.Fatalf("Reason = %q, want containments", be.Reason)
+	}
+	// The same op under no budget succeeds.
+	if _, _, err := NewIncremental().Apply(m, v, supportsSMO()); err != nil {
+		t.Fatalf("unbudgeted apply failed: %v", err)
+	}
+}
+
+// TestSoakCancelMidValidation cancels incremental compilations mid-flight
+// 100 times — alternating deterministic cancellation points and real
+// timers — and each time diffs what survives against the pre-SMO
+// generation. Run with -race in CI, this also shakes out unsynchronized
+// stats or view mutations on the cancel path.
+func TestSoakCancelMidValidation(t *testing.T) {
+	m, v := compiled(t)
+	cs := workload.PaperClientState()
+	// Only Person data roundtrips through the initial mapping.
+	keep := state.NewClientState()
+	for _, e := range cs.Entities["Persons"] {
+		if e.Type == "Person" {
+			keep.Insert("Persons", e)
+		}
+	}
+	if err := orm.Roundtrip(m, v, keep); err != nil {
+		t.Fatalf("baseline roundtrip: %v", err)
+	}
+
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var op SMO = employeeSMO()
+		if i%2 == 0 {
+			op = cancelPlanner{op: op, cancel: cancel}
+		} else {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(i)*3*time.Microsecond)
+		}
+		ic := NewIncremental()
+		nm, nv, err := ic.ApplyCtx(ctx, m, v, op)
+		cancel()
+		if err == nil {
+			// The timer lost the race: the op compiled. Discard the new
+			// generation; the shared inputs must still be intact below.
+			if nm == nil || nv == nil {
+				t.Fatalf("iteration %d: nil generation without error", i)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("iteration %d: unexpected error %v", i, err)
+		}
+		if nm != nil || nv != nil {
+			t.Fatalf("iteration %d: cancelled Apply returned a generation", i)
+		}
+	}
+
+	// The surviving generation is byte-for-byte the pre-SMO one: same
+	// schema objects, and the same client state diff (empty) after a
+	// materialize/load cycle.
+	if m.Client.Type("Employee") != nil {
+		t.Fatal("soak leaked the Employee type into the shared mapping")
+	}
+	if err := orm.Roundtrip(m, v, keep); err != nil {
+		t.Fatalf("surviving generation diverged from pre-SMO: %v", err)
+	}
+}

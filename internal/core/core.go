@@ -11,14 +11,25 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/containment"
 	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/rel"
 )
+
+// ErrUnsupportedSMO reports that an operation cannot be compiled
+// incrementally: it is not one of the executable SMOs of §3 (or a Planner
+// resolving to one). Callers holding a full compiler can respond by
+// falling back to full recompilation, as §1.2 of the paper prescribes;
+// the pipeline package automates exactly that ladder.
+var ErrUnsupportedSMO = errors.New("SMO is not incrementally compilable")
 
 // Options tunes the incremental compiler.
 type Options struct {
@@ -35,6 +46,15 @@ type Options struct {
 	// when nil a private cache is created, still deduplicating within the
 	// incremental compilation itself.
 	SatCache *cond.SatCache
+	// Budget bounds the validation work of one Apply. When a limit is
+	// reached, Apply returns a *fault.BudgetExceededError (wrapped with
+	// the SMO's description), distinguishable from a validation failure.
+	Budget fault.Budget
+	// SkipValidation applies the SMO's schema, fragment and view changes
+	// without the neighbourhood containment checks. Used by the fallback
+	// path of the pipeline package, which re-validates the evolved mapping
+	// with a full compilation; not meant for direct use.
+	SkipValidation bool
 }
 
 // Stats reports the work one or more Apply calls performed.
@@ -47,6 +67,9 @@ type Stats struct {
 	// by incremental validation.
 	CacheHits   int64
 	CacheMisses int64
+	// Cancelled counts Apply calls stopped by context cancellation or
+	// deadline expiry.
+	Cancelled int64
 }
 
 // Incremental is the incremental mapping compiler.
@@ -55,6 +78,13 @@ type Incremental struct {
 	Stats Stats
 
 	cache *cond.SatCache
+
+	// ctx and start hold the cancellation and budget anchors of the
+	// in-flight ApplyCtx; appliers reach them through the checker and the
+	// decision procedures. An Incremental must not be shared by
+	// concurrent Apply calls (each call mutates these and Stats).
+	ctx   context.Context
+	start time.Time
 
 	// touchedQuery/touchedUpdate track the views an SMO created or
 	// restructured, so only the neighbourhood of the change is
@@ -109,6 +139,24 @@ type Planner interface {
 // MutableFrag, MutableQuery/MutableUpdate and the schema mutators). Apply
 // therefore does O(change) copying work per SMO, not O(model).
 func (ic *Incremental) Apply(m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapping, *frag.Views, error) {
+	return ic.ApplyCtx(context.Background(), m, v, op)
+}
+
+// ApplyCtx is Apply with cooperative cancellation and budget enforcement.
+// Cancellation is observed before the SMO is applied and inside every
+// neighbourhood containment check, so a cancelled compilation aborts with
+// ctx.Err() (wrapped with the SMO's description) and the inputs stay
+// untouched — the same abort semantics as a validation failure. When
+// Options.Budget is limited, exhausting it aborts with a
+// *fault.BudgetExceededError instead.
+func (ic *Incremental) ApplyCtx(ctx context.Context, m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapping, *frag.Views, error) {
+	ic.ctx = ctx
+	ic.start = time.Now()
+	defer func() { ic.ctx = nil }()
+	if err := ctx.Err(); err != nil {
+		ic.Stats.Cancelled++
+		return nil, nil, fmt.Errorf("%s: %w", op.Describe(), err)
+	}
 	nm := m.Clone()
 	nv := v.Clone()
 	ic.touchedQuery = map[string]bool{}
@@ -127,9 +175,22 @@ func (ic *Incremental) Apply(m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapp
 	}
 	a, ok := resolved.(applier)
 	if !ok {
-		return nil, nil, fmt.Errorf("%s: not an executable SMO", op.Describe())
+		return nil, nil, fmt.Errorf("%s: %w", op.Describe(), ErrUnsupportedSMO)
 	}
 	if err := a.apply(ic, nm, nv); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ic.Stats.Cancelled++
+		}
+		return nil, nil, fmt.Errorf("%s: %w", op.Describe(), err)
+	}
+	// Re-observe the context after the applier: a cancellation that landed
+	// where no containment check was running must still abort the op — a
+	// cancelled compile never commits, deterministically. This is what
+	// keeps ApplyAll's abort semantics intact under cancellation: without
+	// it, a step whose validation happened to finish first would return
+	// success and leak a generation the caller asked to abandon.
+	if err := ctx.Err(); err != nil {
+		ic.Stats.Cancelled++
 		return nil, nil, fmt.Errorf("%s: %w", op.Describe(), err)
 	}
 	if !ic.Opts.NoSimplify {
@@ -144,9 +205,19 @@ func (ic *Incremental) Apply(m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapp
 // O(total change) — one cheap generation per op — rather than one full
 // clone per op.
 func (ic *Incremental) ApplyAll(m *frag.Mapping, v *frag.Views, ops ...SMO) (*frag.Mapping, *frag.Views, error) {
+	return ic.ApplyAllCtx(context.Background(), m, v, ops...)
+}
+
+// ApplyAllCtx is ApplyAll with cooperative cancellation: the context is
+// re-checked between steps and inside each step's validation, and the
+// whole sequence aborts on the first failure — including a cancellation —
+// with the callers' input generation untouched. The intermediate
+// generations built before the abort are discarded, never returned, so a
+// cancelled sequence cannot leak a half-evolved mapping.
+func (ic *Incremental) ApplyAllCtx(ctx context.Context, m *frag.Mapping, v *frag.Views, ops ...SMO) (*frag.Mapping, *frag.Views, error) {
 	for _, op := range ops {
 		var err error
-		m, v, err = ic.Apply(m, v, op)
+		m, v, err = ic.ApplyCtx(ctx, m, v, op)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -218,7 +289,20 @@ func (ic *Incremental) checker(m *frag.Mapping) *containment.Checker {
 	ch := containment.NewChecker(m.Catalog())
 	ch.Simplify = !ic.Opts.NoSimplify
 	ch.Cache = ic.satCache()
+	ch.Budget = ic.Opts.Budget
+	ch.Start = ic.start
+	ch.Op = "incremental compile"
 	return ch
+}
+
+// applyCtx is the context of the in-flight ApplyCtx (Background for plain
+// Apply calls and for hand-constructed Incrementals driving the helpers
+// directly in tests).
+func (ic *Incremental) applyCtx() context.Context {
+	if ic.ctx == nil {
+		return context.Background()
+	}
+	return ic.ctx
 }
 
 func (ic *Incremental) absorb(ch *containment.Checker) {
@@ -352,9 +436,14 @@ func ancestorsOfP(m *frag.Mapping, p string) []string {
 }
 
 // checkContainment runs one localized containment check and wraps a failed
-// result in the paper's abort semantics.
+// result in the paper's abort semantics. Under Options.SkipValidation (the
+// pipeline fallback path, which re-validates by full compilation) it is a
+// no-op.
 func (ic *Incremental) checkContainment(ch *containment.Checker, a, b cqt.Expr, what string) error {
-	ok, err := ch.Contains(a, b)
+	if ic.Opts.SkipValidation {
+		return nil
+	}
+	ok, err := ch.ContainsCtx(ic.applyCtx(), a, b)
 	if err != nil {
 		return err
 	}
@@ -367,6 +456,9 @@ func (ic *Incremental) checkContainment(ch *containment.Checker, a, b cqt.Expr, 
 // fkCheck validates one foreign key of table tab against the current update
 // views: π_{β AS γ}(σ_{β NOT NULL}(Q_tab)) ⊆ π_γ(Q_ref).
 func (ic *Incremental) fkCheck(ch *containment.Checker, m *frag.Mapping, v *frag.Views, tab string, fk rel.ForeignKey) error {
+	if ic.Opts.SkipValidation {
+		return nil
+	}
 	refView, ok := v.Update[fk.RefTable]
 	if !ok {
 		return fmt.Errorf("validation failed: foreign key %s of %s references unmapped table %s", fk.Name, tab, fk.RefTable)

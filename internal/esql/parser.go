@@ -22,13 +22,20 @@ import (
 //
 // Attributes may be qualified (alias.attr). The printer's default subject
 // "e" parses back to the empty (single-scan) subject.
-func ParseCond(in string) (cond.Expr, error) {
+func ParseCond(in string) (e cond.Expr, err error) {
+	// A parser bug must surface as an error, not kill a server process
+	// compiling user-supplied conditions.
+	defer func() {
+		if r := recover(); r != nil {
+			e, err = nil, fmt.Errorf("esql: internal parser fault on %q: %v", in, r)
+		}
+	}()
 	toks, err := lex(in)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	e, err := p.parseOr()
+	e, err = p.parseOr()
 	if err != nil {
 		return nil, err
 	}

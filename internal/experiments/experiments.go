@@ -32,6 +32,12 @@ type Result struct {
 	// Allocs is the number of heap allocations observed over the run
 	// (a runtime.MemStats Mallocs delta; approximate under concurrency).
 	Allocs uint64
+	// Fallbacks, Cancelled and PanicsRecovered record degradation events:
+	// full-compile fallbacks taken by the pipeline, compilations stopped by
+	// cancellation or deadline, and worker panics recovered into errors.
+	Fallbacks       int64
+	Cancelled       int64
+	PanicsRecovered int64
 }
 
 // String formats the result as a table row.
@@ -56,12 +62,14 @@ func FullCompile(m *frag.Mapping) (Result, *frag.Views) {
 	d := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	return Result{
-		Name:         "full",
-		D:            d,
-		Err:          err,
-		Note:         fmt.Sprintf("cells=%d containments=%d", c.Stats.CellsVisited, c.Stats.Containments),
-		Containments: c.Stats.Containments,
-		Allocs:       ms1.Mallocs - ms0.Mallocs,
+		Name:            "full",
+		D:               d,
+		Err:             err,
+		Note:            fmt.Sprintf("cells=%d containments=%d", c.Stats.CellsVisited, c.Stats.Containments),
+		Containments:    c.Stats.Containments,
+		Allocs:          ms1.Mallocs - ms0.Mallocs,
+		Cancelled:       c.Stats.Cancelled,
+		PanicsRecovered: c.Stats.PanicsRecovered,
 	}, views
 }
 
@@ -96,6 +104,7 @@ func RunOp(base *frag.Mapping, views *frag.Views, op NamedOp) Result {
 		Note:         fmt.Sprintf("containments=%d", ic.Stats.Containments),
 		Containments: ic.Stats.Containments,
 		Allocs:       ms1.Mallocs - ms0.Mallocs,
+		Cancelled:    ic.Stats.Cancelled,
 	}
 }
 

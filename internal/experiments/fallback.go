@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/modef"
+	"github.com/ormkit/incmap/internal/pipeline"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// FallbackOverhead measures the cost of the paper's fallback ladder (§1.2)
+// on the chain model: the same AE-TPT SMO compiled (a) incrementally
+// through pipeline.Session.Evolve, and (b) under a validation budget so
+// tight that the first containment check exhausts it, forcing Evolve down
+// the full-compile fallback. The gap between the two rows is the price of
+// degradation: a fallback costs roughly one full compilation, which is why
+// the incremental path matters. Returned rows: "full" (baseline full
+// compilation), "incremental", "fallback".
+func FallbackOverhead(chainSize int) ([]Result, error) {
+	m, err := workload.ChainE(chainSize)
+	if err != nil {
+		return nil, err
+	}
+	fullRes, views := FullCompile(m)
+	if views == nil {
+		return nil, fmt.Errorf("experiments: chain-%d failed full compilation: %w", chainSize, fullRes.Err)
+	}
+
+	parent := fmt.Sprintf("Entity%d", chainSize/2)
+	newAttrs := []edm.Attribute{{Name: "NewExtra", Type: cond.KindString, Nullable: true}}
+
+	measure := func(name string, opts pipeline.Options) Result {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		prep := m.Clone()
+		smo, err := modef.PlanAddEntityWithStyle(prep, "New"+name, parent, newAttrs, modef.TPT)
+		var st pipeline.Stats
+		if err == nil {
+			sess := pipeline.NewSession(prep, views, opts)
+			_, _, err = sess.Evolve(context.Background(), smo)
+			st = sess.Stats()
+		}
+		d := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		return Result{
+			Name:            name,
+			D:               d,
+			Err:             err,
+			Note:            fmt.Sprintf("fallbacks=%d", st.Fallbacks),
+			Allocs:          ms1.Mallocs - ms0.Mallocs,
+			Fallbacks:       st.Fallbacks,
+			Cancelled:       st.Cancelled,
+			PanicsRecovered: st.PanicsRecovered,
+		}
+	}
+
+	inc := measure("incremental", pipeline.Options{})
+	// A wall-time budget of one nanosecond is exhausted by the time the
+	// first neighbourhood containment check runs, so the incremental rung
+	// always fails with a *fault.BudgetExceededError and the fallback wins.
+	fb := measure("fallback", pipeline.Options{
+		Incremental: core.Options{Budget: fault.Budget{MaxWallTime: time.Nanosecond}},
+	})
+	return []Result{fullRes, inc, fb}, nil
+}

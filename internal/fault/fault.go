@@ -1,0 +1,80 @@
+// Package fault defines the fault-tolerance vocabulary shared by the full
+// and incremental compilers and the evolution pipeline: validation budgets,
+// the typed error reporting budget exhaustion, and the typed error a
+// recovered worker panic is converted into.
+//
+// Validation reduces to query containment, which is NP-hard (§2.3 of the
+// paper), and the exhaustive cell analysis is exponential in the number of
+// interacting condition atoms. A deployment that compiles mappings on a
+// serving path therefore needs a way to bound the work of a single
+// compilation and to distinguish "the mapping is invalid" from "the
+// compiler ran out of budget": only the former is a verdict, the latter is
+// a resource decision a caller may respond to by falling back to full
+// recompilation, queueing, or rejecting the schema change.
+package fault
+
+import (
+	"fmt"
+	"time"
+)
+
+// Budget bounds the work one compilation (full or incremental) may spend
+// on validation. The zero value imposes no limits.
+type Budget struct {
+	// MaxContainments bounds the number of query-containment checks
+	// (the NP-hard step). 0 means unlimited.
+	MaxContainments int64
+	// MaxWallTime bounds the wall-clock time of validation, measured from
+	// the start of the compilation. 0 means unlimited.
+	MaxWallTime time.Duration
+}
+
+// Limited reports whether the budget imposes any limit.
+func (b Budget) Limited() bool { return b.MaxContainments > 0 || b.MaxWallTime > 0 }
+
+// BudgetExceededError reports that validation stopped because a Budget
+// limit was reached, not because the mapping is invalid. It carries the
+// partial work counters accumulated up to the moment of exhaustion so
+// callers can log or adapt (e.g. retry with a larger budget, or fall back
+// to full recompilation through the pipeline package).
+type BudgetExceededError struct {
+	// Op names the operation that ran out of budget (an SMO description or
+	// "full compile").
+	Op string
+	// Reason is the limit that was hit: "containments" or "wall time".
+	Reason string
+	// Containments and CellsVisited are the partial work counters at the
+	// moment of exhaustion (CellsVisited is zero for incremental
+	// compilations, which do not enumerate cells).
+	Containments int64
+	CellsVisited int64
+	// Elapsed is the wall-clock time spent before giving up.
+	Elapsed time.Duration
+}
+
+// Error implements error.
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("%s: validation budget exceeded (%s) after %v: containments=%d cells=%d",
+		e.Op, e.Reason, e.Elapsed.Round(time.Microsecond), e.Containments, e.CellsVisited)
+}
+
+// PanicError is a worker panic recovered into an error: instead of
+// crashing the process, a panicking validation task is reported with the
+// cell span or fragment it was working on. The pre-change mapping
+// generation is untouched (the compilers mutate only cloned state), so a
+// caller holding it can continue serving and fall back to full
+// recompilation.
+type PanicError struct {
+	// Where names the failing unit of work: a cell-span task label, a
+	// foreign-key check, or an SMO description.
+	Where string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack trace captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic recovered in %s: %v", e.Where, e.Value)
+}

@@ -1,0 +1,188 @@
+// Package faultinject provides deterministic, test-only fault injection
+// for the compilation pipeline. Production code calls At(site) at a small
+// number of hook points — the satisfiability cache, the containment
+// checker, and the validation worker pool — and the call is a single
+// atomic load (returning nil) unless a test has activated a Plan.
+//
+// A Plan is a list of Rules. Each rule matches one site (or every site)
+// and fires deterministically, by visit count: the Nth visit of the site,
+// and optionally every Every visits after that. Seed offsets the visit
+// counters, so one matrix test can drive many distinct deterministic
+// schedules without changing the rules. Three fault kinds cover the
+// failure modes the fallback ladder must survive:
+//
+//   - KindPanic panics at the hook point (exercising worker panic
+//     isolation and the pipeline's full-compile fallback),
+//   - KindDelay sleeps, simulating a slow decision procedure (exercising
+//     deadlines and wall-time budgets),
+//   - KindError returns a spurious error from sites that can propagate
+//     one (exercising typed-error paths; sites that cannot return errors
+//     ignore it).
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+// The injectable fault kinds.
+const (
+	KindPanic Kind = iota
+	KindDelay
+	KindError
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindError:
+		return "error"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Hook-point names. Hook points are intentionally few and stable; tests
+// reference them by these constants.
+const (
+	// SiteSatCache fires on every satisfiability-cache lookup (full and
+	// incremental validation both decide through the cache).
+	SiteSatCache = "satcache.lookup"
+	// SiteContainment fires on every containment check.
+	SiteContainment = "containment.contains"
+	// SiteWorker fires each time a validation worker picks up a task.
+	SiteWorker = "compiler.worker"
+)
+
+// Rule fires a fault at a site by deterministic visit count.
+type Rule struct {
+	// Site is the hook point the rule matches; "" matches every site.
+	Site string
+	// Kind is the fault to inject.
+	Kind Kind
+	// Nth is the 1-based visit count (per site, seed-offset) on which the
+	// rule first fires. 0 means the first visit.
+	Nth int64
+	// Every, when positive, re-fires the rule every Every visits after
+	// Nth. 0 fires exactly once.
+	Every int64
+	// Delay is the sleep duration for KindDelay rules.
+	Delay time.Duration
+}
+
+// Plan is an activated injection schedule.
+type Plan struct {
+	// Seed deterministically offsets every site's visit counter, shifting
+	// which concrete call each rule hits without changing the rules.
+	Seed int64
+	// Rules are evaluated in order at each visit; every matching due rule
+	// fires (delays sleep, then a panic or error preempts later rules).
+	Rules []Rule
+}
+
+// InjectedError is the spurious error KindError rules return. It is typed
+// so tests can assert that an injected error propagated (and was not
+// misclassified as a validation verdict).
+type InjectedError struct {
+	Site  string
+	Visit int64
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s (visit %d)", e.Site, e.Visit)
+}
+
+// InjectedPanic is the value KindPanic rules panic with, so recovery
+// paths can tag it distinctly from genuine bugs in tests.
+type InjectedPanic struct {
+	Site  string
+	Visit int64
+}
+
+// String implements fmt.Stringer.
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (visit %d)", p.Site, p.Visit)
+}
+
+// active holds the running plan; nil when injection is off (the common
+// case, making At a single atomic pointer load).
+var active atomic.Pointer[planState]
+
+type planState struct {
+	plan   Plan
+	mu     sync.Mutex
+	visits map[string]int64
+	fired  atomic.Int64
+}
+
+// Activate installs a plan and returns a deactivation function. Only one
+// plan can be active at a time; tests must call the returned function
+// (typically via t.Cleanup) before activating another.
+func Activate(p Plan) (deactivate func()) {
+	st := &planState{plan: p, visits: map[string]int64{}}
+	if !active.CompareAndSwap(nil, st) {
+		panic("faultinject: a plan is already active")
+	}
+	return func() { active.CompareAndSwap(st, nil) }
+}
+
+// Fired reports how many faults the active plan has injected so far
+// (0 when no plan is active). Tests use it to assert a schedule actually
+// triggered.
+func Fired() int64 {
+	st := active.Load()
+	if st == nil {
+		return 0
+	}
+	return st.fired.Load()
+}
+
+// At is the hook point. It returns nil (after an optional injected delay)
+// unless a due KindError rule matches, and panics for a due KindPanic
+// rule. Call sites that cannot propagate an error may ignore the result;
+// panics and delays still take effect there.
+func At(site string) error {
+	st := active.Load()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	st.visits[site]++
+	visit := st.visits[site] + st.plan.Seed
+	var due []Rule
+	for _, r := range st.plan.Rules {
+		if r.Site != "" && r.Site != site {
+			continue
+		}
+		nth := r.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		if visit == nth || (r.Every > 0 && visit > nth && (visit-nth)%r.Every == 0) {
+			due = append(due, r)
+		}
+	}
+	st.mu.Unlock()
+
+	for _, r := range due {
+		st.fired.Add(1)
+		switch r.Kind {
+		case KindDelay:
+			time.Sleep(r.Delay)
+		case KindPanic:
+			panic(InjectedPanic{Site: site, Visit: visit})
+		case KindError:
+			return &InjectedError{Site: site, Visit: visit}
+		}
+	}
+	return nil
+}

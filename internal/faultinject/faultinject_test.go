@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultPlanNthFiresOnce(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{{Site: SiteContainment, Kind: KindError, Nth: 3}}})
+	defer deactivate()
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if err := At(SiteContainment); err != nil {
+			fired = append(fired, i)
+			var ie *InjectedError
+			if !errors.As(err, &ie) {
+				t.Fatalf("visit %d: got %T, want *InjectedError", i, err)
+			}
+			if ie.Site != SiteContainment || ie.Visit != 3 {
+				t.Fatalf("visit %d: got %+v", i, ie)
+			}
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired at visits %v, want [3]", fired)
+	}
+	if Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", Fired())
+	}
+}
+
+func TestFaultPlanEveryIsPeriodic(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{{Site: SiteWorker, Kind: KindError, Nth: 2, Every: 3}}})
+	defer deactivate()
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if At(SiteWorker) != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 5, 8, 11}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestFaultPlanSeedShiftsSchedule(t *testing.T) {
+	// A seed of 2 makes the counter start at visit 3, so an Nth=4 rule
+	// fires on the second physical call: the same plan replayed with the
+	// same seed fires at the same place, which is what makes injection
+	// schedules reproducible.
+	deactivate := Activate(Plan{Seed: 2, Rules: []Rule{{Site: SiteSatCache, Kind: KindError, Nth: 4}}})
+	defer deactivate()
+	if At(SiteSatCache) != nil {
+		t.Fatal("first call fired, want quiet (visit 3)")
+	}
+	if At(SiteSatCache) == nil {
+		t.Fatal("second call quiet, want fire (visit 4)")
+	}
+}
+
+func TestFaultPanicKindPanicsWithTypedValue(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{{Site: SiteWorker, Kind: KindPanic, Nth: 1}}})
+	defer deactivate()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want InjectedPanic", r)
+		}
+		if ip.Site != SiteWorker || ip.Visit != 1 {
+			t.Fatalf("panic value %+v", ip)
+		}
+	}()
+	_ = At(SiteWorker)
+}
+
+func TestFaultDelayKindSleeps(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{{Site: SiteWorker, Kind: KindDelay, Nth: 1, Delay: 20 * time.Millisecond}}})
+	defer deactivate()
+	start := time.Now()
+	if err := At(SiteWorker); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slept %v, want >= 20ms", d)
+	}
+}
+
+func TestFaultInactiveIsNoop(t *testing.T) {
+	if err := At(SiteContainment); err != nil {
+		t.Fatalf("inactive At returned %v", err)
+	}
+}
+
+func TestFaultDoubleActivatePanics(t *testing.T) {
+	deactivate := Activate(Plan{})
+	defer deactivate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Activate did not panic")
+		}
+	}()
+	Activate(Plan{})
+}
+
+func TestFaultDeactivateResetsCounters(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{{Site: SiteWorker, Kind: KindError, Nth: 1}}})
+	if At(SiteWorker) == nil {
+		t.Fatal("want fire on first visit")
+	}
+	deactivate()
+	deactivate2 := Activate(Plan{Rules: []Rule{{Site: SiteWorker, Kind: KindError, Nth: 1}}})
+	defer deactivate2()
+	if At(SiteWorker) == nil {
+		t.Fatal("want fire on first visit of the new plan")
+	}
+}

@@ -1,0 +1,255 @@
+// Package pipeline implements the paper's fallback ladder (§1.2): try to
+// compile a schema modification incrementally and, when the incremental
+// compiler cannot handle it — the SMO is not incrementally compilable, the
+// validation budget ran out, or a worker panicked — fall back to a full
+// compilation of the evolved mapping. A Session owns the current mapping
+// generation and applies SMOs transactionally: the pre-SMO generation is
+// returned intact on any failure, and readers always observe a fully
+// validated generation.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/frag"
+)
+
+// FullEvolver is an SMO that the incremental compiler does not support but
+// that can still transform the mapping (schemas and fragments) directly.
+// The fallback path uses it to evolve the mapping structurally and then
+// regenerates and re-validates every view with a full compilation — the
+// paper's answer for schema changes outside the executable SMO set.
+type FullEvolver interface {
+	core.SMO
+	// EvolveMapping mutates the (cloned) mapping in place. Views need not
+	// be touched; the full compiler rebuilds them all.
+	EvolveMapping(m *frag.Mapping) error
+}
+
+// Options configures both rungs of the ladder.
+type Options struct {
+	// Incremental tunes the incremental compiler (first rung).
+	Incremental core.Options
+	// Compiler tunes the full compiler used by the fallback (second rung)
+	// and by NewSessionCompile.
+	Compiler compiler.Options
+}
+
+// Stats counts how each Evolve call was resolved. Counters are updated
+// atomically; read a consistent snapshot with Session.Stats.
+type Stats struct {
+	// Evolves counts Evolve calls; Incremental and Fallbacks count the
+	// calls won by each rung of the ladder (failed calls count in neither).
+	Evolves     int64
+	Incremental int64
+	Fallbacks   int64
+	// Cancelled counts Evolve calls that ended with context cancellation
+	// or deadline expiry. PanicsRecovered counts panics recovered into
+	// typed errors anywhere in the ladder, including compiler workers.
+	Cancelled       int64
+	PanicsRecovered int64
+}
+
+// Session owns a mapping generation and evolves it one SMO at a time.
+// Generation and Stats may be called concurrently with Evolve; Evolve
+// calls are serialized.
+type Session struct {
+	opts  Options
+	stats Stats
+
+	// evolveMu serializes Evolve calls; mu guards only the generation
+	// pointers so readers never block behind a long compilation.
+	evolveMu sync.Mutex
+	mu       sync.Mutex
+	m        *frag.Mapping
+	v        *frag.Views
+}
+
+// NewSession starts a session at an already compiled generation (a mapping
+// and the views the full or incremental compiler produced for it).
+func NewSession(m *frag.Mapping, v *frag.Views, opts Options) *Session {
+	return &Session{opts: opts, m: m, v: v}
+}
+
+// NewSessionCompile full-compiles the mapping and starts a session at the
+// resulting generation.
+func NewSessionCompile(ctx context.Context, m *frag.Mapping, opts Options) (*Session, error) {
+	c := &compiler.Compiler{Opts: opts.Compiler}
+	v, err := c.CompileCtx(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(m, v, opts), nil
+}
+
+// Generation returns the current mapping and views. The returned objects
+// are the live generation: treat them as immutable, as every other reader
+// shares them (evolve through Evolve, which derives copy-on-write
+// generations).
+func (s *Session) Generation() (*frag.Mapping, *frag.Views) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m, s.v
+}
+
+func (s *Session) commit(m *frag.Mapping, v *frag.Views) {
+	s.mu.Lock()
+	s.m, s.v = m, v
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() Stats {
+	return Stats{
+		Evolves:         atomic.LoadInt64(&s.stats.Evolves),
+		Incremental:     atomic.LoadInt64(&s.stats.Incremental),
+		Fallbacks:       atomic.LoadInt64(&s.stats.Fallbacks),
+		Cancelled:       atomic.LoadInt64(&s.stats.Cancelled),
+		PanicsRecovered: atomic.LoadInt64(&s.stats.PanicsRecovered),
+	}
+}
+
+// Evolve applies one SMO to the current generation via the fallback
+// ladder. On success the new generation is committed and returned. On
+// failure the session keeps — and Evolve returns — the pre-SMO generation,
+// along with a typed error:
+//
+//   - ctx.Err() (wrapped) when the compile was cancelled or timed out; no
+//     fallback is attempted, since it would be cancelled too;
+//   - the incremental validation error when the evolved mapping is
+//     genuinely invalid (no fallback: full compilation would reject it
+//     with more work);
+//   - a combined error when the fallback rung was tried and also failed.
+//
+// The fallback is attempted when the incremental error is
+// core.ErrUnsupportedSMO, a *fault.BudgetExceededError, or a
+// *fault.PanicError (including panics recovered from compiler workers and
+// from the incremental appliers themselves).
+func (s *Session) Evolve(ctx context.Context, op core.SMO) (*frag.Mapping, *frag.Views, error) {
+	s.evolveMu.Lock()
+	defer s.evolveMu.Unlock()
+	atomic.AddInt64(&s.stats.Evolves, 1)
+	m, v := s.Generation()
+
+	nm, nv, ierr := s.tryIncremental(ctx, m, v, op)
+	if ierr == nil {
+		atomic.AddInt64(&s.stats.Incremental, 1)
+		s.commit(nm, nv)
+		return nm, nv, nil
+	}
+	if isCancellation(ierr) {
+		atomic.AddInt64(&s.stats.Cancelled, 1)
+		return m, v, ierr
+	}
+	if !fallbackWorthy(ierr) {
+		return m, v, ierr
+	}
+
+	fm, fv, ferr := s.fullCompile(ctx, m, v, op)
+	if ferr != nil {
+		if isCancellation(ferr) {
+			atomic.AddInt64(&s.stats.Cancelled, 1)
+			return m, v, ferr
+		}
+		return m, v, fmt.Errorf("%s: incremental compilation failed (%v); full-compile fallback failed: %w",
+			op.Describe(), ierr, ferr)
+	}
+	atomic.AddInt64(&s.stats.Fallbacks, 1)
+	s.commit(fm, fv)
+	return fm, fv, nil
+}
+
+// tryIncremental runs the first rung, recovering panics from the appliers
+// and decision procedures into a typed *fault.PanicError so one poisonous
+// SMO cannot crash the session.
+func (s *Session) tryIncremental(ctx context.Context, m *frag.Mapping, v *frag.Views, op core.SMO) (nm *frag.Mapping, nv *frag.Views, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&s.stats.PanicsRecovered, 1)
+			nm, nv = nil, nil
+			err = fmt.Errorf("%s: %w", op.Describe(),
+				&fault.PanicError{Where: "incremental compilation", Value: r, Stack: debug.Stack()})
+		}
+	}()
+	ic := core.NewIncremental()
+	ic.Opts = s.opts.Incremental
+	return ic.ApplyCtx(ctx, m, v, op)
+}
+
+// fullCompile runs the second rung: evolve the mapping structurally
+// (without neighbourhood validation), then regenerate and validate every
+// view with a full compilation. The full compile subsumes all the checks
+// the structural apply skipped.
+func (s *Session) fullCompile(ctx context.Context, m *frag.Mapping, v *frag.Views, op core.SMO) (nm *frag.Mapping, nv *frag.Views, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&s.stats.PanicsRecovered, 1)
+			nm, nv = nil, nil
+			err = fmt.Errorf("%s: %w", op.Describe(),
+				&fault.PanicError{Where: "full-compile fallback", Value: r, Stack: debug.Stack()})
+		}
+	}()
+
+	em, serr := s.structuralApply(ctx, m, v, op)
+	if serr != nil {
+		return nil, nil, serr
+	}
+
+	c := &compiler.Compiler{Opts: s.opts.Compiler}
+	views, cerr := c.CompileCtx(ctx, em)
+	atomic.AddInt64(&s.stats.PanicsRecovered, atomic.LoadInt64(&c.Stats.PanicsRecovered))
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	return em, views, nil
+}
+
+// structuralApply evolves the mapping without validation: through the
+// SMO's own applier with SkipValidation when it is executable, or through
+// its FullEvolver hook when it is not.
+func (s *Session) structuralApply(ctx context.Context, m *frag.Mapping, v *frag.Views, op core.SMO) (*frag.Mapping, error) {
+	sic := core.NewIncremental()
+	sic.Opts = s.opts.Incremental
+	sic.Opts.SkipValidation = true
+	em, _, aerr := sic.ApplyCtx(ctx, m, v, op)
+	if aerr == nil {
+		return em, nil
+	}
+	if errors.Is(aerr, core.ErrUnsupportedSMO) {
+		if fe, ok := op.(FullEvolver); ok {
+			em = m.Clone()
+			if eerr := fe.EvolveMapping(em); eerr != nil {
+				return nil, fmt.Errorf("%s: evolving mapping for full compilation: %w", op.Describe(), eerr)
+			}
+			return em, nil
+		}
+	}
+	return nil, aerr
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// fallbackWorthy reports whether the incremental error is one full
+// compilation can overcome. Genuine validation failures are not: the
+// mapping is invalid, and the full compiler would only reject it again.
+func fallbackWorthy(err error) bool {
+	if errors.Is(err, core.ErrUnsupportedSMO) {
+		return true
+	}
+	var be *fault.BudgetExceededError
+	if errors.As(err, &be) {
+		return true
+	}
+	var pe *fault.PanicError
+	return errors.As(err, &pe)
+}

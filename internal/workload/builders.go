@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/ormkit/incmap/internal/frag"
+)
+
+// This file is the fault boundary of the package. The model builders use
+// must() internally — schema construction failing means the builder itself
+// is wrong — but a server process sizing a workload from user-supplied
+// parameters must not die on bad input. The *E constructors validate
+// parameters up front and confine any internal panic to a returned error;
+// the panicking names remain as thin wrappers for tests and static model
+// definitions.
+
+// capture runs a builder and converts a panic (from must() or anything
+// else) into a returned error.
+func capture(what string, build func() *frag.Mapping) (m *frag.Mapping, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("workload: building %s: %v", what, r)
+		}
+	}()
+	return build(), nil
+}
+
+func mustBuild(m *frag.Mapping, err error) *frag.Mapping {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ChainE builds the Figure 8 chain model with n entity types, returning an
+// error for invalid parameters instead of panicking. The paper uses
+// n = 1002.
+func ChainE(n int) (*frag.Mapping, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: chain needs at least one entity, got %d", n)
+	}
+	return capture(fmt.Sprintf("chain-%d model", n), func() *frag.Mapping { return buildChain(n) })
+}
+
+// Chain builds the Figure 8 chain model, panicking on invalid parameters;
+// see ChainE for the error-returning form and the model description.
+func Chain(n int) *frag.Mapping { return mustBuild(ChainE(n)) }
+
+// HubRimE builds the Figure 3 hub-and-rim model, returning an error for
+// invalid parameters instead of panicking.
+func HubRimE(opt HubRimOptions) (*frag.Mapping, error) {
+	if opt.N < 1 || opt.M < 0 {
+		return nil, fmt.Errorf("workload: invalid hub-rim parameters N=%d M=%d (need N ≥ 1, M ≥ 0)", opt.N, opt.M)
+	}
+	return capture(fmt.Sprintf("hub-rim N=%d M=%d model", opt.N, opt.M),
+		func() *frag.Mapping { return buildHubRim(opt) })
+}
+
+// HubRim builds the Figure 3 hub-and-rim model, panicking on invalid
+// parameters; see HubRimE for the error-returning form and buildHubRim for
+// the model description.
+func HubRim(opt HubRimOptions) *frag.Mapping { return mustBuild(HubRimE(opt)) }
+
+// CustomerE builds the synthetic customer model (§4.2 statistics),
+// returning an error for invalid parameters instead of panicking.
+func CustomerE(opt CustomerOptions) (*frag.Mapping, error) {
+	if opt.Hierarchies < 2 || opt.Types < opt.Hierarchies+opt.LargestTPH {
+		return nil, fmt.Errorf("workload: invalid customer options: %d types over %d hierarchies with largest %d (need ≥ 2 hierarchies and types ≥ hierarchies + largest)",
+			opt.Types, opt.Hierarchies, opt.LargestTPH)
+	}
+	return capture("customer model", func() *frag.Mapping { return buildCustomer(opt) })
+}
+
+// Customer builds the synthetic customer model, panicking on invalid
+// parameters; see CustomerE for the error-returning form and buildCustomer
+// for the model description.
+func Customer(opt CustomerOptions) *frag.Mapping { return mustBuild(CustomerE(opt)) }
+
+// PaperInitialE builds the Example 1 starting mapping, with internal
+// panics confined to a returned error.
+func PaperInitialE() (*frag.Mapping, error) {
+	return capture("paper initial model", buildPaperInitial)
+}
+
+// PaperInitial builds the Example 1 starting mapping; see buildPaperInitial
+// for the model description.
+func PaperInitial() *frag.Mapping { return mustBuild(PaperInitialE()) }
+
+// PaperFullE builds the complete Fig. 1 mapping Σ4, with internal panics
+// confined to a returned error.
+func PaperFullE() (*frag.Mapping, error) {
+	return capture("paper full model", buildPaperFull)
+}
+
+// PaperFull builds the complete Fig. 1 mapping Σ4; see buildPaperFull for
+// the model description.
+func PaperFull() *frag.Mapping { return mustBuild(PaperFullE()) }

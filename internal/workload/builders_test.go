@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderFaultChainBadParams(t *testing.T) {
+	m, err := ChainE(0)
+	if err == nil || m != nil {
+		t.Fatalf("ChainE(0) = %v, %v; want nil, error", m, err)
+	}
+	if !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("error does not name the builder: %v", err)
+	}
+	if m, err := ChainE(2); err != nil || m == nil {
+		t.Fatalf("ChainE(2) failed: %v", err)
+	}
+}
+
+func TestBuilderFaultHubRimBadParams(t *testing.T) {
+	if _, err := HubRimE(HubRimOptions{N: 0, M: 3}); err == nil {
+		t.Fatal("HubRimE with N=0 accepted")
+	}
+	if _, err := HubRimE(HubRimOptions{N: 1, M: -1}); err == nil {
+		t.Fatal("HubRimE with M=-1 accepted")
+	}
+	if m, err := HubRimE(HubRimOptions{N: 1, M: 1, TPH: true}); err != nil || m == nil {
+		t.Fatalf("valid HubRimE failed: %v", err)
+	}
+}
+
+func TestBuilderFaultCustomerBadParams(t *testing.T) {
+	if _, err := CustomerE(CustomerOptions{Types: 10, Hierarchies: 1, LargestTPH: 5}); err == nil {
+		t.Fatal("CustomerE with one hierarchy accepted")
+	}
+	if _, err := CustomerE(CustomerOptions{Types: 5, Hierarchies: 4, LargestTPH: 95}); err == nil {
+		t.Fatal("CustomerE with too few types accepted")
+	}
+}
+
+func TestBuilderPanickingWrappersStillPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chain(0) did not panic")
+		}
+	}()
+	Chain(0)
+}
+
+func TestBuilderPaperConstructors(t *testing.T) {
+	if m, err := PaperInitialE(); err != nil || m == nil {
+		t.Fatalf("PaperInitialE: %v", err)
+	}
+	if m, err := PaperFullE(); err != nil || m == nil {
+		t.Fatalf("PaperFullE: %v", err)
+	}
+}

@@ -9,15 +9,13 @@ import (
 	"github.com/ormkit/incmap/internal/rel"
 )
 
-// Chain builds the Figure 8 synthetic model: n entity types with no
+// buildChain builds the Figure 8 synthetic model: n entity types with no
 // inheritance arranged in a chain, each related to the next by two
 // associations (one 1—0..1, one 1—*), every type mapped one-to-one to its
 // own table and every association mapped to a key/foreign-key
-// relationship. The paper uses n = 1002.
-func Chain(n int) *frag.Mapping {
-	if n < 1 {
-		panic("workload: chain needs at least one entity")
-	}
+// relationship. The paper uses n = 1002. Parameter checking and panic
+// recovery live in the Chain/ChainE wrappers (builders.go).
+func buildChain(n int) *frag.Mapping {
 	c := edm.NewSchema()
 	s := rel.NewSchema()
 	m := &frag.Mapping{Client: c, Store: s}

@@ -34,15 +34,14 @@ func DefaultCustomerOptions() CustomerOptions {
 	}
 }
 
-// Customer builds the synthetic customer model. Hierarchy 0 is the largest
-// one, mapped TPH into a single wide table; hierarchy 1 is the deepest,
-// mapped TPT; the remaining types are distributed over the other
+// buildCustomer builds the synthetic customer model. Hierarchy 0 is the
+// largest one, mapped TPH into a single wide table; hierarchy 1 is the
+// deepest, mapped TPT; the remaining types are distributed over the other
 // hierarchies, alternating TPT and TPH. A deterministic scheme (no
-// randomness) places associations between hierarchy roots.
-func Customer(opt CustomerOptions) *frag.Mapping {
-	if opt.Hierarchies < 2 || opt.Types < opt.Hierarchies+opt.LargestTPH {
-		panic("workload: invalid customer options")
-	}
+// randomness) places associations between hierarchy roots. Parameter
+// checking and panic recovery live in the Customer/CustomerE wrappers
+// (builders.go).
+func buildCustomer(opt CustomerOptions) *frag.Mapping {
 	c := edm.NewSchema()
 	s := rel.NewSchema()
 	m := &frag.Mapping{Client: c, Store: s}

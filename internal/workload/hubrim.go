@@ -20,15 +20,14 @@ type HubRimOptions struct {
 	TPH bool // map everything into one table; otherwise TPT
 }
 
-// HubRim builds the hub-and-rim mapping. Hub type i is Hub_i deriving from
-// Hub_{i-1}; every hub level has M rim leaf types Rim_i_j derived from the
-// hub root (so all N + N·M types share one entity set, as in the paper),
-// and an association from hub level i to each of its rim types, mapped to
-// foreign-key columns of the shared (TPH) or per-type (TPT) tables.
-func HubRim(opt HubRimOptions) *frag.Mapping {
-	if opt.N < 1 || opt.M < 0 {
-		panic("workload: invalid hub-rim parameters")
-	}
+// buildHubRim builds the hub-and-rim mapping. Hub type i is Hub_i deriving
+// from Hub_{i-1}; every hub level has M rim leaf types Rim_i_j derived from
+// the hub root (so all N + N·M types share one entity set, as in the
+// paper), and an association from hub level i to each of its rim types,
+// mapped to foreign-key columns of the shared (TPH) or per-type (TPT)
+// tables. Parameter checking and panic recovery live in the HubRim/HubRimE
+// wrappers (builders.go).
+func buildHubRim(opt HubRimOptions) *frag.Mapping {
 	c := edm.NewSchema()
 	s := rel.NewSchema()
 

@@ -59,10 +59,12 @@ func paperStore() *rel.Schema {
 	return s
 }
 
-// PaperInitial builds the starting point of the paper's Example 1: a client
-// schema with only Person mapped to HR (fragment ϕ1), with the full Fig. 1
-// store schema already present so later SMOs can target Emp and Client.
-func PaperInitial() *frag.Mapping {
+// buildPaperInitial builds the starting point of the paper's Example 1: a
+// client schema with only Person mapped to HR (fragment ϕ1), with the full
+// Fig. 1 store schema already present so later SMOs can target Emp and
+// Client. Panic recovery lives in the PaperInitial/PaperInitialE wrappers
+// (builders.go).
+func buildPaperInitial() *frag.Mapping {
 	c := edm.NewSchema()
 	must(c.AddType(edm.EntityType{
 		Name: "Person",
@@ -89,11 +91,12 @@ func PaperInitial() *frag.Mapping {
 	return m
 }
 
-// PaperFull builds the complete Fig. 1 mapping Σ4 of Example 7: Person,
-// Employee (TPT on Emp), Customer (TPC on Client) and the Supports
+// buildPaperFull builds the complete Fig. 1 mapping Σ4 of Example 7:
+// Person, Employee (TPT on Emp), Customer (TPC on Client) and the Supports
 // association mapped to Client's Eid foreign-key column. The fragment
-// conditions are the adapted forms of Example 5.
-func PaperFull() *frag.Mapping {
+// conditions are the adapted forms of Example 5. Panic recovery lives in
+// the PaperFull/PaperFullE wrappers (builders.go).
+func buildPaperFull() *frag.Mapping {
 	c := edm.NewSchema()
 	must(c.AddType(edm.EntityType{
 		Name: "Person",
