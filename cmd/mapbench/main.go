@@ -25,7 +25,16 @@ import (
 	"time"
 
 	"github.com/ormkit/incmap/internal/experiments"
+	"github.com/ormkit/incmap/internal/obsv"
 	"github.com/ormkit/incmap/internal/workload"
+)
+
+// traceSink collects the spans of every compilation when -trace is set;
+// allSpans accumulates the drained spans of each experiment so the final
+// Chrome trace covers the whole run on one timeline.
+var (
+	traceSink *obsv.RecordingSink
+	allSpans  []obsv.SpanData
 )
 
 func main() {
@@ -38,7 +47,13 @@ func main() {
 	hier := flag.Int("hier", 18, "fig10: hierarchies")
 	largest := flag.Int("largest", 95, "fig10: size of the largest (TPH) hierarchy")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_fig{4,9,10}.json")
+	traceOut := flag.String("trace", "", "record every compilation and write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
+
+	if *traceOut != "" {
+		traceSink = obsv.NewRecordingSink()
+		obsv.SetDefault(obsv.New(traceSink))
+	}
 
 	switch *exp {
 	case "fig4":
@@ -64,6 +79,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+
+	if *traceOut != "" {
+		drainPhases() // pick up spans of experiments that did not drain
+		writeTrace(*traceOut)
+	}
+}
+
+// drainPhases empties the trace sink into the run-wide span list and folds
+// the drained spans — one experiment's worth — into a per-phase breakdown.
+// Returns nil when tracing is off.
+func drainPhases() []obsv.PhaseSummary {
+	if traceSink == nil {
+		return nil
+	}
+	spans := traceSink.Drain()
+	allSpans = append(allSpans, spans...)
+	if len(spans) == 0 {
+		return nil
+	}
+	return obsv.SummarizePhases(spans)
+}
+
+// printPhases renders one experiment's per-phase breakdown table.
+func printPhases(phases []obsv.PhaseSummary) {
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Println("--- per-phase breakdown (span name, count, total seconds) ---")
+	for _, p := range phases {
+		fmt.Printf("%-22s %8d %14.6f\n", p.Name, p.Count, p.Seconds)
+	}
+	fmt.Println()
+}
+
+func writeTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := obsv.WriteChromeTrace(f, allSpans); err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d spans)\n", path, len(allSpans))
 }
 
 // fig4JSON is the machine-readable form of one Figure 4 grid point.
@@ -78,12 +139,13 @@ type fig4JSON struct {
 
 // fig4File is the envelope written to BENCH_fig4.json.
 type fig4File struct {
-	GoMaxProcs int        `json:"goMaxProcs"`
-	NumCPU     int        `json:"numCPU"`
-	MaxN       int        `json:"maxN"`
-	MaxM       int        `json:"maxM"`
-	BudgetSecs float64    `json:"pointBudgetSeconds"`
-	Rows       []fig4JSON `json:"rows"`
+	GoMaxProcs int                 `json:"goMaxProcs"`
+	NumCPU     int                 `json:"numCPU"`
+	MaxN       int                 `json:"maxN"`
+	MaxM       int                 `json:"maxM"`
+	BudgetSecs float64             `json:"pointBudgetSeconds"`
+	Rows       []fig4JSON          `json:"rows"`
+	Phases     []obsv.PhaseSummary `json:"phases,omitempty"`
 }
 
 func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
@@ -95,6 +157,8 @@ func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
 		fmt.Printf("%-4d %-4d %14.6f %14.6f\n", r.N, r.M, r.TPH.Seconds(), r.TPT.Seconds())
 	}
 	fmt.Println()
+	phases := drainPhases()
+	printPhases(phases)
 	if !jsonOut {
 		return
 	}
@@ -104,6 +168,7 @@ func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
 		MaxN:       maxN,
 		MaxM:       maxM,
 		BudgetSecs: budget.Seconds(),
+		Phases:     phases,
 	}
 	for _, r := range rows {
 		j := fig4JSON{N: r.N, M: r.M, TPHSeconds: r.TPH.Seconds(), TPTSeconds: r.TPT.Seconds()}
@@ -156,14 +221,15 @@ type suiteFile struct {
 	GoMaxProcs int `json:"goMaxProcs"`
 	NumCPU     int `json:"numCPU"`
 	// Model parameters: Chain for fig9; Types/Hierarchies/LargestTPH for fig10.
-	Chain            int       `json:"chain,omitempty"`
-	Types            int       `json:"types,omitempty"`
-	Hierarchies      int       `json:"hierarchies,omitempty"`
-	LargestTPH       int       `json:"largestTPH,omitempty"`
-	FullSeconds      float64   `json:"fullCompileSeconds"`
-	FullContainments int64     `json:"fullCompileContainments"`
-	FullAllocs       uint64    `json:"fullCompileAllocs"`
-	Rows             []smoJSON `json:"rows"`
+	Chain            int                 `json:"chain,omitempty"`
+	Types            int                 `json:"types,omitempty"`
+	Hierarchies      int                 `json:"hierarchies,omitempty"`
+	LargestTPH       int                 `json:"largestTPH,omitempty"`
+	FullSeconds      float64             `json:"fullCompileSeconds"`
+	FullContainments int64               `json:"fullCompileContainments"`
+	FullAllocs       uint64              `json:"fullCompileAllocs"`
+	Rows             []smoJSON           `json:"rows"`
+	Phases           []obsv.PhaseSummary `json:"phases,omitempty"`
 }
 
 func writeSuiteJSON(path string, out suiteFile, full experiments.Result, suite []experiments.Result) {
@@ -197,8 +263,10 @@ func runFig9(chain int, jsonOut bool) {
 	full, suite := experiments.Fig9(chain)
 	fmt.Println(full)
 	printSuite(full, suite)
+	phases := drainPhases()
+	printPhases(phases)
 	if jsonOut {
-		writeSuiteJSON("BENCH_fig9.json", suiteFile{Chain: chain}, full, suite)
+		writeSuiteJSON("BENCH_fig9.json", suiteFile{Chain: chain, Phases: phases}, full, suite)
 	}
 }
 
@@ -210,8 +278,10 @@ func runFig10(types, hier, largest int, jsonOut bool) {
 	full, suite := experiments.Fig10(opt)
 	fmt.Println(full)
 	printSuite(full, suite)
+	phases := drainPhases()
+	printPhases(phases)
 	if jsonOut {
-		writeSuiteJSON("BENCH_fig10.json", suiteFile{Types: types, Hierarchies: hier, LargestTPH: largest}, full, suite)
+		writeSuiteJSON("BENCH_fig10.json", suiteFile{Types: types, Hierarchies: hier, LargestTPH: largest, Phases: phases}, full, suite)
 	}
 }
 
@@ -228,10 +298,11 @@ func printSuite(full experiments.Result, suite []experiments.Result) {
 
 // fallbackFile is the envelope written to BENCH_fallback.json.
 type fallbackFile struct {
-	GoMaxProcs int       `json:"goMaxProcs"`
-	NumCPU     int       `json:"numCPU"`
-	Chain      int       `json:"chain"`
-	Rows       []smoJSON `json:"rows"`
+	GoMaxProcs int                 `json:"goMaxProcs"`
+	NumCPU     int                 `json:"numCPU"`
+	Chain      int                 `json:"chain"`
+	Rows       []smoJSON           `json:"rows"`
+	Phases     []obsv.PhaseSummary `json:"phases,omitempty"`
 }
 
 func runFallback(chain int, jsonOut bool) {
@@ -245,10 +316,12 @@ func runFallback(chain int, jsonOut bool) {
 		fmt.Println(r)
 	}
 	fmt.Println()
+	phases := drainPhases()
+	printPhases(phases)
 	if !jsonOut {
 		return
 	}
-	out := fallbackFile{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Chain: chain}
+	out := fallbackFile{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Chain: chain, Phases: phases}
 	for _, r := range rows {
 		out.Rows = append(out.Rows, toSMOJSON(r))
 	}
@@ -266,6 +339,7 @@ func runViewComparison(chain int) {
 		fmt.Println(r)
 	}
 	fmt.Println()
+	printPhases(drainPhases())
 }
 
 func runAblations() {

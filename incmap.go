@@ -42,6 +42,7 @@ import (
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/modef"
 	"github.com/ormkit/incmap/internal/modelio"
+	"github.com/ormkit/incmap/internal/obsv"
 	"github.com/ormkit/incmap/internal/orm"
 	"github.com/ormkit/incmap/internal/pipeline"
 	"github.com/ormkit/incmap/internal/rel"
@@ -351,6 +352,58 @@ func Roundtrip(m *Mapping, views *Views, cs *ClientState) error {
 
 // NewClientState returns an empty client state.
 func NewClientState() *ClientState { return state.NewClientState() }
+
+// Observability ---------------------------------------------------------------
+
+// Tracer records hierarchical spans of compilation work (Compile → Validate
+// → span-worker → containment-check; Apply → adapt-views → ...). A nil
+// *Tracer is the null tracer: every entry point is a no-op, and the
+// compilers pay a single atomic load per compilation when tracing is off.
+// Install one per compilation via CompilerOptions.Tracer /
+// IncrementalOptions.Tracer, or process-wide with SetDefaultTracer.
+type Tracer = obsv.Tracer
+
+// TraceSink consumes finished spans; Record must be safe for concurrent
+// use.
+type TraceSink = obsv.Sink
+
+// SpanData is one finished span as delivered to a TraceSink.
+type SpanData = obsv.SpanData
+
+// RecordingSink is an in-memory TraceSink for tests and tooling.
+type RecordingSink = obsv.RecordingSink
+
+// PhaseSummary aggregates a trace's spans by name (count, total duration).
+type PhaseSummary = obsv.PhaseSummary
+
+// NewTracer returns a tracer delivering finished spans to sink.
+func NewTracer(sink TraceSink) *Tracer { return obsv.New(sink) }
+
+// NewRecordingSink returns an empty in-memory sink.
+func NewRecordingSink() *RecordingSink { return obsv.NewRecordingSink() }
+
+// SetDefaultTracer installs (or, with nil, removes) the process-wide tracer
+// used by compilations not handed an explicit one.
+func SetDefaultTracer(t *Tracer) { obsv.SetDefault(t) }
+
+// WriteChromeTrace renders recorded spans as Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto).
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	return obsv.WriteChromeTrace(w, spans)
+}
+
+// SummarizePhases aggregates spans by name, longest total first.
+func SummarizePhases(spans []SpanData) []PhaseSummary { return obsv.SummarizePhases(spans) }
+
+// MetricsSnapshot returns the process-wide compilation metrics (counter
+// name → value): compilations, validation tasks, containment checks, cache
+// hits/misses. The same registry is exported through expvar under
+// "incmap" once PublishMetrics has been called.
+func MetricsSnapshot() map[string]int64 { return obsv.Snapshot() }
+
+// PublishMetrics exposes the metrics registry through the expvar interface
+// (idempotent).
+func PublishMetrics() { obsv.PublishExpvar() }
 
 // Containment -----------------------------------------------------------------
 

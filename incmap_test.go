@@ -170,3 +170,35 @@ func TestFacadeSQLAndContainment(t *testing.T) {
 		t.Error("value helpers wrong")
 	}
 }
+
+func TestObservabilityFacade(t *testing.T) {
+	sink := incmap.NewRecordingSink()
+	tr := incmap.NewTracer(sink)
+	_, _, err := incmap.CompileWith(workload.PaperFull(), incmap.CompilerOptions{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := sink.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	var buf bytes.Buffer
+	if err := incmap.WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Errorf("not a Chrome trace file: %.80s", buf.String())
+	}
+	sums := incmap.SummarizePhases(spans)
+	if len(sums) == 0 {
+		t.Error("no phase summaries")
+	}
+	snap := incmap.MetricsSnapshot()
+	if snap["compile.full"] == 0 {
+		t.Errorf("metrics snapshot missing compile.full: %v", snap)
+	}
+	incmap.PublishMetrics()
+	incmap.PublishMetrics() // idempotent
+	incmap.SetDefaultTracer(tr)
+	incmap.SetDefaultTracer(nil)
+}

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"math"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/faultinject"
+	"github.com/ormkit/incmap/internal/obsv"
 )
 
 // vtask is one unit of validation work, labelled with the cell span,
@@ -18,10 +21,12 @@ import (
 // failing unit. Tasks are ordered exactly as the sequential algorithm
 // visits them; a task receives its own ordinal and the shared control
 // block so it can stop early once a lower-ordered task has already
-// produced the winning error.
+// produced the winning error. The context handed to run carries the
+// task's span so downstream layers (the containment checker) parent
+// their spans under it.
 type vtask struct {
 	label string
-	run   func(ctl *vcontrol, ord int64) error
+	run   func(ctx context.Context, ctl *vcontrol, ord int64) error
 }
 
 // Stop reasons, in increasing precedence order of the final error
@@ -121,17 +126,35 @@ func (ctl *vcontrol) watch(deadline time.Time) (release func()) {
 // runTask executes one task, recovering a panic into a typed
 // *fault.PanicError labelled with the task's unit of work, so one
 // poisonous cell span or foreign-key check cannot crash the process.
-func (c *Compiler) runTask(t vtask, ctl *vcontrol, ord int64) (err error) {
+// Each task runs under its own "span-worker" span (recorded into the
+// worker's buffer when one is given), ended exactly once on every exit
+// path — ok, validation error, cancellation, budget, or panic.
+func (c *Compiler) runTask(t vtask, ctl *vcontrol, ord int64, parent *obsv.Span, buf *obsv.Buffer) (err error) {
+	mTasks.Add(1)
+	sp := parent.ChildIn(buf, "span-worker", obsv.String("task", t.label))
 	defer func() {
 		if r := recover(); r != nil {
 			atomic.AddInt64(&c.Stats.PanicsRecovered, 1)
+			mPanics.Add(1)
 			err = &fault.PanicError{Where: t.label, Value: r, Stack: debug.Stack()}
+			sp.End(obsv.OutcomePanic)
+			return
+		}
+		switch stop := ctl.stop.Load(); {
+		case err != nil:
+			sp.End(outcome(err))
+		case stop == stopCtx:
+			sp.End(obsv.OutcomeCancelled)
+		case stop == stopBudget:
+			sp.End(obsv.OutcomeBudget)
+		default:
+			sp.End(obsv.OutcomeOK)
 		}
 	}()
 	if err := faultinject.At(faultinject.SiteWorker); err != nil {
 		return err
 	}
-	return t.run(ctl, ord)
+	return t.run(obsv.ContextWithSpan(ctl.ctx, sp), ctl, ord)
 }
 
 // runTasks executes the ordered tasks on the given number of workers and
@@ -148,7 +171,7 @@ func (c *Compiler) runTask(t vtask, ctl *vcontrol, ord int64) (err error) {
 // from a containment check) latch the corresponding stop instead of
 // competing with validation errors for the first-error ordinal, so
 // first-error identity across worker counts is preserved.
-func (c *Compiler) runTasks(ctx context.Context, tasks []vtask, workers int, budgetDeadline time.Time) error {
+func (c *Compiler) runTasks(ctx context.Context, tasks []vtask, workers int, budgetDeadline time.Time, parent *obsv.Span) error {
 	ctl := newVControl(ctx)
 	release := ctl.watch(budgetDeadline)
 	defer release()
@@ -192,7 +215,7 @@ func (c *Compiler) runTasks(ctx context.Context, tasks []vtask, workers int, bud
 			if ctl.cancelled(int64(ord)) {
 				break
 			}
-			collect(int64(ord), c.runTask(t, ctl, int64(ord)))
+			collect(int64(ord), c.runTask(t, ctl, int64(ord), parent, nil))
 			if bestErr != nil {
 				break
 			}
@@ -207,22 +230,29 @@ func (c *Compiler) runTasks(ctx context.Context, tasks []vtask, workers int, bud
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				ord := next.Add(1) - 1
-				if ord >= int64(len(tasks)) {
-					return
-				}
-				if ctl.cancelled(ord) {
-					if ctl.stop.Load() != stopNone {
+			// Per-worker span buffer: tasks record without touching the
+			// shared sink; one batch flush at the pool barrier. The pprof
+			// label attributes the worker's CPU samples to validation.
+			buf := c.tr.Buffer(w + 1)
+			defer buf.Flush()
+			pprof.Do(ctl.ctx, pprof.Labels("incmap", "validate", "worker", strconv.Itoa(w+1)), func(context.Context) {
+				for {
+					ord := next.Add(1) - 1
+					if ord >= int64(len(tasks)) {
 						return
 					}
-					continue
+					if ctl.cancelled(ord) {
+						if ctl.stop.Load() != stopNone {
+							return
+						}
+						continue
+					}
+					collect(ord, c.runTask(tasks[ord], ctl, ord, parent, buf))
 				}
-				collect(ord, c.runTask(tasks[ord], ctl, ord))
-			}
-		}()
+			})
+		}(w)
 	}
 	wg.Wait()
 	return c.finishTasks(ctl, bestErr)
@@ -237,11 +267,13 @@ func (c *Compiler) finishTasks(ctl *vcontrol, bestErr error) error {
 	switch ctl.stop.Load() {
 	case stopCtx:
 		atomic.AddInt64(&c.Stats.Cancelled, 1)
+		mCancelled.Add(1)
 		if err := ctl.ctx.Err(); err != nil {
 			return err
 		}
 		return context.Canceled
 	case stopBudget:
+		mBudget.Add(1)
 		if c.budgetErr != nil {
 			return c.budgetErr
 		}

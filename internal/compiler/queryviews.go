@@ -14,8 +14,10 @@ package compiler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -23,7 +25,27 @@ import (
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/obsv"
 )
+
+// Process-wide metric counters, resolved once so the per-event cost is a
+// single striped atomic add. The intern-table gauge is registered here
+// because every compilation path loads this package.
+var (
+	mCompiles     = obsv.Metrics().Counter(obsv.MCompiles)
+	mCells        = obsv.Metrics().Counter(obsv.MCompileCells)
+	mTasks        = obsv.Metrics().Counter(obsv.MCompileTasks)
+	mCacheHits    = obsv.Metrics().Counter(obsv.MCompileCacheHits)
+	mCacheMisses  = obsv.Metrics().Counter(obsv.MCompileCacheMisses)
+	mCancelled    = obsv.Metrics().Counter(obsv.MCompileCancelled)
+	mBudget       = obsv.Metrics().Counter(obsv.MCompileBudget)
+	mPanics       = obsv.Metrics().Counter(obsv.MCompilePanics)
+	mContainments = obsv.Metrics().Counter(obsv.MCompileContainments)
+)
+
+func init() {
+	obsv.RegisterGauge(obsv.MInternSize, cond.InternStats)
+}
 
 // Options tunes the compiler; the zero value is the standard configuration.
 type Options struct {
@@ -54,6 +76,12 @@ type Options struct {
 	// failure (invalid mapping) and respond to — e.g. by retrying with a
 	// larger budget or queueing a full recompilation.
 	Budget fault.Budget
+	// Tracer, when non-nil, records the compilation as a hierarchical span
+	// tree (Compile → Validate → span-worker → containment-check). When nil
+	// the process-wide tracer installed with obsv.SetDefault is used;
+	// resolving it costs one atomic load per compilation, and with no
+	// tracer installed anywhere no spans are created at all.
+	Tracer *obsv.Tracer
 }
 
 // Stats reports the work a compilation performed. Counters are plain int64s
@@ -89,6 +117,10 @@ type Compiler struct {
 	// budgetErr records the first budget error a validation task surfaced
 	// (the containment checker builds richer errors than the watcher).
 	budgetErr *fault.BudgetExceededError
+	// tr is the resolved tracer (nil when tracing is off) and root the
+	// in-flight compilation's root span; both are set at CompileCtx entry.
+	tr   *obsv.Tracer
+	root *obsv.Span
 }
 
 // New returns a compiler with default options.
@@ -120,9 +152,22 @@ func (c *Compiler) addEquivalenceOp() { atomic.AddInt64(&c.Stats.EquivalenceOps,
 func (c *Compiler) countCache(hit bool) {
 	if hit {
 		atomic.AddInt64(&c.Stats.CacheHits, 1)
+		mCacheHits.Add(1)
 	} else {
 		atomic.AddInt64(&c.Stats.CacheMisses, 1)
+		mCacheMisses.Add(1)
 	}
+}
+
+// outcome refines the generic fault classification with the compiler's
+// validation verdict: a *ValidationError means the mapping is invalid, a
+// different label than an infrastructure error.
+func outcome(err error) string {
+	var ve *ValidationError
+	if errors.As(err, &ve) {
+		return obsv.OutcomeInvalid
+	}
+	return fault.Outcome(err)
 }
 
 // satisfiable, implies, equivalent and disjoint are the compiler's
@@ -164,12 +209,19 @@ func (c *Compiler) Compile(m *frag.Mapping) (*frag.Views, error) {
 // compilation that exhausts it returns a *fault.BudgetExceededError
 // carrying the partial work counters; both outcomes are distinguishable
 // from a validation failure, which reports the mapping as invalid.
-func (c *Compiler) CompileCtx(ctx context.Context, m *frag.Mapping) (*frag.Views, error) {
+func (c *Compiler) CompileCtx(ctx context.Context, m *frag.Mapping) (views *frag.Views, err error) {
 	if err := m.CheckWellFormed(); err != nil {
 		return nil, err
 	}
 	c.start = time.Now()
-	views := frag.NewViews()
+	c.tr = obsv.Resolve(c.Opts.Tracer)
+	mCompiles.Add(1)
+	c.root = c.tr.SpanCtx(ctx, "Compile",
+		obsv.String("workers", strconv.Itoa(c.workers())),
+		obsv.String("tables", strconv.Itoa(len(m.MappedTables()))),
+		obsv.String("fragments", strconv.Itoa(len(m.Frags))))
+	defer func() { c.root.End(outcome(err)) }()
+	views = frag.NewViews()
 	cat := m.Catalog()
 	c.satCache()
 	c.Stats.Workers = int64(c.workers())
@@ -177,6 +229,7 @@ func (c *Compiler) CompileCtx(ctx context.Context, m *frag.Mapping) (*frag.Views
 	checkCtx := func() error {
 		if err := ctx.Err(); err != nil {
 			atomic.AddInt64(&c.Stats.Cancelled, 1)
+			mCancelled.Add(1)
 			return err
 		}
 		return nil
@@ -187,18 +240,24 @@ func (c *Compiler) CompileCtx(ctx context.Context, m *frag.Mapping) (*frag.Views
 
 	// Update views come first: validation issues containment checks over
 	// them.
-	for _, tn := range m.MappedTables() {
-		if err := checkCtx(); err != nil {
-			return nil, err
+	err = c.phase("update-views", func() error {
+		for _, tn := range m.MappedTables() {
+			if err := checkCtx(); err != nil {
+				return err
+			}
+			v, err := c.updateView(m, tn)
+			if err != nil {
+				return fmt.Errorf("update view for %s: %w", tn, err)
+			}
+			if !c.Opts.NoSimplify {
+				v.Q = cqt.Simplify(cat, v.Q)
+			}
+			views.Update[tn] = v
 		}
-		v, err := c.updateView(m, tn)
-		if err != nil {
-			return nil, fmt.Errorf("update view for %s: %w", tn, err)
-		}
-		if !c.Opts.NoSimplify {
-			v.Q = cqt.Simplify(cat, v.Q)
-		}
-		views.Update[tn] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	if !c.Opts.SkipValidation {
@@ -207,33 +266,48 @@ func (c *Compiler) CompileCtx(ctx context.Context, m *frag.Mapping) (*frag.Views
 		}
 	}
 
-	for _, set := range m.Client.Sets() {
-		if len(m.FragsOnSet(set.Name)) == 0 {
-			continue
-		}
-		types := append([]string{set.Type}, m.Client.Descendants(set.Type)...)
-		for _, ty := range types {
-			if err := checkCtx(); err != nil {
-				return nil, err
+	err = c.phase("query-views", func() error {
+		for _, set := range m.Client.Sets() {
+			if len(m.FragsOnSet(set.Name)) == 0 {
+				continue
 			}
-			v, err := c.queryView(m, set.Name, ty)
-			if err != nil {
-				return nil, fmt.Errorf("query view for %s: %w", ty, err)
+			types := append([]string{set.Type}, m.Client.Descendants(set.Type)...)
+			for _, ty := range types {
+				if err := checkCtx(); err != nil {
+					return err
+				}
+				v, err := c.queryView(m, set.Name, ty)
+				if err != nil {
+					return fmt.Errorf("query view for %s: %w", ty, err)
+				}
+				if !c.Opts.NoSimplify {
+					v.Q = cqt.Simplify(cat, v.Q)
+				}
+				views.Query[ty] = v
 			}
-			if !c.Opts.NoSimplify {
-				v.Q = cqt.Simplify(cat, v.Q)
+		}
+		for _, a := range m.Client.Associations() {
+			f := m.FragForAssoc(a.Name)
+			if f == nil {
+				continue
 			}
-			views.Query[ty] = v
+			views.Assoc[a.Name] = assocQueryView(m, f)
 		}
-	}
-	for _, a := range m.Client.Associations() {
-		f := m.FragForAssoc(a.Name)
-		if f == nil {
-			continue
-		}
-		views.Assoc[a.Name] = assocQueryView(m, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return views, nil
+}
+
+// phase runs fn under a child span of the compilation root, labelling the
+// span with fn's verdict.
+func (c *Compiler) phase(name string, fn func() error) error {
+	sp := c.root.Child(name)
+	err := fn()
+	sp.End(outcome(err))
+	return err
 }
 
 // Assembly builds the query reconstructing entities of exactly the given

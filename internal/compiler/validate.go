@@ -3,6 +3,7 @@ package compiler
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/edm"
 	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/obsv"
 	"github.com/ormkit/incmap/internal/rel"
 )
 
@@ -49,7 +51,7 @@ func (c *Compiler) validate(ctx context.Context, m *frag.Mapping, views *frag.Vi
 			set := set
 			tasks = append(tasks, vtask{
 				label: "unmapped-set check of " + set.Name,
-				run: func(*vcontrol, int64) error {
+				run: func(context.Context, *vcontrol, int64) error {
 					return c.checkSetUnmapped(m, set)
 				},
 			})
@@ -73,12 +75,19 @@ func (c *Compiler) validate(ctx context.Context, m *frag.Mapping, views *frag.Vi
 	if c.Opts.Budget.MaxWallTime > 0 {
 		budgetDeadline = c.start.Add(c.Opts.Budget.MaxWallTime)
 	}
-	err := c.runTasks(ctx, tasks, workers, budgetDeadline)
+	vs := c.root.Child("Validate",
+		obsv.String("tasks", strconv.Itoa(len(tasks))),
+		obsv.String("workers", strconv.Itoa(workers)))
+	err := c.runTasks(ctx, tasks, workers, budgetDeadline, vs)
 
 	atomic.AddInt64(&c.Stats.Containments, atomic.LoadInt64(&ch.Stats.Containments))
 	atomic.AddInt64(&c.Stats.Implications, atomic.LoadInt64(&ch.Stats.Implications))
 	atomic.AddInt64(&c.Stats.CacheHits, atomic.LoadInt64(&ch.Stats.CacheHits))
 	atomic.AddInt64(&c.Stats.CacheMisses, atomic.LoadInt64(&ch.Stats.CacheMisses))
+	mContainments.Add(atomic.LoadInt64(&ch.Stats.Containments))
+	mCacheHits.Add(atomic.LoadInt64(&ch.Stats.CacheHits))
+	mCacheMisses.Add(atomic.LoadInt64(&ch.Stats.CacheMisses))
+	vs.End(outcome(err))
 	return err
 }
 
@@ -139,7 +148,7 @@ func (c *Compiler) splitSpans(th cond.Theory, atoms []cond.Atom, workers int) []
 		return []cellSpan{{}}
 	}
 	d := 0
-	for (1 << d) < 4*workers && d < len(atoms)-8 && d < 12 {
+	for (1<<d) < 4*workers && d < len(atoms)-8 && d < 12 {
 		d++
 	}
 	if d == 0 {
@@ -162,7 +171,10 @@ func (c *Compiler) splitSpans(th cond.Theory, atoms []cond.Atom, workers int) []
 // visitor returns the validation error that stops the span, if any.
 func (c *Compiler) enumerateSpan(th cond.Theory, atoms []cond.Atom, sp cellSpan, ctl *vcontrol, ord int64, check func(cond.Assignment, []int8) error) error {
 	var cells int64
-	defer func() { atomic.AddInt64(&c.Stats.CellsVisited, cells) }()
+	defer func() {
+		atomic.AddInt64(&c.Stats.CellsVisited, cells)
+		mCells.Add(cells)
+	}()
 	var verr error
 	visit := func(asg cond.Assignment, vals []int8) bool {
 		if ctl.cancelled(ord) {
@@ -335,7 +347,7 @@ func (c *Compiler) setCellTasks(m *frag.Mapping, set *edm.EntitySet, workers int
 			sp := sp
 			tasks = append(tasks, vtask{
 				label: fmt.Sprintf("client cell span %d of set %s, type %s", si, set.Name, ty),
-				run: func(ctl *vcontrol, ord int64) error {
+				run: func(_ context.Context, ctl *vcontrol, ord int64) error {
 					covered := map[string]bool{}
 					return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
 						return ck.check(ty, attrs, asg, vals, covered)
@@ -574,7 +586,7 @@ func (c *Compiler) tableCellTasks(m *frag.Mapping, table string, workers int) []
 		sp := sp
 		tasks = append(tasks, vtask{
 			label: fmt.Sprintf("store cell span %d of table %s", si, table),
-			run: func(ctl *vcontrol, ord int64) error {
+			run: func(_ context.Context, ctl *vcontrol, ord int64) error {
 				sc := ck.newScratch()
 				return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
 					return ck.check(asg, vals, sc)
@@ -603,7 +615,7 @@ func (c *Compiler) foreignKeyTasks(m *frag.Mapping, views *frag.Views, ch *conta
 			fk := fk
 			tasks = append(tasks, vtask{
 				label: fmt.Sprintf("foreign-key check %s of table %s", fk.Name, tn),
-				run: func(ctl *vcontrol, _ int64) error {
+				run: func(ctx context.Context, _ *vcontrol, _ int64) error {
 					written := false
 					for _, f := range m.FragsOnTable(tn) {
 						for _, colName := range fk.Cols {
@@ -622,7 +634,7 @@ func (c *Compiler) foreignKeyTasks(m *frag.Mapping, views *frag.Views, ch *conta
 						}
 					}
 					lhs, rhs := fkContainmentQueries(views, fk, tn)
-					ok, err := ch.ContainsCtx(ctl.ctx, lhs, rhs)
+					ok, err := ch.ContainsCtx(ctx, lhs, rhs)
 					if err != nil {
 						return err
 					}

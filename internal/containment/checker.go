@@ -2,6 +2,7 @@ package containment
 
 import (
 	"context"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -9,6 +10,14 @@ import (
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/faultinject"
+	"github.com/ormkit/incmap/internal/obsv"
+)
+
+// Process-wide metric counters shared by every checker (full compile,
+// incremental compile, tooling), resolved once.
+var (
+	mChecks     = obsv.Metrics().Counter(obsv.MContainments)
+	mBlockPairs = obsv.Metrics().Counter(obsv.MContainmentBlockPairs)
 )
 
 // Stats counts the work a checker performed, for the experiment harness.
@@ -136,7 +145,28 @@ func (ch *Checker) elapsed() time.Duration {
 // *fault.BudgetExceededError once the checker's Budget is exhausted,
 // checking both between the normalized blocks of the left side so a
 // runaway check stops within one block's homomorphism enumeration.
-func (ch *Checker) ContainsCtx(ctx context.Context, a, b cqt.Expr) (bool, error) {
+//
+// When the context carries a span (a validation task's, or an SMO
+// application's), the check records itself as a "containment-check" child
+// span labelled with its verdict and the number of block pairs compared.
+func (ch *Checker) ContainsCtx(ctx context.Context, a, b cqt.Expr) (contained bool, err error) {
+	sp := obsv.SpanFromContext(ctx).Child("containment-check")
+	pairs0 := atomic.LoadInt64(&ch.Stats.BlockPairs)
+	defer func() {
+		switch {
+		case err != nil:
+			sp.End(fault.Outcome(err))
+		case contained:
+			sp.End(obsv.OutcomeOK)
+		default:
+			sp.End("not-contained",
+				obsv.String("block_pairs", strconv.FormatInt(atomic.LoadInt64(&ch.Stats.BlockPairs)-pairs0, 10)))
+		}
+	}()
+	return ch.containsCtx(ctx, a, b)
+}
+
+func (ch *Checker) containsCtx(ctx context.Context, a, b cqt.Expr) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
@@ -144,6 +174,7 @@ func (ch *Checker) ContainsCtx(ctx context.Context, a, b cqt.Expr) (bool, error)
 		return false, err
 	}
 	atomic.AddInt64(&ch.Stats.Containments, 1)
+	mChecks.Add(1)
 	if be := ch.budgetErr(); be != nil {
 		return false, be
 	}
@@ -183,6 +214,7 @@ func (ch *Checker) ContainsCtx(ctx context.Context, a, b cqt.Expr) (bool, error)
 		var coverage []cond.Expr
 		for j := range B {
 			atomic.AddInt64(&ch.Stats.BlockPairs, 1)
+			mBlockPairs.Add(1)
 			coverage = append(coverage, ch.homRequirements(ab, &B[j], cls)...)
 		}
 		atomic.AddInt64(&ch.Stats.Implications, 1)

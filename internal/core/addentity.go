@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/ormkit/incmap/internal/compiler"
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/edm"
@@ -127,7 +128,7 @@ func (op *AddEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) erro
 
 	// --- Fragment adaptation (§3.1.3) ------------------------------------
 	pset := betweenTypes(m, op.Name, op.P)
-	adaptFragments(m, set.Name, op.Name, op.P, pset)
+	ic.adaptFragments(m, set.Name, op.Name, op.P, pset)
 	phiE := &frag.Fragment{
 		ID:         "f_" + op.Name + "_" + op.Table,
 		Set:        set.Name,
@@ -146,13 +147,40 @@ func (op *AddEntity) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) erro
 	contribution := op.updateContribution(m, set.Name, tab, alpha)
 	if op.sharedTable() {
 		old := v.Update[op.Table]
-		if old == nil {
+		hasAssoc := false
+		for _, g := range m.FragsOnTable(op.Table) {
+			if g.Assoc != "" {
+				hasAssoc = true
+				break
+			}
+		}
+		switch {
+		case old == nil:
 			v.SetUpdate(op.Table, &cqt.View{Q: contribution})
-		} else {
+		case hasAssoc:
+			// Association fragments are left-outer-joined onto the entity
+			// part *inside* the view, so unioning the new type's branch on
+			// top would leave its rows without the association columns.
+			// Regenerate this one table's view from the adapted fragments
+			// (the incremental scope), as AddProperty does.
+			uv, err := compiler.New().UpdateView(m, op.Table)
+			if err != nil {
+				return err
+			}
+			v.SetUpdate(op.Table, uv)
+		default:
 			adapted := cqt.MapConds(old.Q, func(c cond.Expr) cond.Expr {
 				return adaptClientCond(m, c, op.Name, op.P, pset)
 			})
-			v.SetUpdate(op.Table, &cqt.View{Q: cqt.UnionAll{Inputs: []cqt.Expr{adapted, contribution}}})
+			// The directive may have widened the shared table (new columns
+			// for the new type's attributes), so the pre-existing branch —
+			// compiled against the narrower table — must be padded to the
+			// common column set before the union, as for query views.
+			oldBranch, newBranch, err := unionAlign(m, set.Name, adapted, contribution)
+			if err != nil {
+				return err
+			}
+			v.SetUpdate(op.Table, &cqt.View{Q: cqt.UnionAll{Inputs: []cqt.Expr{oldBranch, newBranch}}})
 		}
 	} else {
 		v.SetUpdate(op.Table, &cqt.View{Q: contribution})

@@ -147,7 +147,7 @@ func (op *AddEntityPart) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) 
 
 	// --- Fragment adaptation and new fragments ----------------------------
 	pset := betweenTypes(m, op.Name, op.P)
-	adaptFragments(m, set.Name, op.Name, op.P, pset)
+	ic.adaptFragments(m, set.Name, op.Name, op.P, pset)
 	for i, p := range op.Parts {
 		m.Frags = append(m.Frags, &frag.Fragment{
 			ID:         fmt.Sprintf("f_%s_part%d_%s", op.Name, i, p.Table),

@@ -126,7 +126,9 @@ func (op *AddProperty) apply(ic *Incremental, m *frag.Mapping, v *frag.Views) er
 	}
 
 	// --- Update view of the affected table: regenerate from the adapted
-	// fragments (only this table — the incremental scope).
+	// fragments (only this table — the incremental scope; views of other
+	// tables carry explicit projections, so the new attribute cannot leak
+	// into them).
 	comp := compiler.New()
 	uv, err := comp.UpdateView(m, op.Table)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/ormkit/incmap/internal/cond"
@@ -21,7 +22,21 @@ import (
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/obsv"
 	"github.com/ormkit/incmap/internal/rel"
+)
+
+// Process-wide metric counters for the incremental compiler, resolved once.
+// Per-Apply deltas of the Stats struct are mirrored into them when ApplyCtx
+// returns, so every applier site is covered without per-site wiring.
+var (
+	mApplies           = obsv.Metrics().Counter(obsv.MApplies)
+	mApplyContainments = obsv.Metrics().Counter(obsv.MApplyContainments)
+	mApplyAdaptedViews = obsv.Metrics().Counter(obsv.MApplyAdaptedViews)
+	mApplyBuiltViews   = obsv.Metrics().Counter(obsv.MApplyBuiltViews)
+	mApplyCacheHits    = obsv.Metrics().Counter(obsv.MApplyCacheHits)
+	mApplyCacheMisses  = obsv.Metrics().Counter(obsv.MApplyCacheMisses)
+	mApplyCancelled    = obsv.Metrics().Counter(obsv.MApplyCancelled)
 )
 
 // ErrUnsupportedSMO reports that an operation cannot be compiled
@@ -55,6 +70,12 @@ type Options struct {
 	// path of the pipeline package, which re-validates the evolved mapping
 	// with a full compilation; not meant for direct use.
 	SkipValidation bool
+	// Tracer, when non-nil, records each Apply as a hierarchical span tree
+	// (Apply → adapt-fragments / adapt-views / incremental-validate →
+	// containment-check). When nil the process-wide tracer installed with
+	// obsv.SetDefault is used; with no tracer installed anywhere no spans
+	// are created.
+	Tracer *obsv.Tracer
 }
 
 // Stats reports the work one or more Apply calls performed.
@@ -85,6 +106,16 @@ type Incremental struct {
 	// concurrent Apply calls (each call mutates these and Stats).
 	ctx   context.Context
 	start time.Time
+
+	// tr is the resolved tracer (nil when tracing is off), root the
+	// in-flight Apply's span, and valSpan the lazily opened
+	// "incremental-validate" child grouping the neighbourhood containment
+	// checks; valMade latches its creation so a traced Apply opens it at
+	// most once.
+	tr      *obsv.Tracer
+	root    *obsv.Span
+	valSpan *obsv.Span
+	valMade bool
 
 	// touchedQuery/touchedUpdate track the views an SMO created or
 	// restructured, so only the neighbourhood of the change is
@@ -149,10 +180,24 @@ func (ic *Incremental) Apply(m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapp
 // untouched — the same abort semantics as a validation failure. When
 // Options.Budget is limited, exhausting it aborts with a
 // *fault.BudgetExceededError instead.
-func (ic *Incremental) ApplyCtx(ctx context.Context, m *frag.Mapping, v *frag.Views, op SMO) (*frag.Mapping, *frag.Views, error) {
+func (ic *Incremental) ApplyCtx(ctx context.Context, m *frag.Mapping, v *frag.Views, op SMO) (rm *frag.Mapping, rv *frag.Views, err error) {
 	ic.ctx = ctx
 	ic.start = time.Now()
-	defer func() { ic.ctx = nil }()
+	ic.tr = obsv.Resolve(ic.Opts.Tracer)
+	ic.root = ic.tr.SpanCtx(ctx, "Apply", obsv.String("smo", op.Describe()))
+	mApplies.Add(1)
+	st0 := ic.Stats
+	defer func() {
+		ic.valSpan.End(fault.Outcome(err))
+		ic.root.End(fault.Outcome(err))
+		ic.ctx, ic.root, ic.valSpan, ic.valMade = nil, nil, nil, false
+		mApplyContainments.Add(ic.Stats.Containments - st0.Containments)
+		mApplyAdaptedViews.Add(ic.Stats.AdaptedViews - st0.AdaptedViews)
+		mApplyBuiltViews.Add(ic.Stats.BuiltViews - st0.BuiltViews)
+		mApplyCacheHits.Add(ic.Stats.CacheHits - st0.CacheHits)
+		mApplyCacheMisses.Add(ic.Stats.CacheMisses - st0.CacheMisses)
+		mApplyCancelled.Add(ic.Stats.Cancelled - st0.Cancelled)
+	}()
 	if err := ctx.Err(); err != nil {
 		ic.Stats.Cancelled++
 		return nil, nil, fmt.Errorf("%s: %w", op.Describe(), err)
@@ -305,6 +350,18 @@ func (ic *Incremental) applyCtx() context.Context {
 	return ic.ctx
 }
 
+// valCtx is applyCtx carrying the Apply's "incremental-validate" span,
+// opened lazily on the first neighbourhood check so SMOs that validate
+// nothing record no validation span. Containment checks issued with this
+// context parent their spans under it.
+func (ic *Incremental) valCtx() context.Context {
+	if !ic.valMade {
+		ic.valMade = true
+		ic.valSpan = ic.root.Child("incremental-validate")
+	}
+	return obsv.ContextWithSpan(ic.applyCtx(), ic.valSpan)
+}
+
 func (ic *Incremental) absorb(ch *containment.Checker) {
 	ic.Stats.Containments += ch.Stats.Containments
 	ic.Stats.Implications += ch.Stats.Implications
@@ -359,7 +416,9 @@ func adaptClientCond(m *frag.Mapping, x cond.Expr, newType, p string, pset []str
 // with the previous generation; only genuinely rewritten ones are copied
 // (the rewrite rebuilds through the hash-consing constructors, so == tells
 // the two cases apart).
-func adaptFragments(m *frag.Mapping, setName, newType, p string, pset []string) {
+func (ic *Incremental) adaptFragments(m *frag.Mapping, setName, newType, p string, pset []string) {
+	sp := ic.root.Child("adapt-fragments", obsv.String("set", setName))
+	rewritten := 0
 	for _, f := range m.Frags {
 		if f.Set != setName {
 			continue
@@ -369,7 +428,9 @@ func adaptFragments(m *frag.Mapping, setName, newType, p string, pset []string) 
 			continue
 		}
 		m.MutableFrag(f).ClientCond = nc
+		rewritten++
 	}
+	sp.End(obsv.OutcomeOK, obsv.String("rewritten", strconv.Itoa(rewritten)))
 }
 
 // adaptUpdateViews rewrites the conditions of every update view except the
@@ -377,6 +438,11 @@ func adaptFragments(m *frag.Mapping, setName, newType, p string, pset []string) 
 // neither IS OF (ONLY P) nor any type of pset are untouched, which keeps
 // the adaptation proportional to the neighbourhood rather than the model.
 func (ic *Incremental) adaptUpdateViews(m *frag.Mapping, v *frag.Views, skipTable, newType, p string, pset []string) {
+	sp := ic.root.Child("adapt-views")
+	adapted0 := ic.Stats.AdaptedViews
+	defer func() {
+		sp.End(obsv.OutcomeOK, obsv.String("adapted", strconv.FormatInt(ic.Stats.AdaptedViews-adapted0, 10)))
+	}()
 	inP := map[string]bool{}
 	for _, f := range pset {
 		inP[f] = true
@@ -443,7 +509,7 @@ func (ic *Incremental) checkContainment(ch *containment.Checker, a, b cqt.Expr, 
 	if ic.Opts.SkipValidation {
 		return nil
 	}
-	ok, err := ch.ContainsCtx(ic.applyCtx(), a, b)
+	ok, err := ch.ContainsCtx(ic.valCtx(), a, b)
 	if err != nil {
 		return err
 	}

@@ -121,7 +121,7 @@ func (op *RefactorAssocToInheritance) apply(ic *Incremental, m *frag.Mapping, v 
 	// E2's fragment becomes a TPT-style fragment of E1's set: it maps E1's
 	// key (through the former FK columns) plus E2's own attributes
 	// (including its former key, now a plain unique attribute).
-	adaptFragments(m, set1.Name, e2, e1, nil)
+	ic.adaptFragments(m, set1.Name, e2, e1, nil)
 	f2 = m.MutableFrag(f2)
 	f2.Set = set1.Name
 	f2.ClientCond = cond.TypeIs{Type: e2}

@@ -307,9 +307,26 @@ func TestSimplifyMergesSelectsAndProjections(t *testing.T) {
 
 func TestSimplifyIdentityProjection(t *testing.T) {
 	cat := fixtureCatalog(t)
+	// Over a bare scan the identity projection must be KEPT: the scanned
+	// table's column set can grow under later schema modifications, and a
+	// dropped projection would silently widen the view with it.
 	p := Project{In: ScanTable{Table: "HR"}, Cols: []ProjCol{Col("Id"), Col("Name")}}
-	if _, ok := Simplify(cat, p).(ScanTable); !ok {
-		t.Fatalf("identity projection not dropped")
+	if _, ok := Simplify(cat, p).(Project); !ok {
+		t.Fatalf("identity projection over a scan must be kept, got %s", Format(Simplify(cat, p)))
+	}
+	// Over an input with pinned columns (an explicit projection below) the
+	// identity projection is redundant and is dropped.
+	pinned := Project{
+		In:   Project{In: ScanTable{Table: "HR"}, Cols: []ProjCol{Col("Id"), Col("Name")}},
+		Cols: []ProjCol{Col("Id"), Col("Name")},
+	}
+	s := Simplify(cat, pinned)
+	pr, ok := s.(Project)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if _, ok := pr.In.(ScanTable); !ok {
+		t.Fatalf("stacked identity projections not collapsed: %s", Format(s))
 	}
 }
 
@@ -317,13 +334,18 @@ func TestSimplifyLOJElimination(t *testing.T) {
 	cat := fixtureCatalog(t)
 	// π_{Id,Name} (HR ⟕ Emp ON Id=Id) = π_{Id,Name}(HR) since Emp is keyed
 	// on Id. This is the unfolding simplification used by the paper's
-	// Example 7.
+	// Example 7. The surviving projection over the scan is kept (scan
+	// columns are not pinned), so the result is π_{Id,Name}(HR).
 	j := Join{Kind: LeftOuter, L: ScanTable{Table: "HR"},
 		R:  Project{In: ScanTable{Table: "Emp"}, Cols: []ProjCol{Col("Id"), ColAs("Dept", "Department")}},
 		On: [][2]string{{"Id", "Id"}}}
 	p := Project{In: j, Cols: []ProjCol{Col("Id"), Col("Name")}}
 	s := Simplify(cat, p)
-	if _, ok := s.(ScanTable); !ok {
+	pr, ok := s.(Project)
+	if !ok {
+		t.Fatalf("LOJ not eliminated: %s", Format(s))
+	}
+	if _, ok := pr.In.(ScanTable); !ok {
 		t.Fatalf("LOJ not eliminated: %s", Format(s))
 	}
 }

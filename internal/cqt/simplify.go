@@ -122,8 +122,14 @@ func simplify(cat *Catalog, e Expr) (Expr, bool) {
 			return UnionAll{Inputs: inputs}, true
 		}
 
-		// Drop identity projections.
-		if cols, err := cat.Cols(in); err == nil && isIdentityProj(v.Cols, cols) {
+		// Drop identity projections — but only over inputs whose column
+		// set is fixed by the expression itself. A scan's columns are
+		// inherited from the scanned schema object, and a later SMO can
+		// widen that object (AddProperty adds attributes to a set's
+		// entities, AddEntity adds them for new subtypes the adapted
+		// conditions select); an identity projection dropped today would
+		// silently widen the view tomorrow.
+		if cols, err := cat.Cols(in); err == nil && isIdentityProj(v.Cols, cols) && fixedCols(in) {
 			return in, true
 		}
 		return Project{In: in, Cols: v.Cols}, ch
@@ -300,6 +306,30 @@ func mapConds(e Expr, f func(cond.Expr) cond.Expr) (Expr, bool) {
 		return UnionAll{Inputs: out}, true
 	}
 	return e, false
+}
+
+// fixedCols reports whether the expression's output columns are pinned by
+// the expression itself — every path from the root to a leaf crosses an
+// explicit projection — rather than inherited from a scanned schema
+// object, whose column set can grow under later schema modifications.
+func fixedCols(e Expr) bool {
+	switch v := e.(type) {
+	case Project:
+		return true
+	case Select:
+		return fixedCols(v.In)
+	case UnionAll:
+		for _, in := range v.Inputs {
+			if !fixedCols(in) {
+				return false
+			}
+		}
+		return true
+	case Join:
+		return fixedCols(v.L) && fixedCols(v.R)
+	default:
+		return false
+	}
 }
 
 func isIdentityProj(cols []ProjCol, inCols []string) bool {

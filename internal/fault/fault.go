@@ -14,6 +14,8 @@
 package fault
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 )
@@ -77,4 +79,28 @@ type PanicError struct {
 // Error implements error.
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("panic recovered in %s: %v", e.Where, e.Value)
+}
+
+// Outcome classifies an error into the observability layer's span-outcome
+// vocabulary: "ok" for nil, "cancelled" for context cancellation or
+// deadline expiry, "budget" for budget exhaustion, "panic" for a recovered
+// panic, and "error" for everything else (validation failures included;
+// layers that can tell those apart refine the label themselves).
+func Outcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		var be *BudgetExceededError
+		if errors.As(err, &be) {
+			return "budget"
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			return "panic"
+		}
+		return "error"
+	}
 }

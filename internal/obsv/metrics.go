@@ -1,0 +1,164 @@
+package obsv
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// The metrics registry: process-wide, always-on, lock-free counters that
+// replace grepping ad-hoc Stats structs when operating the system. The
+// per-compilation Stats structs remain the API for one operation's work;
+// the registry aggregates across every compilation in the process and is
+// exported through expvar (and Snapshot) for scraping.
+
+// counterStripes spreads one hot counter over several cache lines so
+// concurrent validation workers do not serialize on a single atomic word.
+// Must be a power of two.
+const counterStripes = 8
+
+// stripe is one cache-line-padded counter cell.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a lock-free, striped monotonic counter.
+type Counter struct {
+	s [counterStripes]stripe
+}
+
+// Add increments the counter. The stripe is picked from the address of a
+// stack variable, which differs across goroutines (stacks are distinct
+// allocations), so concurrent adders usually land on different cache
+// lines; Load sums all stripes.
+func (c *Counter) Add(d int64) {
+	var probe byte
+	i := (uintptr(unsafe.Pointer(&probe)) >> 10) & (counterStripes - 1)
+	c.s[i].v.Add(d)
+}
+
+// Load returns the counter's value.
+func (c *Counter) Load() int64 {
+	var n int64
+	for i := range c.s {
+		n += c.s[i].v.Load()
+	}
+	return n
+}
+
+// Registry is a named-counter registry with optional gauge callbacks
+// (for values owned elsewhere, like the condition intern table's size).
+type Registry struct {
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := r.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
+}
+
+// Add increments the named counter.
+func (r *Registry) Add(name string, d int64) { r.Counter(name).Add(d) }
+
+// RegisterGauge registers a callback sampled at Snapshot time. Registering
+// the same name again replaces the callback.
+func (r *Registry) RegisterGauge(name string, fn func() int64) {
+	r.gauges.Store(name, fn)
+}
+
+// Snapshot returns the current value of every counter and gauge.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	r.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		out[k.(string)] = v.(func() int64)()
+		return true
+	})
+	return out
+}
+
+// Names returns the sorted metric names currently present.
+func (r *Registry) Names() []string {
+	var names []string
+	r.counters.Range(func(k, _ any) bool { names = append(names, k.(string)); return true })
+	r.gauges.Range(func(k, _ any) bool { names = append(names, k.(string)); return true })
+	sort.Strings(names)
+	return names
+}
+
+// defaultRegistry is the process-wide registry the compilation stack
+// reports into.
+var defaultRegistry = NewRegistry()
+
+// Metrics returns the process-wide registry.
+func Metrics() *Registry { return defaultRegistry }
+
+// Add increments a counter of the process-wide registry.
+func Add(name string, d int64) { defaultRegistry.Add(name, d) }
+
+// RegisterGauge registers a gauge on the process-wide registry.
+func RegisterGauge(name string, fn func() int64) { defaultRegistry.RegisterGauge(name, fn) }
+
+// Snapshot snapshots the process-wide registry.
+func Snapshot() map[string]int64 { return defaultRegistry.Snapshot() }
+
+// Metric names reported by the compilation stack. Kept as constants so
+// dashboards and tests reference one vocabulary.
+const (
+	// Full compiler.
+	MCompiles            = "compile.full"
+	MCompileCells        = "compile.cells_visited"
+	MCompileTasks        = "compile.validation_tasks"
+	MCompileContainments = "compile.containments"
+	MCompileCacheHits    = "compile.satcache.hit"
+	MCompileCacheMisses  = "compile.satcache.miss"
+	MCompileCancelled    = "compile.cancelled"
+	MCompileBudget       = "compile.budget_exceeded"
+	MCompilePanics       = "compile.panics_recovered"
+	// Containment checker (all clients: full, incremental, tooling).
+	MContainments          = "containment.checks"
+	MContainmentBlockPairs = "containment.block_pairs"
+	// Incremental compiler.
+	MApplies           = "incremental.applies"
+	MApplyContainments = "incremental.containments"
+	MApplyAdaptedViews = "incremental.adapted_views"
+	MApplyBuiltViews   = "incremental.built_views"
+	MApplyCacheHits    = "incremental.satcache.hit"
+	MApplyCacheMisses  = "incremental.satcache.miss"
+	MApplyCancelled    = "incremental.cancelled"
+	// Session fallback ladder.
+	MEvolves           = "session.evolves"
+	MEvolveIncremental = "session.evolve.incremental"
+	MEvolveFallback    = "session.evolve.fallback"
+	MEvolveCancelled   = "session.evolve.cancelled"
+	MEvolvePanics      = "session.evolve.panics_recovered"
+	// Condition layer gauges (registered by the cond package's consumers).
+	MInternSize = "cond.intern.size"
+)
+
+// expvarOnce guards the process-global expvar name, which panics on
+// re-publication.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the process-wide registry under the expvar name
+// "incmap" (served on /debug/vars wherever the application installs the
+// expvar handler). Safe to call more than once.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("incmap", expvar.Func(func() any { return Snapshot() }))
+	})
+}

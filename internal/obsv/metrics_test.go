@@ -1,0 +1,64 @@
+package obsv
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 2)
+	r.Add("a", 3)
+	r.Add("b", 1)
+	r.RegisterGauge("g", func() int64 { return 42 })
+	snap := r.Snapshot()
+	if snap["a"] != 5 || snap["b"] != 1 || snap["g"] != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "g" {
+		t.Fatalf("names = %v", names)
+	}
+	// Counter identity: repeated lookups return the same counter.
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatalf("Counter not stable")
+	}
+}
+
+func TestExpvarExport(t *testing.T) {
+	Add(MCompiles, 1)
+	PublishExpvar()
+	PublishExpvar() // second call must not panic
+	v := expvar.Get("incmap")
+	if v == nil {
+		t.Fatal("expvar \"incmap\" not published")
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value not JSON: %v", err)
+	}
+	if snap[MCompiles] < 1 {
+		t.Fatalf("expvar snapshot missing %s: %v", MCompiles, snap)
+	}
+}

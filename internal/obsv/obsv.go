@@ -1,0 +1,411 @@
+// Package obsv is the observability layer of the compilation stack: a
+// structured tracer recording hierarchical spans (Compile → Validate →
+// span-worker → containment-check; Apply → adapt-fragments → adapt-views →
+// containment-check) and a process-wide metrics registry exported through
+// expvar.
+//
+// The design goal is an always-on layer whose disabled cost is invisible on
+// the hot paths of the compiler. Tracing is off unless a *Tracer is
+// installed — either threaded through compiler/core options or installed
+// process-wide with SetDefault — and every tracing entry point is nil-safe:
+// a nil *Tracer produces nil *Spans, and every method of a nil *Span is a
+// no-op. Resolving the default tracer is a single atomic pointer load, done
+// once per compilation, not per span; with no tracer installed the per-cell
+// and per-check work of the compiler executes exactly as before.
+//
+// Spans carry monotonic start offsets and durations (measured against the
+// tracer's epoch, immune to wall-clock steps), an outcome label ("ok",
+// "cancelled", "budget", "panic", ...), and a short list of
+// bounded-cardinality attributes. Sinks must be safe for concurrent Record
+// calls; parallel validation workers avoid sink contention by recording
+// into per-worker Buffers that are flushed once at the pool barrier.
+package obsv
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome labels shared by the compilation stack. Spans may use free-form
+// outcomes, but sticking to this vocabulary keeps trace analysis simple.
+const (
+	OutcomeOK        = "ok"
+	OutcomeError     = "error"
+	OutcomeInvalid   = "invalid"   // a genuine validation failure
+	OutcomeCancelled = "cancelled" // context cancellation or deadline
+	OutcomeBudget    = "budget"    // validation budget exhausted
+	OutcomePanic     = "panic"     // recovered panic
+	OutcomeHit       = "hit"       // cache or intern-table hit
+	OutcomeMiss      = "miss"
+)
+
+// Attr is one bounded-cardinality span attribute. Values should identify
+// schema objects or configuration (a table name, a worker index), not
+// unbounded data.
+type Attr struct {
+	Key, Val string
+}
+
+// String builds an Attr.
+func String(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// SpanData is one finished span as delivered to a Sink.
+type SpanData struct {
+	// ID and Parent identify the span and its parent (0 = root) within one
+	// tracer's lifetime.
+	ID, Parent uint64
+	// Name is the span's operation name ("Compile", "span-worker", ...).
+	Name string
+	// TID is the logical track the span ran on: a validation worker index,
+	// or 0 for the coordinating goroutine. It becomes the Chrome trace tid.
+	TID int
+	// Start is the monotonic offset from the tracer's epoch; Dur the
+	// monotonic duration.
+	Start, Dur time.Duration
+	// Outcome labels how the span ended (see the Outcome constants).
+	Outcome string
+	// Attrs are the span's attributes, creation-time ones first.
+	Attrs []Attr
+}
+
+// Sink consumes finished spans. Record must be safe for concurrent use;
+// RecordBatch (optional, see BatchSink) lets per-worker buffers flush in
+// one call.
+type Sink interface {
+	Record(sp SpanData)
+}
+
+// BatchSink is an optional Sink refinement accepting a whole buffer of
+// spans at once.
+type BatchSink interface {
+	Sink
+	RecordBatch(sps []SpanData)
+}
+
+// Tracer creates spans and dispatches them to its sink. A nil *Tracer is
+// the null tracer: it produces nil spans and records nothing.
+type Tracer struct {
+	sink  Sink
+	epoch time.Time
+
+	nextID atomic.Uint64
+	// started/ended track span balance so tests can assert that every code
+	// path — including cancellation, budget exhaustion and recovered panics
+	// — closes exactly the spans it opened. doubleEnds counts excess End
+	// calls (always 0 in a correct instrumentation).
+	started    atomic.Int64
+	ended      atomic.Int64
+	doubleEnds atomic.Int64
+}
+
+// New returns a tracer delivering finished spans to sink.
+func New(sink Sink) *Tracer {
+	return &Tracer{sink: sink, epoch: time.Now()}
+}
+
+// defaultTracer is the process-wide tracer; nil when tracing is off. The
+// compiler resolves it once per compilation with Default — one atomic load
+// — so the null tracer adds no per-cell or per-check work.
+var defaultTracer atomic.Pointer[Tracer]
+
+// SetDefault installs (or, with nil, removes) the process-wide tracer used
+// by compilations that were not handed an explicit tracer.
+func SetDefault(t *Tracer) {
+	if t == nil {
+		defaultTracer.Store(nil)
+		return
+	}
+	defaultTracer.Store(t)
+}
+
+// Default returns the process-wide tracer, nil when tracing is off.
+func Default() *Tracer { return defaultTracer.Load() }
+
+// Resolve returns the explicit tracer when non-nil, else the process-wide
+// default. This is the one atomic load a compilation pays when tracing is
+// off.
+func Resolve(explicit *Tracer) *Tracer {
+	if explicit != nil {
+		return explicit
+	}
+	return Default()
+}
+
+// OpenSpans reports started-but-not-ended spans; 0 once every code path has
+// closed its spans. Nil-safe.
+func (t *Tracer) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load() - t.ended.Load()
+}
+
+// DoubleEnds reports spans ended more than once (0 in a correct
+// instrumentation). Nil-safe.
+func (t *Tracer) DoubleEnds() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.doubleEnds.Load()
+}
+
+// recorder is a span destination: the tracer's sink, or a per-worker
+// buffer.
+type recorder interface {
+	record(sp SpanData)
+}
+
+// sinkRecorder adapts the tracer's shared sink.
+type sinkRecorder struct{ t *Tracer }
+
+func (r sinkRecorder) record(sp SpanData) { r.t.sink.Record(sp) }
+
+// Span is one in-flight unit of work. A nil *Span (tracing off) ignores
+// every call.
+type Span struct {
+	t      *Tracer
+	dest   recorder
+	id     uint64
+	parent uint64
+	tid    int
+	name   string
+	start  time.Duration
+	attrs  []Attr
+	ended  atomic.Bool
+}
+
+func (t *Tracer) newSpan(dest recorder, parent uint64, tid int, name string, attrs []Attr) *Span {
+	t.started.Add(1)
+	return &Span{
+		t:      t,
+		dest:   dest,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		tid:    tid,
+		name:   name,
+		start:  time.Since(t.epoch),
+		attrs:  attrs,
+	}
+}
+
+// Span starts a root span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Span(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(sinkRecorder{t}, 0, 0, name, attrs)
+}
+
+// SpanCtx starts a span parented under the span carried by ctx when that
+// span belongs to this tracer, and a root span otherwise. This is how an
+// operation run inside a larger traced operation (a compilation inside the
+// pipeline's fallback ladder) nests instead of starting a new root.
+// Nil-safe.
+func (t *Tracer) SpanCtx(ctx context.Context, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	if p := SpanFromContext(ctx); p != nil && p.t == t {
+		return p.Child(name, attrs...)
+	}
+	return t.Span(name, attrs...)
+}
+
+// Child starts a span under s, recording to the same destination (the
+// shared sink, or s's buffer). Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s.dest, s.id, s.tid, name, attrs)
+}
+
+// ChildIn starts a span under s recording into the given per-worker
+// buffer. With a nil buffer it behaves like Child. Nil-safe.
+func (s *Span) ChildIn(b *Buffer, name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	if b == nil {
+		return s.Child(name, attrs...)
+	}
+	return s.t.newSpan(b, s.id, b.tid, name, attrs)
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Annotate appends attributes to an in-flight span. It must be called from
+// the goroutine that owns the span. Nil-safe.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End finishes the span with the given outcome and delivers it to its
+// destination. Exactly the first End takes effect; later calls are counted
+// (Tracer.DoubleEnds) and otherwise ignored. Nil-safe, so instrumentation
+// can unconditionally defer End on paths that may run without tracing.
+func (s *Span) End(outcome string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	if !s.ended.CompareAndSwap(false, true) {
+		s.t.doubleEnds.Add(1)
+		return
+	}
+	s.t.ended.Add(1)
+	dur := time.Since(s.t.epoch) - s.start
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.dest.record(SpanData{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		TID:     s.tid,
+		Start:   s.start,
+		Dur:     dur,
+		Outcome: outcome,
+		Attrs:   s.attrs,
+	})
+}
+
+// EndErr ends the span with an outcome derived from err: OutcomeOK for
+// nil, otherwise OutcomeError with the error text attached. Callers with
+// richer classifications (cancelled/budget/panic) should End explicitly.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err == nil {
+		s.End(OutcomeOK)
+		return
+	}
+	s.End(OutcomeError, String("error", err.Error()))
+}
+
+// Buffer is a per-worker span destination: spans recorded into it are
+// appended without locking and handed to the tracer's sink in one batch at
+// Flush. One buffer must only ever be used by one goroutine at a time
+// (create one per worker, flush after the pool barrier).
+type Buffer struct {
+	t     *Tracer
+	tid   int
+	spans []SpanData
+}
+
+// Buffer returns a span buffer for the given logical track (worker index).
+// Nil-safe: a nil tracer returns a nil buffer, which ChildIn and Flush
+// ignore.
+func (t *Tracer) Buffer(tid int) *Buffer {
+	if t == nil {
+		return nil
+	}
+	return &Buffer{t: t, tid: tid}
+}
+
+func (b *Buffer) record(sp SpanData) { b.spans = append(b.spans, sp) }
+
+// Len reports the number of buffered spans. Nil-safe.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.spans)
+}
+
+// Flush delivers the buffered spans to the tracer's sink and empties the
+// buffer. Nil-safe.
+func (b *Buffer) Flush() {
+	if b == nil || len(b.spans) == 0 {
+		return
+	}
+	if bs, ok := b.t.sink.(BatchSink); ok {
+		bs.RecordBatch(b.spans)
+	} else {
+		for _, sp := range b.spans {
+			b.t.sink.Record(sp)
+		}
+	}
+	b.spans = b.spans[:0]
+}
+
+// Context propagation ---------------------------------------------------------
+
+type ctxKey struct{}
+
+// ContextWithSpan attaches a span to the context so downstream layers (the
+// containment checker under a validation task, for example) parent their
+// spans correctly across package boundaries.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the span attached to ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// RecordingSink --------------------------------------------------------------
+
+// RecordingSink collects spans in memory. It is safe for concurrent use
+// and implements BatchSink.
+type RecordingSink struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// NewRecordingSink returns an empty recording sink.
+func NewRecordingSink() *RecordingSink { return &RecordingSink{} }
+
+// Record implements Sink.
+func (r *RecordingSink) Record(sp SpanData) {
+	r.mu.Lock()
+	r.spans = append(r.spans, sp)
+	r.mu.Unlock()
+}
+
+// RecordBatch implements BatchSink.
+func (r *RecordingSink) RecordBatch(sps []SpanData) {
+	r.mu.Lock()
+	r.spans = append(r.spans, sps...)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (r *RecordingSink) Spans() []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanData(nil), r.spans...)
+}
+
+// Drain returns the recorded spans and empties the sink, so one process
+// can segment a long trace (one experiment at a time).
+func (r *RecordingSink) Drain() []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.spans
+	r.spans = nil
+	return out
+}
+
+// Len reports the number of recorded spans.
+func (r *RecordingSink) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}

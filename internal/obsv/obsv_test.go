@@ -1,0 +1,286 @@
+package obsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Span("Compile")
+	if sp != nil {
+		t.Fatalf("nil tracer produced a span")
+	}
+	// Every operation on the nil span chain must be a no-op.
+	sp.Annotate(String("k", "v"))
+	child := sp.Child("Validate")
+	child.ChildIn(nil, "task").End(OutcomeOK)
+	child.End(OutcomeOK)
+	sp.End(OutcomeOK)
+	sp.EndErr(nil)
+	if sp.ID() != 0 {
+		t.Fatalf("nil span has an ID")
+	}
+	if tr.OpenSpans() != 0 || tr.DoubleEnds() != 0 {
+		t.Fatalf("nil tracer counters moved")
+	}
+	var b *Buffer
+	b.Flush()
+	if b.Len() != 0 {
+		t.Fatalf("nil buffer non-empty")
+	}
+}
+
+func TestNullPathAllocFree(t *testing.T) {
+	SetDefault(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := Resolve(nil)
+		sp := tr.Span("Compile")
+		c := sp.Child("Validate")
+		c.End(OutcomeOK)
+		sp.End(OutcomeOK)
+	})
+	if allocs != 0 {
+		t.Fatalf("null tracing path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	sink := NewRecordingSink()
+	tr := New(sink)
+	root := tr.Span("Compile", String("model", "chain"))
+	val := root.Child("Validate")
+	task := val.Child("span-worker", String("task", "t0"))
+	task.End(OutcomeOK)
+	val.End(OutcomeOK)
+	root.End(OutcomeOK, String("views", "3"))
+
+	spans := sink.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["Validate"].Parent != byName["Compile"].ID {
+		t.Errorf("Validate not parented under Compile")
+	}
+	if byName["span-worker"].Parent != byName["Validate"].ID {
+		t.Errorf("span-worker not parented under Validate")
+	}
+	if byName["Compile"].Outcome != OutcomeOK {
+		t.Errorf("outcome = %q", byName["Compile"].Outcome)
+	}
+	found := false
+	for _, a := range byName["Compile"].Attrs {
+		if a.Key == "views" && a.Val == "3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("End-time attribute missing: %v", byName["Compile"].Attrs)
+	}
+	if tr.OpenSpans() != 0 {
+		t.Errorf("OpenSpans = %d after all ended", tr.OpenSpans())
+	}
+}
+
+func TestEndIsExactlyOnce(t *testing.T) {
+	sink := NewRecordingSink()
+	tr := New(sink)
+	sp := tr.Span("x")
+	sp.End(OutcomeOK)
+	sp.End(OutcomeError)
+	if got := sink.Len(); got != 1 {
+		t.Fatalf("span recorded %d times", got)
+	}
+	if tr.DoubleEnds() != 1 {
+		t.Fatalf("DoubleEnds = %d, want 1", tr.DoubleEnds())
+	}
+	if sink.Spans()[0].Outcome != OutcomeOK {
+		t.Fatalf("second End overwrote outcome")
+	}
+}
+
+func TestBufferFlush(t *testing.T) {
+	sink := NewRecordingSink()
+	tr := New(sink)
+	root := tr.Span("Compile")
+	buf := tr.Buffer(3)
+	for i := 0; i < 4; i++ {
+		root.ChildIn(buf, "span-worker").End(OutcomeOK)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("buffered spans leaked to the sink before Flush")
+	}
+	if buf.Len() != 4 {
+		t.Fatalf("buffer holds %d spans, want 4", buf.Len())
+	}
+	buf.Flush()
+	if sink.Len() != 4 {
+		t.Fatalf("sink got %d spans after flush, want 4", sink.Len())
+	}
+	for _, sp := range sink.Spans() {
+		if sp.TID != 3 {
+			t.Errorf("buffered span TID = %d, want 3", sp.TID)
+		}
+		if sp.Parent != root.ID() {
+			t.Errorf("buffered span parent = %d, want %d", sp.Parent, root.ID())
+		}
+	}
+	buf.Flush() // empty flush is a no-op
+	if sink.Len() != 4 {
+		t.Fatalf("empty flush recorded spans")
+	}
+	root.End(OutcomeOK)
+}
+
+func TestConcurrentBuffers(t *testing.T) {
+	sink := NewRecordingSink()
+	tr := New(sink)
+	root := tr.Span("Compile")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := tr.Buffer(w)
+			for i := 0; i < perWorker; i++ {
+				sp := root.ChildIn(buf, "span-worker")
+				sp.Child("containment-check").End(OutcomeOK)
+				sp.End(OutcomeOK)
+			}
+			buf.Flush()
+		}(w)
+	}
+	wg.Wait()
+	root.End(OutcomeOK)
+	if got, want := sink.Len(), workers*perWorker*2+1; got != want {
+		t.Fatalf("got %d spans, want %d", got, want)
+	}
+	if tr.OpenSpans() != 0 || tr.DoubleEnds() != 0 {
+		t.Fatalf("open=%d double=%d", tr.OpenSpans(), tr.DoubleEnds())
+	}
+	// Every containment-check must be parented under a span-worker from
+	// the same track.
+	byID := map[uint64]SpanData{}
+	for _, sp := range sink.Spans() {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range sink.Spans() {
+		if sp.Name != "containment-check" {
+			continue
+		}
+		parent, ok := byID[sp.Parent]
+		if !ok || parent.Name != "span-worker" || parent.TID != sp.TID {
+			t.Fatalf("containment-check badly parented: %+v -> %+v", sp, parent)
+		}
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	sink := NewRecordingSink()
+	tr := New(sink)
+	sp := tr.Span("Apply")
+	ctx := ContextWithSpan(context.Background(), sp)
+	got := SpanFromContext(ctx)
+	if got != sp {
+		t.Fatalf("span not propagated")
+	}
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatalf("empty context returned a span")
+	}
+	if ContextWithSpan(context.Background(), nil) == nil {
+		t.Fatalf("nil span must keep the context usable")
+	}
+	sp.End(OutcomeOK)
+}
+
+func TestChromeTraceOutput(t *testing.T) {
+	sink := NewRecordingSink()
+	tr := New(sink)
+	root := tr.Span("Compile", String("model", "hub-rim"))
+	time.Sleep(time.Millisecond)
+	c := root.Child("Validate")
+	c.End(OutcomeOK)
+	root.End(OutcomeOK)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sink.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(parsed.TraceEvents))
+	}
+	// Sorted by start: Compile first.
+	ev := parsed.TraceEvents[0]
+	if ev.Name != "Compile" || ev.Ph != "X" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if ev.Args["model"] != "hub-rim" || ev.Args["outcome"] != OutcomeOK {
+		t.Fatalf("args = %v", ev.Args)
+	}
+	if ev.Dur <= 0 {
+		t.Fatalf("non-positive duration %v", ev.Dur)
+	}
+	// Parent linkage survives the round-trip.
+	if parsed.TraceEvents[1].Args["parent"] != parsed.TraceEvents[0].Args["id"] {
+		t.Fatalf("parent linkage lost: %v / %v", parsed.TraceEvents[1].Args, parsed.TraceEvents[0].Args)
+	}
+}
+
+func TestSummarizePhases(t *testing.T) {
+	spans := []SpanData{
+		{Name: "Validate", Dur: 2 * time.Second},
+		{Name: "span-worker", Dur: time.Second},
+		{Name: "span-worker", Dur: time.Second},
+	}
+	sum := SummarizePhases(spans)
+	if len(sum) != 2 {
+		t.Fatalf("got %d phases", len(sum))
+	}
+	if sum[0].Name != "Validate" && sum[0].Seconds < sum[1].Seconds {
+		t.Fatalf("not sorted by time: %+v", sum)
+	}
+	for _, p := range sum {
+		if p.Name == "span-worker" && (p.Count != 2 || p.Seconds != 2) {
+			t.Fatalf("span-worker summary wrong: %+v", p)
+		}
+	}
+}
+
+func TestDefaultTracerGate(t *testing.T) {
+	sink := NewRecordingSink()
+	tr := New(sink)
+	SetDefault(tr)
+	defer SetDefault(nil)
+	if Resolve(nil) != tr {
+		t.Fatalf("Resolve(nil) did not find the default")
+	}
+	other := New(NewRecordingSink())
+	if Resolve(other) != other {
+		t.Fatalf("explicit tracer must win over the default")
+	}
+	SetDefault(nil)
+	if Resolve(nil) != nil {
+		t.Fatalf("default not cleared")
+	}
+}

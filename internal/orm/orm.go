@@ -7,6 +7,7 @@ package orm
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/frag"
@@ -14,12 +15,20 @@ import (
 )
 
 // Materialize pushes a client state through the update views, producing the
-// store state the mapping prescribes (the paper's V : C → S).
+// store state the mapping prescribes (the paper's V : C → S). Tables are
+// evaluated in sorted name order so the produced state — including the
+// relative order of rows within a table — is deterministic across runs
+// (views.Update is a map, and Go randomizes map iteration).
 func Materialize(m *frag.Mapping, views *frag.Views, cs *state.ClientState) (*state.StoreState, error) {
 	env := &cqt.Env{Catalog: m.Catalog(), Client: cs}
 	ss := state.NewStoreState()
-	for table, v := range views.Update {
-		res, err := cqt.Eval(env, v.Q)
+	tables := make([]string, 0, len(views.Update))
+	for table := range views.Update {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		res, err := cqt.Eval(env, views.Update[table].Q)
 		if err != nil {
 			return nil, fmt.Errorf("orm: update view for %s: %w", table, err)
 		}

@@ -20,6 +20,16 @@ import (
 	"github.com/ormkit/incmap/internal/core"
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/obsv"
+)
+
+// Process-wide metric counters for the fallback ladder, resolved once.
+var (
+	mEvolves           = obsv.Metrics().Counter(obsv.MEvolves)
+	mEvolveIncremental = obsv.Metrics().Counter(obsv.MEvolveIncremental)
+	mEvolveFallback    = obsv.Metrics().Counter(obsv.MEvolveFallback)
+	mEvolveCancelled   = obsv.Metrics().Counter(obsv.MEvolveCancelled)
+	mEvolvePanics      = obsv.Metrics().Counter(obsv.MEvolvePanics)
 )
 
 // FullEvolver is an SMO that the incremental compiler does not support but
@@ -137,34 +147,65 @@ func (s *Session) Evolve(ctx context.Context, op core.SMO) (*frag.Mapping, *frag
 	s.evolveMu.Lock()
 	defer s.evolveMu.Unlock()
 	atomic.AddInt64(&s.stats.Evolves, 1)
+	mEvolves.Add(1)
 	m, v := s.Generation()
 
-	nm, nv, ierr := s.tryIncremental(ctx, m, v, op)
+	// The ladder is traced as one "Evolve" span whose children are the rung
+	// spans (the inner Apply/Compile spans nest under those via the
+	// context); the decision the ladder took is recorded as an attribute.
+	tr := obsv.Resolve(s.tracer())
+	root := tr.SpanCtx(ctx, "Evolve", obsv.String("smo", op.Describe()))
+
+	rung := root.Child("rung-incremental")
+	nm, nv, ierr := s.tryIncremental(obsv.ContextWithSpan(ctx, rung), m, v, op)
+	rung.End(fault.Outcome(ierr))
 	if ierr == nil {
 		atomic.AddInt64(&s.stats.Incremental, 1)
+		mEvolveIncremental.Add(1)
 		s.commit(nm, nv)
+		root.End(obsv.OutcomeOK, obsv.String("decision", "incremental"))
 		return nm, nv, nil
 	}
 	if isCancellation(ierr) {
 		atomic.AddInt64(&s.stats.Cancelled, 1)
+		mEvolveCancelled.Add(1)
+		root.End(obsv.OutcomeCancelled, obsv.String("decision", "abort"))
 		return m, v, ierr
 	}
 	if !fallbackWorthy(ierr) {
+		root.End(fault.Outcome(ierr), obsv.String("decision", "reject"))
 		return m, v, ierr
 	}
 
-	fm, fv, ferr := s.fullCompile(ctx, m, v, op)
+	root.Annotate(obsv.String("fallback_cause", fault.Outcome(ierr)))
+	rung = root.Child("rung-fallback")
+	fm, fv, ferr := s.fullCompile(obsv.ContextWithSpan(ctx, rung), m, v, op)
+	rung.End(fault.Outcome(ferr))
 	if ferr != nil {
 		if isCancellation(ferr) {
 			atomic.AddInt64(&s.stats.Cancelled, 1)
+			mEvolveCancelled.Add(1)
+			root.End(obsv.OutcomeCancelled, obsv.String("decision", "abort"))
 			return m, v, ferr
 		}
+		root.End(fault.Outcome(ferr), obsv.String("decision", "reject"))
 		return m, v, fmt.Errorf("%s: incremental compilation failed (%v); full-compile fallback failed: %w",
 			op.Describe(), ierr, ferr)
 	}
 	atomic.AddInt64(&s.stats.Fallbacks, 1)
+	mEvolveFallback.Add(1)
 	s.commit(fm, fv)
+	root.End(obsv.OutcomeOK, obsv.String("decision", "fallback"))
 	return fm, fv, nil
+}
+
+// tracer resolves the session's explicit tracer: the incremental rung's,
+// else the full compiler's (Resolve falls through to the process default).
+func (s *Session) tracer() *obsv.Tracer {
+	if s.opts.Incremental.Tracer != nil {
+		return s.opts.Incremental.Tracer
+	}
+	return s.opts.Compiler.Tracer
 }
 
 // tryIncremental runs the first rung, recovering panics from the appliers
@@ -174,6 +215,7 @@ func (s *Session) tryIncremental(ctx context.Context, m *frag.Mapping, v *frag.V
 	defer func() {
 		if r := recover(); r != nil {
 			atomic.AddInt64(&s.stats.PanicsRecovered, 1)
+			mEvolvePanics.Add(1)
 			nm, nv = nil, nil
 			err = fmt.Errorf("%s: %w", op.Describe(),
 				&fault.PanicError{Where: "incremental compilation", Value: r, Stack: debug.Stack()})
@@ -192,6 +234,7 @@ func (s *Session) fullCompile(ctx context.Context, m *frag.Mapping, v *frag.View
 	defer func() {
 		if r := recover(); r != nil {
 			atomic.AddInt64(&s.stats.PanicsRecovered, 1)
+			mEvolvePanics.Add(1)
 			nm, nv = nil, nil
 			err = fmt.Errorf("%s: %w", op.Describe(),
 				&fault.PanicError{Where: "full-compile fallback", Value: r, Stack: debug.Stack()})
@@ -206,6 +249,7 @@ func (s *Session) fullCompile(ctx context.Context, m *frag.Mapping, v *frag.View
 	c := &compiler.Compiler{Opts: s.opts.Compiler}
 	views, cerr := c.CompileCtx(ctx, em)
 	atomic.AddInt64(&s.stats.PanicsRecovered, atomic.LoadInt64(&c.Stats.PanicsRecovered))
+	mEvolvePanics.Add(atomic.LoadInt64(&c.Stats.PanicsRecovered))
 	if cerr != nil {
 		return nil, nil, cerr
 	}

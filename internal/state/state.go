@@ -274,6 +274,52 @@ func Diff(a, b *ClientState) string {
 	return sb.String()
 }
 
+// EqualStore compares two store states as per-table row multisets (tables
+// present with zero rows count as absent).
+func EqualStore(a, b *StoreState) bool {
+	for t, rows := range a.Tables {
+		if !EqualRows(rows, b.Tables[t]) {
+			return false
+		}
+	}
+	for t, rows := range b.Tables {
+		if _, ok := a.Tables[t]; !ok && len(rows) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffStore returns a human-readable description of the difference between
+// two store states, or "" when equal.
+func DiffStore(a, b *StoreState) string {
+	if EqualStore(a, b) {
+		return ""
+	}
+	var sb strings.Builder
+	dump := func(label string, s *StoreState) {
+		fmt.Fprintf(&sb, "%s:\n", label)
+		var tables []string
+		for t, rows := range s.Tables {
+			if len(rows) > 0 {
+				tables = append(tables, t)
+			}
+		}
+		sort.Strings(tables)
+		for _, t := range tables {
+			items := make([]string, len(s.Tables[t]))
+			for i, r := range s.Tables[t] {
+				items[i] = r.Canonical()
+			}
+			canonicalMultiset(items)
+			fmt.Fprintf(&sb, "  %s: %s\n", t, strings.Join(items, "; "))
+		}
+	}
+	dump("left", a)
+	dump("right", b)
+	return sb.String()
+}
+
 // EntityInstance adapts an entity to the condition evaluation interface.
 type EntityInstance struct {
 	E *Entity

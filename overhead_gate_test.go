@@ -1,0 +1,60 @@
+//go:build overheadgate
+
+package incmap_test
+
+// The null-tracer overhead gate, run by the tracer-overhead CI job with
+// -tags overheadgate. It is excluded from ordinary test runs because it
+// needs ~10s of quiet CPU to measure a ≤2% bound meaningfully.
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	incmap "github.com/ormkit/incmap"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// discardSink accepts spans and drops them, so the traced arm pays span
+// creation and delivery but no recording cost.
+type discardSink struct{}
+
+func (discardSink) Record(incmap.SpanData) {}
+
+// TestNullTracerOverhead interleaves compilations of the same hub-rim
+// point with tracing off (nil tracer — the default for every user who
+// never installs one) and with an active tracer delivering to a discard
+// sink. The median untraced time must not exceed the median traced time
+// by more than 2%: tracing off can never legitimately be slower than
+// tracing on, so any excess is per-cell or per-check work leaking onto
+// the nil path.
+func TestNullTracerOverhead(t *testing.T) {
+	const trials = 7
+	m := workload.HubRim(workload.HubRimOptions{N: 2, M: 5, TPH: true})
+	tr := incmap.NewTracer(discardSink{})
+
+	run := func(tracer *incmap.Tracer) time.Duration {
+		begin := time.Now()
+		if _, _, err := incmap.CompileWith(m, incmap.CompilerOptions{Tracer: tracer}); err != nil {
+			t.Fatalf("compile failed: %v", err)
+		}
+		return time.Since(begin)
+	}
+	run(nil) // warm-up: page in code and build sat-cache-free state once
+
+	var null, traced []time.Duration
+	for i := 0; i < trials; i++ {
+		null = append(null, run(nil))
+		traced = append(traced, run(tr))
+	}
+	med := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	mn, mt := med(null), med(traced)
+	t.Logf("median compile: tracer off %v, tracer on %v (%+.2f%%)",
+		mn, mt, 100*(float64(mn)-float64(mt))/float64(mt))
+	if float64(mn) > 1.02*float64(mt) {
+		t.Fatalf("null-tracer compile %v is >2%% slower than traced compile %v", mn, mt)
+	}
+}
