@@ -137,6 +137,14 @@ type fig4JSON struct {
 	TPTError   string  `json:"tptError,omitempty"`
 }
 
+// fig4FrontierJSON is one frontier row: the largest fan-out M completing
+// under the point budget at depth N.
+type fig4FrontierJSON struct {
+	N          int     `json:"n"`
+	MaxM       int     `json:"maxM"`
+	TPHSeconds float64 `json:"tphSeconds"`
+}
+
 // fig4File is the envelope written to BENCH_fig4.json.
 type fig4File struct {
 	GoMaxProcs int                 `json:"goMaxProcs"`
@@ -145,6 +153,7 @@ type fig4File struct {
 	MaxM       int                 `json:"maxM"`
 	BudgetSecs float64             `json:"pointBudgetSeconds"`
 	Rows       []fig4JSON          `json:"rows"`
+	Frontier   []fig4FrontierJSON  `json:"frontier"`
 	Phases     []obsv.PhaseSummary `json:"phases,omitempty"`
 }
 
@@ -155,6 +164,12 @@ func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
 	rows := experiments.Fig4(experiments.Fig4Options{MaxN: maxN, MaxM: maxM, PointBudget: budget})
 	for _, r := range rows {
 		fmt.Printf("%-4d %-4d %14.6f %14.6f\n", r.N, r.M, r.TPH.Seconds(), r.TPT.Seconds())
+	}
+	fmt.Println()
+	frontier := experiments.Fig4Frontier(rows, budget)
+	fmt.Println("--- frontier: largest M under the point budget, per N ---")
+	for _, f := range frontier {
+		fmt.Printf("N=%-3d maxM=%-3d TPH %12.6fs\n", f.N, f.MaxM, f.TPH.Seconds())
 	}
 	fmt.Println()
 	phases := drainPhases()
@@ -169,6 +184,9 @@ func runFig4(maxN, maxM int, budget time.Duration, jsonOut bool) {
 		MaxM:       maxM,
 		BudgetSecs: budget.Seconds(),
 		Phases:     phases,
+	}
+	for _, f := range frontier {
+		out.Frontier = append(out.Frontier, fig4FrontierJSON{N: f.N, MaxM: f.MaxM, TPHSeconds: f.TPH.Seconds()})
 	}
 	for _, r := range rows {
 		j := fig4JSON{N: r.N, M: r.M, TPHSeconds: r.TPH.Seconds(), TPTSeconds: r.TPT.Seconds()}

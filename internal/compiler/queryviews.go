@@ -45,6 +45,15 @@ var (
 
 func init() {
 	obsv.RegisterGauge(obsv.MInternSize, cond.InternStats)
+	obsv.RegisterGauge(obsv.MInternEvictions, cond.InternEvictions)
+	// The prover counters live in cond (which cannot import obsv) and are
+	// sampled as gauges at snapshot time.
+	obsv.RegisterGauge(obsv.MSatPropagations, func() int64 { return cond.SolverTotals().Propagations })
+	obsv.RegisterGauge(obsv.MSatConflicts, func() int64 { return cond.SolverTotals().Conflicts })
+	obsv.RegisterGauge(obsv.MSatLearned, func() int64 { return cond.SolverTotals().Learned })
+	obsv.RegisterGauge(obsv.MSatBackjumps, func() int64 { return cond.SolverTotals().Backjumps })
+	obsv.RegisterGauge(obsv.MSatLemmaHits, func() int64 { return cond.SolverTotals().LemmaHits })
+	obsv.RegisterGauge(obsv.MSatLemmasStored, func() int64 { return cond.SolverTotals().LemmasStored })
 }
 
 // Options tunes the compiler; the zero value is the standard configuration.

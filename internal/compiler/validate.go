@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -127,10 +128,10 @@ func (t exactTheory) Nullable(a string) bool              { return t.base.Nullab
 func (t exactTheory) HasAttr(ct, a string) bool           { return t.base.HasAttr(ct, a) }
 
 // cellSpan is one contiguous slice of a cell space: the sub-space of full
-// assignments extending prefix, which fixes the first start atoms. A zero
-// span denotes the whole space.
+// assignments extending prefix (the dense truth slice of the first start
+// atoms). A zero span denotes the whole space.
 type cellSpan struct {
-	prefix cond.Assignment
+	prefix []int8
 	start  int
 }
 
@@ -155,11 +156,9 @@ func (c *Compiler) splitSpans(th cond.Theory, atoms []cond.Atom, workers int) []
 		return []cellSpan{{}}
 	}
 	var spans []cellSpan
-	cond.EnumerateAssignments(th, atoms[:d], func(asg cond.Assignment) bool {
-		p := make(cond.Assignment, len(asg))
-		for k, v := range asg {
-			p[k] = v
-		}
+	cond.EnumerateCells(th, atoms[:d], nil, 0, func(vals []int8) bool {
+		p := make([]int8, d)
+		copy(p, vals)
 		spans = append(spans, cellSpan{prefix: p, start: d})
 		return true
 	})
@@ -169,19 +168,19 @@ func (c *Compiler) splitSpans(th cond.Theory, atoms []cond.Atom, workers int) []
 // enumerateSpan drives the per-cell visitor over one span, honouring the
 // naive-cells ablation and cancellation, and accounting visited cells. The
 // visitor returns the validation error that stops the span, if any.
-func (c *Compiler) enumerateSpan(th cond.Theory, atoms []cond.Atom, sp cellSpan, ctl *vcontrol, ord int64, check func(cond.Assignment, []int8) error) error {
+func (c *Compiler) enumerateSpan(th cond.Theory, atoms []cond.Atom, sp cellSpan, ctl *vcontrol, ord int64, check func([]int8) error) error {
 	var cells int64
 	defer func() {
 		atomic.AddInt64(&c.Stats.CellsVisited, cells)
 		mCells.Add(cells)
 	}()
 	var verr error
-	visit := func(asg cond.Assignment, vals []int8) bool {
+	visit := func(vals []int8) bool {
 		if ctl.cancelled(ord) {
 			return false
 		}
 		cells++
-		if verr = check(asg, vals); verr != nil {
+		if verr = check(vals); verr != nil {
 			return false
 		}
 		return true
@@ -195,10 +194,10 @@ func (c *Compiler) enumerateSpan(th cond.Theory, atoms []cond.Atom, sp cellSpan,
 				cells++
 				return true
 			}
-			return visit(asg, vals)
+			return visit(vals)
 		})
 	} else {
-		cond.EnumerateAssignmentsSeeded(th, atoms, sp.prefix, sp.start, visit)
+		cond.EnumerateCells(th, atoms, sp.prefix, sp.start, visit)
 	}
 	return verr
 }
@@ -232,6 +231,7 @@ func condAtoms(conds []cond.Expr) ([]cond.Atom, map[cond.Atom]int) {
 // implementation.
 type clientChecker struct {
 	set   *edm.EntitySet
+	atoms []cond.Atom
 	frags []clientFrag
 	// nullIdx maps an attribute to the indices of its IS NULL atoms; a cell
 	// forces the attribute NULL when any of them is assigned true.
@@ -248,7 +248,7 @@ type clientFrag struct {
 }
 
 func newClientChecker(set *edm.EntitySet, frags []*frag.Fragment, atoms []cond.Atom, idx map[cond.Atom]int) *clientChecker {
-	ck := &clientChecker{set: set, nullIdx: map[string][]int{}}
+	ck := &clientChecker{set: set, atoms: atoms, nullIdx: map[string][]int{}}
 	for i, a := range atoms {
 		if a.Kind == cond.AtomNull {
 			ck.nullIdx[a.Attr] = append(ck.nullIdx[a.Attr], i)
@@ -277,8 +277,9 @@ func newClientChecker(set *edm.EntitySet, frags []*frag.Fragment, atoms []cond.A
 }
 
 // check validates one client cell for entities of the given concrete type,
-// whose attribute list is attrs. covered is task-local scratch.
-func (ck *clientChecker) check(ty string, attrs []string, asg cond.Assignment, vals []int8, covered map[string]bool) error {
+// whose attribute list is attrs. covered is task-local scratch. The
+// Assignment form of the cell is materialized only on the error paths.
+func (ck *clientChecker) check(ty string, attrs []string, vals []int8, covered map[string]bool) error {
 	for a := range covered {
 		delete(covered, a)
 	}
@@ -296,7 +297,7 @@ func (ck *clientChecker) check(ty string, attrs []string, asg cond.Assignment, v
 	if !anyActive {
 		return &ValidationError{
 			Where:  "entity set " + ck.set.Name,
-			Reason: fmt.Sprintf("entities of type %s in cell %s are not mapped by any fragment", ty, cellDesc(asg)),
+			Reason: fmt.Sprintf("entities of type %s in cell %s are not mapped by any fragment", ty, cellDescVals(ck.atoms, vals)),
 		}
 	}
 	for _, a := range attrs {
@@ -315,7 +316,7 @@ func (ck *clientChecker) check(ty string, attrs []string, asg cond.Assignment, v
 		}
 		return &ValidationError{
 			Where:  "entity set " + ck.set.Name,
-			Reason: fmt.Sprintf("attribute %s of type %s is lost in cell %s", a, ty, cellDesc(asg)),
+			Reason: fmt.Sprintf("attribute %s of type %s is lost in cell %s", a, ty, cellDescVals(ck.atoms, vals)),
 		}
 	}
 	return nil
@@ -349,14 +350,19 @@ func (c *Compiler) setCellTasks(m *frag.Mapping, set *edm.EntitySet, workers int
 				label: fmt.Sprintf("client cell span %d of set %s, type %s", si, set.Name, ty),
 				run: func(_ context.Context, ctl *vcontrol, ord int64) error {
 					covered := map[string]bool{}
-					return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
-						return ck.check(ty, attrs, asg, vals, covered)
+					return c.enumerateSpan(th, atoms, sp, ctl, ord, func(vals []int8) error {
+						return ck.check(ty, attrs, vals, covered)
 					})
 				},
 			})
 		}
 	}
 	return tasks
+}
+
+// cellDescVals renders a dense cell for error messages (cold path).
+func cellDescVals(atoms []cond.Atom, vals []int8) string {
+	return cellDesc(cond.AssignmentFromVals(atoms, vals))
 }
 
 func cellDesc(asg cond.Assignment) string {
@@ -391,6 +397,7 @@ func cellDesc(asg cond.Assignment) string {
 // computed once per fragment instead of per column per fragment per cell.
 type storeChecker struct {
 	tab      *rel.Table
+	atoms    []cond.Atom
 	frags    []*frag.Fragment
 	evals    []func([]int8) bool
 	isEntity []bool // fragment has Set != ""
@@ -421,8 +428,8 @@ type nonNullCol struct {
 	coverers []int
 }
 
-func newStoreChecker(tab *rel.Table, frags []*frag.Fragment, idx map[cond.Atom]int) *storeChecker {
-	ck := &storeChecker{tab: tab, frags: frags}
+func newStoreChecker(tab *rel.Table, frags []*frag.Fragment, atoms []cond.Atom, idx map[cond.Atom]int) *storeChecker {
+	ck := &storeChecker{tab: tab, atoms: atoms, frags: frags}
 	fixed := make([]map[string]cond.Value, len(frags))
 	for i, f := range frags {
 		ck.evals = append(ck.evals, cond.CompileEval(f.StoreCond, idx))
@@ -471,8 +478,9 @@ func (ck *storeChecker) newScratch() *storeScratch {
 
 // check validates one store cell: active fragments must never conflict on
 // a shared column, and if the cell holds entity rows every non-nullable
-// column must be written.
-func (ck *storeChecker) check(asg cond.Assignment, vals []int8, sc *storeScratch) error {
+// column must be written. The Assignment form of the cell is materialized
+// only on the error paths.
+func (ck *storeChecker) check(vals []int8, sc *storeScratch) error {
 	sc.active = sc.active[:0]
 	for i := range ck.frags {
 		on := ck.evals[i](vals)
@@ -506,7 +514,7 @@ func (ck *storeChecker) check(asg cond.Assignment, vals []int8, sc *storeScratch
 					return &ValidationError{
 						Where: "table " + ck.tab.Name,
 						Reason: fmt.Sprintf("fragments %s and %s both write column %s from different sources in cell %s",
-							w0.id, w.id, col.name, cellDesc(asg)),
+							w0.id, w.id, col.name, cellDescVals(ck.atoms, vals)),
 					}
 				}
 			}
@@ -521,7 +529,7 @@ func (ck *storeChecker) check(asg cond.Assignment, vals []int8, sc *storeScratch
 		if len(sc.assocW) > 1 && !col.isKey {
 			return &ValidationError{
 				Where:  "table " + ck.tab.Name,
-				Reason: fmt.Sprintf("column %s is written by two association fragments in cell %s", col.name, cellDesc(asg)),
+				Reason: fmt.Sprintf("column %s is written by two association fragments in cell %s", col.name, cellDescVals(ck.atoms, vals)),
 			}
 		}
 	}
@@ -547,7 +555,7 @@ func (ck *storeChecker) check(asg cond.Assignment, vals []int8, sc *storeScratch
 			if !written {
 				return &ValidationError{
 					Where:  "table " + ck.tab.Name,
-					Reason: fmt.Sprintf("non-nullable column %s is not written in cell %s", nn.name, cellDesc(asg)),
+					Reason: fmt.Sprintf("non-nullable column %s is not written in cell %s", nn.name, cellDescVals(ck.atoms, vals)),
 				}
 			}
 		}
@@ -578,7 +586,7 @@ func (c *Compiler) tableCellTasks(m *frag.Mapping, table string, workers int) []
 		conds = append(conds, f.StoreCond)
 	}
 	atoms, idx := condAtoms(conds)
-	ck := newStoreChecker(tab, frags, idx)
+	ck := newStoreChecker(tab, frags, atoms, idx)
 
 	th := m.Store.TheoryFor(table)
 	var tasks []vtask
@@ -588,8 +596,8 @@ func (c *Compiler) tableCellTasks(m *frag.Mapping, table string, workers int) []
 			label: fmt.Sprintf("store cell span %d of table %s", si, table),
 			run: func(_ context.Context, ctl *vcontrol, ord int64) error {
 				sc := ck.newScratch()
-				return c.enumerateSpan(th, atoms, sp, ctl, ord, func(asg cond.Assignment, vals []int8) error {
-					return ck.check(asg, vals, sc)
+				return c.enumerateSpan(th, atoms, sp, ctl, ord, func(vals []int8) error {
+					return ck.check(vals, sc)
 				})
 			},
 		})
@@ -607,12 +615,26 @@ func (c *Compiler) foreignKeyTasks(m *frag.Mapping, views *frag.Views, ch *conta
 	for _, t := range m.MappedTables() {
 		mapped[t] = true
 	}
+	// The right side of an FK containment depends only on the referenced
+	// table's view and the referenced columns, so checks sharing a
+	// (RefTable, RefCols) pair — every rim table's FK into the hub, in the
+	// Figure 3 model — share one lazily prenormalized right side. sync.Once
+	// makes the sharing safe across parallel tasks.
+	pres := map[string]*fkRhsPre{}
 	var tasks []vtask
 	for _, tn := range m.MappedTables() {
 		tn := tn
 		tab := m.Store.Table(tn)
 		for _, fk := range tab.FKs {
 			fk := fk
+			var pre *fkRhsPre
+			if mapped[fk.RefTable] {
+				key := fkRhsKey(fk)
+				if pres[key] == nil {
+					pres[key] = &fkRhsPre{}
+				}
+				pre = pres[key]
+			}
 			tasks = append(tasks, vtask{
 				label: fmt.Sprintf("foreign-key check %s of table %s", fk.Name, tn),
 				run: func(ctx context.Context, _ *vcontrol, _ int64) error {
@@ -634,7 +656,11 @@ func (c *Compiler) foreignKeyTasks(m *frag.Mapping, views *frag.Views, ch *conta
 						}
 					}
 					lhs, rhs := fkContainmentQueries(views, fk, tn)
-					ok, err := ch.ContainsCtx(ctx, lhs, rhs)
+					rpre, err := pre.get(ch, rhs)
+					if err != nil {
+						return err
+					}
+					ok, err := ch.ContainsPreCtx(ctx, lhs, rpre)
 					if err != nil {
 						return err
 					}
@@ -650,6 +676,23 @@ func (c *Compiler) foreignKeyTasks(m *frag.Mapping, views *frag.Views, ch *conta
 		}
 	}
 	return tasks
+}
+
+// fkRhsPre lazily prenormalizes one FK containment right side, shared by
+// every check that references the same table through the same columns.
+type fkRhsPre struct {
+	once sync.Once
+	pre  *containment.Prenorm
+	err  error
+}
+
+func (p *fkRhsPre) get(ch *containment.Checker, rhs cqt.Expr) (*containment.Prenorm, error) {
+	p.once.Do(func() { p.pre, p.err = ch.PrenormalizeRight(rhs) })
+	return p.pre, p.err
+}
+
+func fkRhsKey(fk rel.ForeignKey) string {
+	return fk.RefTable + "\x00" + strings.Join(fk.RefCols, "\x00")
 }
 
 // fkContainmentQueries builds π_{β AS γ}(σ_{β NOT NULL}(Q_T)) ⊆ π_γ(Q_T').

@@ -1,0 +1,552 @@
+package cond
+
+// A CDCL (conflict-driven clause learning) satisfiability core replacing
+// the historical DPLL tree search of Satisfiable. The condition is Tseitin-
+// encoded over its interned structure — every And/Or node contributes one
+// gate variable keyed by its hash-consing id, negation folds into literal
+// polarity — and solved with two-watched-literal unit propagation, 1-UIP
+// conflict analysis and non-chronological backjumping. Assignments are
+// dense arrays indexed by variable, not maps.
+//
+// Theory reasoning (discriminator-equality mutual exclusion, IS NOT NULL
+// domains, concrete-type candidates) runs as a propagator on the same
+// incremental index the cell enumerator uses (engine.go): every atom
+// assignment updates its group's summary in O(1) words, and an infeasible
+// group produces an explanation clause — the negation of the group's
+// assigned literals — that conflict analysis can resolve on and learn from.
+//
+// Learned clauses deliberately keep their level-0 literals (the root
+// assertion is a level-0 unit, and conflict analysis never resolves on
+// literals below the current decision level), so every learned clause is
+// implied by the theory facts and the gate definitions alone — never by
+// the particular query being decided. That is what makes lemma persistence
+// (satcache.go) sound: a clause whose gate literals all name interned nodes
+// present in a later query, over the same atom list and theory fingerprint,
+// may be re-installed there verbatim.
+
+// SolverStats counts one solver run's work (and, accumulated by SatCache,
+// a cache's lifetime totals).
+type SolverStats struct {
+	Propagations int64 // literals enqueued by unit propagation
+	Conflicts    int64 // conflicts hit (boolean or theory)
+	Learned      int64 // clauses learned by conflict analysis
+	Backjumps    int64 // non-chronological jumps (skipping ≥1 level)
+	LemmaHits    int64 // persisted lemmas re-installed from the store
+	LemmasStored int64 // learned clauses persisted to the store
+}
+
+// lit is a literal: variable<<1 | 1 for negated occurrences.
+type lit int32
+
+// litUndef is the "no literal" sentinel used during conflict analysis.
+const litUndef = lit(-2)
+
+func mkLit(v int32, neg bool) lit {
+	l := lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func (l lit) v() int32   { return int32(l) >> 1 }
+func (l lit) negd() bool { return l&1 != 0 }
+func (l lit) inv() lit   { return l ^ 1 }
+
+const reasonNone = int32(-1)
+
+// cdclClause is one clause of the database. lits[0] and lits[1] are the
+// watched literals for clauses that participate in propagation.
+type cdclClause struct {
+	lits []lit
+}
+
+// cdcl is the solver state for one Satisfiable decision.
+type cdcl struct {
+	t     Theory
+	atoms []Atom
+	eng   *enumEngine
+
+	nAtoms   int32
+	nVars    int32
+	assigned []int8 // per var: -1 unassigned, 0 false, 1 true
+	level    []int32
+	reason   []int32 // clause index that propagated the var, or reasonNone
+	trail    []lit
+	trailLim []int
+	qhead    int
+
+	clauses []cdclClause
+	watches [][]int32
+
+	gateOf   map[uint64]int32 // intern id -> gate var
+	hcOf     []uint64         // per var: intern id of its gate node, 0 otherwise
+	constVar int32            // lazily created always-true var, -1 until used
+
+	units []lit // level-0 assertions (root literal, unit lemmas)
+	unsat bool  // an empty/contradictory clause surfaced during setup
+
+	store *lemmaStore
+	stats SolverStats
+
+	seen    []bool
+	clearV  []int32
+	explBuf []int32
+}
+
+// satisfiableCDCL decides theory-satisfiability of x over its atom list.
+// store, when non-nil, supplies persisted lemmas for this (atoms, theory)
+// scope and receives the clauses learned here. stats, when non-nil,
+// receives the run's counters.
+func satisfiableCDCL(t Theory, x Expr, atoms []Atom, store *lemmaStore, stats *SolverStats) bool {
+	s := &cdcl{t: t, atoms: atoms, constVar: -1, store: store}
+	s.nAtoms = int32(len(atoms))
+	s.eng = newEnumEngine(t, atoms)
+	for range atoms {
+		s.addVar()
+	}
+	s.gateOf = make(map[uint64]int32)
+
+	root := s.encode(x)
+	s.units = append(s.units, root)
+	s.installLemmas()
+
+	sat := s.solve()
+	solverTotals.add(&s.stats)
+	if stats != nil {
+		*stats = s.stats
+	}
+	return sat
+}
+
+func (s *cdcl) addVar() int32 {
+	v := s.nVars
+	s.nVars++
+	s.assigned = append(s.assigned, -1)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, reasonNone)
+	s.hcOf = append(s.hcOf, 0)
+	s.watches = append(s.watches, nil, nil)
+	return v
+}
+
+// atomVarOf finds the atom's variable by binary search over the sorted
+// atom list (the list is the canonical Atoms order).
+func (s *cdcl) atomVarOf(a Atom) int32 {
+	lo, hi := 0, len(s.atoms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.atoms[mid].less(a) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// constLit returns a literal that is true (neg=false) or false (neg=true)
+// in every model, via a lazily created asserted variable. Constants never
+// occur inside interned composites (the constructors simplify them away),
+// so this only serves degenerate top-level expressions.
+func (s *cdcl) constLit(neg bool) lit {
+	if s.constVar < 0 {
+		s.constVar = s.addVar()
+		s.units = append(s.units, mkLit(s.constVar, false))
+	}
+	return mkLit(s.constVar, neg)
+}
+
+// encode returns a literal equivalent to x, adding gate definitions as
+// needed. Interned composites reuse one gate per hash-consing id.
+func (s *cdcl) encode(x Expr) lit {
+	switch v := x.(type) {
+	case True:
+		return s.constLit(false)
+	case False:
+		return s.constLit(true)
+	case *Not:
+		return s.encode(v.X).inv()
+	case *And:
+		return s.encodeGate(v.hc, v.Xs, true)
+	case *Or:
+		return s.encodeGate(v.hc, v.Xs, false)
+	default:
+		a, ok := atomOf(x)
+		if !ok {
+			return s.constLit(true) // unknown node kinds are vacuously false
+		}
+		return mkLit(s.atomVarOf(a), false)
+	}
+}
+
+func (s *cdcl) encodeGate(hc uint64, children []Expr, isAnd bool) lit {
+	if hc != 0 {
+		if g, ok := s.gateOf[hc]; ok {
+			return mkLit(g, false)
+		}
+	}
+	cl := make([]lit, len(children))
+	for i, c := range children {
+		cl[i] = s.encode(c)
+	}
+	g := s.addVar()
+	if hc != 0 {
+		s.gateOf[hc] = g
+		s.hcOf[g] = hc
+	}
+	glit := mkLit(g, false)
+	long := make([]lit, 1, len(cl)+1)
+	if isAnd {
+		// g ↔ c1 ∧ … ∧ ck: (¬g ∨ ci) each, (g ∨ ¬c1 ∨ … ∨ ¬ck).
+		long[0] = glit
+		for _, c := range cl {
+			s.addClause([]lit{glit.inv(), c}, true)
+			long = append(long, c.inv())
+		}
+	} else {
+		// g ↔ c1 ∨ … ∨ ck: (g ∨ ¬ci) each, (¬g ∨ c1 ∨ … ∨ ck).
+		long[0] = glit.inv()
+		for _, c := range cl {
+			s.addClause([]lit{glit, c.inv()}, true)
+			long = append(long, c)
+		}
+	}
+	s.addClause(long, true)
+	return glit
+}
+
+// addClause registers a clause; watched=false keeps it out of propagation
+// (used for theory explanations, whose literals are all false when built —
+// they serve conflict analysis and persistence only).
+func (s *cdcl) addClause(ls []lit, watched bool) int32 {
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, cdclClause{lits: ls})
+	switch {
+	case len(ls) == 0:
+		s.unsat = true
+	case len(ls) == 1:
+		s.units = append(s.units, ls[0])
+	case watched:
+		s.watch(ls[0], ci)
+		s.watch(ls[1], ci)
+	}
+	return ci
+}
+
+func (s *cdcl) watch(l lit, ci int32) {
+	s.watches[int32(l)] = append(s.watches[int32(l)], ci)
+}
+
+// litVal reports the literal's truth under the current assignment:
+// 1 true, 0 false, -1 unassigned.
+func (s *cdcl) litVal(l lit) int8 {
+	a := s.assigned[l.v()]
+	if a < 0 {
+		return -1
+	}
+	if l.negd() {
+		return 1 - a
+	}
+	return a
+}
+
+func (s *cdcl) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue records l as true with the given reason and feeds atom
+// assignments to the theory propagator. It returns the index of a theory
+// conflict clause, or -1.
+func (s *cdcl) enqueue(l lit, reason int32) int32 {
+	v := l.v()
+	if l.negd() {
+		s.assigned[v] = 0
+	} else {
+		s.assigned[v] = 1
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	if v < s.nAtoms {
+		s.eng.assign(int(v), s.assigned[v])
+		if !s.eng.feasibleAfter(int(v)) {
+			return s.theoryConflict(int(v))
+		}
+	}
+	return -1
+}
+
+// theoryConflict builds the explanation clause for the infeasible structure
+// touched by atom i: the negation of every assigned literal the verdict
+// depends on. The clause is implied by the theory alone (group feasibility
+// is monotone in the literal set), so it is learnable and persistable.
+func (s *cdcl) theoryConflict(i int) int32 {
+	s.explBuf = s.eng.conflictAtoms(i, s.explBuf[:0])
+	ls := make([]lit, 0, len(s.explBuf))
+	for _, ai := range s.explBuf {
+		ls = append(ls, mkLit(ai, s.eng.vals[ai] == 1))
+	}
+	ci := s.addClause(ls, false)
+	s.persist(ls)
+	return ci
+}
+
+// propagate runs unit propagation to fixpoint, returning a conflicting
+// clause index or -1.
+func (s *cdcl) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		pi := int32(p.inv())
+		ws := s.watches[pi]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			ci := ws[i]
+			c := &s.clauses[ci]
+			// Normalize: the false literal sits at lits[1].
+			if c.lits[0] == p.inv() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.litVal(c.lits[0]) == 1 {
+				ws[j] = ci
+				j++
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litVal(c.lits[k]) != 0 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watch(c.lits[1], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // clause left this watch list
+			}
+			ws[j] = ci
+			j++
+			if s.litVal(c.lits[0]) == 0 {
+				// Conflict: flush the remaining watchers and report.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[pi] = ws[:j]
+				s.qhead = len(s.trail)
+				return ci
+			}
+			s.stats.Propagations++
+			if confl := s.enqueue(c.lits[0], ci); confl >= 0 {
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[pi] = ws[:j]
+				s.qhead = len(s.trail)
+				return confl
+			}
+		}
+		s.watches[pi] = ws[:j]
+	}
+	return -1
+}
+
+// analyze performs 1-UIP conflict analysis from the conflicting clause,
+// returning the learned clause (asserting literal first, a highest-level
+// literal second) and the level to backjump to. Literals assigned below
+// the current level — including level 0 — are kept in the clause, never
+// resolved on; see the package comment on lemma soundness.
+func (s *cdcl) analyze(confl int32) ([]lit, int) {
+	if len(s.seen) < int(s.nVars) {
+		s.seen = make([]bool, s.nVars)
+	}
+	learnt := []lit{litUndef}
+	curLevel := int32(s.decisionLevel())
+	counter := 0
+	p := litUndef
+	ci := confl
+	idx := len(s.trail) - 1
+
+	for {
+		c := s.clauses[ci].lits
+		start := 0
+		if p != litUndef {
+			start = 1 // reason clauses carry the propagated literal at lits[0]
+		}
+		for _, q := range c[start:] {
+			v := q.v()
+			if s.seen[v] {
+				continue
+			}
+			s.seen[v] = true
+			s.clearV = append(s.clearV, v)
+			if s.level[v] == curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		for !s.seen[s.trail[idx].v()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		if counter == 0 {
+			break
+		}
+		ci = s.reason[p.v()]
+	}
+	learnt[0] = p.inv()
+
+	// Second literal: one assigned at the backjump level, so the clause's
+	// watches stay coherent after the jump.
+	bl := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := int(s.level[learnt[i].v()]); lv > bl {
+			bl = lv
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+	for _, v := range s.clearV {
+		s.seen[v] = false
+	}
+	s.clearV = s.clearV[:0]
+	return learnt, bl
+}
+
+// backjump undoes every assignment above the given level.
+func (s *cdcl) backjump(bl int) {
+	lim := s.trailLim[bl]
+	for len(s.trail) > lim {
+		l := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		v := l.v()
+		if v < s.nAtoms {
+			s.eng.unassign(int(v))
+		}
+		s.assigned[v] = -1
+		s.reason[v] = reasonNone
+	}
+	s.trailLim = s.trailLim[:bl]
+	if s.qhead > lim {
+		s.qhead = lim
+	}
+}
+
+// learnAndAssert installs the learned clause and asserts its UIP literal,
+// returning a theory conflict index if the assertion is infeasible.
+func (s *cdcl) learnAndAssert(learnt []lit) int32 {
+	s.stats.Learned++
+	ci := s.addClause(learnt, len(learnt) >= 2)
+	s.persist(learnt)
+	if len(learnt) == 1 {
+		// addClause queued it as a unit; assert it here instead.
+		s.units = s.units[:len(s.units)-1]
+	}
+	return s.enqueue(learnt[0], ci)
+}
+
+// flushUnits asserts the pending level-0 literals (root, unit lemmas,
+// constants). It returns a conflict clause index or -1.
+func (s *cdcl) flushUnits() int32 {
+	for i := 0; i < len(s.units); i++ {
+		u := s.units[i]
+		switch s.litVal(u) {
+		case 1:
+			continue
+		case 0:
+			// Contradicting units: fabricate the empty conflict.
+			return s.addClause(nil, false)
+		}
+		if confl := s.enqueue(u, reasonNone); confl >= 0 {
+			return confl
+		}
+		if confl := s.propagate(); confl >= 0 {
+			return confl
+		}
+	}
+	return -1
+}
+
+// nextDecision picks the first unassigned atom variable in canonical
+// order, or -1 when every atom is assigned (gate variables are then all
+// forced by propagation, so the formula is decided).
+func (s *cdcl) nextDecision() int32 {
+	for v := int32(0); v < s.nAtoms; v++ {
+		if s.assigned[v] < 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+func (s *cdcl) solve() bool {
+	if s.unsat {
+		return false
+	}
+	confl := s.flushUnits()
+	for {
+		if confl < 0 {
+			confl = s.propagate()
+		}
+		if confl >= 0 {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				return false
+			}
+			learnt, bl := s.analyze(confl)
+			if bl < s.decisionLevel()-1 {
+				s.stats.Backjumps++
+			}
+			s.backjump(bl)
+			confl = s.learnAndAssert(learnt)
+			continue
+		}
+		v := s.nextDecision()
+		if v < 0 {
+			return true
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		confl = s.enqueue(mkLit(v, false), reasonNone)
+	}
+}
+
+// conflictAtoms appends the indices of the assigned atoms of the structure
+// touched by atom i — the inputs its infeasibility verdict depends on.
+func (e *enumEngine) conflictAtoms(i int, out []int32) []int32 {
+	ea := &e.ea[i]
+	switch ea.kind {
+	case eaTypeUntyped:
+		return append(out, int32(i))
+	case eaType:
+		return e.subjectAssigned(&e.subjs[ea.subj], out)
+	default:
+		if ea.subj >= 0 {
+			return e.subjectAssigned(&e.subjs[ea.subj], out)
+		}
+		g := &e.groups[ea.group]
+		for _, mi := range g.members {
+			if e.vals[mi] >= 0 {
+				out = append(out, mi)
+			}
+		}
+		return out
+	}
+}
+
+func (e *enumEngine) subjectAssigned(s *eSubject, out []int32) []int32 {
+	for _, ti := range s.typeMembers {
+		if e.vals[ti] >= 0 {
+			out = append(out, ti)
+		}
+	}
+	for _, gi := range s.groups {
+		for _, mi := range e.groups[gi].members {
+			if e.vals[mi] >= 0 {
+				out = append(out, mi)
+			}
+		}
+	}
+	return out
+}

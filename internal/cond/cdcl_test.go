@@ -1,0 +1,229 @@
+package cond
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCDCLAgreesWithNaiveDPLL differentially checks the CDCL solver against
+// the historical DPLL tree search on randomized theories and expressions —
+// both with and without lemma persistence in the loop.
+func TestCDCLAgreesWithNaiveDPLL(t *testing.T) {
+	th := satCacheTheory()
+	r := rand.New(rand.NewSource(42))
+	c := NewSatCache()
+	for i := 0; i < 2000; i++ {
+		x := randExpr(r, 4)
+		want := satisfiableNaive(th, x)
+		if got := Satisfiable(th, x); got != want {
+			t.Fatalf("CDCL disagrees with naive DPLL on %s: cdcl=%v naive=%v", x, got, want)
+		}
+		// Through the cache: the miss path solves with a lemma store that
+		// accumulates clauses from every earlier same-scope query.
+		if got := c.Satisfiable(th, x); got != want {
+			t.Fatalf("cached CDCL disagrees with naive DPLL on %s: cache=%v naive=%v", x, got, want)
+		}
+	}
+}
+
+// TestCDCLAgreesOnDerivedProcedures checks the derived decision procedures
+// (which stack negation and conjunction on top of the raw queries) against
+// naive verdicts.
+func TestCDCLAgreesOnDerivedProcedures(t *testing.T) {
+	th := satCacheTheory()
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 500; i++ {
+		a, b := randExpr(r, 3), randExpr(r, 3)
+		if got, want := Implies(th, a, b), !satisfiableNaive(th, NewAnd(a, NewNot(b))); got != want {
+			t.Fatalf("Implies mismatch on %s ⇒ %s: got %v want %v", a, b, got, want)
+		}
+		if got, want := Disjoint(th, a, b), !satisfiableNaive(th, NewAnd(a, b)); got != want {
+			t.Fatalf("Disjoint mismatch on %s vs %s: got %v want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestLemmaPersistenceObservable proves that clauses learned while solving
+// one query are re-installed into a later same-scope query, and that the
+// reuse is visible in SatCacheStats.
+func TestLemmaPersistenceObservable(t *testing.T) {
+	th := satCacheTheory()
+	c := NewSatCache()
+
+	m := Cmp{Attr: "Gender", Op: OpEq, Val: String("M")}
+	f := Cmp{Attr: "Gender", Op: OpEq, Val: String("F")}
+	contra := NewAnd(m, f) // theory-infeasible pair, learnable above level 0
+
+	// Same atom set and theory facts — one solver scope — but distinct
+	// expressions, so each misses the verdict cache and actually solves.
+	q1 := NewOr(contra, Null{Attr: "Age"})
+	q2 := NewOr(contra, NewNot(Null{Attr: "Age"}))
+
+	if !c.Satisfiable(th, q1) {
+		t.Fatal("q1 should be satisfiable (NULL Age branch)")
+	}
+	st := c.Stats()
+	if st.LemmasStored == 0 {
+		t.Fatalf("solving q1 learned no lemmas: %+v", st)
+	}
+	if !c.Satisfiable(th, q2) {
+		t.Fatal("q2 should be satisfiable (NOT NULL Age branch)")
+	}
+	st = c.Stats()
+	if st.LemmaHits == 0 {
+		t.Fatalf("solving q2 reused no lemmas from q1's scope: %+v", st)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("queries were expected to miss the verdict cache: %+v", st)
+	}
+}
+
+// TestSolverTotalsAdvance checks the process-wide counters move when the
+// solver works.
+func TestSolverTotalsAdvance(t *testing.T) {
+	before := SolverTotals()
+	th := satCacheTheory()
+	m := Cmp{Attr: "Gender", Op: OpEq, Val: String("M")}
+	f := Cmp{Attr: "Gender", Op: OpEq, Val: String("F")}
+	if !Satisfiable(th, NewOr(NewAnd(m, f), Null{Attr: "Age"})) {
+		t.Fatal("expected satisfiable")
+	}
+	after := SolverTotals()
+	if after.Propagations <= before.Propagations {
+		t.Errorf("propagation counter did not advance: %+v -> %+v", before, after)
+	}
+	if after.Conflicts <= before.Conflicts {
+		t.Errorf("conflict counter did not advance: %+v -> %+v", before, after)
+	}
+}
+
+// TestInternClockEviction streams far more distinct composites through the
+// constructors than the (shrunken) table cap and checks that the table
+// stays bounded, evictions are counted, and pointer equality still holds
+// for structures built close together in time (within a generation).
+func TestInternClockEviction(t *testing.T) {
+	oldCap := internMaxEntries
+	internMaxEntries = 256
+	defer func() { internMaxEntries = oldCap }()
+
+	evBefore := InternEvictions()
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 8*256; i++ {
+		// Distinct leaf values make distinct composites; the Not wrapper
+		// forces each through the intern table.
+		x := NewNot(Cmp{Attr: "Age", Op: OpGe, Val: Int(int64(r.Intn(1 << 20)))})
+		// Re-building immediately must hit the resident node: eviction may
+		// only claw back cold entries, never the one just constructed.
+		y := NewNot(Cmp{Attr: x.(*Not).X.(Cmp).Attr, Op: OpGe, Val: x.(*Not).X.(Cmp).Val})
+		if x != y {
+			t.Fatalf("pointer equality broken for a just-interned node at i=%d", i)
+		}
+		if sz := InternStats(); sz > internMaxEntries {
+			t.Fatalf("intern table exceeded its cap: %d > %d", sz, internMaxEntries)
+		}
+	}
+	if InternEvictions() == evBefore {
+		t.Fatal("streaming past the cap caused no evictions")
+	}
+	if got := NewSatCache().Stats().InternEvictions; got == 0 {
+		t.Fatal("evictions not visible through SatCacheStats")
+	}
+}
+
+// decodeFuzzExpr builds an expression from a byte stream via a small stack
+// machine over the satCacheTheory vocabulary. Every input decodes to some
+// expression (trailing operands are OR-ed together), so the fuzzer wastes
+// no executions on parse errors.
+func decodeFuzzExpr(data []byte) Expr {
+	var stack []Expr
+	pop := func() Expr {
+		if len(stack) == 0 {
+			return True{}
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return e
+	}
+	types := []string{"Person", "Employee", "Customer"}
+	attrs := []string{"Gender", "Age", "Salary", "Id"}
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := data[i], data[i+1]
+		switch op % 8 {
+		case 0:
+			stack = append(stack, TypeIs{Type: types[int(arg)%3], Only: arg&0x80 != 0})
+		case 1:
+			stack = append(stack, Null{Attr: attrs[int(arg)%4]})
+		case 2:
+			stack = append(stack, Cmp{Attr: "Gender", Op: OpEq, Val: String([]string{"M", "F", "X"}[int(arg)%3])})
+		case 3:
+			ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+			stack = append(stack, Cmp{Attr: "Age", Op: ops[int(arg)%6], Val: Int(int64(arg) % 64)})
+		case 4:
+			stack = append(stack, Cmp{Attr: "Salary", Op: OpGt, Val: Int(int64(arg) * 100)})
+		case 5:
+			stack = append(stack, NewNot(pop()))
+		case 6:
+			b, a := pop(), pop()
+			stack = append(stack, NewAnd(a, b))
+		default:
+			b, a := pop(), pop()
+			stack = append(stack, NewOr(a, b))
+		}
+	}
+	x := pop()
+	for len(stack) > 0 {
+		x = NewOr(x, pop())
+	}
+	return x
+}
+
+// FuzzSatisfiable cross-checks the CDCL solver against the naive DPLL
+// search (and the cache-mediated lemma-reusing path) on fuzzer-built
+// expressions. Seeds mirror testdata/fuzz/FuzzSatisfiable.
+func FuzzSatisfiable(f *testing.F) {
+	f.Add([]byte{2, 0, 2, 1, 6, 0})             // Gender=M ∧ Gender=F (theory conflict)
+	f.Add([]byte{3, 10, 3, 40, 5, 0, 6, 0})     // Age bound ∧ ¬(Age bound)
+	f.Add([]byte{0, 0, 0, 0x81, 6, 0, 1, 1})    // typed subject ∧ only-type, stray Null
+	f.Add([]byte{1, 0, 5, 0, 2, 2, 7, 0, 4, 3}) // ¬NULL ∨ cmp, trailing Salary
+	f.Add([]byte{0, 2, 1, 3, 6, 0, 3, 5, 7, 0, 5, 0})
+	th := satCacheTheory()
+	cache := NewSatCache()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 20 {
+			data = data[:20] // bound atom count: the oracle is exponential
+		}
+		x := decodeFuzzExpr(data)
+		if len(Atoms(x)) > 10 {
+			t.Skip("too many atoms for the naive oracle")
+		}
+		want := satisfiableNaive(th, x)
+		if got := Satisfiable(th, x); got != want {
+			t.Fatalf("CDCL disagrees with naive DPLL on %s: cdcl=%v naive=%v", x, got, want)
+		}
+		if got := cache.Satisfiable(th, x); got != want {
+			t.Fatalf("cached CDCL disagrees with naive DPLL on %s: cache=%v naive=%v", x, got, want)
+		}
+	})
+}
+
+// TestFuzzSatisfiableSeeds runs the seed corpus as ordinary tests, so plain
+// `go test` exercises the differential oracle without -fuzz.
+func TestFuzzSatisfiableSeeds(t *testing.T) {
+	seeds := [][]byte{
+		{2, 0, 2, 1, 6, 0},
+		{3, 10, 3, 40, 5, 0, 6, 0},
+		{0, 0, 0, 0x81, 6, 0, 1, 1},
+		{1, 0, 5, 0, 2, 2, 7, 0, 4, 3},
+		{0, 2, 1, 3, 6, 0, 3, 5, 7, 0, 5, 0},
+	}
+	th := satCacheTheory()
+	for i, data := range seeds {
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) {
+			x := decodeFuzzExpr(data)
+			if got, want := Satisfiable(th, x), satisfiableNaive(th, x); got != want {
+				t.Fatalf("CDCL disagrees with naive DPLL on %s: cdcl=%v naive=%v", x, got, want)
+			}
+		})
+	}
+}

@@ -108,6 +108,7 @@ type Not struct {
 	key   string // canonical structural encoding (intern key)
 	hc    uint64 // nonzero iff the node is interned
 	atoms []Atom // memoized Atoms result, fixed at construction
+	ref   uint32 // second-chance bit for intern-table eviction (atomic)
 }
 
 // And is n-ary conjunction (hash-consed; see Not). The constructors never
@@ -118,6 +119,7 @@ type And struct {
 	key   string
 	hc    uint64
 	atoms []Atom
+	ref   uint32
 }
 
 // Or is n-ary disjunction (hash-consed; see Not). The constructors never
@@ -128,6 +130,7 @@ type Or struct {
 	key   string
 	hc    uint64
 	atoms []Atom
+	ref   uint32
 }
 
 func (True) isExpr()   {}

@@ -20,23 +20,105 @@ import (
 //   - the simplifier's rebuild-heavy rewrites reuse existing nodes rather
 //     than allocating fresh copies of unchanged subtrees.
 //
-// The table is bounded; once full, constructors return fresh non-interned
-// nodes (hc == 0) that still carry their canonical key and atom memo, so
-// correctness never depends on residency — only == precision and key
-// brevity degrade.
+// The table is bounded and aged: when full, a second-chance (clock) sweep
+// evicts composites that have not been re-interned since the last sweep,
+// making room for the working set instead of freezing whatever happened to
+// arrive first. Every node carries a reference bit that intern hits set and
+// the sweep clears; an entry survives one full revolution after its last
+// hit. Eviction never invalidates live pointers — a resident node handed
+// out earlier stays valid and structurally correct; only future
+// constructions of the same structure mint a fresh node (with a fresh id,
+// so stale "@id" references and persisted lemmas can never be
+// misattributed). Within one mapping generation, nodes reached through the
+// table while resident still compare == as before; eviction only weakens
+// == between expressions built far apart in time, the same degradation the
+// historical hard cap had.
 
 // internMaxEntries bounds the intern table. Keys of resident nodes are
 // O(fan-out) because interned children contribute a short "@id" reference.
-const internMaxEntries = 1 << 20
+// It is a variable only for tests, which shrink it to exercise eviction.
+var internMaxEntries = int64(1 << 20)
 
 var (
-	internTab  sync.Map // canonical key (string) -> *Not | *And | *Or
-	internSize atomic.Int64
-	internNext atomic.Uint64 // id source; ids are stable for the process lifetime
+	internTab       sync.Map // canonical key (string) -> *Not | *And | *Or
+	internSize      atomic.Int64
+	internNext      atomic.Uint64 // id source; ids are stable for the process lifetime
+	internEvictions atomic.Int64
 )
+
+// internClock is the eviction ring: the keys of resident nodes, swept by a
+// clock hand. Order is approximate (removals swap from the tail), which is
+// all second chance needs.
+var internClock struct {
+	mu   sync.Mutex
+	keys []string
+	hand int
+}
 
 // InternStats reports the number of live interned composite nodes.
 func InternStats() int64 { return internSize.Load() }
+
+// InternEvictions reports the process-lifetime count of composites aged out
+// of the intern table.
+func InternEvictions() int64 { return internEvictions.Load() }
+
+// refBitOf returns the node's second-chance bit, nil for non-composites.
+func refBitOf(x Expr) *uint32 {
+	switch v := x.(type) {
+	case *Not:
+		return &v.ref
+	case *And:
+		return &v.ref
+	case *Or:
+		return &v.ref
+	}
+	return nil
+}
+
+func touchRef(x Expr) {
+	if p := refBitOf(x); p != nil && atomic.LoadUint32(p) == 0 {
+		atomic.StoreUint32(p, 1)
+	}
+}
+
+// internEvict runs the clock hand until it has reclaimed want entries (or
+// proven the ring empty). Entries with the reference bit set get their
+// second chance — the bit is cleared and the hand moves on; clear entries
+// are evicted. Callers hold no locks.
+func internEvict(want int) {
+	c := &internClock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Two revolutions bound the scan: the first clears every set bit in the
+	// worst case, the second must then find victims.
+	budget := 2 * len(c.keys)
+	for want > 0 && len(c.keys) > 0 && budget > 0 {
+		budget--
+		if c.hand >= len(c.keys) {
+			c.hand = 0
+		}
+		key := c.keys[c.hand]
+		e, ok := internTab.Load(key)
+		if !ok {
+			// Stale ring slot; drop it.
+			c.keys[c.hand] = c.keys[len(c.keys)-1]
+			c.keys = c.keys[:len(c.keys)-1]
+			continue
+		}
+		p := refBitOf(e.(Expr))
+		if p != nil && atomic.LoadUint32(p) != 0 {
+			atomic.StoreUint32(p, 0)
+			c.hand++
+			continue
+		}
+		internTab.Delete(key)
+		internSize.Add(-1)
+		internEvictions.Add(1)
+		c.keys[c.hand] = c.keys[len(c.keys)-1]
+		c.keys = c.keys[:len(c.keys)-1]
+		want--
+	}
+}
 
 // internKeyOf returns the canonical encoding of x as it appears inside a
 // parent's intern key: interned composites contribute "@id" (ids are
@@ -94,23 +176,39 @@ func encodeAtomExpr(b *strings.Builder, x Expr) {
 // intern publishes a fully-built node under its key, or returns the
 // already-resident structural twin. Nodes are complete (key and atom memo
 // set) before publication, so readers never observe partial state. When
-// the table is full the fresh node is returned un-interned: its hc is
-// cleared so parents embed its full key rather than a dangling "@id".
+// the table is full a clock sweep (internEvict) ages out cold entries to
+// make room; only if that reclaims nothing is the fresh node returned
+// un-interned, with its hc cleared so parents embed its full key rather
+// than a dangling "@id".
 func intern(key string, mk func() Expr) Expr {
 	if e, ok := internTab.Load(key); ok {
+		touchRef(e.(Expr))
 		return e.(Expr)
 	}
 	n := mk()
-	if internSize.Load() >= internMaxEntries {
-		clearHC(n)
-		return n
+	if over := internSize.Load() - internMaxEntries; over >= 0 {
+		// Reclaim the overshoot plus a batch, so steady-state inserts pay
+		// for the sweep only once every internEvictBatch entries.
+		internEvict(int(over) + internEvictBatch)
+		if internSize.Load() >= internMaxEntries {
+			clearHC(n)
+			return n
+		}
 	}
+	touchRef(n) // fresh entries get a first revolution's grace
 	if e, loaded := internTab.LoadOrStore(key, n); loaded {
 		return e.(Expr)
 	}
 	internSize.Add(1)
+	internClock.mu.Lock()
+	internClock.keys = append(internClock.keys, key)
+	internClock.mu.Unlock()
 	return n
 }
+
+// internEvictBatch is how many entries one full-table insert reclaims;
+// batching amortizes the sweep against the insert path.
+const internEvictBatch = 64
 
 func clearHC(x Expr) {
 	switch v := x.(type) {

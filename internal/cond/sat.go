@@ -64,10 +64,19 @@ func evalPartial(x Expr, asg Assignment) (val, known bool) {
 }
 
 // Satisfiable reports whether some theory-consistent instance satisfies x.
-// The check is a DPLL-style search over the atoms of x with theory
-// consistency pruning; it is exponential in the number of atoms in the
-// worst case, which is inherent (the underlying problem is NP-hard).
+// The check is a CDCL search (cdcl.go) over the Tseitin-encoded condition
+// with theory-consistency propagation; it is exponential in the number of
+// atoms in the worst case, which is inherent (the underlying problem is
+// NP-hard), but clause learning and non-chronological backjumping prune
+// the repeated near-identical subproblems that containment checking
+// generates in practice.
 func Satisfiable(t Theory, x Expr) bool {
+	return satisfiableCDCL(t, x, Atoms(x), nil, nil)
+}
+
+// satisfiableNaive is the historical DPLL tree search, retained as the
+// differential-testing oracle for the CDCL solver.
+func satisfiableNaive(t Theory, x Expr) bool {
 	s := &solver{t: t, atoms: Atoms(x), asg: Assignment{}}
 	s.buildIndex()
 	return s.search(0, x)
@@ -100,9 +109,9 @@ func Disjoint(t Theory, a, b Expr) bool { return !Satisfiable(t, NewAnd(a, b)) }
 // roundtrip (cell) analysis, which is the source of the compilation-time
 // blow-up the paper measures in Figure 4.
 func EnumerateAssignments(t Theory, atoms []Atom, visit func(Assignment) bool) bool {
-	s := &solver{t: t, atoms: atoms, asg: Assignment{}}
-	s.buildIndex()
-	return s.enumerate(0, visit)
+	e := newEnumEngine(t, atoms)
+	e.asg = make(Assignment, len(atoms))
+	return e.run(0, func([]int8) bool { return visit(e.asg) })
 }
 
 // EnumerateAssignmentsSeeded visits every theory-consistent full assignment
@@ -114,13 +123,25 @@ func EnumerateAssignments(t Theory, atoms []Atom, visit func(Assignment) bool) b
 // into disjoint contiguous sub-spaces — the unit of work of the parallel
 // validation pipeline.
 func EnumerateAssignmentsSeeded(t Theory, atoms []Atom, prefix Assignment, start int, visit func(Assignment, []int8) bool) bool {
-	asg := make(Assignment, len(atoms))
+	e := newEnumEngine(t, atoms)
+	e.asg = make(Assignment, len(atoms))
 	for a, v := range prefix {
-		asg[a] = v
+		e.asg[a] = v
 	}
-	s := &solver{t: t, atoms: atoms, asg: asg}
-	s.buildIndex()
-	return s.enumerateIdx(start, visit)
+	dense := make([]int8, 0, start)
+	for i := 0; i < start && i < len(atoms); i++ {
+		v, ok := prefix[atoms[i]]
+		switch {
+		case !ok:
+			dense = append(dense, -1)
+		case v:
+			dense = append(dense, 1)
+		default:
+			dense = append(dense, 0)
+		}
+	}
+	e.seedPrefix(dense, start)
+	return e.run(start, func([]int8) bool { return visit(e.asg, e.vals) })
 }
 
 // EnumerateAllAssignments visits every full boolean assignment of the atoms
@@ -287,45 +308,6 @@ func (s *solver) search(i int, x Expr) bool {
 	}
 	s.unassign(i, a)
 	return false
-}
-
-func (s *solver) enumerate(i int, visit func(Assignment) bool) bool {
-	if i >= len(s.atoms) {
-		return visit(s.asg)
-	}
-	a := s.atoms[i]
-	for _, val := range [2]bool{true, false} {
-		s.assign(i, a, val)
-		if s.consistentForIdx(i) {
-			if !s.enumerate(i+1, visit) {
-				s.unassign(i, a)
-				return false
-			}
-		}
-	}
-	s.unassign(i, a)
-	return true
-}
-
-// enumerateIdx is enumerate with the dense truth slice passed alongside the
-// assignment, so visitors can use compiled index-based evaluators instead of
-// map lookups.
-func (s *solver) enumerateIdx(i int, visit func(Assignment, []int8) bool) bool {
-	if i >= len(s.atoms) {
-		return visit(s.asg, s.vals)
-	}
-	a := s.atoms[i]
-	for _, val := range [2]bool{true, false} {
-		s.assign(i, a, val)
-		if s.consistentForIdx(i) {
-			if !s.enumerateIdx(i+1, visit) {
-				s.unassign(i, a)
-				return false
-			}
-		}
-	}
-	s.unassign(i, a)
-	return true
 }
 
 func (s *solver) assign(i int, a Atom, val bool) {
@@ -507,23 +489,29 @@ func forcedNull(lits []attrLit) bool {
 // attrFeasible reports whether a single attribute admits a value (or NULL)
 // consistent with its assigned literals.
 func (s *solver) attrFeasible(attr string, lits []attrLit, untyped bool) bool {
-	info := s.attrInfo(attr)
-	nullable := info.nullable
+	return attrFeasibleLits(s.attrInfo(attr), lits, &s.cmpsBuf)
+}
+
+// attrFeasibleLits is the domain reasoning shared by the historical solver
+// and the enumeration engine: whether one attribute admits a value (or
+// NULL) consistent with its assigned literals. cmpsBuf is caller-owned
+// scratch, grown as needed.
+func attrFeasibleLits(info domEntry, lits []attrLit, cmpsBuf *[]attrLit) bool {
 	// Option 1: the attribute is NULL. All comparisons are then false.
-	if nullable && !forcedNonNull(lits) {
+	if info.nullable && !forcedNonNull(lits) {
 		return true
 	}
 	// Option 2: the attribute holds a value.
 	if forcedNull(lits) {
 		return false
 	}
-	cmps := s.cmpsBuf[:0]
+	cmps := (*cmpsBuf)[:0]
 	for _, l := range lits {
 		if !l.null {
 			cmps = append(cmps, l)
 		}
 	}
-	s.cmpsBuf = cmps
+	*cmpsBuf = cmps
 	if !info.known {
 		return regionFeasibleUnknownDomain(cmps)
 	}

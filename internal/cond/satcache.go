@@ -34,6 +34,16 @@ type SatCache struct {
 	// maxEntries bounds memory: once reached, new verdicts are computed but
 	// not stored.
 	maxEntries int64
+
+	// scopes holds persisted solver lemmas (lemma.go) keyed by solver scope
+	// — the sorted atom list plus theory fingerprint. Distinct queries over
+	// the same atoms and theory facts solve in the same scope and reuse each
+	// other's learned clauses. Bounded by maxScopes; past the cap, misses
+	// solve without persistence.
+	scopes       sync.Map // string -> *lemmaStore
+	scopeCount   atomic.Int64
+	lemmaHits    atomic.Int64
+	lemmasStored atomic.Int64
 }
 
 // SatCacheStats is a snapshot of a cache's counters.
@@ -41,11 +51,22 @@ type SatCacheStats struct {
 	Hits    int64
 	Misses  int64
 	Entries int64
+	// LemmaHits counts persisted lemmas re-installed into cache-miss solver
+	// runs; LemmasStored counts clauses persisted by those runs.
+	LemmaHits    int64
+	LemmasStored int64
+	// InternEvictions counts structures aged out of the package-wide
+	// hash-consing table (intern.go) since process start.
+	InternEvictions int64
 }
 
 // defaultSatCacheEntries bounds a cache at roughly a few hundred MB of keys
 // in the worst case; real workloads stay far below it.
 const defaultSatCacheEntries = 1 << 20
+
+// maxScopes bounds the lemma-scope map; each scope holds at most
+// maxLemmasPerScope clauses.
+const maxScopes = 1 << 16
 
 // NewSatCache returns an empty decision cache.
 func NewSatCache() *SatCache {
@@ -55,21 +76,32 @@ func NewSatCache() *SatCache {
 // Stats returns a snapshot of the hit/miss counters.
 func (c *SatCache) Stats() SatCacheStats {
 	return SatCacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.size.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Entries:         c.size.Load(),
+		LemmaHits:       c.lemmaHits.Load(),
+		LemmasStored:    c.lemmasStored.Load(),
+		InternEvictions: internEvictions.Load(),
 	}
 }
 
-// Reset drops every cached verdict and zeroes the counters.
+// Reset drops every cached verdict and persisted lemma and zeroes the
+// counters (the process-wide intern eviction count is not affected).
 func (c *SatCache) Reset() {
 	c.entries.Range(func(k, _ any) bool {
 		c.entries.Delete(k)
 		return true
 	})
+	c.scopes.Range(func(k, _ any) bool {
+		c.scopes.Delete(k)
+		return true
+	})
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.size.Store(0)
+	c.scopeCount.Store(0)
+	c.lemmaHits.Store(0)
+	c.lemmasStored.Store(0)
 }
 
 // Satisfiable is the memoized form of the package-level Satisfiable.
@@ -83,19 +115,61 @@ func (c *SatCache) SatisfiableHit(t Theory, x Expr) (sat, hit bool) {
 	// Fault-injection hook: lookups cannot propagate an error, so only
 	// injected panics and delays take effect here.
 	faultinject.At(faultinject.SiteSatCache) //nolint:errcheck
-	key := cacheKey(t, x)
+	atoms := Atoms(x)
+
+	// The theory fingerprint is shared by the verdict key (expr + theory)
+	// and the lemma-scope key (atoms + theory); build it once.
+	var tb strings.Builder
+	encodeTheory(&tb, t, atoms)
+	th := tb.String()
+
+	var kb strings.Builder
+	encodeExpr(&kb, x)
+	kb.WriteByte('#')
+	kb.WriteString(th)
+	key := kb.String()
+
 	if v, ok := c.entries.Load(key); ok {
 		c.hits.Add(1)
 		return v.(bool), true
 	}
 	c.misses.Add(1)
-	v := Satisfiable(t, x)
+
+	var sb strings.Builder
+	for _, a := range atoms {
+		encodeAtomExpr(&sb, a.Expr())
+	}
+	sb.WriteByte('#')
+	sb.WriteString(th)
+	store := c.scopeStore(sb.String())
+
+	var stats SolverStats
+	v := satisfiableCDCL(t, x, atoms, store, &stats)
+	c.lemmaHits.Add(stats.LemmaHits)
+	c.lemmasStored.Add(stats.LemmasStored)
+
 	if c.size.Load() < c.maxEntries {
 		if _, loaded := c.entries.LoadOrStore(key, v); !loaded {
 			c.size.Add(1)
 		}
 	}
 	return v, false
+}
+
+// scopeStore returns the lemma store for a solver scope, creating it if the
+// scope map has room; nil (solve without persistence) once full.
+func (c *SatCache) scopeStore(scopeKey string) *lemmaStore {
+	if st, ok := c.scopes.Load(scopeKey); ok {
+		return st.(*lemmaStore)
+	}
+	if c.scopeCount.Load() >= maxScopes {
+		return nil
+	}
+	st, loaded := c.scopes.LoadOrStore(scopeKey, &lemmaStore{})
+	if !loaded {
+		c.scopeCount.Add(1)
+	}
+	return st.(*lemmaStore)
 }
 
 // Implies is the memoized form of the package-level Implies.

@@ -192,6 +192,78 @@ func (ch *Checker) containsCtx(ctx context.Context, a, b cqt.Expr) (bool, error)
 	if err != nil {
 		return false, err
 	}
+	return ch.containsBlocks(ctx, A, B)
+}
+
+// Prenorm is the reusable right-hand side of a containment check: the
+// simplify + normalize result of one query, computed once by
+// PrenormalizeRight and shared across every ContainsPreCtx call that checks
+// containment in that query. The blocks are never mutated after
+// construction (the left side's aliases are drawn from a disjoint range),
+// so one Prenorm may serve concurrent checks.
+type Prenorm struct {
+	blocks []CQ
+}
+
+// PrenormalizeRight prepares q for use as the right-hand (containing) side
+// of ContainsPreCtx. Validation passes that check many queries against the
+// same view — every foreign key referencing one table, say — pay q's
+// simplification and normalization once instead of once per check.
+func (ch *Checker) PrenormalizeRight(q cqt.Expr) (*Prenorm, error) {
+	if ch.Simplify {
+		q = cqt.Simplify(ch.Cat, q)
+	}
+	nb := &normalizer{cat: ch.Cat, mode: lower, nextID: 1 << 20}
+	B, err := nb.normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prenorm{blocks: B}, nil
+}
+
+// ContainsPreCtx is ContainsCtx with a prenormalized right-hand side; the
+// verdict is identical to ContainsCtx against the query the Prenorm was
+// built from.
+func (ch *Checker) ContainsPreCtx(ctx context.Context, a cqt.Expr, pre *Prenorm) (contained bool, err error) {
+	sp := obsv.SpanFromContext(ctx).Child("containment-check")
+	pairs0 := atomic.LoadInt64(&ch.Stats.BlockPairs)
+	defer func() {
+		switch {
+		case err != nil:
+			sp.End(fault.Outcome(err))
+		case contained:
+			sp.End(obsv.OutcomeOK)
+		default:
+			sp.End("not-contained",
+				obsv.String("block_pairs", strconv.FormatInt(atomic.LoadInt64(&ch.Stats.BlockPairs)-pairs0, 10)))
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if err := faultinject.At(faultinject.SiteContainment); err != nil {
+		return false, err
+	}
+	atomic.AddInt64(&ch.Stats.Containments, 1)
+	mChecks.Add(1)
+	if be := ch.budgetErr(); be != nil {
+		return false, be
+	}
+	if ch.Simplify {
+		a = cqt.Simplify(ch.Cat, a)
+	}
+	na := &normalizer{cat: ch.Cat, mode: upper}
+	A, err := na.normalize(a)
+	if err != nil {
+		return false, err
+	}
+	return ch.containsBlocks(ctx, A, pre.blocks)
+}
+
+// containsBlocks runs the block-level containment check: every satisfiable
+// left block must be covered by the disjunction of its homomorphism
+// requirements into the right blocks.
+func (ch *Checker) containsBlocks(ctx context.Context, A, B []CQ) (bool, error) {
 	for i := range A {
 		if err := ctx.Err(); err != nil {
 			return false, err

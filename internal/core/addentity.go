@@ -361,7 +361,7 @@ func (op *AddEntity) validate(ic *Incremental, m *frag.Mapping, v *frag.Views, t
 					if !overlap(fk.Cols, beta) {
 						continue
 					}
-					if err := ic.fkCheck(ch, m, v, g.Table, fk); err != nil {
+					if err := ic.fkCheck(ch, m, v, g.Table, fk, nil); err != nil {
 						return err
 					}
 				}
@@ -378,7 +378,7 @@ func (op *AddEntity) validate(ic *Incremental, m *frag.Mapping, v *frag.Views, t
 		if !overlap(fk.Cols, falpha) {
 			continue
 		}
-		if err := ic.fkCheck(ch, m, v, op.Table, fk); err != nil {
+		if err := ic.fkCheck(ch, m, v, op.Table, fk, nil); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/ormkit/incmap/internal/cond"
@@ -520,8 +521,11 @@ func (ic *Incremental) checkContainment(ch *containment.Checker, a, b cqt.Expr, 
 }
 
 // fkCheck validates one foreign key of table tab against the current update
-// views: π_{β AS γ}(σ_{β NOT NULL}(Q_tab)) ⊆ π_γ(Q_ref).
-func (ic *Incremental) fkCheck(ch *containment.Checker, m *frag.Mapping, v *frag.Views, tab string, fk rel.ForeignKey) error {
+// views: π_{β AS γ}(σ_{β NOT NULL}(Q_tab)) ⊆ π_γ(Q_ref). pres, when
+// non-nil, shares prenormalized right sides between checks that reference
+// the same table through the same columns (see wideFKRecheck); one-off
+// checks pass nil.
+func (ic *Incremental) fkCheck(ch *containment.Checker, m *frag.Mapping, v *frag.Views, tab string, fk rel.ForeignKey, pres map[string]*containment.Prenorm) error {
 	if ic.Opts.SkipValidation {
 		return nil
 	}
@@ -545,13 +549,36 @@ func (ic *Incremental) fkCheck(ch *containment.Checker, m *frag.Mapping, v *frag
 		rcols = append(rcols, cqt.Col(c))
 	}
 	rhs := cqt.Project{In: refView.Q, Cols: rcols}
-	return ic.checkContainment(ch, lhs, rhs,
-		fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable))
+	what := fmt.Sprintf("update views violate foreign key %s → %s", fk.Name, fk.RefTable)
+
+	if pres == nil {
+		return ic.checkContainment(ch, lhs, rhs, what)
+	}
+	key := fk.RefTable + "\x00" + strings.Join(fk.RefCols, "\x00")
+	pre, ok := pres[key]
+	if !ok {
+		var err error
+		pre, err = ch.PrenormalizeRight(rhs)
+		if err != nil {
+			return err
+		}
+		pres[key] = pre
+	}
+	cok, err := ch.ContainsPreCtx(ic.valCtx(), lhs, pre)
+	if err != nil {
+		return err
+	}
+	if !cok {
+		return fmt.Errorf("validation failed: %s", what)
+	}
+	return nil
 }
 
 // wideFKRecheck re-validates every foreign key of every mapped table (the
-// neighbourhood ablation).
+// neighbourhood ablation). The referenced-view side of each containment is
+// prenormalized once per (table, columns) pair and shared across the sweep.
 func (ic *Incremental) wideFKRecheck(ch *containment.Checker, m *frag.Mapping, v *frag.Views) error {
+	pres := map[string]*containment.Prenorm{}
 	for _, tn := range m.MappedTables() {
 		tab := m.Store.Table(tn)
 		for _, fk := range tab.FKs {
@@ -566,7 +593,7 @@ func (ic *Incremental) wideFKRecheck(ch *containment.Checker, m *frag.Mapping, v
 			if !written {
 				continue
 			}
-			if err := ic.fkCheck(ch, m, v, tn, fk); err != nil {
+			if err := ic.fkCheck(ch, m, v, tn, fk, pres); err != nil {
 				return err
 			}
 		}

@@ -68,3 +68,40 @@ func Fig4(opt Fig4Options) []Fig4Row {
 	}
 	return out
 }
+
+// Fig4FrontierRow is one row of the capability frontier: for a depth N,
+// the largest fan-out M whose TPH compilation completed within the point
+// budget, with that point's wall time. Comparing frontiers across prover
+// versions shows how far past the paper's "32 types in one table" wall a
+// build reaches.
+type Fig4FrontierRow struct {
+	N    int
+	MaxM int           // largest in-budget fan-out; 0 when even M=1 blew the budget
+	TPH  time.Duration // wall time of the frontier point
+}
+
+// Fig4Frontier folds a grid into its per-depth frontier.
+func Fig4Frontier(rows []Fig4Row, budget time.Duration) []Fig4FrontierRow {
+	byN := map[int]*Fig4FrontierRow{}
+	var order []int
+	for _, r := range rows {
+		if r.TPHErr != nil || r.TPH > budget {
+			continue
+		}
+		f := byN[r.N]
+		if f == nil {
+			f = &Fig4FrontierRow{N: r.N}
+			byN[r.N] = f
+			order = append(order, r.N)
+		}
+		if r.M > f.MaxM {
+			f.MaxM = r.M
+			f.TPH = r.TPH
+		}
+	}
+	out := make([]Fig4FrontierRow, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byN[n])
+	}
+	return out
+}

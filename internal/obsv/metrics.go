@@ -147,7 +147,17 @@ const (
 	MEvolveCancelled   = "session.evolve.cancelled"
 	MEvolvePanics      = "session.evolve.panics_recovered"
 	// Condition layer gauges (registered by the cond package's consumers).
-	MInternSize = "cond.intern.size"
+	MInternSize      = "cond.intern.size"
+	MInternEvictions = "cond.intern.evictions"
+	// CDCL prover gauges, fed by cond's process-lifetime solver counters:
+	// one flush of a local stats struct per solve keeps the solver's hot
+	// loop free of shared atomics.
+	MSatPropagations = "cond.sat.propagations"
+	MSatConflicts    = "cond.sat.conflicts"
+	MSatLearned      = "cond.sat.learned"
+	MSatBackjumps    = "cond.sat.backjumps"
+	MSatLemmaHits    = "cond.sat.lemma_hits"
+	MSatLemmasStored = "cond.sat.lemmas_stored"
 )
 
 // expvarOnce guards the process-global expvar name, which panics on

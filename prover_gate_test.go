@@ -1,0 +1,226 @@
+//go:build provergate
+
+package incmap_test
+
+// The prover regression gate, run by the prover-gate CI job with
+// -tags provergate. It is excluded from ordinary test runs because it
+// needs tens of seconds of quiet CPU to measure medians meaningfully.
+//
+// Absolute wall times are useless as a recorded baseline — CI machines
+// differ run to run — so the gate borrows the tracer-overhead gate's
+// trick of comparing two arms measured in the same run: each prover
+// workload's median is divided by the median of a calibration loop
+// (frozen, prover-free code living in this file) measured interleaved
+// with it. The recorded baseline stores those dimensionless ratios; a
+// workload whose ratio grows more than 10% over the recording fails the
+// gate. Speedups re-record the baseline (see BENCH_prover_baseline.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// proverBaselineFile is the committed recording; proverResultFile is the
+// artifact the CI job uploads from each run.
+const (
+	proverBaselineFile = "BENCH_prover_baseline.json"
+	proverResultFile   = "BENCH_prover_gate.json"
+)
+
+// proverGateSlack is the allowed growth of a calibrated ratio before the
+// gate fails: >10% median regression versus the recorded baseline.
+const proverGateSlack = 1.10
+
+type proverBaseline struct {
+	// Ratios maps workload name -> median(workload) / median(calibration)
+	// as recorded on the reference run.
+	Ratios map[string]float64 `json:"ratios"`
+	Note   string             `json:"note,omitempty"`
+}
+
+type proverGateResult struct {
+	CalibrationMedian string             `json:"calibrationMedian"`
+	Medians           map[string]string  `json:"medians"`
+	Ratios            map[string]float64 `json:"ratios"`
+	BaselineRatios    map[string]float64 `json:"baselineRatios"`
+}
+
+// calibrate is the yardstick: a fixed FNV-1a hashing loop that touches no
+// prover code, so its cost moves only with the machine, never with the
+// code under test. Do not change it without re-recording the baseline.
+func calibrate() time.Duration {
+	const rounds = 1 << 22
+	var buf [64]byte
+	for i := range buf {
+		buf[i] = byte(i * 37)
+	}
+	begin := time.Now()
+	var acc uint64 = 14695981039346656037
+	for i := 0; i < rounds; i++ {
+		for _, b := range buf {
+			acc ^= uint64(b)
+			acc *= 1099511628211
+		}
+		buf[i&63] = byte(acc)
+	}
+	if acc == 0 {
+		panic("unreachable: keeps the loop from being optimized away")
+	}
+	return time.Since(begin)
+}
+
+// satTypeHierarchy is BenchmarkSatisfiableTypeHierarchy's types=64 point:
+// one Satisfiable call over a 64-type hierarchy with a wide disjunction.
+func satTypeHierarchy() func() {
+	const n = 64
+	types := make([]string, n)
+	sub := map[string]map[string]bool{}
+	for i := range types {
+		types[i] = fmt.Sprintf("T%d", i)
+		if i > 0 {
+			sub[types[i]] = map[string]bool{types[0]: true}
+		}
+	}
+	th := &cond.MapTheory{
+		Types: map[string][]string{"": types},
+		Sub:   sub,
+		Domains: map[string]cond.Domain{
+			"x": {Kind: cond.KindInt},
+			"d": {Kind: cond.KindString, Enum: []cond.Value{cond.String("a"), cond.String("b"), cond.String("c")}},
+		},
+	}
+	var parts []cond.Expr
+	for i := 1; i < n; i += 2 {
+		parts = append(parts, cond.TypeIs{Type: fmt.Sprintf("T%d", i)})
+	}
+	e := cond.NewAnd(cond.NewOr(parts...), cond.NewNot(cond.TypeIs{Type: "T1", Only: true}))
+	return func() {
+		// 200 solves per trial lift the point out of timer granularity.
+		for i := 0; i < 200; i++ {
+			if !cond.Satisfiable(th, e) {
+				panic("unexpectedly unsatisfiable")
+			}
+		}
+	}
+}
+
+// parallelValidate is BenchmarkParallelValidate's workers=1 arm: a full
+// sequential compile of the paper's worst published point (N=3, M=5 TPH).
+func parallelValidate() func() {
+	return func() {
+		m := workload.HubRim(workload.HubRimOptions{N: 3, M: 5, TPH: true})
+		c := &compiler.Compiler{Opts: compiler.Options{Parallelism: 1}}
+		if _, err := c.Compile(m); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestProverRegressionGate interleaves trials of each prover workload
+// with the calibration loop, compares calibrated median ratios against
+// the committed baseline, and writes the run's numbers to
+// BENCH_prover_gate.json for artifact upload.
+func TestProverRegressionGate(t *testing.T) {
+	const trials = 5
+	workloads := []struct {
+		name string
+		run  func()
+	}{
+		{"sat_type_hierarchy", satTypeHierarchy()},
+		{"parallel_validate_w1", parallelValidate()},
+	}
+
+	raw, err := os.ReadFile(proverBaselineFile)
+	if err != nil {
+		t.Fatalf("reading %s: %v", proverBaselineFile, err)
+	}
+	var base proverBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing %s: %v", proverBaselineFile, err)
+	}
+
+	for _, w := range workloads { // warm-up: page in code, build caches
+		w.run()
+	}
+	calibrate()
+
+	med := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	measure := func() (time.Duration, map[string]time.Duration) {
+		var calib []time.Duration
+		samples := map[string][]time.Duration{}
+		for i := 0; i < trials; i++ {
+			calib = append(calib, calibrate())
+			for _, w := range workloads {
+				begin := time.Now()
+				w.run()
+				samples[w.name] = append(samples[w.name], time.Since(begin))
+			}
+		}
+		medians := map[string]time.Duration{}
+		for _, w := range workloads {
+			medians[w.name] = med(samples[w.name])
+		}
+		return med(calib), medians
+	}
+
+	// Calibrated ratios still carry a few percent of machine noise, so a
+	// failed comparison is remeasured once from scratch and only a
+	// repeated failure — the signature of a real regression rather than
+	// a noisy run — fails the gate.
+	var result proverGateResult
+	var failures []string
+	for attempt := 1; attempt <= 2; attempt++ {
+		mc, medians := measure()
+		t.Logf("attempt %d: calibration median %v", attempt, mc)
+		result = proverGateResult{
+			CalibrationMedian: mc.String(),
+			Medians:           map[string]string{},
+			Ratios:            map[string]float64{},
+			BaselineRatios:    base.Ratios,
+		}
+		failures = nil
+		for _, w := range workloads {
+			m := medians[w.name]
+			ratio := float64(m) / float64(mc)
+			result.Medians[w.name] = m.String()
+			result.Ratios[w.name] = ratio
+			want, ok := base.Ratios[w.name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: no recorded baseline ratio — add it to %s", w.name, proverBaselineFile))
+				continue
+			}
+			t.Logf("%s: median %v, ratio %.3f (baseline %.3f, %+.1f%%)",
+				w.name, m, ratio, want, 100*(ratio-want)/want)
+			if ratio > proverGateSlack*want {
+				failures = append(failures, fmt.Sprintf("%s: calibrated ratio %.3f regressed >%.0f%% over recorded %.3f",
+					w.name, ratio, 100*(proverGateSlack-1), want))
+			}
+		}
+		if len(failures) == 0 {
+			break
+		}
+	}
+
+	if out, err := json.MarshalIndent(result, "", "  "); err == nil {
+		if err := os.WriteFile(proverResultFile, append(out, '\n'), 0o644); err != nil {
+			t.Logf("writing %s: %v", proverResultFile, err)
+		}
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if len(failures) > 0 {
+		t.Log("if the regression is intended (e.g. a correctness fix), re-record BENCH_prover_baseline.json from this run's ratios")
+	}
+}
