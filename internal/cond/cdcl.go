@@ -1,5 +1,7 @@
 package cond
 
+import "fmt"
+
 // A CDCL (conflict-driven clause learning) satisfiability core replacing
 // the historical DPLL tree search of Satisfiable. The condition is Tseitin-
 // encoded over its interned structure — every And/Or node contributes one
@@ -174,7 +176,9 @@ func (s *cdcl) encode(x Expr) lit {
 	default:
 		a, ok := atomOf(x)
 		if !ok {
-			return s.constLit(true) // unknown node kinds are vacuously false
+			// Fail loudly: a new Expr variant must be taught to the encoder,
+			// not silently treated as a constant.
+			panic(fmt.Sprintf("cond: cdcl encode: unsupported Expr kind %T", x))
 		}
 		return mkLit(s.atomVarOf(a), false)
 	}

@@ -161,7 +161,11 @@ func newEnumEngine(t Theory, atoms []Atom) *enumEngine {
 		g := eGroup{attr: attr, subj: si}
 		g.info = e.attrInfo(attr)
 		if si >= 0 && e.subjs[si].slow {
+			// Slow subjects skip incremental mask state, but the group must
+			// still be linked so slowSubjectConsistent and subjectAssigned
+			// see its literals (info and members are all they need).
 			g.skipState = true
+			e.subjs[si].groups = append(e.subjs[si].groups, gi)
 		} else {
 			switch {
 			case g.info.known && len(g.info.dom.Enum) > 0:

@@ -1,6 +1,7 @@
 package cond
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -200,6 +201,92 @@ func TestSatAgreesWithNaiveEnumeration(t *testing.T) {
 		return fast == slow
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlowSubjectAttributeLiterals is the regression test for subjects with
+// more concrete types than the bitmask fast path covers (>maxMaskBits): their
+// attribute groups must stay linked to the subject so the gather-path
+// consistency check still sees attribute literals. A past bug dropped the
+// link, making contradictory literals like a='x' AND a='y' look satisfiable.
+func TestSlowSubjectAttributeLiterals(t *testing.T) {
+	types := make([]string, maxMaskBits+3)
+	for i := range types {
+		types[i] = fmt.Sprintf("T%02d", i)
+	}
+	th := &MapTheory{
+		Types: map[string][]string{"": types},
+		Domains: map[string]Domain{
+			"a": {Kind: KindString},
+			"n": {Kind: KindInt},
+		},
+		NotNull: map[string]bool{"n": true},
+	}
+
+	eqX := Cmp{Attr: "a", Op: OpEq, Val: String("x")}
+	eqY := Cmp{Attr: "a", Op: OpEq, Val: String("y")}
+	if Satisfiable(th, NewAnd(eqX, eqY)) {
+		t.Error("a='x' AND a='y' reported satisfiable on a slow subject")
+	}
+	if !Satisfiable(th, eqX) {
+		t.Error("a='x' reported unsatisfiable on a slow subject")
+	}
+	if Satisfiable(th, NewAnd(eqX, Null{Attr: "a"})) {
+		t.Error("a='x' AND a IS NULL reported satisfiable on a slow subject")
+	}
+	if Satisfiable(th, Null{Attr: "n"}) {
+		t.Error("NULL on a non-nullable attribute reported satisfiable on a slow subject")
+	}
+
+	// The cell enumerator shares the same index; it must prune the
+	// contradictory cell too.
+	atoms := Atoms(NewAnd(eqX, eqY))
+	cells := 0
+	EnumerateCells(th, atoms, nil, 0, func(vals []int8) bool {
+		if vals[0] == 1 && vals[1] == 1 {
+			t.Error("EnumerateCells emitted the contradictory a='x' AND a='y' cell")
+		}
+		cells++
+		return true
+	})
+	if cells != 3 {
+		t.Errorf("EnumerateCells visited %d cells, want 3", cells)
+	}
+
+	// Differential sweep over the slow subject, same shape as
+	// TestSatAgreesWithNaiveEnumeration.
+	mkAtom := func(sel uint8) Expr {
+		switch sel % 5 {
+		case 0:
+			return TypeIs{Type: types[int(sel)%len(types)]}
+		case 1:
+			return TypeIs{Type: types[int(sel)%len(types)], Only: true}
+		case 2:
+			return Null{Attr: "a"}
+		case 3:
+			return Cmp{Attr: "a", Op: OpEq, Val: String("x")}
+		default:
+			return Cmp{Attr: "n", Op: OpLt, Val: Int(int64(sel))}
+		}
+	}
+	f := func(a, b, c uint8, neg bool) bool {
+		e := NewOr(NewAnd(mkAtom(a), mkAtom(b)), mkAtom(c))
+		if neg {
+			e = NewNot(e)
+		}
+		fast := Satisfiable(th, e)
+		slow := false
+		EnumerateAllAssignments(Atoms(e), func(asg Assignment) bool {
+			if ConsistentAssignment(th, asg) && asg.Eval(e) {
+				slow = true
+				return false
+			}
+			return true
+		})
+		return fast == slow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
 		t.Error(err)
 	}
 }

@@ -162,12 +162,15 @@ func (c *SatCache) scopeStore(scopeKey string) *lemmaStore {
 	if st, ok := c.scopes.Load(scopeKey); ok {
 		return st.(*lemmaStore)
 	}
-	if c.scopeCount.Load() >= maxScopes {
+	// Reserve a slot before inserting so racing first-time creations cannot
+	// push the scope map past maxScopes; release it if we lost the race.
+	if c.scopeCount.Add(1) > maxScopes {
+		c.scopeCount.Add(-1)
 		return nil
 	}
 	st, loaded := c.scopes.LoadOrStore(scopeKey, &lemmaStore{})
-	if !loaded {
-		c.scopeCount.Add(1)
+	if loaded {
+		c.scopeCount.Add(-1)
 	}
 	return st.(*lemmaStore)
 }
