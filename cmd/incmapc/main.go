@@ -8,13 +8,19 @@
 //	incmapc -model model.json [-print-views] [-print-sql] [-ddl] \
 //	        [-verify N] [-out evolved.json] \
 //	        [-add-entity Name:Parent[:attr=kind,...]] [-drop-entity Name] \
-//	        [-add-assoc Name:E1:E2]
+//	        [-add-assoc Name:E1:E2] [-load DIR] [-save DIR]
 //
 // With no SMO flags, incmapc performs a full compilation and reports its
 // statistics. With SMO flags, it first compiles the input model, then
 // applies each operation incrementally (inferring the mapping style from
 // the neighbourhood, as the MoDEF front end does in the paper), reporting
 // per-operation timings.
+//
+// -load DIR warm-starts from a persistent compile cache: if DIR holds an
+// intact generation whose fingerprint matches the input model, the full
+// compilation is skipped entirely. -save DIR persists the final generation
+// (after all SMOs) so a later run can warm-start. The same directory may
+// be passed to both.
 package main
 
 import (
@@ -42,6 +48,8 @@ func main() {
 	printDDL := flag.Bool("ddl", false, "print CREATE TABLE statements for the store schema")
 	out := flag.String("out", "", "write the (evolved) mapping JSON to this path")
 	verify := flag.Int("verify", 0, "roundtrip N random client states through the compiled views")
+	loadDir := flag.String("load", "", "warm-start from the persistent compile cache in this directory")
+	saveDir := flag.String("save", "", "persist the final compiled generation into this directory")
 	var addEntities, dropEntities, addAssocs multiFlag
 	flag.Var(&addEntities, "add-entity", "add an entity type: Name:Parent[:attr=kind,...] (repeatable)")
 	flag.Var(&dropEntities, "drop-entity", "drop a leaf entity type (repeatable)")
@@ -58,11 +66,27 @@ func main() {
 	f.Close()
 	fatal(err)
 
-	start := time.Now()
-	views, stats, err := incmap.CompileWith(m, incmap.CompilerOptions{})
-	fatal(err)
-	fmt.Printf("full compilation: %v (cells=%d, containments=%d)\n",
-		time.Since(start), stats.CellsVisited, stats.Containments)
+	var views *incmap.Views
+	if *loadDir != "" {
+		st, err := incmap.OpenStore(*loadDir)
+		fatal(err)
+		t0 := time.Now()
+		if lm, lv, err := incmap.Load(st, m); err == nil {
+			m, views = lm, lv
+			fmt.Printf("warm start: loaded compiled generation from %s in %v\n", *loadDir, time.Since(t0))
+		} else {
+			fmt.Printf("cold start: %v\n", err)
+		}
+	}
+	if views == nil {
+		start := time.Now()
+		var stats incmap.CompileStats
+		var err error
+		views, stats, err = incmap.CompileWith(m, incmap.CompilerOptions{})
+		fatal(err)
+		fmt.Printf("full compilation: %v (cells=%d, containments=%d)\n",
+			time.Since(start), stats.CellsVisited, stats.Containments)
+	}
 
 	ic := incmap.NewIncremental()
 	for _, spec := range addEntities {
@@ -119,6 +143,12 @@ func main() {
 			fatal(err)
 			fmt.Printf("\n-- SQL for query view %s --\n%s\n", ty, sql)
 		}
+	}
+	if *saveDir != "" {
+		st, err := incmap.OpenStore(*saveDir)
+		fatal(err)
+		fatal(incmap.Save(st, m, views))
+		fmt.Printf("saved compiled generation to %s (%d bytes)\n", *saveDir, st.Stats().BytesWritten)
 	}
 	if *out != "" {
 		w, err := os.Create(*out)

@@ -8,12 +8,20 @@
 //	mapbench -exp fig4 [-maxn 4 -maxm 8 -budget 10s]
 //	mapbench -exp fig9 [-chain 1002]
 //	mapbench -exp fig10 [-types 230 -hier 18 -largest 95]
+//	mapbench -exp warmstart [-store DIR]
 //	mapbench -exp ablations
 //	mapbench -exp all
 //
 // With -json, machine-readable results are also written next to the
-// terminal tables: BENCH_fig4.json, BENCH_fig9.json and BENCH_fig10.json
-// (per-SMO wall time, containment counts and allocation counts).
+// terminal tables: BENCH_fig4.json, BENCH_fig9.json, BENCH_fig10.json and
+// BENCH_warmstart.json (per-SMO wall time, containment counts and
+// allocation counts; cold vs warm open and evolve for warmstart).
+//
+// The warmstart experiment measures the persistent compile cache: a cold
+// session open (full compile + snapshot) versus a warm open restoring the
+// generation and SatCache from disk, across Figure 4 hub-and-rim points.
+// It finishes by re-executing mapbench as a child process over the shared
+// store directory, reporting the true cross-process warm-start numbers.
 package main
 
 import (
@@ -21,7 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/ormkit/incmap/internal/experiments"
@@ -38,7 +49,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, ablations, views, fallback, all")
+	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, warmstart, ablations, views, fallback, all")
 	maxN := flag.Int("maxn", 4, "fig4: maximum hierarchy depth N")
 	maxM := flag.Int("maxm", 8, "fig4: maximum fan-out M")
 	budget := flag.Duration("budget", 10*time.Second, "fig4: per-point budget before a depth's curve is cut off")
@@ -46,9 +57,17 @@ func main() {
 	types := flag.Int("types", 230, "fig10: total entity types")
 	hier := flag.Int("hier", 18, "fig10: hierarchies")
 	largest := flag.Int("largest", 95, "fig10: size of the largest (TPH) hierarchy")
-	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_fig{4,9,10}.json")
+	storeDir := flag.String("store", "", "warmstart: persistent store directory (default: a fresh temp dir)")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_fig{4,9,10}.json / BENCH_warmstart.json")
 	traceOut := flag.String("trace", "", "record every compilation and write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
+
+	// Child mode: -exp warmstart re-executes this binary to measure a true
+	// second-process warm start; the child prints one JSON object and exits.
+	if spec := os.Getenv("MAPBENCH_WARMSTART_CHILD"); spec != "" {
+		runWarmstartChild(spec)
+		return
+	}
 
 	if *traceOut != "" {
 		traceSink = obsv.NewRecordingSink()
@@ -68,6 +87,8 @@ func main() {
 		runViewComparison(*chain)
 	case "fallback":
 		runFallback(*chain, *jsonOut)
+	case "warmstart":
+		runWarmstart(*storeDir, *jsonOut)
 	case "all":
 		runFig4(*maxN, *maxM, *budget, *jsonOut)
 		runFig9(*chain, *jsonOut)
@@ -75,6 +96,7 @@ func main() {
 		runAblations()
 		runViewComparison(200)
 		runFallback(*chain, *jsonOut)
+		runWarmstart(*storeDir, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -376,4 +398,140 @@ func runAblations() {
 		fmt.Println(r)
 	}
 	fmt.Println()
+}
+
+// warmstartJSON is one cold-vs-warm row of BENCH_warmstart.json.
+type warmstartJSON struct {
+	N                 int     `json:"n"`
+	M                 int     `json:"m"`
+	TPH               bool    `json:"tph"`
+	ColdSeconds       float64 `json:"coldSeconds"`
+	WarmSeconds       float64 `json:"warmSeconds"`
+	ColdEvolveSeconds float64 `json:"coldEvolveSeconds"`
+	WarmEvolveSeconds float64 `json:"warmEvolveSeconds"`
+	Speedup           float64 `json:"speedup"`
+	StoreHits         int64   `json:"storeHits"`
+	PersistedHits     int64   `json:"persistedHits"`
+	StoreBytes        int64   `json:"storeBytes"`
+	Error             string  `json:"error,omitempty"`
+}
+
+// warmstartFile is the envelope written to BENCH_warmstart.json.
+type warmstartFile struct {
+	GoMaxProcs    int                               `json:"goMaxProcs"`
+	NumCPU        int                               `json:"numCPU"`
+	Rows          []warmstartJSON                   `json:"rows"`
+	SecondProcess *experiments.WarmstartChildResult `json:"secondProcess,omitempty"`
+}
+
+// warmstartPoints are the Figure 4 hub-and-rim points measured cold vs
+// warm: enough TPH surface that the cold compile is seconds, not micro-
+// seconds, so the warm restore has something to beat.
+var warmstartPoints = [][2]int{{2, 3}, {3, 3}, {3, 5}}
+
+func runWarmstart(dir string, jsonOut bool) {
+	fmt.Println("=== Warm start: persistent compile cache, cold vs restored session open ===")
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "incmap-store-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapbench:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fmt.Printf("%-4s %-4s %12s %12s %10s %12s %12s %6s %6s\n",
+		"N", "M", "cold (s)", "warm (s)", "speedup", "coldEvo (s)", "warmEvo (s)", "hits", "pHits")
+	out := warmstartFile{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	var last [2]int
+	for _, pt := range warmstartPoints {
+		sub, err := os.MkdirTemp(dir, fmt.Sprintf("n%dm%d-*", pt[0], pt[1]))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapbench:", err)
+			os.Exit(1)
+		}
+		p := experiments.Warmstart(pt[0], pt[1], true, sub)
+		row := warmstartJSON{
+			N: p.N, M: p.M, TPH: p.TPH,
+			ColdSeconds:       p.Cold.Seconds(),
+			WarmSeconds:       p.Warm.Seconds(),
+			ColdEvolveSeconds: p.ColdEvolve.Seconds(),
+			WarmEvolveSeconds: p.WarmEvolve.Seconds(),
+			Speedup:           p.Speedup,
+			StoreHits:         p.StoreHits,
+			PersistedHits:     p.PersistedHits,
+			StoreBytes:        p.StoreBytes,
+		}
+		if p.Err != nil {
+			row.Error = p.Err.Error()
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Printf("%-4d %-4d %12.6f %12.6f %9.0fx %12.6f %12.6f %6d %6d\n",
+			p.N, p.M, row.ColdSeconds, row.WarmSeconds, p.Speedup,
+			row.ColdEvolveSeconds, row.WarmEvolveSeconds, p.StoreHits, p.PersistedHits)
+		if p.Err == nil {
+			last = pt
+			// The deepest point's store feeds the second-process run below.
+			if child, err := warmstartSecondProcess(sub, pt[0], pt[1]); err == nil {
+				out.SecondProcess = &child
+			} else {
+				fmt.Fprintln(os.Stderr, "mapbench: second process:", err)
+			}
+		}
+	}
+	if sp := out.SecondProcess; sp != nil {
+		fmt.Printf("\n--- second process (fresh OS process over the N=%d M=%d store) ---\n", last[0], last[1])
+		fmt.Printf("warm open %fs, evolve %fs, warmStarts=%d storeHits=%d persistedHits=%d roundtrip=%v\n",
+			sp.WarmSeconds, sp.EvolveSeconds, sp.WarmStarts, sp.StoreHits, sp.PersistedHits, sp.RoundtripOK)
+	}
+	fmt.Println()
+	printPhases(drainPhases())
+	if jsonOut {
+		writeJSONFile("BENCH_warmstart.json", out)
+	}
+}
+
+// warmstartSecondProcess re-executes this binary over the populated store
+// so the warm numbers cross a real process boundary.
+func warmstartSecondProcess(dir string, n, m int) (experiments.WarmstartChildResult, error) {
+	var r experiments.WarmstartChildResult
+	exe, err := os.Executable()
+	if err != nil {
+		return r, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("MAPBENCH_WARMSTART_CHILD=%s:%d:%d:tph", dir, n, m))
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return r, err
+	}
+	err = json.Unmarshal(outBytes, &r)
+	return r, err
+}
+
+// runWarmstartChild is the child half: spec is "dir:n:m:style".
+func runWarmstartChild(spec string) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		fmt.Fprintf(os.Stderr, "mapbench: bad warmstart child spec %q\n", spec)
+		os.Exit(2)
+	}
+	n, err1 := strconv.Atoi(parts[1])
+	m, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		fmt.Fprintf(os.Stderr, "mapbench: bad warmstart child spec %q\n", spec)
+		os.Exit(2)
+	}
+	r, err := experiments.WarmstartChild(parts[0], n, m, parts[3] == "tph")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
 }

@@ -48,6 +48,7 @@ import (
 	"github.com/ormkit/incmap/internal/rel"
 	"github.com/ormkit/incmap/internal/sqlgen"
 	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/store"
 )
 
 // Schema building blocks.
@@ -441,6 +442,62 @@ func EncodeMapping(w io.Writer, m *Mapping) error { return modelio.Encode(w, m) 
 
 // DecodeMapping reads a mapping from JSON.
 func DecodeMapping(r io.Reader) (*Mapping, error) { return modelio.Decode(r) }
+
+// EncodeViews writes compiled views as JSON. Conditions are encoded
+// structurally, so DecodeViews re-interns them into the process-wide
+// hash-consing table (decoded conditions are pointer-equal to live ones).
+func EncodeViews(w io.Writer, v *Views) error { return modelio.EncodeViews(w, v) }
+
+// DecodeViews reads compiled views from JSON.
+func DecodeViews(r io.Reader) (*Views, error) { return modelio.DecodeViews(r) }
+
+// Persistence --------------------------------------------------------------------
+
+// Store is a content-addressed on-disk cache of compilation artifacts:
+// compiled generations keyed by a fingerprint of the mapping and compiler
+// options, plus SatCache verdicts and learned lemmas. It is strictly an
+// accelerator — any missing, stale or damaged record degrades to a cold
+// compile, never to an error.
+type Store = store.Store
+
+// StoreStats is a snapshot of a store's hit/miss/eviction/byte counters.
+type StoreStats = store.Stats
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// Fingerprint computes the content address of a mapping (plus optional
+// extra strings covering compiler options) used to key saved generations.
+func Fingerprint(m *Mapping, extras ...string) (string, error) {
+	return store.Fingerprint(m, extras...)
+}
+
+// Save persists a compiled generation into st under the mapping's
+// fingerprint, so a later process can warm-start from it with Load.
+func Save(st *Store, m *Mapping, v *Views) error {
+	fp, err := store.Fingerprint(m)
+	if err != nil {
+		return err
+	}
+	return st.SaveGeneration(fp, m, v)
+}
+
+// Load restores the compiled generation saved for m, or an error if no
+// intact record with a matching fingerprint exists (callers then compile
+// cold).
+func Load(st *Store, m *Mapping) (*Mapping, *Views, error) {
+	fp, err := store.Fingerprint(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.LoadGeneration(fp)
+}
+
+// WithStore returns SessionOptions wired to persist and restore through
+// st: NewSessionCompile warm-starts from a saved generation when the
+// fingerprint matches, and every committed generation (plus the shared
+// SatCache) is snapshotted back on commit.
+func WithStore(st *Store) SessionOptions { return SessionOptions{Store: st} }
 
 // Int returns an integer Value.
 func Int(i int64) Value { return cond.Int(i) }

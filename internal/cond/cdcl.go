@@ -5,7 +5,7 @@ import "fmt"
 // A CDCL (conflict-driven clause learning) satisfiability core replacing
 // the historical DPLL tree search of Satisfiable. The condition is Tseitin-
 // encoded over its interned structure — every And/Or node contributes one
-// gate variable keyed by its hash-consing id, negation folds into literal
+// gate variable keyed by its content address, negation folds into literal
 // polarity — and solved with two-watched-literal unit propagation, 1-UIP
 // conflict analysis and non-chronological backjumping. Assignments are
 // dense arrays indexed by variable, not maps.
@@ -22,9 +22,10 @@ import "fmt"
 // literals below the current decision level), so every learned clause is
 // implied by the theory facts and the gate definitions alone — never by
 // the particular query being decided. That is what makes lemma persistence
-// (satcache.go) sound: a clause whose gate literals all name interned nodes
+// (satcache.go) sound: a clause whose gate literals all name structures
 // present in a later query, over the same atom list and theory fingerprint,
-// may be re-installed there verbatim.
+// may be re-installed there verbatim — even in another process, since
+// content addresses are structure-derived rather than process-local.
 
 // SolverStats counts one solver run's work (and, accumulated by SatCache,
 // a cache's lifetime totals).
@@ -81,8 +82,8 @@ type cdcl struct {
 	clauses []cdclClause
 	watches [][]int32
 
-	gateOf   map[uint64]int32 // intern id -> gate var
-	hcOf     []uint64         // per var: intern id of its gate node, 0 otherwise
+	gateOf   map[string]int32 // content address -> gate var
+	ckOf     []string         // per var: content address of its gate node, "" otherwise
 	constVar int32            // lazily created always-true var, -1 until used
 
 	units []lit // level-0 assertions (root literal, unit lemmas)
@@ -107,7 +108,7 @@ func satisfiableCDCL(t Theory, x Expr, atoms []Atom, store *lemmaStore, stats *S
 	for range atoms {
 		s.addVar()
 	}
-	s.gateOf = make(map[uint64]int32)
+	s.gateOf = make(map[string]int32)
 
 	root := s.encode(x)
 	s.units = append(s.units, root)
@@ -127,7 +128,7 @@ func (s *cdcl) addVar() int32 {
 	s.assigned = append(s.assigned, -1)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, reasonNone)
-	s.hcOf = append(s.hcOf, 0)
+	s.ckOf = append(s.ckOf, "")
 	s.watches = append(s.watches, nil, nil)
 	return v
 }
@@ -160,7 +161,7 @@ func (s *cdcl) constLit(neg bool) lit {
 }
 
 // encode returns a literal equivalent to x, adding gate definitions as
-// needed. Interned composites reuse one gate per hash-consing id.
+// needed. Composites reuse one gate per content address.
 func (s *cdcl) encode(x Expr) lit {
 	switch v := x.(type) {
 	case True:
@@ -170,9 +171,9 @@ func (s *cdcl) encode(x Expr) lit {
 	case *Not:
 		return s.encode(v.X).inv()
 	case *And:
-		return s.encodeGate(v.hc, v.Xs, true)
+		return s.encodeGate(v.ck, v.Xs, true)
 	case *Or:
-		return s.encodeGate(v.hc, v.Xs, false)
+		return s.encodeGate(v.ck, v.Xs, false)
 	default:
 		a, ok := atomOf(x)
 		if !ok {
@@ -184,9 +185,9 @@ func (s *cdcl) encode(x Expr) lit {
 	}
 }
 
-func (s *cdcl) encodeGate(hc uint64, children []Expr, isAnd bool) lit {
-	if hc != 0 {
-		if g, ok := s.gateOf[hc]; ok {
+func (s *cdcl) encodeGate(ck string, children []Expr, isAnd bool) lit {
+	if ck != "" {
+		if g, ok := s.gateOf[ck]; ok {
 			return mkLit(g, false)
 		}
 	}
@@ -195,9 +196,9 @@ func (s *cdcl) encodeGate(hc uint64, children []Expr, isAnd bool) lit {
 		cl[i] = s.encode(c)
 	}
 	g := s.addVar()
-	if hc != 0 {
-		s.gateOf[hc] = g
-		s.hcOf[g] = hc
+	if ck != "" {
+		s.gateOf[ck] = g
+		s.ckOf[g] = ck
 	}
 	glit := mkLit(g, false)
 	long := make([]lit, 1, len(cl)+1)

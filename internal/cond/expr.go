@@ -106,7 +106,7 @@ type Not struct {
 	X Expr
 
 	key   string // canonical structural encoding (intern key)
-	hc    uint64 // nonzero iff the node is interned
+	ck    string // content address: hash of key, stable across processes
 	atoms []Atom // memoized Atoms result, fixed at construction
 	ref   uint32 // second-chance bit for intern-table eviction (atomic)
 }
@@ -117,7 +117,7 @@ type And struct {
 	Xs []Expr
 
 	key   string
-	hc    uint64
+	ck    string
 	atoms []Atom
 	ref   uint32
 }
@@ -128,7 +128,7 @@ type Or struct {
 	Xs []Expr
 
 	key   string
-	hc    uint64
+	ck    string
 	atoms []Atom
 	ref   uint32
 }

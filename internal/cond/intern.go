@@ -1,6 +1,8 @@
 package cond
 
 import (
+	"crypto/sha256"
+	"encoding/base64"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,22 +29,30 @@ import (
 // the sweep clears; an entry survives one full revolution after its last
 // hit. Eviction never invalidates live pointers — a resident node handed
 // out earlier stays valid and structurally correct; only future
-// constructions of the same structure mint a fresh node (with a fresh id,
-// so stale "@id" references and persisted lemmas can never be
-// misattributed). Within one mapping generation, nodes reached through the
-// table while resident still compare == as before; eviction only weakens
-// == between expressions built far apart in time, the same degradation the
-// historical hard cap had.
+// constructions of the same structure mint a fresh node. Within one mapping
+// generation, nodes reached through the table while resident still compare
+// == as before; eviction only weakens == between expressions built far
+// apart in time, the same degradation the historical hard cap had.
+//
+// Every composite also carries a content address (ck): a 128-bit hash of
+// its canonical key, itself built from the content addresses of its
+// children — a Merkle hash of the structure. Unlike the historical
+// sequential intern ids, content addresses are identical for identical
+// structures in every process and across eviction/rebuild cycles, which is
+// what lets SatCache verdicts and persisted CDCL lemmas (whose keys embed
+// these references) survive a process restart (internal/store). Distinct
+// structures collide with probability ~2^-64 at a billion nodes — far
+// below any hardware error rate — and a collision's blast radius is one
+// cache entry, never memory unsafety.
 
 // internMaxEntries bounds the intern table. Keys of resident nodes are
-// O(fan-out) because interned children contribute a short "@id" reference.
+// O(fan-out) because interned children contribute a short "@ck" reference.
 // It is a variable only for tests, which shrink it to exercise eviction.
 var internMaxEntries = int64(1 << 20)
 
 var (
 	internTab       sync.Map // canonical key (string) -> *Not | *And | *Or
 	internSize      atomic.Int64
-	internNext      atomic.Uint64 // id source; ids are stable for the process lifetime
 	internEvictions atomic.Int64
 )
 
@@ -120,27 +130,28 @@ func internEvict(want int) {
 	}
 }
 
+// contentRef hashes a canonical key into its content address: 128 bits of
+// SHA-256, base64url. Children contribute their own content addresses to
+// the key, so this is a Merkle hash of the whole structure — equal for
+// equal structures in every process.
+func contentRef(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return base64.RawURLEncoding.EncodeToString(sum[:16])
+}
+
 // internKeyOf returns the canonical encoding of x as it appears inside a
-// parent's intern key: interned composites contribute "@id" (ids are
-// unique per structure, so this is canonical), non-interned composites
-// contribute their full key, and atoms their structural encoding.
+// parent's intern key: composites contribute their "@ck" content address
+// (equal structures hash equal, so this is canonical — and, unlike the
+// historical sequential intern ids, stable across processes and across
+// eviction/rebuild cycles), atoms their structural encoding.
 func internKeyOf(x Expr) string {
 	switch v := x.(type) {
 	case *Not:
-		if v.hc != 0 {
-			return "@" + strconv.FormatUint(v.hc, 36)
-		}
-		return v.key
+		return "@" + v.ck
 	case *And:
-		if v.hc != 0 {
-			return "@" + strconv.FormatUint(v.hc, 36)
-		}
-		return v.key
+		return "@" + v.ck
 	case *Or:
-		if v.hc != 0 {
-			return "@" + strconv.FormatUint(v.hc, 36)
-		}
-		return v.key
+		return "@" + v.ck
 	}
 	var b strings.Builder
 	encodeAtomExpr(&b, x)
@@ -174,12 +185,13 @@ func encodeAtomExpr(b *strings.Builder, x Expr) {
 }
 
 // intern publishes a fully-built node under its key, or returns the
-// already-resident structural twin. Nodes are complete (key and atom memo
-// set) before publication, so readers never observe partial state. When
-// the table is full a clock sweep (internEvict) ages out cold entries to
-// make room; only if that reclaims nothing is the fresh node returned
-// un-interned, with its hc cleared so parents embed its full key rather
-// than a dangling "@id".
+// already-resident structural twin. Nodes are complete (key, content
+// address and atom memo set) before publication, so readers never observe
+// partial state. When the table is full a clock sweep (internEvict) ages
+// out cold entries to make room; only if that reclaims nothing is the
+// fresh node returned un-interned — its content address is still valid
+// (it depends only on structure, not residency), so parents embed the
+// same "@ck" reference either way.
 func intern(key string, mk func() Expr) Expr {
 	if e, ok := internTab.Load(key); ok {
 		touchRef(e.(Expr))
@@ -191,7 +203,6 @@ func intern(key string, mk func() Expr) Expr {
 		// for the sweep only once every internEvictBatch entries.
 		internEvict(int(over) + internEvictBatch)
 		if internSize.Load() >= internMaxEntries {
-			clearHC(n)
 			return n
 		}
 	}
@@ -210,26 +221,14 @@ func intern(key string, mk func() Expr) Expr {
 // batching amortizes the sweep against the insert path.
 const internEvictBatch = 64
 
-func clearHC(x Expr) {
-	switch v := x.(type) {
-	case *Not:
-		v.hc = 0
-	case *And:
-		v.hc = 0
-	case *Or:
-		v.hc = 0
-	}
-}
-
 func internNot(x Expr) Expr {
 	var b strings.Builder
 	b.WriteByte('!')
 	b.WriteString(internKeyOf(x))
 	key := b.String()
 	return intern(key, func() Expr {
-		n := &Not{X: x, key: key}
+		n := &Not{X: x, key: key, ck: contentRef(key)}
 		n.atoms = collectAtoms(n.X)
-		n.hc = internNext.Add(1)
 		return n
 	})
 }
@@ -237,9 +236,8 @@ func internNot(x Expr) Expr {
 func internAnd(xs []Expr) Expr {
 	key := compositeKey('&', xs)
 	return intern(key, func() Expr {
-		n := &And{Xs: xs, key: key}
+		n := &And{Xs: xs, key: key, ck: contentRef(key)}
 		n.atoms = collectAtoms(n)
-		n.hc = internNext.Add(1)
 		return n
 	})
 }
@@ -247,9 +245,8 @@ func internAnd(xs []Expr) Expr {
 func internOr(xs []Expr) Expr {
 	key := compositeKey('|', xs)
 	return intern(key, func() Expr {
-		n := &Or{Xs: xs, key: key}
+		n := &Or{Xs: xs, key: key, ck: contentRef(key)}
 		n.atoms = collectAtoms(n)
-		n.hc = internNext.Add(1)
 		return n
 	})
 }

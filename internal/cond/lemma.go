@@ -10,7 +10,7 @@ import (
 // derived them. A lemmaStore holds the clauses learned for one scope —
 // one (sorted atom list, theory fingerprint) pair — in a solver-neutral
 // form: atom literals by index into the scope's atom list, gate literals
-// by the intern id of the And/Or node they define. Because conflict
+// by the content address of the And/Or node they define. Because conflict
 // analysis never resolves on the root assertion (a level-0 unit) and gate
 // definitions are definitional extensions, every stored clause is implied
 // by the theory and the gate definitions alone, so it can be installed
@@ -18,9 +18,10 @@ import (
 // contains all of the clause's gate nodes.
 //
 // Clauses naming a gate the new query does not contain are simply skipped
-// at install time; structures evicted from the intern table get fresh ids
-// when rebuilt, so stale lemmas can never be misattributed — they just
-// stop matching.
+// at install time. Content addresses are structure-derived (intern.go), so
+// a lemma can never be misattributed: a rebuilt or re-interned structure —
+// even in a different process restoring a persisted snapshot — carries the
+// same address exactly when it is the same structure.
 
 const (
 	maxLemmasPerScope = 256 // per-scope clause cap (append-only, first come)
@@ -28,11 +29,32 @@ const (
 )
 
 // lemmaLit is one literal of a persisted clause: an atom literal when
-// gate == 0 (atom indexes the scope's atom list), a gate literal otherwise.
+// gate == "" (atom indexes the scope's atom list), a gate literal
+// otherwise (gate is the content address of the And/Or node).
 type lemmaLit struct {
-	gate uint64
+	gate string
 	atom int32
 	neg  bool
+}
+
+// lemmaKeyOf builds the deduplication key of a clause from its store form.
+// The key depends only on content addresses and atom indices, so it is
+// stable across processes (snapshot import reuses it).
+func lemmaKeyOf(ls []lemmaLit) string {
+	var key []byte
+	for _, ll := range ls {
+		if ll.gate == "" {
+			key = strconv.AppendInt(key, int64(mkLit(ll.atom, ll.neg)), 36)
+		} else {
+			key = append(key, 'g')
+			key = append(key, ll.gate...)
+			if ll.neg {
+				key = append(key, '-')
+			}
+		}
+		key = append(key, '.')
+	}
+	return string(key)
 }
 
 // lemmaStore holds the persisted lemmas of one solver scope.
@@ -40,53 +62,48 @@ type lemmaStore struct {
 	mu     sync.Mutex
 	keys   map[string]struct{}
 	lemmas [][]lemmaLit
+	// ref is the second-chance bit for scope eviction (satcache.go),
+	// set on scope lookups and cleared by the clock sweep.
+	ref uint32
 }
 
-func (st *lemmaStore) addLocked(key string, ls []lemmaLit) {
+func (st *lemmaStore) addLocked(key string, ls []lemmaLit) bool {
 	if st.keys == nil {
 		st.keys = make(map[string]struct{})
 	}
 	if _, dup := st.keys[key]; dup {
-		return
+		return false
 	}
 	st.keys[key] = struct{}{}
 	st.lemmas = append(st.lemmas, ls)
+	return true
 }
 
 // persist translates a learned clause into store form and appends it,
-// skipping clauses that mention anonymous variables (the constant var, or
-// gates of non-interned nodes) — those have no cross-run identity.
+// skipping clauses that mention anonymous variables (the constant var) —
+// those have no cross-run identity.
 func (s *cdcl) persist(ls []lit) {
 	if s.store == nil || len(ls) == 0 || len(ls) > maxLemmaLen {
 		return
 	}
 	out := make([]lemmaLit, len(ls))
-	var key []byte
 	for i, l := range ls {
 		v := l.v()
 		ll := lemmaLit{neg: l.negd()}
 		if v < s.nAtoms {
 			ll.atom = v
-			key = strconv.AppendInt(key, int64(l), 36)
 		} else {
-			hc := s.hcOf[v]
-			if hc == 0 {
+			ck := s.ckOf[v]
+			if ck == "" {
 				return // anonymous variable: not persistable
 			}
-			ll.gate = hc
-			key = append(key, 'g')
-			key = strconv.AppendUint(key, hc, 36)
-			if ll.neg {
-				key = append(key, '-')
-			}
+			ll.gate = ck
 		}
-		key = append(key, '.')
 		out[i] = ll
 	}
 	st := s.store
 	st.mu.Lock()
-	if len(st.lemmas) < maxLemmasPerScope {
-		st.addLocked(string(key), out)
+	if len(st.lemmas) < maxLemmasPerScope && st.addLocked(lemmaKeyOf(out), out) {
 		s.stats.LemmasStored++
 	}
 	st.mu.Unlock()
@@ -106,7 +123,7 @@ func (s *cdcl) installLemmas() {
 		ls := make([]lit, len(lm))
 		ok := true
 		for i, ll := range lm {
-			if ll.gate != 0 {
+			if ll.gate != "" {
 				g, present := s.gateOf[ll.gate]
 				if !present {
 					ok = false
@@ -114,6 +131,12 @@ func (s *cdcl) installLemmas() {
 				}
 				ls[i] = mkLit(g, ll.neg)
 			} else {
+				if ll.atom < 0 || ll.atom >= s.nAtoms {
+					// Imported lemmas are schema-checked but their atom
+					// indices are scope-relative; never trust them blindly.
+					ok = false
+					break
+				}
 				ls[i] = mkLit(ll.atom, ll.neg)
 			}
 		}

@@ -27,7 +27,7 @@ import (
 // A SatCache is safe for concurrent use. The zero value is not usable;
 // construct with NewSatCache.
 type SatCache struct {
-	entries sync.Map // string -> bool
+	entries sync.Map // string -> verdict
 	hits    atomic.Int64
 	misses  atomic.Int64
 	size    atomic.Int64
@@ -38,12 +38,24 @@ type SatCache struct {
 	// scopes holds persisted solver lemmas (lemma.go) keyed by solver scope
 	// — the sorted atom list plus theory fingerprint. Distinct queries over
 	// the same atoms and theory facts solve in the same scope and reuse each
-	// other's learned clauses. Bounded by maxScopes; past the cap, misses
-	// solve without persistence.
-	scopes       sync.Map // string -> *lemmaStore
-	scopeCount   atomic.Int64
-	lemmaHits    atomic.Int64
-	lemmasStored atomic.Int64
+	// other's learned clauses. Bounded by maxScopes with second-chance
+	// (clock) eviction, like the intern table: scope churn past the cap
+	// ages out cold scopes instead of refusing persistence to new ones.
+	scopes         sync.Map // string -> *lemmaStore
+	scopeCount     atomic.Int64
+	maxScopes      int64
+	scopeEvictions atomic.Int64
+	lemmaHits      atomic.Int64
+	lemmasStored   atomic.Int64
+	persistedHits  atomic.Int64
+
+	// scopeClock is the eviction ring of scope keys, swept by a clock hand
+	// (see scopeEvict).
+	scopeClock struct {
+		mu   sync.Mutex
+		keys []string
+		hand int
+	}
 }
 
 // SatCacheStats is a snapshot of a cache's counters.
@@ -55,6 +67,13 @@ type SatCacheStats struct {
 	// runs; LemmasStored counts clauses persisted by those runs.
 	LemmaHits    int64
 	LemmasStored int64
+	// ScopeEvictions counts lemma scopes aged out of the scope map by the
+	// clock sweep once the scope cap is reached.
+	ScopeEvictions int64
+	// PersistedHits counts cache hits served by verdicts that entered this
+	// cache through snapshot Import (a warm start from an on-disk store)
+	// rather than being solved in this process.
+	PersistedHits int64
 	// InternEvictions counts structures aged out of the package-wide
 	// hash-consing table (intern.go) since process start.
 	InternEvictions int64
@@ -64,13 +83,21 @@ type SatCacheStats struct {
 // in the worst case; real workloads stay far below it.
 const defaultSatCacheEntries = 1 << 20
 
-// maxScopes bounds the lemma-scope map; each scope holds at most
+// defaultMaxScopes bounds the lemma-scope map; each scope holds at most
 // maxLemmasPerScope clauses.
-const maxScopes = 1 << 16
+const defaultMaxScopes = 1 << 16
+
+// verdict is one cached decision. persisted marks entries that arrived via
+// snapshot Import (an on-disk warm start) rather than a local solve, so
+// hits on them are separately countable.
+type verdict struct {
+	sat       bool
+	persisted bool
+}
 
 // NewSatCache returns an empty decision cache.
 func NewSatCache() *SatCache {
-	return &SatCache{maxEntries: defaultSatCacheEntries}
+	return &SatCache{maxEntries: defaultSatCacheEntries, maxScopes: defaultMaxScopes}
 }
 
 // Stats returns a snapshot of the hit/miss counters.
@@ -81,6 +108,8 @@ func (c *SatCache) Stats() SatCacheStats {
 		Entries:         c.size.Load(),
 		LemmaHits:       c.lemmaHits.Load(),
 		LemmasStored:    c.lemmasStored.Load(),
+		ScopeEvictions:  c.scopeEvictions.Load(),
+		PersistedHits:   c.persistedHits.Load(),
 		InternEvictions: internEvictions.Load(),
 	}
 }
@@ -100,8 +129,14 @@ func (c *SatCache) Reset() {
 	c.misses.Store(0)
 	c.size.Store(0)
 	c.scopeCount.Store(0)
+	c.scopeEvictions.Store(0)
 	c.lemmaHits.Store(0)
 	c.lemmasStored.Store(0)
+	c.persistedHits.Store(0)
+	c.scopeClock.mu.Lock()
+	c.scopeClock.keys = nil
+	c.scopeClock.hand = 0
+	c.scopeClock.mu.Unlock()
 }
 
 // Satisfiable is the memoized form of the package-level Satisfiable.
@@ -131,7 +166,11 @@ func (c *SatCache) SatisfiableHit(t Theory, x Expr) (sat, hit bool) {
 
 	if v, ok := c.entries.Load(key); ok {
 		c.hits.Add(1)
-		return v.(bool), true
+		vd := v.(verdict)
+		if vd.persisted {
+			c.persistedHits.Add(1)
+		}
+		return vd.sat, true
 	}
 	c.misses.Add(1)
 
@@ -149,30 +188,89 @@ func (c *SatCache) SatisfiableHit(t Theory, x Expr) (sat, hit bool) {
 	c.lemmasStored.Add(stats.LemmasStored)
 
 	if c.size.Load() < c.maxEntries {
-		if _, loaded := c.entries.LoadOrStore(key, v); !loaded {
+		if _, loaded := c.entries.LoadOrStore(key, verdict{sat: v}); !loaded {
 			c.size.Add(1)
 		}
 	}
 	return v, false
 }
 
-// scopeStore returns the lemma store for a solver scope, creating it if the
-// scope map has room; nil (solve without persistence) once full.
+// scopeStore returns the lemma store for a solver scope, creating it if
+// absent. Past the scope cap, a second-chance clock sweep (scopeEvict)
+// ages out scopes that have not been consulted since the last revolution —
+// scope churn keeps persisting into fresh scopes instead of permanently
+// refusing every scope after the cap, which froze the lemma working set at
+// whatever arrived first.
 func (c *SatCache) scopeStore(scopeKey string) *lemmaStore {
 	if st, ok := c.scopes.Load(scopeKey); ok {
-		return st.(*lemmaStore)
+		ls := st.(*lemmaStore)
+		if atomic.LoadUint32(&ls.ref) == 0 {
+			atomic.StoreUint32(&ls.ref, 1)
+		}
+		return ls
 	}
 	// Reserve a slot before inserting so racing first-time creations cannot
 	// push the scope map past maxScopes; release it if we lost the race.
-	if c.scopeCount.Add(1) > maxScopes {
-		c.scopeCount.Add(-1)
-		return nil
+	if c.scopeCount.Add(1) > c.maxScopes {
+		c.scopeEvict(scopeEvictBatch)
+		if c.scopeCount.Load() > c.maxScopes {
+			// The sweep reclaimed nothing (every scope freshly referenced):
+			// solve without persistence rather than grow without bound.
+			c.scopeCount.Add(-1)
+			return nil
+		}
 	}
-	st, loaded := c.scopes.LoadOrStore(scopeKey, &lemmaStore{})
+	fresh := &lemmaStore{ref: 1} // first revolution's grace
+	st, loaded := c.scopes.LoadOrStore(scopeKey, fresh)
 	if loaded {
 		c.scopeCount.Add(-1)
+	} else {
+		c.scopeClock.mu.Lock()
+		c.scopeClock.keys = append(c.scopeClock.keys, scopeKey)
+		c.scopeClock.mu.Unlock()
 	}
 	return st.(*lemmaStore)
+}
+
+// scopeEvictBatch is how many scopes one over-cap insert reclaims,
+// amortizing the sweep like the intern table's internEvictBatch.
+const scopeEvictBatch = 16
+
+// scopeEvict runs the clock hand until it has reclaimed want scopes or
+// proven every resident scope recently referenced. Referenced scopes get
+// their second chance (bit cleared, hand moves on); clear ones are evicted
+// with their lemmas.
+func (c *SatCache) scopeEvict(want int) {
+	ck := &c.scopeClock
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	budget := 2 * len(ck.keys)
+	for want > 0 && len(ck.keys) > 0 && budget > 0 {
+		budget--
+		if ck.hand >= len(ck.keys) {
+			ck.hand = 0
+		}
+		key := ck.keys[ck.hand]
+		e, ok := c.scopes.Load(key)
+		if !ok {
+			// Stale ring slot (Reset ran); drop it.
+			ck.keys[ck.hand] = ck.keys[len(ck.keys)-1]
+			ck.keys = ck.keys[:len(ck.keys)-1]
+			continue
+		}
+		ls := e.(*lemmaStore)
+		if atomic.LoadUint32(&ls.ref) != 0 {
+			atomic.StoreUint32(&ls.ref, 0)
+			ck.hand++
+			continue
+		}
+		c.scopes.Delete(key)
+		c.scopeCount.Add(-1)
+		c.scopeEvictions.Add(1)
+		ck.keys[ck.hand] = ck.keys[len(ck.keys)-1]
+		ck.keys = ck.keys[:len(ck.keys)-1]
+		want--
+	}
 }
 
 // Implies is the memoized form of the package-level Implies.
@@ -259,8 +357,9 @@ func encVal(b *strings.Builder, v Value) {
 
 // encodeExpr writes an unambiguous prefix encoding of the expression.
 // Composite nodes are hash-consed (see intern.go) and contribute their
-// memoized canonical key — "@id" when interned — so encoding is O(1) in
-// the subtree size instead of a full walk.
+// memoized canonical key — an "@ck" content-address reference — so
+// encoding is O(1) in the subtree size instead of a full walk, and the
+// resulting cache keys are stable across processes.
 func encodeExpr(b *strings.Builder, x Expr) {
 	switch x.(type) {
 	case *Not, *And, *Or:

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/pipeline"
+	"github.com/ormkit/incmap/internal/store"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// WarmstartPoint is one cold-vs-warm measurement of the persistent compile
+// cache on a hub-and-rim point: the cold column pays a full compilation
+// (plus the snapshot write), the warm column restores the same generation
+// from disk through a fresh store handle — the in-process stand-in for a
+// process restart (the true second-process number is WarmstartChild).
+type WarmstartPoint struct {
+	N, M int
+	TPH  bool
+	// Cold is a session open against an empty store: full compile + snapshot.
+	Cold time.Duration
+	// Warm is a session open against the populated store: load + re-intern.
+	Warm time.Duration
+	// ColdEvolve / WarmEvolve time the same probe SMO on each session; the
+	// warm one runs against restored SatCache verdicts and lemmas.
+	ColdEvolve time.Duration
+	WarmEvolve time.Duration
+	// Speedup is Cold/Warm.
+	Speedup float64
+	// StoreHits counts records the warm open decoded and accepted;
+	// PersistedHits counts restored SatCache verdicts the warm Evolve
+	// consulted; StoreBytes is what the cold process wrote.
+	StoreHits     int64
+	PersistedHits int64
+	StoreBytes    int64
+	Err           error
+}
+
+// warmstartProbeOps is the SMO sequence both rungs evolve — dropping a
+// rim leaf (association first) touches no new store objects, so the
+// identical operations run on the cold and the warm session and their
+// timings compare directly.
+func warmstartProbeOps() []core.SMO {
+	return []core.SMO{
+		&core.DropAssociation{Name: "A0_0"},
+		&core.DropEntity{Name: "Rim0_0"},
+	}
+}
+
+// evolveProbe runs the probe sequence on s, returning the final generation
+// and the total wall time.
+func evolveProbe(ctx context.Context, s *pipeline.Session) (*frag.Mapping, *frag.Views, time.Duration, error) {
+	var em *frag.Mapping
+	var ev *frag.Views
+	t0 := time.Now()
+	for _, op := range warmstartProbeOps() {
+		var err error
+		em, ev, err = s.Evolve(ctx, op)
+		if err != nil {
+			return nil, nil, time.Since(t0), err
+		}
+	}
+	return em, ev, time.Since(t0), nil
+}
+
+// Warmstart measures one point. dir must be an empty directory; it holds
+// the store both halves share.
+func Warmstart(n, m int, tph bool, dir string) WarmstartPoint {
+	p := WarmstartPoint{N: n, M: m, TPH: tph}
+	ctx := context.Background()
+	opt := workload.HubRimOptions{N: n, M: m, TPH: tph}
+
+	st, err := store.Open(dir)
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	t0 := time.Now()
+	cold, err := pipeline.NewSessionCompile(ctx, workload.HubRim(opt), pipeline.Options{Store: st})
+	p.Cold = time.Since(t0)
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	_, _, p.ColdEvolve, err = evolveProbe(ctx, cold)
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	p.StoreBytes = st.Stats().BytesWritten
+
+	// The "restarted process": a fresh store handle, a fresh mapping value,
+	// a fresh SatCache.
+	st2, err := store.Open(dir)
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	t0 = time.Now()
+	warm, err := pipeline.NewSessionCompile(ctx, workload.HubRim(opt), pipeline.Options{Store: st2})
+	p.Warm = time.Since(t0)
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	wm, wv, warmEvolve, err := evolveProbe(ctx, warm)
+	p.WarmEvolve = warmEvolve
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	if p.Warm > 0 {
+		p.Speedup = p.Cold.Seconds() / p.Warm.Seconds()
+	}
+	p.StoreHits = st2.Stats().Hits
+	if c := warm.SatCache(); c != nil {
+		p.PersistedHits = c.Stats().PersistedHits
+	}
+	// Correctness: the warm evolved generation must roundtrip client data.
+	if err := orm.Roundtrip(wm, wv, orm.RandomState(wm, 2654435761, 3)); err != nil {
+		p.Err = err
+	}
+	return p
+}
+
+// WarmstartChildResult is what a genuinely separate process reports after
+// opening a store directory its parent populated: the cross-process proof
+// that persisted artifacts survive a restart.
+type WarmstartChildResult struct {
+	WarmSeconds   float64 `json:"warmSeconds"`
+	EvolveSeconds float64 `json:"evolveSeconds"`
+	WarmStarts    int64   `json:"warmStarts"`
+	StoreHits     int64   `json:"storeHits"`
+	PersistedHits int64   `json:"persistedHits"`
+	RoundtripOK   bool    `json:"roundtripOK"`
+}
+
+// WarmstartChild is the second-process half of the experiment, run by
+// mapbench when it re-executes itself over a shared store directory.
+func WarmstartChild(dir string, n, m int, tph bool) (WarmstartChildResult, error) {
+	var r WarmstartChildResult
+	st, err := store.Open(dir)
+	if err != nil {
+		return r, err
+	}
+	ctx := context.Background()
+	t0 := time.Now()
+	s, err := pipeline.NewSessionCompile(ctx, workload.HubRim(workload.HubRimOptions{N: n, M: m, TPH: tph}),
+		pipeline.Options{Store: st})
+	if err != nil {
+		return r, err
+	}
+	r.WarmSeconds = time.Since(t0).Seconds()
+	r.WarmStarts = s.Stats().WarmStarts
+	em, ev, evolveD, err := evolveProbe(ctx, s)
+	if err != nil {
+		return r, err
+	}
+	r.EvolveSeconds = evolveD.Seconds()
+	r.StoreHits = st.Stats().Hits
+	if c := s.SatCache(); c != nil {
+		r.PersistedHits = c.Stats().PersistedHits
+	}
+	r.RoundtripOK = orm.Roundtrip(em, ev, orm.RandomState(em, 2654435761, 3)) == nil
+	return r, nil
+}

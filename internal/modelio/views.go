@@ -1,0 +1,553 @@
+// Structural serialization of compiled views. Unlike the mapping document
+// (modelio.go), which renders conditions in Entity-SQL text for human
+// readability, compiled artifacts round-trip through a structural JSON form:
+// the esql grammar cannot represent every expression the compiler builds
+// (e.g. multi-subject conditions with explicit empty subjects), and the
+// decode path must rebuild conditions through the cond constructors so the
+// hash-consing invariant — structurally equal composites are pointer-equal —
+// holds for loaded views exactly as for freshly compiled ones.
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/cqt"
+	"github.com/ormkit/incmap/internal/frag"
+)
+
+// ViewsDoc is the JSON shape of a compiled view set (frag.Views).
+type ViewsDoc struct {
+	Query  map[string]*ViewDoc `json:"query,omitempty"`
+	Assoc  map[string]*ViewDoc `json:"assoc,omitempty"`
+	Update map[string]*ViewDoc `json:"update,omitempty"`
+}
+
+// ViewDoc is the JSON shape of one (Q | τ) view.
+type ViewDoc struct {
+	Q     *QDoc     `json:"q"`
+	Cases []CaseDoc `json:"cases,omitempty"`
+}
+
+// CaseDoc is one constructor branch.
+type CaseDoc struct {
+	When  *CondDoc          `json:"when"`
+	Type  string            `json:"type"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// QDoc is the JSON shape of a relational query tree node. Op selects the
+// node type; the other fields are populated per Op.
+type QDoc struct {
+	Op     string       `json:"op"`
+	Name   string       `json:"name,omitempty"`   // scantable/scanset/scanassoc
+	In     *QDoc        `json:"in,omitempty"`     // select/project
+	Cond   *CondDoc     `json:"cond,omitempty"`   // select
+	Cols   []ProjColDoc `json:"cols,omitempty"`   // project
+	Kind   string       `json:"kind,omitempty"`   // join
+	L      *QDoc        `json:"l,omitempty"`      // join
+	R      *QDoc        `json:"r,omitempty"`      // join
+	On     [][2]string  `json:"on,omitempty"`     // join
+	Inputs []QDoc       `json:"inputs,omitempty"` // unionall
+}
+
+// ProjColDoc is one projection output column.
+type ProjColDoc struct {
+	As  string      `json:"as"`
+	Src string      `json:"src,omitempty"`
+	Lit *LiteralDoc `json:"lit,omitempty"`
+}
+
+// LiteralDoc is a constant projection source, possibly a typed NULL.
+type LiteralDoc struct {
+	Null bool            `json:"null,omitempty"`
+	Kind string          `json:"kind"`
+	Val  json.RawMessage `json:"val,omitempty"`
+}
+
+// CondDoc is the structural JSON shape of a boolean condition.
+type CondDoc struct {
+	Op   string          `json:"op"` // true false typeis null cmp not and or
+	Var  string          `json:"var,omitempty"`
+	Type string          `json:"type,omitempty"`
+	Only bool            `json:"only,omitempty"`
+	Attr string          `json:"attr,omitempty"`
+	Cmp  string          `json:"cmp,omitempty"` // comparison operator symbol
+	Kind string          `json:"kind,omitempty"`
+	Val  json.RawMessage `json:"val,omitempty"`
+	Kids []CondDoc       `json:"kids,omitempty"`
+}
+
+// EncodeViews writes a compiled view set as JSON.
+func EncodeViews(w io.Writer, v *frag.Views) error {
+	doc, err := ViewsToDoc(v)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// DecodeViews reads a compiled view set from JSON, rebuilding every
+// condition through the cond constructors so loaded views satisfy the
+// same interning invariants as compiled ones.
+func DecodeViews(r io.Reader) (*frag.Views, error) {
+	var doc ViewsDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("modelio: views: %w", err)
+	}
+	return ViewsFromDoc(&doc)
+}
+
+// ViewsToDoc converts a view set to its document form.
+func ViewsToDoc(v *frag.Views) (*ViewsDoc, error) {
+	doc := &ViewsDoc{}
+	var err error
+	if doc.Query, err = viewMapToDoc(v.Query); err != nil {
+		return nil, err
+	}
+	if doc.Assoc, err = viewMapToDoc(v.Assoc); err != nil {
+		return nil, err
+	}
+	if doc.Update, err = viewMapToDoc(v.Update); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// ViewsFromDoc rebuilds a view set from its document form.
+func ViewsFromDoc(doc *ViewsDoc) (*frag.Views, error) {
+	out := frag.NewViews()
+	for name, vd := range doc.Query {
+		v, err := viewFromDoc(vd)
+		if err != nil {
+			return nil, fmt.Errorf("modelio: query view %q: %w", name, err)
+		}
+		out.SetQuery(name, v)
+	}
+	for name, vd := range doc.Assoc {
+		v, err := viewFromDoc(vd)
+		if err != nil {
+			return nil, fmt.Errorf("modelio: assoc view %q: %w", name, err)
+		}
+		out.SetAssoc(name, v)
+	}
+	for name, vd := range doc.Update {
+		v, err := viewFromDoc(vd)
+		if err != nil {
+			return nil, fmt.Errorf("modelio: update view %q: %w", name, err)
+		}
+		out.SetUpdate(name, v)
+	}
+	return out, nil
+}
+
+func viewMapToDoc(m map[string]*cqt.View) (map[string]*ViewDoc, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]*ViewDoc, len(m))
+	for name, v := range m {
+		vd, err := viewToDoc(v)
+		if err != nil {
+			return nil, fmt.Errorf("modelio: view %q: %w", name, err)
+		}
+		out[name] = vd
+	}
+	return out, nil
+}
+
+func viewToDoc(v *cqt.View) (*ViewDoc, error) {
+	q, err := qToDoc(v.Q)
+	if err != nil {
+		return nil, err
+	}
+	vd := &ViewDoc{Q: q}
+	for _, c := range v.Cases {
+		when, err := condToDoc(c.When)
+		if err != nil {
+			return nil, err
+		}
+		vd.Cases = append(vd.Cases, CaseDoc{When: when, Type: c.Type, Attrs: c.Attrs})
+	}
+	return vd, nil
+}
+
+func viewFromDoc(vd *ViewDoc) (*cqt.View, error) {
+	if vd == nil || vd.Q == nil {
+		return nil, fmt.Errorf("missing query tree")
+	}
+	q, err := qFromDoc(vd.Q)
+	if err != nil {
+		return nil, err
+	}
+	v := &cqt.View{Q: q}
+	for _, cd := range vd.Cases {
+		when, err := condFromDoc(cd.When)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make(map[string]string, len(cd.Attrs))
+		for k, col := range cd.Attrs {
+			attrs[k] = col
+		}
+		v.Cases = append(v.Cases, cqt.Case{When: when, Type: cd.Type, Attrs: attrs})
+	}
+	return v, nil
+}
+
+func qToDoc(e cqt.Expr) (*QDoc, error) {
+	switch q := e.(type) {
+	case cqt.ScanTable:
+		return &QDoc{Op: "scantable", Name: q.Table}, nil
+	case cqt.ScanSet:
+		return &QDoc{Op: "scanset", Name: q.Set}, nil
+	case cqt.ScanAssoc:
+		return &QDoc{Op: "scanassoc", Name: q.Assoc}, nil
+	case cqt.Select:
+		in, err := qToDoc(q.In)
+		if err != nil {
+			return nil, err
+		}
+		c, err := condToDoc(q.Cond)
+		if err != nil {
+			return nil, err
+		}
+		return &QDoc{Op: "select", In: in, Cond: c}, nil
+	case cqt.Project:
+		in, err := qToDoc(q.In)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]ProjColDoc, len(q.Cols))
+		for i, pc := range q.Cols {
+			cd := ProjColDoc{As: pc.As, Src: pc.Src}
+			if pc.Lit != nil {
+				ld, err := literalToDoc(pc.Lit)
+				if err != nil {
+					return nil, err
+				}
+				cd.Lit = ld
+				cd.Src = ""
+			}
+			cols[i] = cd
+		}
+		return &QDoc{Op: "project", In: in, Cols: cols}, nil
+	case cqt.Join:
+		l, err := qToDoc(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := qToDoc(q.R)
+		if err != nil {
+			return nil, err
+		}
+		return &QDoc{Op: "join", Kind: joinKindName(q.Kind), L: l, R: r, On: q.On}, nil
+	case cqt.UnionAll:
+		inputs := make([]QDoc, len(q.Inputs))
+		for i, in := range q.Inputs {
+			d, err := qToDoc(in)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = *d
+		}
+		return &QDoc{Op: "unionall", Inputs: inputs}, nil
+	}
+	return nil, fmt.Errorf("unknown query node %T", e)
+}
+
+func qFromDoc(d *QDoc) (cqt.Expr, error) {
+	if d == nil {
+		return nil, fmt.Errorf("missing query node")
+	}
+	switch d.Op {
+	case "scantable":
+		return cqt.ScanTable{Table: d.Name}, nil
+	case "scanset":
+		return cqt.ScanSet{Set: d.Name}, nil
+	case "scanassoc":
+		return cqt.ScanAssoc{Assoc: d.Name}, nil
+	case "select":
+		in, err := qFromDoc(d.In)
+		if err != nil {
+			return nil, err
+		}
+		c, err := condFromDoc(d.Cond)
+		if err != nil {
+			return nil, err
+		}
+		return cqt.Select{In: in, Cond: c}, nil
+	case "project":
+		in, err := qFromDoc(d.In)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]cqt.ProjCol, len(d.Cols))
+		for i, cd := range d.Cols {
+			pc := cqt.ProjCol{As: cd.As, Src: cd.Src}
+			if cd.Lit != nil {
+				lit, err := literalFromDoc(cd.Lit)
+				if err != nil {
+					return nil, err
+				}
+				pc.Lit = lit
+				pc.Src = ""
+			}
+			cols[i] = pc
+		}
+		return cqt.Project{In: in, Cols: cols}, nil
+	case "join":
+		kind, err := joinKindOf(d.Kind)
+		if err != nil {
+			return nil, err
+		}
+		l, err := qFromDoc(d.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := qFromDoc(d.R)
+		if err != nil {
+			return nil, err
+		}
+		return cqt.Join{Kind: kind, L: l, R: r, On: d.On}, nil
+	case "unionall":
+		inputs := make([]cqt.Expr, len(d.Inputs))
+		for i := range d.Inputs {
+			in, err := qFromDoc(&d.Inputs[i])
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = in
+		}
+		return cqt.UnionAll{Inputs: inputs}, nil
+	}
+	return nil, fmt.Errorf("unknown query op %q", d.Op)
+}
+
+func joinKindName(k cqt.JoinKind) string {
+	switch k {
+	case cqt.Inner:
+		return "inner"
+	case cqt.LeftOuter:
+		return "left"
+	case cqt.FullOuter:
+		return "full"
+	}
+	return "?"
+}
+
+func joinKindOf(name string) (cqt.JoinKind, error) {
+	switch name {
+	case "inner":
+		return cqt.Inner, nil
+	case "left":
+		return cqt.LeftOuter, nil
+	case "full":
+		return cqt.FullOuter, nil
+	}
+	return 0, fmt.Errorf("unknown join kind %q", name)
+}
+
+func literalToDoc(l *cqt.Literal) (*LiteralDoc, error) {
+	d := &LiteralDoc{Null: l.Null, Kind: kindName(l.Kind)}
+	if !l.Null {
+		raw, err := valueRaw(l.Val)
+		if err != nil {
+			return nil, err
+		}
+		d.Val = raw
+	}
+	return d, nil
+}
+
+func literalFromDoc(d *LiteralDoc) (*cqt.Literal, error) {
+	k, err := kindOf(d.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if d.Null {
+		return cqt.NullOf(k), nil
+	}
+	v, err := valueOfRaw(k, d.Val)
+	if err != nil {
+		return nil, err
+	}
+	return cqt.Const(v), nil
+}
+
+func cmpOpName(o cond.Op) string { return o.String() }
+
+func cmpOpOf(name string) (cond.Op, error) {
+	switch name {
+	case "=":
+		return cond.OpEq, nil
+	case "<>":
+		return cond.OpNe, nil
+	case "<":
+		return cond.OpLt, nil
+	case "<=":
+		return cond.OpLe, nil
+	case ">":
+		return cond.OpGt, nil
+	case ">=":
+		return cond.OpGe, nil
+	}
+	return 0, fmt.Errorf("unknown comparison operator %q", name)
+}
+
+// valueRaw marshals a typed value as its bare JSON form (kind travels
+// alongside it in the containing document).
+func valueRaw(v cond.Value) (json.RawMessage, error) {
+	switch v.K {
+	case cond.KindString:
+		return json.Marshal(v.Str())
+	case cond.KindInt:
+		return json.Marshal(v.IntVal())
+	case cond.KindFloat:
+		return json.Marshal(v.FloatVal())
+	case cond.KindBool:
+		return json.Marshal(v.BoolVal())
+	}
+	return nil, fmt.Errorf("unknown value kind %v", v.K)
+}
+
+func valueOfRaw(k cond.Kind, raw json.RawMessage) (cond.Value, error) {
+	switch k {
+	case cond.KindString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return cond.Value{}, err
+		}
+		return cond.String(s), nil
+	case cond.KindInt:
+		var i int64
+		if err := json.Unmarshal(raw, &i); err != nil {
+			return cond.Value{}, err
+		}
+		return cond.Int(i), nil
+	case cond.KindFloat:
+		var f float64
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return cond.Value{}, err
+		}
+		return cond.Float(f), nil
+	case cond.KindBool:
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return cond.Value{}, err
+		}
+		return cond.Bool(b), nil
+	}
+	return cond.Value{}, fmt.Errorf("unknown value kind %q", k)
+}
+
+func condToDoc(x cond.Expr) (*CondDoc, error) {
+	switch v := x.(type) {
+	case nil:
+		return nil, fmt.Errorf("nil condition")
+	case cond.True:
+		return &CondDoc{Op: "true"}, nil
+	case cond.False:
+		return &CondDoc{Op: "false"}, nil
+	case cond.TypeIs:
+		return &CondDoc{Op: "typeis", Var: v.Var, Type: v.Type, Only: v.Only}, nil
+	case cond.Null:
+		return &CondDoc{Op: "null", Attr: v.Attr}, nil
+	case cond.Cmp:
+		raw, err := valueRaw(v.Val)
+		if err != nil {
+			return nil, err
+		}
+		return &CondDoc{Op: "cmp", Attr: v.Attr, Cmp: cmpOpName(v.Op), Kind: kindName(v.Val.K), Val: raw}, nil
+	case *cond.Not:
+		kid, err := condToDoc(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &CondDoc{Op: "not", Kids: []CondDoc{*kid}}, nil
+	case *cond.And:
+		kids, err := condKidsToDoc(v.Xs)
+		if err != nil {
+			return nil, err
+		}
+		return &CondDoc{Op: "and", Kids: kids}, nil
+	case *cond.Or:
+		kids, err := condKidsToDoc(v.Xs)
+		if err != nil {
+			return nil, err
+		}
+		return &CondDoc{Op: "or", Kids: kids}, nil
+	}
+	return nil, fmt.Errorf("unknown condition node %T", x)
+}
+
+func condKidsToDoc(xs []cond.Expr) ([]CondDoc, error) {
+	kids := make([]CondDoc, len(xs))
+	for i, x := range xs {
+		kd, err := condToDoc(x)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = *kd
+	}
+	return kids, nil
+}
+
+// condFromDoc rebuilds a condition, funneling every composite through the
+// cond constructors: the result is interned, so == works against freshly
+// compiled expressions, and its cache keys match the ones the original
+// process computed.
+func condFromDoc(d *CondDoc) (cond.Expr, error) {
+	if d == nil {
+		return nil, fmt.Errorf("missing condition node")
+	}
+	switch d.Op {
+	case "true":
+		return cond.True{}, nil
+	case "false":
+		return cond.False{}, nil
+	case "typeis":
+		return cond.TypeIs{Var: d.Var, Type: d.Type, Only: d.Only}, nil
+	case "null":
+		return cond.Null{Attr: d.Attr}, nil
+	case "cmp":
+		op, err := cmpOpOf(d.Cmp)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kindOf(d.Kind)
+		if err != nil {
+			return nil, err
+		}
+		v, err := valueOfRaw(k, d.Val)
+		if err != nil {
+			return nil, err
+		}
+		return cond.Cmp{Attr: d.Attr, Op: op, Val: v}, nil
+	case "not":
+		if len(d.Kids) != 1 {
+			return nil, fmt.Errorf("not node wants 1 child, has %d", len(d.Kids))
+		}
+		kid, err := condFromDoc(&d.Kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return cond.NewNot(kid), nil
+	case "and", "or":
+		kids := make([]cond.Expr, len(d.Kids))
+		for i := range d.Kids {
+			kid, err := condFromDoc(&d.Kids[i])
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = kid
+		}
+		if d.Op == "and" {
+			return cond.NewAnd(kids...), nil
+		}
+		return cond.NewOr(kids...), nil
+	}
+	return nil, fmt.Errorf("unknown condition op %q", d.Op)
+}

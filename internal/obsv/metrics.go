@@ -158,6 +158,15 @@ const (
 	MSatBackjumps    = "cond.sat.backjumps"
 	MSatLemmaHits    = "cond.sat.lemma_hits"
 	MSatLemmasStored = "cond.sat.lemmas_stored"
+	// Persistent compile store (internal/store): artifact-level traffic with
+	// the on-disk cache. A hit is a record decoded and accepted (version,
+	// fingerprint and checksum all matched); a miss is any load that fell
+	// back to a cold start, whatever the reason.
+	MStoreHits         = "store.hits"
+	MStoreMisses       = "store.misses"
+	MStoreEvictions    = "store.evictions"
+	MStoreBytesRead    = "store.bytes_read"
+	MStoreBytesWritten = "store.bytes_written"
 )
 
 // expvarOnce guards the process-global expvar name, which panics on

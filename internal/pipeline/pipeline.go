@@ -17,10 +17,12 @@ import (
 	"sync/atomic"
 
 	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/core"
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/obsv"
+	"github.com/ormkit/incmap/internal/store"
 )
 
 // Process-wide metric counters for the fallback ladder, resolved once.
@@ -51,6 +53,49 @@ type Options struct {
 	// Compiler tunes the full compiler used by the fallback (second rung)
 	// and by NewSessionCompile.
 	Compiler compiler.Options
+	// Store, when non-nil, is the persistent compile cache.
+	// NewSessionCompile restores a matching compiled generation from it
+	// instead of compiling (a warm start), and every committed generation —
+	// including the opening compile — is snapshotted back, together with
+	// the session's SatCache (verdicts and learned solver lemmas). Store
+	// failures never fail the session: a broken or stale store degrades to
+	// a cold compile.
+	Store *store.Store
+	// WriteBehind persists snapshots on a background goroutine instead of
+	// on the Evolve path. Use Flush to wait for pending snapshots (e.g.
+	// before process exit).
+	WriteBehind bool
+}
+
+// sharedSatCache resolves the one decision cache both rungs share,
+// creating and wiring it if the caller supplied none. Sessions backed by a
+// persistent store need this: the snapshot written on commit must contain
+// the verdicts the compiles actually produced.
+func (o *Options) sharedSatCache() *cond.SatCache {
+	switch {
+	case o.Incremental.SatCache == nil && o.Compiler.SatCache == nil:
+		c := cond.NewSatCache()
+		o.Incremental.SatCache = c
+		o.Compiler.SatCache = c
+	case o.Incremental.SatCache == nil:
+		o.Incremental.SatCache = o.Compiler.SatCache
+	case o.Compiler.SatCache == nil:
+		o.Compiler.SatCache = o.Incremental.SatCache
+	}
+	return o.Incremental.SatCache
+}
+
+// fingerprintExtras captures the compiler options that change what a
+// compilation produces; generations compiled under different options must
+// not be served to one another. Default options contribute no extras, so
+// default-session snapshots share the plain store.Fingerprint(m) address
+// used by the standalone Save/Load helpers and the incmapc CLI.
+func (o *Options) fingerprintExtras() []string {
+	if !o.Compiler.SkipValidation && !o.Compiler.NoSimplify {
+		return nil
+	}
+	return []string{fmt.Sprintf("skipval=%t,nosimplify=%t",
+		o.Compiler.SkipValidation, o.Compiler.NoSimplify)}
 }
 
 // Stats counts how each Evolve call was resolved. Counters are updated
@@ -66,6 +111,10 @@ type Stats struct {
 	// typed errors anywhere in the ladder, including compiler workers.
 	Cancelled       int64
 	PanicsRecovered int64
+	// WarmStarts counts sessions opened from a persisted generation instead
+	// of a compile; Snapshots counts generations persisted to the store.
+	WarmStarts int64
+	Snapshots  int64
 }
 
 // Session owns a mapping generation and evolves it one SMO at a time.
@@ -74,6 +123,12 @@ type Stats struct {
 type Session struct {
 	opts  Options
 	stats Stats
+
+	// satCache is the decision cache shared by both rungs when the session
+	// is store-backed; nil otherwise (each compile resolves its own).
+	satCache *cond.SatCache
+	// flushWG tracks in-flight write-behind snapshots.
+	flushWG sync.WaitGroup
 
 	// evolveMu serializes Evolve calls; mu guards only the generation
 	// pointers so readers never block behind a long compilation.
@@ -86,18 +141,43 @@ type Session struct {
 // NewSession starts a session at an already compiled generation (a mapping
 // and the views the full or incremental compiler produced for it).
 func NewSession(m *frag.Mapping, v *frag.Views, opts Options) *Session {
-	return &Session{opts: opts, m: m, v: v}
+	s := &Session{opts: opts, m: m, v: v}
+	if opts.Store != nil {
+		s.satCache = s.opts.sharedSatCache()
+	}
+	return s
 }
 
-// NewSessionCompile full-compiles the mapping and starts a session at the
-// resulting generation.
+// NewSessionCompile starts a session at a compiled generation for the
+// mapping: restored from the persistent store when Options.Store holds a
+// generation with a matching fingerprint (a warm start — no solver work at
+// all), full-compiled otherwise. A cold compile's result is snapshotted
+// back to the store so the next process starts warm.
 func NewSessionCompile(ctx context.Context, m *frag.Mapping, opts Options) (*Session, error) {
+	if opts.Store != nil {
+		cache := opts.sharedSatCache()
+		if fp, err := store.Fingerprint(m, opts.fingerprintExtras()...); err == nil {
+			if lm, lv, lerr := opts.Store.LoadGeneration(fp); lerr == nil {
+				// Warm the solver too: persisted verdicts and lemmas apply to
+				// any later Evolve over unchanged schema facts.
+				_ = opts.Store.LoadSatCache(cache)
+				s := NewSession(lm, lv, opts)
+				atomic.AddInt64(&s.stats.WarmStarts, 1)
+				return s, nil
+			}
+			// Generation miss: persisted verdicts may still cover much of the
+			// compile about to run (same schema facts ⇒ same keys).
+			_ = opts.Store.LoadSatCache(cache)
+		}
+	}
 	c := &compiler.Compiler{Opts: opts.Compiler}
 	v, err := c.CompileCtx(ctx, m)
 	if err != nil {
 		return nil, err
 	}
-	return NewSession(m, v, opts), nil
+	s := NewSession(m, v, opts)
+	s.snapshot(m, v)
+	return s, nil
 }
 
 // Generation returns the current mapping and views. The returned objects
@@ -114,7 +194,48 @@ func (s *Session) commit(m *frag.Mapping, v *frag.Views) {
 	s.mu.Lock()
 	s.m, s.v = m, v
 	s.mu.Unlock()
+	s.snapshot(m, v)
 }
+
+// snapshot persists the committed generation and the session's SatCache,
+// inline or write-behind per Options. Persistence failures are deliberately
+// swallowed: the store is an accelerator, never a correctness dependency.
+func (s *Session) snapshot(m *frag.Mapping, v *frag.Views) {
+	if s.opts.Store == nil {
+		return
+	}
+	if s.opts.WriteBehind {
+		s.flushWG.Add(1)
+		go func() {
+			defer s.flushWG.Done()
+			s.persist(m, v)
+		}()
+		return
+	}
+	s.persist(m, v)
+}
+
+func (s *Session) persist(m *frag.Mapping, v *frag.Views) {
+	fp, err := store.Fingerprint(m, s.opts.fingerprintExtras()...)
+	if err != nil {
+		return
+	}
+	if s.opts.Store.SaveGeneration(fp, m, v) == nil {
+		atomic.AddInt64(&s.stats.Snapshots, 1)
+	}
+	if s.satCache != nil {
+		_ = s.opts.Store.SaveSatCache(s.satCache)
+	}
+}
+
+// Flush waits for pending write-behind snapshots. A no-op for synchronous
+// sessions.
+func (s *Session) Flush() { s.flushWG.Wait() }
+
+// SatCache returns the decision cache shared across the session's
+// compiles, or nil when the session is not store-backed and no cache was
+// injected through Options.
+func (s *Session) SatCache() *cond.SatCache { return s.satCache }
 
 // Stats returns a snapshot of the session's counters.
 func (s *Session) Stats() Stats {
@@ -124,6 +245,8 @@ func (s *Session) Stats() Stats {
 		Fallbacks:       atomic.LoadInt64(&s.stats.Fallbacks),
 		Cancelled:       atomic.LoadInt64(&s.stats.Cancelled),
 		PanicsRecovered: atomic.LoadInt64(&s.stats.PanicsRecovered),
+		WarmStarts:      atomic.LoadInt64(&s.stats.WarmStarts),
+		Snapshots:       atomic.LoadInt64(&s.stats.Snapshots),
 	}
 }
 

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"github.com/ormkit/incmap/internal/orm"
 	"github.com/ormkit/incmap/internal/rel"
 	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/store"
 	"github.com/ormkit/incmap/internal/workload"
 )
 
@@ -413,5 +416,173 @@ func TestSoakCancelEvolve(t *testing.T) {
 	}
 	if err := orm.Roundtrip(m, v, employeeState()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSessionWarmStart drives the full persistence loop: a cold session
+// snapshots its opening compile, a second session over the same directory
+// warm-starts from it, and both generations are observationally identical.
+func TestSessionWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := workload.PaperInitial()
+
+	cold, err := NewSessionCompile(context.Background(), model, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := cold.Stats(); cs.WarmStarts != 0 || cs.Snapshots != 1 {
+		t.Fatalf("cold open: %+v", cs)
+	}
+
+	// "Second process": a fresh store handle over the same directory, a
+	// fresh mapping value (same content), a fresh SatCache.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := warm.Stats(); ws.WarmStarts != 1 {
+		t.Fatalf("second open did not warm start: %+v", ws)
+	}
+	if st2.Stats().Hits == 0 {
+		t.Fatal("warm start hit nothing in the store")
+	}
+
+	// Correctness drift check: both generations must roundtrip the same
+	// client state identically.
+	cm, cv := cold.Generation()
+	wm, wv := warm.Generation()
+	cs := workload.PaperClientState()
+	if d := state.Diff(loadBack(t, cm, cv, cs), loadBack(t, wm, wv, cs)); d != "" {
+		t.Fatalf("warm generation drifts from cold: %s", d)
+	}
+
+	// Evolve on the warm session commits and snapshots the new generation.
+	if _, _, err := warm.Evolve(context.Background(), employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+	if ws := warm.Stats(); ws.Snapshots == 0 {
+		t.Fatalf("evolve did not snapshot: %+v", ws)
+	}
+
+	// A third open at the evolved fingerprint warm-starts at the evolved
+	// generation.
+	em, _ := warm.Generation()
+	third, err := NewSessionCompile(context.Background(), em, Options{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := third.Stats(); ts.WarmStarts != 1 {
+		t.Fatalf("evolved generation not restorable: %+v", ts)
+	}
+}
+
+// TestSessionWarmStartSatCache checks persisted solver state flows back:
+// the warm session's shared SatCache reports persisted hits once its
+// compiles consult verdicts the cold process solved.
+func TestSessionWarmStartSatCache(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evolve once so the persisted cache covers the employee neighbourhood.
+	if _, _, err := cold.Evolve(context.Background(), employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _ := store.Open(dir)
+	warm, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := warm.Evolve(context.Background(), employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+	if warm.SatCache() == nil {
+		t.Fatal("store-backed session has no shared SatCache")
+	}
+	stats := warm.SatCache().Stats()
+	if stats.PersistedHits == 0 {
+		t.Fatalf("warm Evolve consulted no persisted verdicts: %+v", stats)
+	}
+}
+
+// TestSessionWriteBehind checks asynchronous snapshots land after Flush.
+func TestSessionWriteBehind(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st, WriteBehind: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Evolve(context.Background(), employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if got := s.Stats().Snapshots; got != 2 {
+		t.Fatalf("after Flush: %d snapshots, want 2 (open + evolve)", got)
+	}
+	em, _ := s.Generation()
+	fp, err := store.Fingerprint(em, (&Options{}).fingerprintExtras()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasGeneration(fp) {
+		t.Fatal("evolved generation not on disk after Flush")
+	}
+}
+
+// TestSessionStoreCorruptionColdStarts checks a damaged store degrades to
+// a cold compile with no error surfaced.
+func TestSessionStoreCorruptionColdStarts(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	// Trash every record in the directory.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("ruin"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, _ := store.Open(dir)
+	s, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st2})
+	if err != nil {
+		t.Fatalf("corrupt store failed the session open: %v", err)
+	}
+	if ws := s.Stats(); ws.WarmStarts != 0 || ws.Snapshots != 1 {
+		t.Fatalf("corrupt store: %+v (want cold start + fresh snapshot)", ws)
+	}
+	// And the fresh snapshot repaired the store for the next process.
+	st3, _ := store.Open(dir)
+	again, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := again.Stats(); ws.WarmStarts != 1 {
+		t.Fatalf("store not repaired by cold session's snapshot: %+v", ws)
 	}
 }

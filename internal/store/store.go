@@ -1,0 +1,362 @@
+// Package store is the content-addressed persistent compile cache: an
+// on-disk directory of compilation artifacts that lets a new process warm
+// start instead of recompiling from scratch. Three artifact classes are
+// kept:
+//
+//   - compiled generations: a (mapping, views) pair keyed by a fingerprint
+//     of the mapping's full content plus the format version, so a store
+//     entry can never be served to a model it was not compiled from;
+//   - SatCache snapshots: solver verdicts and learned CDCL lemmas, whose
+//     keys are content-addressed (internal/cond) and therefore portable
+//     across processes by construction.
+//
+// Durability model: every artifact is one JSON record wrapped in a
+// checksummed envelope, written to a temp file in the same directory and
+// atomically renamed into place — a crash mid-write leaves either the old
+// record or a stray temp file, never a torn visible record. Reads verify
+// the format version, the artifact class, the fingerprint and the checksum
+// before decoding the payload; any mismatch, truncation or decode failure
+// makes the load fail cleanly, which callers treat as a cold start. The
+// store never makes correctness worse — it can only save work, not change
+// results.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sync"
+	"sync/atomic"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/modelio"
+	"github.com/ormkit/incmap/internal/obsv"
+)
+
+// FormatVersion gates every record: bump it whenever the payload encoding,
+// the condition content-address scheme, or the cache key format changes
+// incompatibly. Records from other versions are ignored (cold start), never
+// migrated in place.
+const FormatVersion = 1
+
+// DefaultMaxGenerations bounds how many compiled generations a store keeps;
+// older files (by modification time) are pruned on save.
+const DefaultMaxGenerations = 32
+
+// Artifact classes.
+const (
+	classGeneration = "generation"
+	classSatCache   = "satcache"
+)
+
+// Store is a handle on one cache directory. Safe for concurrent use within
+// a process; concurrent writers in different processes are safe against
+// corruption (atomic renames) though last-writer-wins per file.
+type Store struct {
+	dir string
+	// MaxGenerations bounds resident generation files; zero means
+	// DefaultMaxGenerations.
+	MaxGenerations int
+
+	mu sync.Mutex // serializes save+prune cycles
+
+	hits, misses, evictions atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+}
+
+// Stats is a snapshot of one store's traffic counters. The same counts
+// aggregate process-wide in the obsv registry under store.*.
+type Stats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns this store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Evictions:    s.evictions.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+func (s *Store) hit()  { s.hits.Add(1); obsv.Add(obsv.MStoreHits, 1) }
+func (s *Store) miss() { s.misses.Add(1); obsv.Add(obsv.MStoreMisses, 1) }
+
+// Fingerprint computes the content address of a compiled generation: a
+// hash of the mapping's canonical serialized form, the format version, and
+// any extra strings that influenced compilation (e.g. compiler option
+// flags). Two processes compiling the same model the same way compute the
+// same fingerprint; any model or option change misses.
+func Fingerprint(m *frag.Mapping, extras ...string) (string, error) {
+	var buf bytes.Buffer
+	if err := modelio.Encode(&buf, m); err != nil {
+		return "", fmt.Errorf("store: fingerprint: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "incmap-gen:%d:", FormatVersion)
+	h.Write(buf.Bytes())
+	for _, e := range extras {
+		fmt.Fprintf(h, ":%d:%s", len(e), e)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// record is the on-disk envelope of every artifact.
+type record struct {
+	Version     int             `json:"version"`
+	Class       string          `json:"class"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Payload     json.RawMessage `json:"payload"`
+	Checksum    string          `json:"sha256"`
+}
+
+// checksumOf binds the payload to its envelope fields, so a record cannot
+// be truncated, bit-flipped, or spliced into another class/fingerprint/
+// version without detection.
+func checksumOf(version int, class, fp string, payload []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "incmap-store:%d:%s:%s:", version, class, fp)
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeRecord persists one artifact crash-safely: temp file in the target
+// directory, fsync, atomic rename.
+func (s *Store) writeRecord(name, class, fp string, payload []byte) error {
+	rec := record{
+		Version:     FormatVersion,
+		Class:       class,
+		Fingerprint: fp,
+		Payload:     payload,
+		Checksum:    checksumOf(FormatVersion, class, fp, payload),
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.bytesWritten.Add(int64(len(data)))
+	obsv.Add(obsv.MStoreBytesWritten, int64(len(data)))
+	return nil
+}
+
+// readRecord loads and verifies one artifact. Every failure mode —
+// missing file, truncation, bit flip, wrong version, wrong class, wrong
+// fingerprint — returns an error; callers degrade to a cold start.
+func (s *Store) readRecord(name, class, fp string) (json.RawMessage, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.bytesRead.Add(int64(len(data)))
+	obsv.Add(obsv.MStoreBytesRead, int64(len(data)))
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("store: %s: corrupt record: %w", name, err)
+	}
+	if rec.Version != FormatVersion {
+		return nil, fmt.Errorf("store: %s: format version %d, want %d", name, rec.Version, FormatVersion)
+	}
+	if rec.Class != class {
+		return nil, fmt.Errorf("store: %s: class %q, want %q", name, rec.Class, class)
+	}
+	if rec.Fingerprint != fp {
+		return nil, fmt.Errorf("store: %s: fingerprint mismatch", name)
+	}
+	if rec.Checksum != checksumOf(rec.Version, rec.Class, rec.Fingerprint, rec.Payload) {
+		return nil, fmt.Errorf("store: %s: checksum mismatch", name)
+	}
+	return rec.Payload, nil
+}
+
+// genPayload is the payload of a compiled generation: the mapping in its
+// document form and the views in their structural form.
+type genPayload struct {
+	Mapping json.RawMessage `json:"mapping"`
+	Views   json.RawMessage `json:"views"`
+}
+
+func genFileName(fp string) string { return "gen-" + fp + ".json" }
+
+// SaveGeneration persists a compiled (mapping, views) pair under its
+// fingerprint and prunes generations beyond the cap.
+func (s *Store) SaveGeneration(fp string, m *frag.Mapping, v *frag.Views) error {
+	var mb, vb bytes.Buffer
+	if err := modelio.Encode(&mb, m); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := modelio.EncodeViews(&vb, v); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	payload, err := json.Marshal(&genPayload{Mapping: mb.Bytes(), Views: vb.Bytes()})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeRecord(genFileName(fp), classGeneration, fp, payload); err != nil {
+		return err
+	}
+	s.pruneGenerationsLocked()
+	return nil
+}
+
+// LoadGeneration restores the compiled pair for a fingerprint. The decoded
+// mapping passes the full modelio validation and the views are re-interned
+// through the cond constructors, so a loaded generation is semantically
+// indistinguishable from a freshly compiled one.
+func (s *Store) LoadGeneration(fp string) (*frag.Mapping, *frag.Views, error) {
+	payload, err := s.readRecord(genFileName(fp), classGeneration, fp)
+	if err != nil {
+		s.miss()
+		return nil, nil, err
+	}
+	var gp genPayload
+	if err := json.Unmarshal(payload, &gp); err != nil {
+		s.miss()
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	m, err := modelio.Decode(bytes.NewReader(gp.Mapping))
+	if err != nil {
+		s.miss()
+		return nil, nil, fmt.Errorf("store: generation mapping: %w", err)
+	}
+	v, err := modelio.DecodeViews(bytes.NewReader(gp.Views))
+	if err != nil {
+		s.miss()
+		return nil, nil, fmt.Errorf("store: generation views: %w", err)
+	}
+	s.hit()
+	return m, v, nil
+}
+
+// HasGeneration reports whether a (verifiable) generation record exists
+// for the fingerprint, without decoding the payload.
+func (s *Store) HasGeneration(fp string) bool {
+	_, err := s.readRecord(genFileName(fp), classGeneration, fp)
+	return err == nil
+}
+
+// pruneGenerationsLocked deletes the oldest generation files past the cap.
+func (s *Store) pruneGenerationsLocked() {
+	max := s.MaxGenerations
+	if max <= 0 {
+		max = DefaultMaxGenerations
+	}
+	matches, err := filepath.Glob(filepath.Join(s.dir, "gen-*.json"))
+	if err != nil || len(matches) <= max {
+		return
+	}
+	type aged struct {
+		path string
+		mod  int64
+	}
+	files := make([]aged, 0, len(matches))
+	for _, p := range matches {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{p, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for i := 0; i < len(files)-max; i++ {
+		if os.Remove(files[i].path) == nil {
+			s.evictions.Add(1)
+			obsv.Add(obsv.MStoreEvictions, 1)
+		}
+	}
+}
+
+const satCacheFile = "satcache.json"
+
+// SaveSatCache persists a SatCache snapshot — verdicts plus learned
+// lemmas. SatCache keys embed content addresses and schema facts only, so
+// no fingerprint is needed: a key is valid exactly for the (expression,
+// theory) pair it encodes, whatever model it came from.
+func (s *Store) SaveSatCache(c *cond.SatCache) error {
+	payload, err := json.Marshal(c.Export())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeRecord(satCacheFile, classSatCache, "", payload)
+}
+
+// LoadSatCache merges the persisted snapshot into the given cache.
+// Verdicts arriving this way are marked persisted, so warm-start traffic
+// is observable via SatCacheStats.PersistedHits.
+func (s *Store) LoadSatCache(c *cond.SatCache) error {
+	payload, err := s.readRecord(satCacheFile, classSatCache, "")
+	if err != nil {
+		s.miss()
+		return err
+	}
+	var snap cond.SatSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		s.miss()
+		return fmt.Errorf("store: satcache: %w", err)
+	}
+	c.Import(&snap)
+	s.hit()
+	return nil
+}
+
+// Generations lists the fingerprints with resident generation files,
+// sorted. Mostly for tooling and tests.
+func (s *Store) Generations() []string {
+	matches, _ := filepath.Glob(filepath.Join(s.dir, "gen-*.json"))
+	out := make([]string, 0, len(matches))
+	for _, p := range matches {
+		base := filepath.Base(p)
+		fp := base[len("gen-") : len(base)-len(".json")]
+		if _, err := hex.DecodeString(fp); err == nil && fp != "" {
+			out = append(out, fp)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,321 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func compiledPair(t *testing.T, m *frag.Mapping) (*frag.Mapping, *frag.Views) {
+	t.Helper()
+	v, err := compiler.New().Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m, v
+}
+
+func TestGenerationRoundtrip(t *testing.T) {
+	m, v := compiledPair(t, workload.PaperFull())
+	fp, err := Fingerprint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SaveGeneration(fp, m, v); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second handle on the same directory — the "new process".
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.HasGeneration(fp) {
+		t.Fatal("generation not visible to a fresh handle")
+	}
+	m2, v2, err := s2.LoadGeneration(fp)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := orm.Roundtrip(m2, v2, workload.PaperClientState()); err != nil {
+		t.Fatalf("data roundtrip through loaded generation: %v", err)
+	}
+	st := s2.Stats()
+	if st.Hits == 0 || st.BytesRead == 0 {
+		t.Fatalf("load not counted: %+v", st)
+	}
+	if w := s1.Stats(); w.BytesWritten == 0 {
+		t.Fatalf("save not counted: %+v", w)
+	}
+
+	// A different model must miss, not be served someone else's artifact.
+	other, _ := Fingerprint(m, "different-options")
+	if _, _, err := s2.LoadGeneration(other); err == nil {
+		t.Fatal("foreign fingerprint was served a generation")
+	}
+	if s2.Stats().Misses == 0 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	m1 := workload.PaperFull()
+	m2 := workload.PartitionedAgeModel()
+	f1a, err := Fingerprint(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1b, _ := Fingerprint(m1)
+	f2, _ := Fingerprint(m2)
+	fx, _ := Fingerprint(m1, "opt=1")
+	if f1a != f1b {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if f1a == f2 {
+		t.Fatal("distinct models share a fingerprint")
+	}
+	if f1a == fx {
+		t.Fatal("extras do not influence the fingerprint")
+	}
+}
+
+func TestSatCacheRoundtrip(t *testing.T) {
+	th := &cond.MapTheory{Domains: map[string]cond.Domain{
+		"G": {Kind: cond.KindString, Enum: []cond.Value{cond.String("M"), cond.String("F")}},
+	}}
+	c := cond.NewSatCache()
+	a := cond.Cmp{Attr: "G", Op: cond.OpEq, Val: cond.String("M")}
+	b := cond.Cmp{Attr: "G", Op: cond.OpEq, Val: cond.String("F")}
+	c.Satisfiable(th, cond.NewAnd(a, b))
+	c.Satisfiable(th, cond.NewOr(a, b))
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSatCache(c); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := cond.NewSatCache()
+	s2, _ := Open(dir)
+	if err := s2.LoadSatCache(c2); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got, hit := c2.SatisfiableHit(th, cond.NewAnd(a, b)); !hit || got {
+		t.Fatalf("persisted verdict lost: hit=%v sat=%v", hit, got)
+	}
+	if st := c2.Stats(); st.PersistedHits == 0 {
+		t.Fatalf("persisted hit not counted: %+v", st)
+	}
+}
+
+// TestCorruptionColdStart damages a valid store in every way the envelope
+// guards against and checks each load fails cleanly — no panic, no partial
+// artifact — exactly like a cold start.
+func TestCorruptionColdStart(t *testing.T) {
+	m, v := compiledPair(t, workload.PaperFull())
+	fp, _ := Fingerprint(m)
+	pristine := func(t *testing.T) (*Store, string) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveGeneration(fp, m, v); err != nil {
+			t.Fatal(err)
+		}
+		return s, filepath.Join(dir, genFileName(fp))
+	}
+	for _, tc := range []struct {
+		name   string
+		damage func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bitflip", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			// Flip a bit deep in the payload, past the envelope fields.
+			data[len(data)/2] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("}{ not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong_version", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte(`{"version":99,"class":"generation","payload":{},"sha256":""}`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong_class", func(t *testing.T, path string) {
+			rec := `{"version":1,"class":"satcache","fingerprint":"` + fp + `","payload":{},"sha256":"` +
+				checksumOf(1, "satcache", fp, []byte("{}")) + `"}`
+			if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"spliced_fingerprint", func(t *testing.T, path string) {
+			// A checksum-valid record for a DIFFERENT fingerprint copied over
+			// this file: the envelope's fingerprint check must reject it.
+			rec := `{"version":1,"class":"generation","fingerprint":"feedface","payload":{},"sha256":"` +
+				checksumOf(1, "generation", "feedface", []byte("{}")) + `"}`
+			if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"valid_envelope_garbage_payload", func(t *testing.T, path string) {
+			payload := []byte(`{"mapping":"nope","views":12}`)
+			rec := `{"version":1,"class":"generation","fingerprint":"` + fp + `","payload":` + string(payload) + `,"sha256":"` +
+				checksumOf(1, "generation", fp, payload) + `"}`
+			if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, path := pristine(t)
+			tc.damage(t, path)
+			lm, lv, err := s.LoadGeneration(fp)
+			if err == nil {
+				t.Fatal("damaged record was accepted")
+			}
+			if lm != nil || lv != nil {
+				t.Fatal("damaged load returned partial state")
+			}
+			if s.Stats().Misses == 0 {
+				t.Fatal("damaged load not counted as a miss")
+			}
+			// The store must remain usable: a fresh save recovers.
+			if err := s.SaveGeneration(fp, m, v); err != nil {
+				t.Fatalf("save after corruption: %v", err)
+			}
+			if _, _, err := s.LoadGeneration(fp); err != nil {
+				t.Fatalf("load after recovery save: %v", err)
+			}
+		})
+	}
+}
+
+// TestTornWrite simulates a kill -9 mid-save: a half-written temp file next
+// to an intact (old) record. The old record must still load; the stray temp
+// must not be picked up.
+func TestTornWrite(t *testing.T) {
+	m, v := compiledPair(t, workload.PaperFull())
+	fp, _ := Fingerprint(m)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveGeneration(fp, m, v); err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted writer left a partial temp file behind.
+	torn := filepath.Join(dir, genFileName(fp)+".tmp12345")
+	if err := os.WriteFile(torn, []byte(`{"version":1,"class":"genera`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadGeneration(fp); err != nil {
+		t.Fatalf("old record unreadable with a torn temp alongside: %v", err)
+	}
+	if got := s.Generations(); len(got) != 1 || got[0] != fp {
+		t.Fatalf("temp file leaked into the generation listing: %v", got)
+	}
+}
+
+func TestPruning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxGenerations = 2
+	var fps []string
+	for n := 2; n <= 5; n++ {
+		m, v := compiledPair(t, workload.HubRim(workload.HubRimOptions{N: n, M: 2, TPH: true}))
+		fp, err := Fingerprint(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveGeneration(fp, m, v); err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+		// Make modification times strictly ordered regardless of filesystem
+		// timestamp granularity.
+		ts := time.Now().Add(time.Duration(n-10) * time.Second)
+		if err := os.Chtimes(filepath.Join(dir, genFileName(fp)), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Generations()); got != 2 {
+		t.Fatalf("pruning kept %d generations, want 2", got)
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("pruning counted no evictions")
+	}
+	// The newest survive.
+	if !s.HasGeneration(fps[len(fps)-1]) {
+		t.Fatal("newest generation was pruned")
+	}
+	if s.HasGeneration(fps[0]) {
+		t.Fatal("oldest generation survived pruning")
+	}
+}
+
+// FuzzStoreDecode feeds arbitrary bytes through both load paths: nothing
+// may panic, and nothing invalid may be accepted as a generation.
+func FuzzStoreDecode(f *testing.F) {
+	fp := "00112233445566778899aabbccddeeff"
+	f.Add([]byte(`{"version":1,"class":"generation","payload":{},"sha256":"x"}`))
+	f.Add([]byte(`{"version":1,"class":"satcache","payload":{"entries":{"k":true}},"sha256":""}`))
+	f.Add([]byte(""))
+	f.Add([]byte("}{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, genFileName(fp)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, satCacheFile), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Arbitrary bytes can only be accepted if they happen to be a fully
+		// valid record, which requires a matching sha256 — effectively never
+		// for fuzz inputs. Either way: no panic, no partial state.
+		if lm, lv, err := s.LoadGeneration(fp); err == nil && (lm == nil || lv == nil) {
+			t.Fatal("accepted generation with partial state")
+		}
+		c := cond.NewSatCache()
+		_ = s.LoadSatCache(c)
+	})
+}

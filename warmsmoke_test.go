@@ -1,0 +1,157 @@
+//go:build warmsmoke
+
+// The warmsmoke gate is the CI half of the persistence acceptance: a cold
+// process compiles and snapshots, is gone (the child is a brand-new OS
+// process, so "kill" is implicit), and a second process over the same
+// store directory must warm-start at least 10× faster than the cold
+// compile, with nonzero persisted-hit counters and no correctness drift.
+// Run with: go test -tags warmsmoke -run TestWarmstartSmoke .
+package incmap_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	incmap "github.com/ormkit/incmap"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+const warmsmokeDirEnv = "INCMAP_WARMSMOKE_DIR"
+
+// warmsmokeModel is the gate's fixture: hub-and-rim N=3, M=5, TPH — deep
+// enough that the cold compile takes hundreds of milliseconds, so a 10×
+// margin is meaningful rather than timer noise.
+func warmsmokeModel() *incmap.Mapping {
+	return workload.HubRim(workload.HubRimOptions{N: 3, M: 5, TPH: true})
+}
+
+// warmsmokeProbeOps is the evolve sequence both processes run: dropping a
+// rim leaf needs no new store objects, and its neighbourhood revalidation
+// consults the persisted verdicts in the child.
+func warmsmokeProbeOps() []incmap.SMO {
+	return []incmap.SMO{
+		&incmap.DropAssociation{Name: "A0_0"},
+		&incmap.DropEntity{Name: "Rim0_0"},
+	}
+}
+
+type warmsmokeReport struct {
+	WarmSeconds   float64 `json:"warmSeconds"`
+	WarmStarts    int64   `json:"warmStarts"`
+	StoreHits     int64   `json:"storeHits"`
+	PersistedHits int64   `json:"persistedHits"`
+	RoundtripOK   bool    `json:"roundtripOK"`
+}
+
+func TestWarmstartSmoke(t *testing.T) {
+	if os.Getenv(warmsmokeDirEnv) != "" {
+		t.Skip("child-only environment")
+	}
+	dir := t.TempDir()
+	st, err := incmap.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Now()
+	cold, err := incmap.NewSessionCompile(context.Background(), warmsmokeModel(), incmap.WithStore(st))
+	coldD := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evolve the same probe the child will run, so the persisted SatCache
+	// covers the neighbourhood the child revalidates.
+	for _, op := range warmsmokeProbeOps() {
+		if _, _, err := cold.Evolve(context.Background(), op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold.Flush()
+	t.Logf("cold compile+snapshot: %v", coldD)
+
+	// The "restart": a fresh OS process running only the child test over
+	// the populated store directory.
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestWarmstartSmokeChild$", "-test.v")
+	cmd.Env = append(os.Environ(), warmsmokeDirEnv+"="+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	var report *warmsmokeReport
+	for _, line := range strings.Split(string(out), "\n") {
+		if i := strings.Index(line, "WARMSMOKE "); i >= 0 {
+			report = new(warmsmokeReport)
+			if err := json.Unmarshal([]byte(line[i+len("WARMSMOKE "):]), report); err != nil {
+				t.Fatalf("bad child report %q: %v", line, err)
+			}
+		}
+	}
+	if report == nil {
+		t.Fatalf("child emitted no report:\n%s", out)
+	}
+	t.Logf("warm open in child process: %fs (%.0fx)", report.WarmSeconds, coldD.Seconds()/report.WarmSeconds)
+
+	if report.WarmStarts != 1 {
+		t.Errorf("child did not warm-start: %+v", report)
+	}
+	if report.StoreHits == 0 || report.PersistedHits == 0 {
+		t.Errorf("child saw no persisted artifacts: %+v", report)
+	}
+	if !report.RoundtripOK {
+		t.Errorf("restored generation drifted: %+v", report)
+	}
+	if report.WarmSeconds*10 > coldD.Seconds() {
+		t.Errorf("warm start %fs is not >=10x faster than cold %fs", report.WarmSeconds, coldD.Seconds())
+	}
+}
+
+// TestWarmstartSmokeChild is the second process; it only runs when the
+// parent re-executes the test binary with the store directory in the
+// environment.
+func TestWarmstartSmokeChild(t *testing.T) {
+	dir := os.Getenv(warmsmokeDirEnv)
+	if dir == "" {
+		t.Skip("parent-only")
+	}
+	st, err := incmap.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	s, err := incmap.NewSessionCompile(context.Background(), warmsmokeModel(), incmap.WithStore(st))
+	warmD := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, v := s.Generation()
+	// Drive the restored SatCache so persisted verdicts are consulted:
+	// dropping a rim leaf revalidates its neighbourhood.
+	for _, op := range warmsmokeProbeOps() {
+		if _, _, err := s.Evolve(context.Background(), op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var persisted int64
+	if c := s.SatCache(); c != nil {
+		persisted = c.Stats().PersistedHits
+	}
+	report := warmsmokeReport{
+		WarmSeconds:   warmD.Seconds(),
+		WarmStarts:    s.Stats().WarmStarts,
+		StoreHits:     st.Stats().Hits,
+		PersistedHits: persisted,
+		RoundtripOK:   orm.Roundtrip(m, v, orm.RandomState(m, 2654435761, 3)) == nil,
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("WARMSMOKE %s\n", data)
+}
