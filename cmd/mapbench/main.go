@@ -49,7 +49,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, warmstart, ablations, views, fallback, all")
+	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, warmstart, ablations, views, fallback, serve-soak, all")
 	maxN := flag.Int("maxn", 4, "fig4: maximum hierarchy depth N")
 	maxM := flag.Int("maxm", 8, "fig4: maximum fan-out M")
 	budget := flag.Duration("budget", 10*time.Second, "fig4: per-point budget before a depth's curve is cut off")
@@ -59,6 +59,9 @@ func main() {
 	largest := flag.Int("largest", 95, "fig10: size of the largest (TPH) hierarchy")
 	storeDir := flag.String("store", "", "warmstart: persistent store directory (default: a fresh temp dir)")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_fig{4,9,10}.json / BENCH_warmstart.json")
+	tenants := flag.Int("tenants", 4, "serve-soak: concurrent tenants")
+	soakEvolves := flag.Int("soak-evolves", 12, "serve-soak: evolves per tenant")
+	soakFaults := flag.Bool("soak-faults", true, "serve-soak: run under the deterministic fault storm")
 	traceOut := flag.String("trace", "", "record every compilation and write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
@@ -89,6 +92,8 @@ func main() {
 		runFallback(*chain, *jsonOut)
 	case "warmstart":
 		runWarmstart(*storeDir, *jsonOut)
+	case "serve-soak":
+		runServeSoak(*tenants, *soakEvolves, *soakFaults, *jsonOut)
 	case "all":
 		runFig4(*maxN, *maxM, *budget, *jsonOut)
 		runFig9(*chain, *jsonOut)
@@ -97,6 +102,7 @@ func main() {
 		runViewComparison(200)
 		runFallback(*chain, *jsonOut)
 		runWarmstart(*storeDir, *jsonOut)
+		runServeSoak(*tenants, *soakEvolves, *soakFaults, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -534,4 +540,41 @@ func runWarmstartChild(spec string) {
 		os.Exit(1)
 	}
 	os.Stdout.Write(append(data, '\n'))
+}
+
+// serveFile is the envelope written to BENCH_serve.json.
+type serveFile struct {
+	Tenants    int                         `json:"tenants"`
+	Faults     bool                        `json:"faults"`
+	GoMaxProcs int                         `json:"gomaxprocs"`
+	NumCPU     int                         `json:"numCPU"`
+	Soak       experiments.ServeSoakResult `json:"soak"`
+}
+
+func runServeSoak(tenants, evolves int, faults, jsonOut bool) {
+	fmt.Println("=== Serve soak: multi-tenant daemon under concurrent evolves, reads and faults ===")
+	dir, err := os.MkdirTemp("", "incmap-serve-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	res, err := experiments.ServeSoak(experiments.ServeSoakOptions{
+		Tenants:          tenants,
+		EvolvesPerTenant: evolves,
+		Faults:           faults,
+		Dir:              dir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench: serve-soak:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.String())
+	if jsonOut {
+		writeJSONFile("BENCH_serve.json", serveFile{
+			Tenants: tenants, Faults: faults,
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Soak: res,
+		})
+	}
 }

@@ -1,0 +1,140 @@
+// Command mapserved runs the mapping compiler as a multi-tenant daemon.
+// Applications register named models over HTTP, push schema modification
+// operations at them, and read the compiled view state back; the daemon
+// shares one SAT-verdict cache and one persistent compile store across
+// every tenant, admits work through bounded per-tenant queues, and
+// degrades — never crashes — under overload, store faults and poisonous
+// models.
+//
+// Usage:
+//
+//	mapserved [-addr :7171] [-store DIR] [-queue 16] [-compiles N]
+//	          [-evolve-timeout 30s] [-budget-containments N] [-budget-wall 0]
+//	          [-persist-retries 3] [-trace FILE]
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness (200 while the process runs)
+//	GET  /readyz                      readiness (503 once draining)
+//	GET  /v1/tenants                  list tenants
+//	POST /v1/tenants/{name}           register a model (body: model|workload, budget)
+//	GET  /v1/tenants/{name}           one tenant's status
+//	GET  /v1/tenants/{name}/views     served view names + staleness flag
+//	POST /v1/tenants/{name}/evolve    apply one SMO (429 when shed)
+//	GET  /v1/metrics                  metrics snapshot (JSON)
+//	GET  /debug/vars                  expvar (includes the incmap map)
+//	GET  /debug/trace                 Chrome trace of recorded compilations
+//
+// SIGTERM or SIGINT starts a graceful drain: admission closes, in-flight
+// evolves finish, queued ones are shed with 503, write-behind snapshots
+// are flushed, and the tenant manifest plus SatCache are persisted so the
+// next start warm-serves every committed generation. A second signal
+// forces immediate exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/obsv"
+	"github.com/ormkit/incmap/internal/server"
+	"github.com/ormkit/incmap/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "listen address")
+	storeDir := flag.String("store", "", "persistent compile store directory (empty: in-memory only, no warm restarts)")
+	queue := flag.Int("queue", server.DefaultQueueDepth, "per-tenant evolve queue depth")
+	compiles := flag.Int("compiles", 0, "max concurrent compiles across tenants (0: half of GOMAXPROCS)")
+	evolveTimeout := flag.Duration("evolve-timeout", server.DefaultEvolveTimeout, "per-evolve wall-time cap, queue wait included")
+	budgetCont := flag.Int64("budget-containments", 0, "default per-tenant containment-check budget (0: unlimited)")
+	budgetWall := flag.Duration("budget-wall", 0, "default per-tenant validation wall-time budget (0: unlimited)")
+	persistRetries := flag.Int("persist-retries", 3, "snapshot persist retries before the error surfaces")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight evolves on shutdown")
+	traceOut := flag.String("trace", "", "record compilations and serve/write a Chrome trace")
+	flag.Parse()
+
+	opts := server.Options{
+		QueueDepth:            *queue,
+		MaxConcurrentCompiles: *compiles,
+		EvolveTimeout:         *evolveTimeout,
+		DefaultBudget:         fault.Budget{MaxContainments: *budgetCont, MaxWallTime: *budgetWall},
+		WriteBehind:           true,
+		PersistRetries:        *persistRetries,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapserved: opening store %s: %v\n", *storeDir, err)
+			os.Exit(1)
+		}
+		opts.Store = st
+	}
+	if *traceOut != "" {
+		opts.Sink = obsv.NewRecordingSink()
+		opts.Tracer = obsv.New(opts.Sink)
+	}
+
+	srv := server.New(opts)
+	obsv.RegisterGauge(obsv.MServeQueueDepth, srv.QueueDepth)
+	if n := srv.Restored(); n > 0 {
+		fmt.Printf("mapserved: warm-started %d tenant(s) from %s\n", n, *storeDir)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("mapserved: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "mapserved: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("mapserved: %s received, draining (second signal forces exit)\n", sig)
+		go func() {
+			<-sigCh
+			fmt.Fprintln(os.Stderr, "mapserved: forced exit")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mapserved: drain: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mapserved: shutdown: %v\n", err)
+		}
+		if *traceOut != "" {
+			writeTrace(*traceOut, opts.Sink)
+		}
+		fmt.Println("mapserved: drained")
+	}
+}
+
+func writeTrace(path string, sink *obsv.RecordingSink) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapserved: trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := obsv.WriteChromeTrace(f, sink.Spans()); err != nil {
+		fmt.Fprintf(os.Stderr, "mapserved: trace: %v\n", err)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"github.com/ormkit/incmap/internal/pipeline"
 	"github.com/ormkit/incmap/internal/rel"
 	"github.com/ormkit/incmap/internal/sqlgen"
+	"github.com/ormkit/incmap/internal/server"
 	"github.com/ormkit/incmap/internal/state"
 	"github.com/ormkit/incmap/internal/store"
 )
@@ -510,3 +511,24 @@ func Float(f float64) Value { return cond.Float(f) }
 
 // Bool returns a boolean Value.
 func Bool(b bool) Value { return cond.Bool(b) }
+
+// Daemon is the multi-tenant mapping-compiler server: many named models,
+// each behind its own Session, sharing one SatCache and one persistent
+// Store, with bounded admission queues, graceful degradation (a failed
+// evolve leaves the tenant serving its last committed generation, flagged
+// stale) and a clean drain/warm-restart lifecycle. See cmd/mapserved for
+// the runnable binary.
+type Daemon = server.Server
+
+// DaemonOptions configures a Daemon: queue depths, compile concurrency,
+// evolve deadlines, budgets, and the backing Store.
+type DaemonOptions = server.Options
+
+// DaemonTenantStatus reports one tenant's serving state: generation,
+// fingerprint, staleness, and request counters.
+type DaemonTenantStatus = server.TenantStatus
+
+// NewDaemon builds a Daemon, warm-starting every tenant recorded in the
+// store's manifest. Serve its Handler() over HTTP and call Drain on
+// shutdown.
+func NewDaemon(opts DaemonOptions) *Daemon { return server.New(opts) }

@@ -17,10 +17,16 @@
 //     deadlines and wall-time budgets),
 //   - KindError returns a spurious error from sites that can propagate
 //     one (exercising typed-error paths; sites that cannot return errors
-//     ignore it).
+//     ignore it),
+//   - KindCorrupt returns an InjectedError with Corrupt set; sites that
+//     write data (store.save) respond by persisting a deliberately
+//     truncated record — a deterministic stand-in for a short write or
+//     ENOSPC-torn file — while sites without a corruption response treat
+//     it like KindError.
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,6 +41,7 @@ const (
 	KindPanic Kind = iota
 	KindDelay
 	KindError
+	KindCorrupt
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +53,8 @@ func (k Kind) String() string {
 		return "delay"
 	case KindError:
 		return "error"
+	case KindCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -60,6 +69,25 @@ const (
 	SiteContainment = "containment.contains"
 	// SiteWorker fires each time a validation worker picks up a task.
 	SiteWorker = "compiler.worker"
+	// SiteStoreSave fires inside every persistent-store record write
+	// (generations, SatCache snapshots, manifests). KindError simulates an
+	// I/O failure (ENOSPC); KindCorrupt makes the store persist a
+	// truncated record, exercising the checksum-rejects-then-cold-compile
+	// path on the next load.
+	SiteStoreSave = "store.save"
+	// SiteStoreLoad fires inside every persistent-store record read.
+	SiteStoreLoad = "store.load"
+	// SiteSessionPersist fires at the top of a Session's snapshot persist
+	// (before the store is touched), on both the inline and the
+	// write-behind path.
+	SiteSessionPersist = "session.persist"
+	// SiteServerAdmit fires in the mapping daemon's admission check,
+	// before a request is enqueued. KindError sheds the request.
+	SiteServerAdmit = "server.admit"
+	// SiteServerHandler fires inside the daemon's evolve worker as it
+	// picks up an admitted job; KindPanic exercises handler panic
+	// isolation (the tenant must keep serving its last generation).
+	SiteServerHandler = "server.handler"
 )
 
 // Rule fires a fault at a site by deterministic visit count.
@@ -94,11 +122,24 @@ type Plan struct {
 type InjectedError struct {
 	Site  string
 	Visit int64
+	// Corrupt marks the error as a KindCorrupt injection: sites that can
+	// simulate a torn write (deliberately persisting a truncated record)
+	// do so and report success; everyone else treats it as a plain error.
+	Corrupt bool
 }
 
 // Error implements error.
 func (e *InjectedError) Error() string {
+	if e.Corrupt {
+		return fmt.Sprintf("faultinject: injected short write at %s (visit %d)", e.Site, e.Visit)
+	}
 	return fmt.Sprintf("faultinject: injected error at %s (visit %d)", e.Site, e.Visit)
+}
+
+// IsCorrupt reports whether err is a KindCorrupt injection.
+func IsCorrupt(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie) && ie.Corrupt
 }
 
 // InjectedPanic is the value KindPanic rules panic with, so recovery
@@ -182,6 +223,8 @@ func At(site string) error {
 			panic(InjectedPanic{Site: site, Visit: visit})
 		case KindError:
 			return &InjectedError{Site: site, Visit: visit}
+		case KindCorrupt:
+			return &InjectedError{Site: site, Visit: visit, Corrupt: true}
 		}
 	}
 	return nil

@@ -125,3 +125,43 @@ func TestFaultDeactivateResetsCounters(t *testing.T) {
 		t.Fatal("want fire on first visit of the new plan")
 	}
 }
+
+func TestFaultCorruptKindIsTyped(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{{Site: SiteStoreSave, Kind: KindCorrupt, Nth: 1}}})
+	defer deactivate()
+	err := At(SiteStoreSave)
+	if err == nil {
+		t.Fatal("want a corrupt injection on first visit")
+	}
+	if !IsCorrupt(err) {
+		t.Fatalf("IsCorrupt(%v) = false, want true", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || !ie.Corrupt || ie.Site != SiteStoreSave {
+		t.Fatalf("got %+v, want a Corrupt InjectedError at %s", ie, SiteStoreSave)
+	}
+	// A plain KindError is never a corruption.
+	if IsCorrupt(&InjectedError{Site: SiteStoreSave, Visit: 2}) {
+		t.Fatal("plain injected error misreported as corrupt")
+	}
+	if IsCorrupt(nil) {
+		t.Fatal("nil misreported as corrupt")
+	}
+}
+
+func TestFaultServerSitesAreHookable(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{
+		{Site: SiteServerAdmit, Kind: KindError, Nth: 1},
+		{Site: SiteServerHandler, Kind: KindError, Nth: 1},
+		{Site: SiteSessionPersist, Kind: KindError, Nth: 1},
+	}})
+	defer deactivate()
+	for _, site := range []string{SiteServerAdmit, SiteServerHandler, SiteSessionPersist} {
+		if At(site) == nil {
+			t.Fatalf("site %s did not fire", site)
+		}
+	}
+	if Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", Fired())
+	}
+}

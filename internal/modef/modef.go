@@ -198,7 +198,10 @@ func planAddEntityTPH(m *frag.Mapping, name, parent string, attrs []edm.Attribut
 	if table == "" {
 		return nil, fmt.Errorf("modef: no TPH table found for hierarchy of %q", parent)
 	}
-	tab := m.Store.Table(table)
+	// The shared TPH table is mutated in place (new columns, an extended
+	// discriminator enum); take a private CoW copy first so the plan never
+	// writes through into the generation the mapping was cloned from.
+	tab := m.Store.MutableTable(table)
 	disc, val, err := discriminatorFor(m, table, name)
 	if err != nil {
 		return nil, err
@@ -239,7 +242,8 @@ func PlanAddAssociation(m *frag.Mapping, name, e1, e2 string, m1, m2 edm.Mult) (
 	if t1 == "" {
 		return nil, fmt.Errorf("modef: endpoint %q has no table", e1)
 	}
-	tab := m.Store.Table(t1)
+	// FK columns are appended to E1's table in place; CoW-copy it first.
+	tab := m.Store.MutableTable(t1)
 	key2 := m.Client.KeyOf(e2)
 	t2 := tableOfType(m, e2)
 	fkCols := make([]string, len(key2))
@@ -452,6 +456,22 @@ func Diff(m *frag.Mapping, target *edm.Schema) ([]core.SMO, error) {
 		}
 	}
 	return ops, nil
+}
+
+// PlannedAddEntity returns a deferred AddEntity SMO: style inference and
+// the store-side table directive are resolved against the mapping the
+// operation is eventually applied to (inside the incremental compiler's
+// cloned generation), not against the mapping visible now. Long-lived
+// callers — the evolution pipeline, the serving daemon — use it so
+// planning never mutates a generation readers may be holding.
+func PlannedAddEntity(name, parent string, attrs []edm.Attribute) core.SMO {
+	return &plannedAdd{name: name, parent: parent, attrs: attrs}
+}
+
+// PlannedAddAssociation is the deferred form of PlanAddAssociation, keyed
+// by the association's declaration.
+func PlannedAddAssociation(a edm.Association) core.SMO {
+	return &plannedAssoc{a: a}
 }
 
 // plannedAdd defers style inference to application time, when earlier SMOs

@@ -167,6 +167,23 @@ const (
 	MStoreEvictions    = "store.evictions"
 	MStoreBytesRead    = "store.bytes_read"
 	MStoreBytesWritten = "store.bytes_written"
+	// Session snapshot persistence: errors surfaced by Session.Flush and
+	// the write-behind retry loop that precedes them.
+	MStorePersistErrors  = "store.persist_errors"
+	MStorePersistRetries = "store.persist_retries"
+	// Mapping-compiler daemon (internal/server). Requests counts every
+	// HTTP request; Shed counts admissions rejected by the bounded queue
+	// (429); StaleServes counts read responses flagged stale because the
+	// tenant's last evolve failed; EvolveErrors counts evolve jobs that
+	// ended in an error after admission; HandlerPanics counts panics
+	// recovered inside the daemon's workers and handlers.
+	MServeRequests      = "server.requests"
+	MServeShed          = "server.shed"
+	MServeStaleServes   = "server.stale_serves"
+	MServeEvolveErrors  = "server.evolve_errors"
+	MServeHandlerPanics = "server.handler_panics"
+	// server.queue_depth is registered as a gauge by the daemon.
+	MServeQueueDepth = "server.queue_depth"
 )
 
 // expvarOnce guards the process-global expvar name, which panics on

@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/faultinject"
+	"github.com/ormkit/incmap/internal/modef"
+	"github.com/ormkit/incmap/internal/store"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// addEmployeeN builds a distinct planner-resolved entity add for each i so
+// a session can be evolved repeatedly. Using the planned form matters: the
+// planner mutates the cloned mapping's store schema while it resolves, the
+// exact path that must stay invisible to concurrent readers and the
+// write-behind persist of the previous generation.
+func addEmployeeN(i int) core.SMO {
+	return modef.PlannedAddEntity(fmt.Sprintf("Emp%d", i), "Person",
+		[]edm.Attribute{{Name: "Dept", Type: cond.KindString, Nullable: true}})
+}
+
+// TestEvolveConcurrentGenerationReaders hammers Generation and Stats from
+// reader goroutines while the session evolves, under -race. Readers must
+// always observe a coherent, fully committed (mapping, views) pair —
+// never a half-applied generation, and never a torn pointer pair.
+func TestEvolveConcurrentGenerationReaders(t *testing.T) {
+	s := baseSession(t, Options{})
+
+	const readers = 4
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m, v := s.Generation()
+				if m == nil || v == nil {
+					torn.Add(1)
+					continue
+				}
+				// Every client type of the committed mapping must have a
+				// query view: commits are whole generations.
+				for _, ty := range m.Client.Types() {
+					if ty.Abstract {
+						continue
+					}
+					if v.Query[ty.Name] == nil {
+						torn.Add(1)
+					}
+				}
+				_ = s.Stats()
+			}
+		}()
+	}
+
+	const evolves = 8
+	for i := 0; i < evolves; i++ {
+		if _, _, err := s.Evolve(context.Background(), addEmployeeN(i)); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("evolve %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if torn.Load() > 0 {
+		t.Fatalf("%d torn generation observations", torn.Load())
+	}
+	m, _ := s.Generation()
+	if got := len(m.Client.Types()); got < evolves {
+		t.Fatalf("final generation has %d types, want ≥ %d", got, evolves)
+	}
+}
+
+// TestEvolveCancelMidEvolveReadersUnaffected cancels an Evolve midway (a
+// delay injected into the containment site gives the cancellation a
+// window) while readers watch: the cancelled evolve must not move the
+// generation, and concurrent reads must keep returning the old one.
+func TestEvolveCancelMidEvolveReadersUnaffected(t *testing.T) {
+	s := baseSession(t, Options{})
+	m0, v0 := s.Generation()
+
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteContainment, Kind: faultinject.KindDelay, Nth: 1, Every: 1, Delay: 20 * time.Millisecond},
+	}})
+	defer deactivate()
+
+	stop := make(chan struct{})
+	var badReads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if m, v := s.Generation(); m != m0 || v != v0 {
+					badReads.Add(1)
+				}
+			}
+		}()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, _, err := s.Evolve(ctx, addEmployeeN(0))
+	close(stop)
+	wg.Wait()
+
+	if err == nil {
+		t.Skip("evolve finished before the deadline; timing too generous to assert cancellation")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("evolve error %v, want deadline exceeded", err)
+	}
+	if badReads.Load() > 0 {
+		t.Fatalf("%d reads observed a generation the cancelled evolve must not have committed", badReads.Load())
+	}
+	if m, v := s.Generation(); m != m0 || v != v0 {
+		t.Fatalf("cancelled evolve moved the generation")
+	}
+	if st := s.Stats(); st.Cancelled == 0 {
+		t.Fatalf("cancellation not counted: %+v", st)
+	}
+}
+
+// TestFlushSurfacesPersistFault drives the write-behind persist path into
+// injected failure: the evolve itself succeeds (the store is an
+// accelerator, not a dependency), the failure is counted, and Flush
+// returns it — once.
+func TestFlushSurfacesPersistFault(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{Store: st, WriteBehind: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after clean open: %v", err)
+	}
+
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteSessionPersist, Kind: faultinject.KindError, Nth: 1, Every: 1},
+	}})
+	if _, _, err := s.Evolve(context.Background(), addEmployeeN(0)); err != nil {
+		deactivate()
+		t.Fatalf("evolve: %v", err)
+	}
+	ferr := s.Flush()
+	deactivate()
+	if ferr == nil {
+		t.Fatalf("flush returned nil despite an injected persist failure")
+	}
+	var ie *faultinject.InjectedError
+	if !errors.As(ferr, &ie) {
+		t.Fatalf("flush error %v, want the injected error", ferr)
+	}
+	if st := s.Stats(); st.PersistErrors == 0 {
+		t.Fatalf("persist failure not counted: %+v", st)
+	}
+	// The error was consumed: a second Flush reports clean.
+	if err := s.Flush(); err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+}
+
+// TestPersistRetriesAbsorbTransientFault fails only the first persist
+// attempt; with retries configured the snapshot must land, counted as a
+// retry, with no surfaced error.
+func TestPersistRetriesAbsorbTransientFault(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSessionCompile(context.Background(), workload.PaperInitial(), Options{
+		Store: st, WriteBehind: true,
+		PersistRetries: 3, PersistBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after open: %v", err)
+	}
+	before := s.Stats().Snapshots
+
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteSessionPersist, Kind: faultinject.KindError, Nth: 1},
+	}})
+	if _, _, err := s.Evolve(context.Background(), addEmployeeN(0)); err != nil {
+		deactivate()
+		t.Fatalf("evolve: %v", err)
+	}
+	ferr := s.Flush()
+	deactivate()
+	if ferr != nil {
+		t.Fatalf("flush surfaced an error the retry should have absorbed: %v", ferr)
+	}
+	stats := s.Stats()
+	if stats.PersistRetries == 0 {
+		t.Fatalf("no retry counted: %+v", stats)
+	}
+	if stats.PersistErrors != 0 {
+		t.Fatalf("retried persist still counted as an error: %+v", stats)
+	}
+	if stats.Snapshots <= before {
+		t.Fatalf("snapshot did not land after retry (before %d, after %d)", before, stats.Snapshots)
+	}
+}

@@ -12,14 +12,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ormkit/incmap/internal/compiler"
 	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/core"
 	"github.com/ormkit/incmap/internal/fault"
+	"github.com/ormkit/incmap/internal/faultinject"
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/obsv"
 	"github.com/ormkit/incmap/internal/store"
@@ -32,6 +35,8 @@ var (
 	mEvolveFallback    = obsv.Metrics().Counter(obsv.MEvolveFallback)
 	mEvolveCancelled   = obsv.Metrics().Counter(obsv.MEvolveCancelled)
 	mEvolvePanics      = obsv.Metrics().Counter(obsv.MEvolvePanics)
+	mPersistErrors     = obsv.Metrics().Counter(obsv.MStorePersistErrors)
+	mPersistRetries    = obsv.Metrics().Counter(obsv.MStorePersistRetries)
 )
 
 // FullEvolver is an SMO that the incremental compiler does not support but
@@ -63,8 +68,18 @@ type Options struct {
 	Store *store.Store
 	// WriteBehind persists snapshots on a background goroutine instead of
 	// on the Evolve path. Use Flush to wait for pending snapshots (e.g.
-	// before process exit).
+	// before process exit) and surface the first persistence error since
+	// the previous Flush.
 	WriteBehind bool
+	// PersistRetries is the number of additional attempts a failed
+	// snapshot persist makes before the error is surfaced through Stats
+	// and Flush. Retries back off exponentially from PersistBackoff
+	// (default 10ms) with ±50% jitter, capped at 1s per sleep. 0 disables
+	// retrying; long-running daemons absorbing transient store I/O
+	// failures (a full disk being rotated, an NFS blip) want 3–5.
+	PersistRetries int
+	// PersistBackoff is the base delay of the persist retry ladder.
+	PersistBackoff time.Duration
 }
 
 // sharedSatCache resolves the one decision cache both rungs share,
@@ -115,6 +130,13 @@ type Stats struct {
 	// of a compile; Snapshots counts generations persisted to the store.
 	WarmStarts int64
 	Snapshots  int64
+	// PersistErrors counts snapshot persists that failed after all
+	// retries (the store stayed behind the committed generation);
+	// PersistRetries counts the individual retry attempts. Both paths —
+	// inline and write-behind — are covered; Flush returns the first
+	// error since the last Flush.
+	PersistErrors  int64
+	PersistRetries int64
 }
 
 // Session owns a mapping generation and evolves it one SMO at a time.
@@ -127,8 +149,11 @@ type Session struct {
 	// satCache is the decision cache shared by both rungs when the session
 	// is store-backed; nil otherwise (each compile resolves its own).
 	satCache *cond.SatCache
-	// flushWG tracks in-flight write-behind snapshots.
-	flushWG sync.WaitGroup
+	// flushWG tracks in-flight write-behind snapshots; persistMu guards
+	// persistErr, the first persist error since the last Flush.
+	flushWG    sync.WaitGroup
+	persistMu  sync.Mutex
+	persistErr error
 
 	// evolveMu serializes Evolve calls; mu guards only the generation
 	// pointers so readers never block behind a long compilation.
@@ -198,8 +223,11 @@ func (s *Session) commit(m *frag.Mapping, v *frag.Views) {
 }
 
 // snapshot persists the committed generation and the session's SatCache,
-// inline or write-behind per Options. Persistence failures are deliberately
-// swallowed: the store is an accelerator, never a correctness dependency.
+// inline or write-behind per Options. Persistence failures never fail the
+// commit — the store is an accelerator, never a correctness dependency —
+// but they are no longer silent: each exhausted persist counts in
+// Stats.PersistErrors and the store.persist_errors metric, and Flush
+// returns the first error since the previous Flush.
 func (s *Session) snapshot(m *frag.Mapping, v *frag.Views) {
 	if s.opts.Store == nil {
 		return
@@ -215,22 +243,82 @@ func (s *Session) snapshot(m *frag.Mapping, v *frag.Views) {
 	s.persist(m, v)
 }
 
+// persist runs the retry ladder around persistOnce and records the final
+// verdict. Transient store failures (a disk filling, an injected fault)
+// are retried with capped exponential backoff plus jitter so a burst of
+// write-behind snapshots does not hammer a struggling disk in lockstep.
 func (s *Session) persist(m *frag.Mapping, v *frag.Views) {
-	fp, err := store.Fingerprint(m, s.opts.fingerprintExtras()...)
-	if err != nil {
-		return
+	backoff := s.opts.PersistBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
 	}
-	if s.opts.Store.SaveGeneration(fp, m, v) == nil {
-		atomic.AddInt64(&s.stats.Snapshots, 1)
+	const backoffCap = time.Second
+	var first error
+	for attempt := 0; ; attempt++ {
+		err := s.persistOnce(m, v)
+		if err == nil {
+			return
+		}
+		if first == nil {
+			first = err
+		}
+		if attempt >= s.opts.PersistRetries {
+			break
+		}
+		atomic.AddInt64(&s.stats.PersistRetries, 1)
+		mPersistRetries.Add(1)
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		if sleep > backoffCap {
+			sleep = backoffCap
+		}
+		time.Sleep(sleep)
+		if backoff < backoffCap {
+			backoff *= 2
+		}
 	}
-	if s.satCache != nil {
-		_ = s.opts.Store.SaveSatCache(s.satCache)
+	atomic.AddInt64(&s.stats.PersistErrors, 1)
+	mPersistErrors.Add(1)
+	s.persistMu.Lock()
+	if s.persistErr == nil {
+		s.persistErr = first
 	}
+	s.persistMu.Unlock()
 }
 
-// Flush waits for pending write-behind snapshots. A no-op for synchronous
-// sessions.
-func (s *Session) Flush() { s.flushWG.Wait() }
+// persistOnce is one snapshot attempt: the generation record, then the
+// SatCache snapshot. The first failure aborts the attempt.
+func (s *Session) persistOnce(m *frag.Mapping, v *frag.Views) error {
+	if err := faultinject.At(faultinject.SiteSessionPersist); err != nil {
+		return err
+	}
+	fp, err := store.Fingerprint(m, s.opts.fingerprintExtras()...)
+	if err != nil {
+		return err
+	}
+	if err := s.opts.Store.SaveGeneration(fp, m, v); err != nil {
+		return err
+	}
+	atomic.AddInt64(&s.stats.Snapshots, 1)
+	if s.satCache != nil {
+		if err := s.opts.Store.SaveSatCache(s.satCache); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush waits for pending write-behind snapshots and returns the first
+// persistence error since the last Flush (nil when every snapshot landed).
+// A successful Flush therefore certifies that the store holds the latest
+// committed generation. Synchronous sessions only report.
+func (s *Session) Flush() error {
+	s.flushWG.Wait()
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	err := s.persistErr
+	s.persistErr = nil
+	return err
+}
 
 // SatCache returns the decision cache shared across the session's
 // compiles, or nil when the session is not store-backed and no cache was
@@ -247,6 +335,8 @@ func (s *Session) Stats() Stats {
 		PanicsRecovered: atomic.LoadInt64(&s.stats.PanicsRecovered),
 		WarmStarts:      atomic.LoadInt64(&s.stats.WarmStarts),
 		Snapshots:       atomic.LoadInt64(&s.stats.Snapshots),
+		PersistErrors:   atomic.LoadInt64(&s.stats.PersistErrors),
+		PersistRetries:  atomic.LoadInt64(&s.stats.PersistRetries),
 	}
 }
 

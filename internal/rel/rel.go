@@ -142,7 +142,7 @@ func (s *Schema) AddForeignKey(table string, fk ForeignKey) error {
 			return fmt.Errorf("rel: foreign key %q references unknown column %q of %q", fk.Name, c, table)
 		}
 	}
-	t = s.mutableTable(table)
+	t = s.MutableTable(table)
 	t.FKs = append(t.FKs, fk)
 	return nil
 }
@@ -248,12 +248,24 @@ func (s *Schema) DeepClone() *Schema {
 	return c
 }
 
-// mutableTable replaces the named table's entry with a private copy and
-// returns it. After Clone, entries are shared across generations; callers
-// must go through this before any in-place entry mutation.
-func (s *Schema) mutableTable(name string) *Table {
-	t := *s.tables[name]
+// MutableTable replaces the named table's entry with a private copy and
+// returns it, or nil if the table does not exist. After Clone, entries are
+// shared across generations; every caller that mutates a table in place —
+// including column appends and discriminator-enum extensions — must go
+// through this first, or the write tears the generation it was cloned
+// from (and races with concurrent readers of that generation, such as a
+// write-behind persist). Column enum slices are copied too, so appending
+// a discriminator value never writes into a shared backing array.
+func (s *Schema) MutableTable(name string) *Table {
+	src, ok := s.tables[name]
+	if !ok {
+		return nil
+	}
+	t := *src
 	t.Cols = append([]Column(nil), t.Cols...)
+	for i := range t.Cols {
+		t.Cols[i].Enum = append([]cond.Value(nil), t.Cols[i].Enum...)
+	}
 	t.Key = append([]string(nil), t.Key...)
 	t.FKs = append([]ForeignKey(nil), t.FKs...)
 	s.tables[name] = &t

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/modef"
+)
+
+// WireSMO is the JSON form of a schema modification operation. The
+// additive ops (addEntity, addAssociation) decode to *planned* SMOs — the
+// modef planners resolve style and table placement against the session's
+// cloned mapping inside the incremental compiler's transaction, never
+// against the live generation. This matters in a daemon: planning against
+// the served mapping would mutate shared schema state before the evolve
+// is known to commit.
+//
+//	{"op": "addEntity", "name": "E", "parent": "P",
+//	 "attrs": [{"name": "A", "type": "string", "nullable": true}]}
+//	{"op": "addProperty", "type": "E",
+//	 "attr": {"name": "A", "type": "int"}, "table": "T", "col": "C"}
+//	{"op": "addAssociation", "name": "R",
+//	 "end1": {"type": "E1", "mult": "*"}, "end2": {"type": "E2", "mult": "0..1"}}
+//	{"op": "dropEntity", "name": "E"}
+//	{"op": "dropAssociation", "name": "R"}
+type WireSMO struct {
+	Op string `json:"op"`
+	// Name is the new entity/association name for adds, the victim for
+	// drops.
+	Name   string     `json:"name,omitempty"`
+	Parent string     `json:"parent,omitempty"`
+	Attrs  []WireAttr `json:"attrs,omitempty"`
+	// addProperty fields.
+	Type  string    `json:"type,omitempty"`
+	Attr  *WireAttr `json:"attr,omitempty"`
+	Table string    `json:"table,omitempty"`
+	Col   string    `json:"col,omitempty"`
+	// addAssociation ends.
+	End1 *WireEnd `json:"end1,omitempty"`
+	End2 *WireEnd `json:"end2,omitempty"`
+}
+
+// WireAttr is the JSON form of an entity attribute.
+type WireAttr struct {
+	Name     string `json:"name"`
+	Type     string `json:"type"` // "string", "int" or "bool"
+	Nullable bool   `json:"nullable,omitempty"`
+}
+
+// WireEnd is the JSON form of an association end.
+type WireEnd struct {
+	Type string `json:"type"`
+	Mult string `json:"mult"` // "1", "0..1" or "*"
+}
+
+func (a *WireAttr) toAttr() (edm.Attribute, error) {
+	kind, err := kindOf(a.Type)
+	if err != nil {
+		return edm.Attribute{}, fmt.Errorf("attribute %q: %w", a.Name, err)
+	}
+	if a.Name == "" {
+		return edm.Attribute{}, fmt.Errorf("attribute missing name")
+	}
+	return edm.Attribute{Name: a.Name, Type: kind, Nullable: a.Nullable}, nil
+}
+
+func kindOf(s string) (cond.Kind, error) {
+	switch s {
+	case "string", "":
+		return cond.KindString, nil
+	case "int":
+		return cond.KindInt, nil
+	case "bool":
+		return cond.KindBool, nil
+	default:
+		return 0, fmt.Errorf("unknown attribute type %q", s)
+	}
+}
+
+func multOf(s string) (edm.Mult, error) {
+	switch s {
+	case "1":
+		return edm.One, nil
+	case "0..1":
+		return edm.ZeroOne, nil
+	case "*":
+		return edm.Many, nil
+	default:
+		return 0, fmt.Errorf("unknown multiplicity %q (want \"1\", \"0..1\" or \"*\")", s)
+	}
+}
+
+// ToSMO decodes the wire form into an executable SMO.
+func (w *WireSMO) ToSMO() (core.SMO, *apiError) {
+	bad := func(format string, args ...any) *apiError {
+		return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	}
+	switch w.Op {
+	case "addEntity":
+		if w.Name == "" || w.Parent == "" {
+			return nil, bad("addEntity needs name and parent")
+		}
+		attrs := make([]edm.Attribute, 0, len(w.Attrs))
+		for i := range w.Attrs {
+			a, err := w.Attrs[i].toAttr()
+			if err != nil {
+				return nil, bad("addEntity: %v", err)
+			}
+			attrs = append(attrs, a)
+		}
+		return modef.PlannedAddEntity(w.Name, w.Parent, attrs), nil
+	case "addProperty":
+		if w.Type == "" || w.Attr == nil || w.Table == "" || w.Col == "" {
+			return nil, bad("addProperty needs type, attr, table and col")
+		}
+		a, err := w.Attr.toAttr()
+		if err != nil {
+			return nil, bad("addProperty: %v", err)
+		}
+		return &core.AddProperty{Type: w.Type, Attr: a, Table: w.Table, Col: w.Col}, nil
+	case "addAssociation":
+		if w.Name == "" || w.End1 == nil || w.End2 == nil {
+			return nil, bad("addAssociation needs name, end1 and end2")
+		}
+		m1, err := multOf(w.End1.Mult)
+		if err != nil {
+			return nil, bad("addAssociation end1: %v", err)
+		}
+		m2, err := multOf(w.End2.Mult)
+		if err != nil {
+			return nil, bad("addAssociation end2: %v", err)
+		}
+		if w.End1.Type == "" || w.End2.Type == "" {
+			return nil, bad("addAssociation ends need types")
+		}
+		return modef.PlannedAddAssociation(edm.Association{
+			Name: w.Name,
+			End1: edm.End{Type: w.End1.Type, Mult: m1},
+			End2: edm.End{Type: w.End2.Type, Mult: m2},
+		}), nil
+	case "dropEntity":
+		if w.Name == "" {
+			return nil, bad("dropEntity needs name")
+		}
+		return &core.DropEntity{Name: w.Name}, nil
+	case "dropAssociation":
+		if w.Name == "" {
+			return nil, bad("dropAssociation needs name")
+		}
+		return &core.DropAssociation{Name: w.Name}, nil
+	case "":
+		return nil, bad("missing smo op")
+	default:
+		return nil, bad("unknown smo op %q", w.Op)
+	}
+}

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/faultinject"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+// TestFaultStoreSaveErrorPropagates injects an I/O failure (the ENOSPC
+// stand-in) into the record writer and checks it surfaces as a typed
+// error, counted, with nothing half-written that a later load could trip
+// over.
+func TestFaultStoreSaveErrorPropagates(t *testing.T) {
+	m, v := compiledPair(t, workload.PaperFull())
+	fp, err := Fingerprint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteStoreSave, Kind: faultinject.KindError, Nth: 1},
+	}})
+	serr := s.SaveGeneration(fp, m, v)
+	deactivate()
+	if serr == nil {
+		t.Fatal("save succeeded despite injected I/O failure")
+	}
+	var ie *faultinject.InjectedError
+	if !errors.As(serr, &ie) {
+		t.Fatalf("save error %v, want the injected error", serr)
+	}
+	if s.HasGeneration(fp) {
+		t.Fatal("failed save left a visible generation")
+	}
+	// The failure was transient (Nth:1, no Every): a retry lands cleanly.
+	if err := s.SaveGeneration(fp, m, v); err != nil {
+		t.Fatalf("retry after injected failure: %v", err)
+	}
+	if _, _, err := s.LoadGeneration(fp); err != nil {
+		t.Fatalf("load after retried save: %v", err)
+	}
+}
+
+// TestFaultStoreSaveCorruptionRejectedOnLoad injects a torn write: the
+// save reports success (as a short write would to the writing process) but
+// persists a truncated record. The checksum must reject it on load —
+// degrading the reader to a cold compile — rather than serve garbage.
+func TestFaultStoreSaveCorruptionRejectedOnLoad(t *testing.T) {
+	m, v := compiledPair(t, workload.PaperFull())
+	fp, err := Fingerprint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteStoreSave, Kind: faultinject.KindCorrupt, Nth: 1},
+	}})
+	serr := s.SaveGeneration(fp, m, v)
+	fired := faultinject.Fired()
+	deactivate()
+	if serr != nil {
+		t.Fatalf("torn write must report success to the writer, got %v", serr)
+	}
+	if fired == 0 {
+		t.Fatal("corruption rule never fired")
+	}
+
+	// Same handle and a fresh one: both must reject the record.
+	if _, _, err := s.LoadGeneration(fp); err == nil {
+		t.Fatal("truncated record served by the writing handle")
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.LoadGeneration(fp); err == nil {
+		t.Fatal("truncated record served to a fresh process")
+	}
+
+	// An intact rewrite repairs the store.
+	if err := s2.SaveGeneration(fp, m, v); err != nil {
+		t.Fatalf("repair save: %v", err)
+	}
+	if _, _, err := s2.LoadGeneration(fp); err != nil {
+		t.Fatalf("load after repair: %v", err)
+	}
+}
+
+// TestFaultStoreLoadErrorReadsAsMiss injects a read failure and checks the
+// loader treats it as an error the caller can degrade on, not a panic or a
+// silently-empty generation.
+func TestFaultStoreLoadErrorReadsAsMiss(t *testing.T) {
+	m, v := compiledPair(t, workload.PaperFull())
+	fp, err := Fingerprint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveGeneration(fp, m, v); err != nil {
+		t.Fatal(err)
+	}
+
+	deactivate := faultinject.Activate(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteStoreLoad, Kind: faultinject.KindError, Nth: 1},
+	}})
+	_, _, lerr := s.LoadGeneration(fp)
+	deactivate()
+	if lerr == nil {
+		t.Fatal("load succeeded despite injected read failure")
+	}
+	var ie *faultinject.InjectedError
+	if !errors.As(lerr, &ie) {
+		t.Fatalf("load error %v, want the injected error", lerr)
+	}
+	// The record itself is intact: the next read succeeds.
+	if _, _, err := s.LoadGeneration(fp); err != nil {
+		t.Fatalf("load after transient read failure: %v", err)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/faultinject"
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/modelio"
 	"github.com/ormkit/incmap/internal/obsv"
@@ -54,6 +55,7 @@ const DefaultMaxGenerations = 32
 const (
 	classGeneration = "generation"
 	classSatCache   = "satcache"
+	classManifest   = "manifest"
 )
 
 // Store is a handle on one cache directory. Safe for concurrent use within
@@ -158,6 +160,16 @@ func (s *Store) writeRecord(name, class, fp string, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	if ferr := faultinject.At(faultinject.SiteStoreSave); ferr != nil {
+		if !faultinject.IsCorrupt(ferr) {
+			return fmt.Errorf("store: %w", ferr)
+		}
+		// Simulated short write: the visible record ends up truncated, as
+		// a torn write would leave it, and the write still reports
+		// success. The next read rejects it on the checksum and the
+		// caller degrades to a cold compile.
+		data = data[:len(data)/2]
+	}
 	tmp, err := os.CreateTemp(s.dir, name+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -186,6 +198,9 @@ func (s *Store) writeRecord(name, class, fp string, payload []byte) error {
 // missing file, truncation, bit flip, wrong version, wrong class, wrong
 // fingerprint — returns an error; callers degrade to a cold start.
 func (s *Store) readRecord(name, class, fp string) (json.RawMessage, error) {
+	if ferr := faultinject.At(faultinject.SiteStoreLoad); ferr != nil {
+		return nil, fmt.Errorf("store: %w", ferr)
+	}
 	data, err := os.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -343,6 +358,53 @@ func (s *Store) LoadSatCache(c *cond.SatCache) error {
 	c.Import(&snap)
 	s.hit()
 	return nil
+}
+
+// manifestFileName maps a manifest name to its record file. Names are
+// restricted to a filesystem-safe alphabet by validManifestName.
+func manifestFileName(name string) string { return "manifest-" + name + ".json" }
+
+func validManifestName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SaveManifest persists an opaque named payload — e.g. the serving
+// daemon's tenant table — with the same checksummed crash-safe envelope as
+// every other artifact. The name keys the record: a manifest can only be
+// read back under the name it was saved with.
+func (s *Store) SaveManifest(name string, payload []byte) error {
+	if !validManifestName(name) {
+		return fmt.Errorf("store: invalid manifest name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeRecord(manifestFileName(name), classManifest, name, payload)
+}
+
+// LoadManifest restores a named manifest payload. Any damage — truncation,
+// checksum mismatch, wrong name — fails the load cleanly; callers treat a
+// failed manifest like an empty one.
+func (s *Store) LoadManifest(name string) ([]byte, error) {
+	if !validManifestName(name) {
+		return nil, fmt.Errorf("store: invalid manifest name %q", name)
+	}
+	payload, err := s.readRecord(manifestFileName(name), classManifest, name)
+	if err != nil {
+		s.miss()
+		return nil, err
+	}
+	s.hit()
+	return payload, nil
 }
 
 // Generations lists the fingerprints with resident generation files,

@@ -39,7 +39,38 @@ func ChainE(n int) (*frag.Mapping, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("workload: chain needs at least one entity, got %d", n)
 	}
-	return capture(fmt.Sprintf("chain-%d model", n), func() *frag.Mapping { return buildChain(n) })
+	return capture(fmt.Sprintf("chain-%d model", n), func() *frag.Mapping { return buildChain("", n) })
+}
+
+// TenantE builds a chain model whose every schema object name carries the
+// given prefix, so the models of different tenants sharing one daemon
+// process are disjoint by construction: any cross-tenant state bleed
+// surfaces as a foreign prefix in a served view. The prefix must be a
+// non-empty identifier (letters, digits, underscore; leading letter).
+func TenantE(prefix string, n int) (*frag.Mapping, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: tenant chain needs at least one entity, got %d", n)
+	}
+	if !validPrefix(prefix) {
+		return nil, fmt.Errorf("workload: invalid tenant prefix %q", prefix)
+	}
+	return capture(fmt.Sprintf("tenant %s chain-%d model", prefix, n),
+		func() *frag.Mapping { return buildChain(prefix, n) })
+}
+
+func validPrefix(p string) bool {
+	if p == "" || len(p) > 32 {
+		return false
+	}
+	for i, r := range p {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case (r >= '0' && r <= '9' || r == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Chain builds the Figure 8 chain model, panicking on invalid parameters;

@@ -13,16 +13,19 @@ import (
 // inheritance arranged in a chain, each related to the next by two
 // associations (one 1—0..1, one 1—*), every type mapped one-to-one to its
 // own table and every association mapped to a key/foreign-key
-// relationship. The paper uses n = 1002. Parameter checking and panic
-// recovery live in the Chain/ChainE wrappers (builders.go).
-func buildChain(n int) *frag.Mapping {
+// relationship. The paper uses n = 1002. A non-empty prefix qualifies
+// every schema object name, so several chain models can share one process
+// (and one persistent store) without colliding — the multi-tenant daemon's
+// per-tenant model. Parameter checking and panic recovery live in the
+// Chain/ChainE/TenantE wrappers (builders.go).
+func buildChain(prefix string, n int) *frag.Mapping {
 	c := edm.NewSchema()
 	s := rel.NewSchema()
 	m := &frag.Mapping{Client: c, Store: s}
 
-	ty := func(i int) string { return fmt.Sprintf("Entity%d", i) }
-	tbl := func(i int) string { return fmt.Sprintf("TEntity%d", i) }
-	setName := func(i int) string { return fmt.Sprintf("Entity%dSet", i) }
+	ty := func(i int) string { return fmt.Sprintf("%sEntity%d", prefix, i) }
+	tbl := func(i int) string { return fmt.Sprintf("T%sEntity%d", prefix, i) }
+	setName := func(i int) string { return fmt.Sprintf("%sEntity%dSet", prefix, i) }
 
 	for i := 1; i <= n; i++ {
 		must(c.AddType(edm.EntityType{
@@ -82,7 +85,7 @@ func buildChain(n int) *frag.Mapping {
 			{"One", "PrevOne", edm.ZeroOne},
 			{"Many", "PrevMany", edm.ZeroOne},
 		} {
-			aName := fmt.Sprintf("Rel%s%d", kind.suffix, i)
+			aName := fmt.Sprintf("%sRel%s%d", prefix, kind.suffix, i)
 			must(c.AddAssociation(edm.Association{
 				Name: aName,
 				End1: edm.End{Type: ty(i), Mult: edm.Many},

@@ -210,7 +210,7 @@ func addCustomerAssociation(m *frag.Mapping, a, h1, h2 int) {
 		End1: edm.End{Type: e1, Mult: edm.Many},
 		End2: edm.End{Type: e2, Mult: edm.ZeroOne},
 	}))
-	tab := m.Store.Table(custRootTable(h1))
+	tab := m.Store.MutableTable(custRootTable(h1))
 	fkCol := fmt.Sprintf("FKA%d", a)
 	tab.Cols = append(tab.Cols, rel.Column{Name: fkCol, Type: cond.KindInt, Nullable: true})
 	must(m.Store.AddForeignKey(tab.Name, rel.ForeignKey{
