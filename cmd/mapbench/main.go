@@ -25,9 +25,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
@@ -49,7 +51,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, warmstart, ablations, views, fallback, serve-soak, all")
+	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, warmstart, ablations, views, fallback, serve-soak, rollout-soak, all")
 	maxN := flag.Int("maxn", 4, "fig4: maximum hierarchy depth N")
 	maxM := flag.Int("maxm", 8, "fig4: maximum fan-out M")
 	budget := flag.Duration("budget", 10*time.Second, "fig4: per-point budget before a depth's curve is cut off")
@@ -69,6 +71,15 @@ func main() {
 	// second-process warm start; the child prints one JSON object and exits.
 	if spec := os.Getenv("MAPBENCH_WARMSTART_CHILD"); spec != "" {
 		runWarmstartChild(spec)
+		return
+	}
+	// Child mode: -exp rollout-soak re-executes this binary as the process
+	// the kill/resume leg SIGKILLs mid-backfill.
+	if dir := os.Getenv("MAPBENCH_ROLLOUT_CHILD"); dir != "" {
+		if err := experiments.RolloutChild(dir); err != nil {
+			fmt.Fprintln(os.Stderr, "mapbench: rollout child:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -94,6 +105,8 @@ func main() {
 		runWarmstart(*storeDir, *jsonOut)
 	case "serve-soak":
 		runServeSoak(*tenants, *soakEvolves, *soakFaults, *jsonOut)
+	case "rollout-soak":
+		runRolloutSoak(*tenants, *jsonOut)
 	case "all":
 		runFig4(*maxN, *maxM, *budget, *jsonOut)
 		runFig9(*chain, *jsonOut)
@@ -103,6 +116,7 @@ func main() {
 		runFallback(*chain, *jsonOut)
 		runWarmstart(*storeDir, *jsonOut)
 		runServeSoak(*tenants, *soakEvolves, *soakFaults, *jsonOut)
+		runRolloutSoak(*tenants, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -549,6 +563,120 @@ type serveFile struct {
 	GoMaxProcs int                         `json:"gomaxprocs"`
 	NumCPU     int                         `json:"numCPU"`
 	Soak       experiments.ServeSoakResult `json:"soak"`
+}
+
+// rolloutFile is the envelope written to BENCH_rollout.json. Pass is the
+// conjunction of the soak's acceptance verdicts and the kill leg's — CI
+// asserts on it (and mapbench exits non-zero when it is false).
+type rolloutFile struct {
+	Tenants    int                               `json:"tenants"`
+	GoMaxProcs int                               `json:"gomaxprocs"`
+	NumCPU     int                               `json:"numCPU"`
+	Soak       experiments.RolloutSoakResult     `json:"soak"`
+	Kill       *experiments.RolloutKillResult    `json:"kill,omitempty"`
+	KillError  string                            `json:"killError,omitempty"`
+	Pass       bool                              `json:"pass"`
+}
+
+func runRolloutSoak(tenants int, jsonOut bool) {
+	fmt.Println("=== Rollout soak: guarded cutovers, automatic rollbacks and a mid-backfill process kill ===")
+	dir, err := os.MkdirTemp("", "incmap-rollout-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	res, err := experiments.RolloutSoak(experiments.RolloutSoakOptions{Tenants: tenants, Dir: dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench: rollout-soak:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.String())
+
+	out := rolloutFile{
+		Tenants: tenants, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Soak: res, Pass: res.Pass(),
+	}
+	kill, err := runRolloutKill()
+	if err != nil {
+		out.KillError = err.Error()
+		out.Pass = false
+		fmt.Fprintln(os.Stderr, "mapbench: rollout kill leg:", err)
+	} else {
+		out.Kill = &kill
+		out.Pass = out.Pass && kill.Pass()
+		fmt.Println(kill.String())
+	}
+	fmt.Println()
+	if jsonOut {
+		writeJSONFile("BENCH_rollout.json", out)
+	}
+	if !out.Pass {
+		fmt.Fprintln(os.Stderr, "mapbench: rollout-soak: acceptance verdicts violated")
+		os.Exit(1)
+	}
+}
+
+// runRolloutKill re-executes this binary over a shared store directory,
+// SIGKILLs it once two backfill checkpoints are on disk, and resumes the
+// rollout in-process over the same directory.
+func runRolloutKill() (experiments.RolloutKillResult, error) {
+	var res experiments.RolloutKillResult
+	dir, err := os.MkdirTemp("", "incmap-rollout-kill-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	exe, err := os.Executable()
+	if err != nil {
+		return res, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "MAPBENCH_ROLLOUT_CHILD="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return res, err
+	}
+	if err := cmd.Start(); err != nil {
+		return res, err
+	}
+	// Scan the child's progress lines; kill once two batches committed. A
+	// TERMINAL line means the child's backfill outran us — report that as
+	// a failure rather than resuming a finished rollout.
+	batches, killErr := watchAndKill(cmd, stdout)
+	_ = cmd.Wait() // reaps the SIGKILLed child; the error is expected
+	if killErr != nil {
+		return res, killErr
+	}
+	return experiments.RolloutResume(dir, batches)
+}
+
+// watchAndKill reads BATCH lines from the child and SIGKILLs it once the
+// second checkpoint lands, returning how many batches had committed.
+func watchAndKill(cmd *exec.Cmd, stdout io.Reader) (int, error) {
+	sc := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(60 * time.Second)
+	batches := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "BATCH "):
+			fmt.Sscanf(line, "BATCH %d", &batches)
+			if batches >= 2 {
+				return batches, cmd.Process.Kill()
+			}
+		case strings.HasPrefix(line, "TERMINAL "):
+			_ = cmd.Process.Kill()
+			return batches, fmt.Errorf("child backfill finished (%s) before the kill", line)
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			return batches, fmt.Errorf("child never reached 2 batches")
+		}
+	}
+	_ = cmd.Process.Kill()
+	return batches, fmt.Errorf("child exited early (last batch count %d)", batches)
 }
 
 func runServeSoak(tenants, evolves int, faults, jsonOut bool) {

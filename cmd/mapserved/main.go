@@ -10,7 +10,8 @@
 //
 //	mapserved [-addr :7171] [-store DIR] [-queue 16] [-compiles N]
 //	          [-evolve-timeout 30s] [-budget-containments N] [-budget-wall 0]
-//	          [-persist-retries 3] [-trace FILE]
+//	          [-persist-retries 3] [-trace FILE] [-config FILE]
+//	          [-auth FILE] [-intern-sweep 10m]
 //
 // Endpoints:
 //
@@ -21,19 +22,46 @@
 //	GET  /v1/tenants/{name}           one tenant's status
 //	GET  /v1/tenants/{name}/views     served view names + staleness flag
 //	POST /v1/tenants/{name}/evolve    apply one SMO (429 when shed)
+//	POST /v1/tenants/{name}/rollout   start a versioned rollout (202)
+//	GET  /v1/tenants/{name}/rollout   rollout status
+//	POST /v1/tenants/{name}/data      write synthetic rows ({"version":"prev"} routes
+//	                                  through the cross-version write views)
+//	GET  /v1/tenants/{name}/data      row summary (?version=prev for the old view)
+//	GET  /v1/config                   hot-config snapshot (reload generation included)
 //	GET  /v1/metrics                  metrics snapshot (JSON)
 //	GET  /debug/vars                  expvar (includes the incmap map)
 //	GET  /debug/trace                 Chrome trace of recorded compilations
 //
+// -config names a JSON file of hot-reloadable knobs (queue bounds, default
+// budgets, evolve timeout, rollout gate thresholds — the fields of
+// server.Reconfig, all optional). It is applied at startup and re-applied
+// on SIGHUP: the swap is atomic and drops no in-flight work — queued
+// evolves finish under the bounds they were admitted with, active rollouts
+// pick up new gate thresholds at their next gate evaluation. A malformed
+// or invalid file leaves the running configuration untouched.
+//
+// -auth names a JSON file mapping tenant names to static bearer tokens;
+// mutating endpoints for listed tenants then require
+// "Authorization: Bearer <token>" (401 missing/malformed, 403 wrong —
+// both distinct from 429 overload in the metrics). Reads are never gated.
+//
+// -intern-sweep ages the shared condition intern table on that period:
+// composites no constructor touched for two consecutive sweeps are
+// reclaimed (the cond.intern.aged counter), so one departed tenant's
+// working set does not squat below the capacity cap forever.
+//
 // SIGTERM or SIGINT starts a graceful drain: admission closes, in-flight
 // evolves finish, queued ones are shed with 503, write-behind snapshots
-// are flushed, and the tenant manifest plus SatCache are persisted so the
-// next start warm-serves every committed generation. A second signal
-// forces immediate exit.
+// are flushed, active rollouts suspend at their next batch boundary (their
+// checkpoints resume on restart), and the tenant manifest plus SatCache
+// are persisted so the next start warm-serves every committed generation.
+// A second signal forces immediate exit.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ormkit/incmap/internal/cond"
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/obsv"
 	"github.com/ormkit/incmap/internal/server"
@@ -60,6 +89,9 @@ func main() {
 	persistRetries := flag.Int("persist-retries", 3, "snapshot persist retries before the error surfaces")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight evolves on shutdown")
 	traceOut := flag.String("trace", "", "record compilations and serve/write a Chrome trace")
+	configFile := flag.String("config", "", "JSON file of hot-reloadable knobs, applied at startup and on SIGHUP")
+	authFile := flag.String("auth", "", "JSON file mapping tenant names to bearer tokens for mutating endpoints")
+	internSweep := flag.Duration("intern-sweep", 0, "age the shared condition intern table on this period (0: never)")
 	flag.Parse()
 
 	opts := server.Options{
@@ -82,8 +114,25 @@ func main() {
 		opts.Sink = obsv.NewRecordingSink()
 		opts.Tracer = obsv.New(opts.Sink)
 	}
+	if *authFile != "" {
+		auth, err := loadAuth(*authFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapserved: auth file %s: %v\n", *authFile, err)
+			os.Exit(1)
+		}
+		opts.Auth = auth
+		fmt.Printf("mapserved: bearer tokens required for %d tenant(s)\n", len(auth))
+	}
 
 	srv := server.New(opts)
+	if *configFile != "" {
+		// The startup application is strict — a daemon must not boot under a
+		// config it cannot parse; SIGHUP reloads below are forgiving.
+		if err := applyConfigFile(srv, *configFile); err != nil {
+			fmt.Fprintf(os.Stderr, "mapserved: config %s: %v\n", *configFile, err)
+			os.Exit(1)
+		}
+	}
 	obsv.RegisterGauge(obsv.MServeQueueDepth, srv.QueueDepth)
 	if n := srv.Restored(); n > 0 {
 		fmt.Printf("mapserved: warm-started %d tenant(s) from %s\n", n, *storeDir)
@@ -98,6 +147,40 @@ func main() {
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	// SIGHUP re-applies the config file: an atomic hot swap, no in-flight
+	// work dropped. Without -config the signal is acknowledged and ignored.
+	hupCh := make(chan os.Signal, 1)
+	signal.Notify(hupCh, syscall.SIGHUP)
+	go func() {
+		for range hupCh {
+			if *configFile == "" {
+				fmt.Println("mapserved: SIGHUP received but no -config file; ignoring")
+				continue
+			}
+			if err := applyConfigFile(srv, *configFile); err != nil {
+				fmt.Fprintf(os.Stderr, "mapserved: SIGHUP reload: %v (keeping current config)\n", err)
+				continue
+			}
+			cs := srv.ConfigStatus()
+			fmt.Printf("mapserved: SIGHUP reload #%d applied (queue=%d evolveTimeout=%dms canary=%d batchRows=%d errRate=%d%%)\n",
+				cs.Reloads, cs.QueueDepth, cs.EvolveTimeoutMs,
+				cs.Rollout.CanarySamples, cs.Rollout.BatchRows, cs.Rollout.MaxErrorRatePct)
+		}
+	}()
+
+	if *internSweep > 0 {
+		go func() {
+			tick := time.NewTicker(*internSweep)
+			defer tick.Stop()
+			for range tick.C {
+				if aged := cond.AgeIntern(); aged > 0 {
+					fmt.Printf("mapserved: intern sweep reclaimed %d idle composites (%d live)\n",
+						aged, cond.InternStats())
+				}
+			}
+		}()
+	}
 
 	select {
 	case err := <-errCh:
@@ -125,6 +208,42 @@ func main() {
 		}
 		fmt.Println("mapserved: drained")
 	}
+}
+
+// applyConfigFile reads a server.Reconfig JSON file and applies it. Unknown
+// fields are rejected so a typoed knob fails loudly instead of silently
+// keeping its old value.
+func applyConfigFile(srv *server.Server, path string) error {
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rc server.Reconfig
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rc); err != nil {
+		return fmt.Errorf("parsing: %w", err)
+	}
+	_, err = srv.Reconfigure(rc)
+	return err
+}
+
+// loadAuth reads the tenant -> bearer-token map.
+func loadAuth(path string) (map[string]string, error) {
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var auth map[string]string
+	if err := json.Unmarshal(payload, &auth); err != nil {
+		return nil, fmt.Errorf("parsing: %w", err)
+	}
+	for tenant, token := range auth {
+		if token == "" {
+			return nil, fmt.Errorf("tenant %q has an empty token", tenant)
+		}
+	}
+	return auth, nil
 }
 
 func writeTrace(path string, sink *obsv.RecordingSink) {

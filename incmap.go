@@ -532,3 +532,32 @@ type DaemonTenantStatus = server.TenantStatus
 // store's manifest. Serve its Handler() over HTTP and call Drain on
 // shutdown.
 func NewDaemon(opts DaemonOptions) *Daemon { return server.New(opts) }
+
+// SessionGeneration identifies one committed (or staged) generation in a
+// Session's version chain: sequence number, fingerprint, and the mapping
+// plus views it serves. Session.Head/Generations/GenerationAt walk the
+// chain; Propose/PromotePending/DiscardPending/Rollback manage staged
+// cutovers.
+type SessionGeneration = pipeline.Generation
+
+// DaemonRolloutStatus reports one versioned rollout's progress through
+// the propose → canary → backfill → cutover → verify state machine:
+// phase, source/target fingerprints, backfill checkpoint counters, gate
+// failures and whether the rollout resumed from a crash.
+type DaemonRolloutStatus = server.RolloutStatus
+
+// DaemonReconfig is the hot-reloadable knob set a running Daemon accepts
+// through Reconfigure (and mapserved re-applies on SIGHUP): queue bounds,
+// evolve timeout, validation budgets, and rollout gate thresholds. All
+// fields are optional; nil leaves the current value untouched.
+type DaemonReconfig = server.Reconfig
+
+// DaemonConfigStatus snapshots the Daemon's effective hot configuration,
+// including the reload generation counter.
+type DaemonConfigStatus = server.ConfigStatus
+
+// DaemonRolloutConfig holds the rollout defaults and health-gate
+// thresholds: canary sample count, backfill batch rows and retry ladder,
+// maximum divergent rows and error-rate percentage before automatic
+// rollback.
+type DaemonRolloutConfig = server.RolloutConfig

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"github.com/ormkit/incmap/internal/obsv"
 )
 
 // Hash-consing of composite condition nodes. The New* constructors funnel
@@ -54,6 +56,8 @@ var (
 	internTab       sync.Map // canonical key (string) -> *Not | *And | *Or
 	internSize      atomic.Int64
 	internEvictions atomic.Int64
+	internAged      atomic.Int64
+	mInternAged     = obsv.Metrics().Counter(obsv.MInternAged)
 )
 
 // internClock is the eviction ring: the keys of resident nodes, swept by a
@@ -68,9 +72,67 @@ var internClock struct {
 // InternStats reports the number of live interned composite nodes.
 func InternStats() int64 { return internSize.Load() }
 
-// InternEvictions reports the process-lifetime count of composites aged out
-// of the intern table.
+// InternEvictions reports the process-lifetime count of composites evicted
+// by the capacity clock (full-table inserts reclaiming room).
 func InternEvictions() int64 { return internEvictions.Load() }
+
+// InternAged reports the process-lifetime count of composites reclaimed by
+// AgeIntern sweeps (the cond.intern.aged counter).
+func InternAged() int64 { return internAged.Load() }
+
+// AgeIntern performs one aging revolution over the intern table: every
+// resident composite whose reference bit is still clear — meaning no
+// constructor re-interned it since the previous sweep — is evicted, and
+// every set bit is cleared so the entry is a candidate next time. Two
+// consecutive sweeps with no intervening hits therefore empty the table.
+//
+// The capacity clock (internEvict) only runs when the table is full, so a
+// long-lived multi-tenant daemon whose tenants come and go accumulates one
+// idle tenant's working set forever below the cap; callers (mapserved's
+// sweep ticker, or an operator via SIGHUP-tuned cadence) invoke AgeIntern
+// periodically to return that memory. Eviction never invalidates live
+// pointers — nodes handed out earlier stay valid; only future
+// constructions of the same structure mint fresh nodes.
+//
+// Returns how many entries this sweep reclaimed, also accumulated into the
+// cond.intern.aged metric.
+func AgeIntern() int64 {
+	c := &internClock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var aged int64
+	// One pass over the ring, front to back; evictions swap from the tail,
+	// so walk an index and only advance past survivors.
+	for i := 0; i < len(c.keys); {
+		key := c.keys[i]
+		e, ok := internTab.Load(key)
+		if !ok {
+			// Stale ring slot; drop it.
+			c.keys[i] = c.keys[len(c.keys)-1]
+			c.keys = c.keys[:len(c.keys)-1]
+			continue
+		}
+		p := refBitOf(e.(Expr))
+		if p != nil && atomic.LoadUint32(p) != 0 {
+			atomic.StoreUint32(p, 0)
+			i++
+			continue
+		}
+		internTab.Delete(key)
+		internSize.Add(-1)
+		aged++
+		c.keys[i] = c.keys[len(c.keys)-1]
+		c.keys = c.keys[:len(c.keys)-1]
+	}
+	if c.hand >= len(c.keys) {
+		c.hand = 0
+	}
+	if aged > 0 {
+		internAged.Add(aged)
+		mInternAged.Add(aged)
+	}
+	return aged
+}
 
 // refBitOf returns the node's second-chance bit, nil for non-composites.
 func refBitOf(x Expr) *uint32 {

@@ -1,0 +1,75 @@
+package cond
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ageComposite builds a distinctive interned composite for slot i.
+func ageComposite(i int) Expr {
+	return NewAnd(
+		Cmp{Attr: "AgeSweepAttr", Op: OpEq, Val: Int(int64(i))},
+		NewNot(Null{Attr: fmt.Sprintf("AgeSweepN%d", i)}),
+	)
+}
+
+// TestAgeInternSweep: entries untouched across two sweeps are reclaimed,
+// entries re-interned between sweeps survive, and the aged counter moves.
+func TestAgeInternSweep(t *testing.T) {
+	const n = 32
+	nodes := make([]Expr, n)
+	for i := range nodes {
+		nodes[i] = ageComposite(i)
+	}
+	agedBefore := InternAged()
+
+	// First sweep: every fresh entry has its reference bit set (first
+	// revolution's grace), so it only clears bits — our nodes survive.
+	AgeIntern()
+
+	// Keep half warm: re-interning sets the reference bit again.
+	for i := 0; i < n/2; i++ {
+		if ageComposite(i) != nodes[i] {
+			t.Fatalf("composite %d evicted by the first sweep", i)
+		}
+	}
+
+	// Second sweep must reclaim at least something (our cold half plus
+	// whatever else idles in the table) and never the warm half.
+	AgeIntern()
+	for i := 0; i < n/2; i++ {
+		if ageComposite(i) != nodes[i] {
+			t.Fatalf("warm composite %d aged out", i)
+		}
+	}
+	if InternAged() == agedBefore {
+		t.Fatal("no entries aged across two sweeps")
+	}
+
+	// A third sweep right after the warm-half re-intern above still keeps
+	// the warm nodes (the re-check set their bits again).
+	AgeIntern()
+	for i := 0; i < n/2; i++ {
+		if ageComposite(i) != nodes[i] {
+			t.Fatalf("warm composite %d aged out on the third sweep", i)
+		}
+	}
+}
+
+// TestAgeInternDrainsIdleTable: two sweeps with no intervening intern hits
+// empty the whole table (nothing is pinned below the capacity cap).
+func TestAgeInternDrainsIdleTable(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		ageComposite(1000 + i)
+	}
+	AgeIntern()
+	AgeIntern()
+	if got := InternStats(); got != 0 {
+		t.Fatalf("idle table holds %d entries after two sweeps", got)
+	}
+	// The table keeps working after a full drain.
+	x := ageComposite(2000)
+	if ageComposite(2000) != x {
+		t.Fatal("intern table broken after a full drain")
+	}
+}

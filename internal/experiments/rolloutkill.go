@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/ormkit/incmap/internal/server"
+	"github.com/ormkit/incmap/internal/store"
+)
+
+// The kill/resume leg of the rollout soak: the parent process (mapbench)
+// re-executes itself as a child, the child starts a deliberately slow
+// checkpointed backfill over a shared store directory and reports batch
+// progress on stdout, the parent SIGKILLs it mid-backfill — a real process
+// death, not a drain — and then RolloutResume boots a fresh daemon over
+// the same directory, which must resume from the last intact checkpoint
+// and complete the rollout without re-migrating committed batches.
+
+// killTenant is the tenant the child registers and the parent resumes.
+const killTenant = "kr"
+
+// RolloutKillResult reports the resume half.
+type RolloutKillResult struct {
+	BatchesBeforeKill int    `json:"batchesBeforeKill"`
+	Phase             string `json:"phase"`
+	Resumed           bool   `json:"resumed"`
+	ReusedBatches     int    `json:"reusedBatches"`
+	BatchesDone       int    `json:"batchesDone"`
+	TotalBatches      int    `json:"totalBatches"`
+	CrossReadOK       bool   `json:"crossReadOK"`
+	EvolveAfterOK     bool   `json:"evolveAfterOK"`
+	Error             string `json:"error,omitempty"`
+}
+
+// Pass reports whether the kill leg met the acceptance contract: the
+// resumed rollout finished, reused at least one committed batch instead of
+// re-migrating, and the tenant serves (cross-version reads and evolves
+// work) afterwards.
+func (r RolloutKillResult) Pass() bool {
+	return r.Phase == "done" && r.Resumed && r.ReusedBatches > 0 &&
+		r.BatchesDone == r.TotalBatches && r.CrossReadOK && r.EvolveAfterOK
+}
+
+// String formats the result as a table line.
+func (r RolloutKillResult) String() string {
+	s := fmt.Sprintf(
+		"killed after %d batches — resumed phase=%s reused=%d batches=%d/%d crossRead=%v evolve=%v",
+		r.BatchesBeforeKill, r.Phase, r.ReusedBatches, r.BatchesDone, r.TotalBatches,
+		r.CrossReadOK, r.EvolveAfterOK)
+	if r.Error != "" {
+		s += " error=" + r.Error
+	}
+	return s
+}
+
+// RolloutChild is the child half: it boots a daemon over dir, seeds a
+// tenant, starts a slow backfill (one row per batch, a pause between
+// batches) and prints "BATCH <n>" lines as checkpoints commit. It never
+// returns on its own — the parent kills the process mid-backfill. Stdout
+// is the only protocol: the parent scans for batch progress.
+func RolloutChild(dir string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Options{Store: st})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	h := &soakHarness{client: &http.Client{Timeout: 30 * time.Second}, base: "http://" + ln.Addr().String()}
+
+	code, err := h.do("POST", "/v1/tenants/"+killTenant, map[string]any{
+		"workload": map[string]any{"kind": "chain", "prefix": "Krx", "n": 4},
+	}, nil)
+	if err != nil || code != http.StatusCreated {
+		return fmt.Errorf("register: code %d err %v", code, err)
+	}
+	var seeded soakData
+	code, err = h.do("POST", "/v1/tenants/"+killTenant+"/data",
+		map[string]any{"seed": uint32(7), "maxPerType": 5}, &seeded)
+	if err != nil || code != http.StatusOK || seeded.TotalRows == 0 {
+		return fmt.Errorf("seed: code %d rows %d err %v", code, seeded.TotalRows, err)
+	}
+	body := rolloutReq("Krx", "Extra", 1, 17)
+	body["batchDelayMs"] = 80
+	code, err = h.do("POST", "/v1/tenants/"+killTenant+"/rollout", body, nil)
+	if err != nil || code != http.StatusAccepted {
+		return fmt.Errorf("rollout: code %d err %v", code, err)
+	}
+
+	last := -1
+	for {
+		var rst server.RolloutStatus
+		if c, err := h.do("GET", "/v1/tenants/"+killTenant+"/rollout", nil, &rst); err == nil && c == http.StatusOK {
+			if rst.BatchesDone != last {
+				last = rst.BatchesDone
+				fmt.Fprintf(os.Stdout, "BATCH %d\n", last)
+			}
+			switch rst.Phase {
+			case "done", "rolledback", "failed":
+				// The parent was too slow to kill us; tell it so and hold
+				// the process open so the kill still has a target.
+				fmt.Fprintf(os.Stdout, "TERMINAL %s\n", rst.Phase)
+				select {}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// RolloutResume is the parent half after the kill: a fresh daemon over the
+// same directory must restore the tenant, find the backfill checkpoint,
+// resume from the last intact batch and drive the rollout to done.
+func RolloutResume(dir string, batchesBeforeKill int) (RolloutKillResult, error) {
+	res := RolloutKillResult{BatchesBeforeKill: batchesBeforeKill}
+	st, err := store.Open(dir)
+	if err != nil {
+		return res, err
+	}
+	srv := server.New(server.Options{Store: st})
+	if srv.Restored() == 0 {
+		res.Error = "second daemon restored no tenants"
+		return res, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	h := &soakHarness{client: &http.Client{Timeout: 30 * time.Second}, base: "http://" + ln.Addr().String()}
+
+	rst, err := h.waitRollout(killTenant, 60*time.Second)
+	if err != nil {
+		res.Error = err.Error()
+		return res, nil
+	}
+	res.Phase = rst.Phase
+	res.Resumed = rst.Resumed
+	res.ReusedBatches = rst.ReusedBatch
+	res.BatchesDone = rst.BatchesDone
+	res.TotalBatches = rst.TotalBatches
+	if rst.Error != "" {
+		res.Error = rst.Error
+	}
+
+	if prev, err := h.data(killTenant, "?version=prev"); err == nil && len(prev.Entities) > 0 {
+		res.CrossReadOK = true
+	}
+	code, err := h.do("POST", "/v1/tenants/"+killTenant+"/evolve",
+		map[string]any{"op": "addEntity", "name": "KrxAfter", "parent": "KrxEntity1"}, nil)
+	res.EvolveAfterOK = err == nil && code == http.StatusOK
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil && res.Error == "" {
+		res.Error = "drain: " + err.Error()
+	}
+	return res, nil
+}

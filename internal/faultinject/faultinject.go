@@ -88,6 +88,17 @@ const (
 	// picks up an admitted job; KindPanic exercises handler panic
 	// isolation (the tenant must keep serving its last generation).
 	SiteServerHandler = "server.handler"
+	// SiteRolloutGate fires at every rollout health-gate evaluation
+	// (canary, pre-cutover and post-cutover). KindError forces a gate
+	// failure, exercising the automatic-rollback path; KindPanic must be
+	// contained by the rollout worker like any other panic.
+	SiteRolloutGate = "rollout.gate"
+	// SiteBackfillBatch fires once per backfill batch before the batch is
+	// transformed and checkpointed. KindError exercises the batch
+	// retry/backoff ladder; KindPanic aborts the rollout (rollback);
+	// combined with SiteStoreSave KindCorrupt it produces torn checkpoint
+	// records the resume path must reject and re-run.
+	SiteBackfillBatch = "backfill.batch"
 )
 
 // Rule fires a fault at a site by deterministic visit count.

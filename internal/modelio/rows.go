@@ -1,0 +1,160 @@
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+// Row-set serialization for store states. The rollout engine checkpoints
+// backfill batches — slices of concrete table rows — through the
+// persistent store, so rows need the same self-describing, deterministic
+// wire form as models and views: every value carries its kind, tables and
+// columns are emitted in sorted order, and decoding re-validates kinds so
+// a damaged record fails loudly instead of yielding zero values.
+
+// rowsDoc is the wire form of a state.StoreState.
+type rowsDoc struct {
+	Tables []tableRowsDoc `json:"tables"`
+}
+
+type tableRowsDoc struct {
+	Name string   `json:"name"`
+	Rows []rowDoc `json:"rows"`
+}
+
+// rowDoc is one row: columns sorted by name, absent columns are NULL.
+type rowDoc []cellDoc
+
+type cellDoc struct {
+	Col   string          `json:"col"`
+	Type  string          `json:"type"`
+	Value json.RawMessage `json:"value"`
+}
+
+func encodeCell(col string, v cond.Value) (cellDoc, error) {
+	var raw []byte
+	var err error
+	switch v.K {
+	case cond.KindString:
+		raw, err = json.Marshal(v.Str())
+	case cond.KindInt:
+		raw, err = json.Marshal(v.IntVal())
+	case cond.KindFloat:
+		raw, err = json.Marshal(v.FloatVal())
+	case cond.KindBool:
+		raw, err = json.Marshal(v.BoolVal())
+	default:
+		err = fmt.Errorf("modelio: column %q has unknown kind %v", col, v.K)
+	}
+	if err != nil {
+		return cellDoc{}, err
+	}
+	return cellDoc{Col: col, Type: kindName(v.K), Value: raw}, nil
+}
+
+func decodeCell(c cellDoc) (cond.Value, error) {
+	k, err := kindOf(c.Type)
+	if err != nil {
+		return cond.Value{}, err
+	}
+	switch k {
+	case cond.KindString:
+		var s string
+		if err := json.Unmarshal(c.Value, &s); err != nil {
+			return cond.Value{}, fmt.Errorf("modelio: column %q: %w", c.Col, err)
+		}
+		return cond.String(s), nil
+	case cond.KindInt:
+		var i int64
+		if err := json.Unmarshal(c.Value, &i); err != nil {
+			return cond.Value{}, fmt.Errorf("modelio: column %q: %w", c.Col, err)
+		}
+		return cond.Int(i), nil
+	case cond.KindFloat:
+		var f float64
+		if err := json.Unmarshal(c.Value, &f); err != nil {
+			return cond.Value{}, fmt.Errorf("modelio: column %q: %w", c.Col, err)
+		}
+		return cond.Float(f), nil
+	case cond.KindBool:
+		var b bool
+		if err := json.Unmarshal(c.Value, &b); err != nil {
+			return cond.Value{}, fmt.Errorf("modelio: column %q: %w", c.Col, err)
+		}
+		return cond.Bool(b), nil
+	}
+	return cond.Value{}, fmt.Errorf("modelio: column %q has unknown kind %q", c.Col, c.Type)
+}
+
+// EncodeRows serializes a store state deterministically: tables sorted by
+// name, columns within each row sorted by name, row order preserved (the
+// backfill checkpointer relies on stable row order for batch offsets).
+func EncodeRows(ss *state.StoreState) ([]byte, error) {
+	doc := rowsDoc{}
+	if ss != nil {
+		tables := make([]string, 0, len(ss.Tables))
+		for t := range ss.Tables {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		for _, t := range tables {
+			td := tableRowsDoc{Name: t, Rows: []rowDoc{}}
+			for _, r := range ss.Tables[t] {
+				cols := make([]string, 0, len(r))
+				for c := range r {
+					cols = append(cols, c)
+				}
+				sort.Strings(cols)
+				rd := make(rowDoc, 0, len(cols))
+				for _, c := range cols {
+					cell, err := encodeCell(c, r[c])
+					if err != nil {
+						return nil, fmt.Errorf("modelio: table %q: %w", t, err)
+					}
+					rd = append(rd, cell)
+				}
+				td.Rows = append(td.Rows, rd)
+			}
+			doc.Tables = append(doc.Tables, td)
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// DecodeRows restores a store state from EncodeRows output.
+func DecodeRows(payload []byte) (*state.StoreState, error) {
+	var doc rowsDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("modelio: rows: %w", err)
+	}
+	ss := state.NewStoreState()
+	for _, td := range doc.Tables {
+		if td.Name == "" {
+			return nil, fmt.Errorf("modelio: rows: unnamed table")
+		}
+		if _, dup := ss.Tables[td.Name]; dup {
+			return nil, fmt.Errorf("modelio: rows: duplicate table %q", td.Name)
+		}
+		rows := make([]state.Row, 0, len(td.Rows))
+		for _, rd := range td.Rows {
+			r := make(state.Row, len(rd))
+			for _, cell := range rd {
+				if _, dup := r[cell.Col]; dup {
+					return nil, fmt.Errorf("modelio: rows: table %q: duplicate column %q", td.Name, cell.Col)
+				}
+				v, err := decodeCell(cell)
+				if err != nil {
+					return nil, fmt.Errorf("modelio: rows: table %q: %w", td.Name, err)
+				}
+				r[cell.Col] = v
+			}
+			rows = append(rows, r)
+		}
+		ss.Tables[td.Name] = rows
+	}
+	return ss, nil
+}

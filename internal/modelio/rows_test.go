@@ -1,0 +1,80 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/state"
+)
+
+func sampleRows() *state.StoreState {
+	ss := state.NewStoreState()
+	ss.InsertRow("HR", state.Row{"Id": cond.Int(1), "Name": cond.String("ada")})
+	ss.InsertRow("HR", state.Row{"Id": cond.Int(2), "Name": cond.String("bob")})
+	ss.InsertRow("Emp", state.Row{"Id": cond.Int(1), "Dept": cond.String("eng"), "Remote": cond.Bool(true), "Load": cond.Float(0.5)})
+	ss.Tables["Empty"] = nil
+	return ss
+}
+
+func TestRowsRoundtrip(t *testing.T) {
+	ss := sampleRows()
+	payload, err := EncodeRows(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRows(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := state.DiffStore(ss, got); d != "" {
+		t.Fatalf("roundtrip diverged:\n%s", d)
+	}
+	// Row order inside a table is part of the contract (batch offsets).
+	if got.Tables["HR"][0]["Name"].Str() != "ada" || got.Tables["HR"][1]["Name"].Str() != "bob" {
+		t.Fatal("row order not preserved")
+	}
+}
+
+func TestRowsDeterministic(t *testing.T) {
+	a, err := EncodeRows(sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeRows(sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("EncodeRows is not deterministic")
+	}
+}
+
+func TestRowsRejectsDamage(t *testing.T) {
+	for _, bad := range []string{
+		`{"tables":[{"name":"T","rows":[[{"col":"C","type":"int","value":"x"}]]}]}`,
+		`{"tables":[{"name":"T","rows":[[{"col":"C","type":"blob","value":1}]]}]}`,
+		`{"tables":[{"name":"","rows":[]}]}`,
+		`{"tables":[{"name":"T","rows":[]},{"name":"T","rows":[]}]}`,
+		`{"tables":[{"name":"T","rows":[[{"col":"C","type":"int","value":1},{"col":"C","type":"int","value":2}]]}]}`,
+		`{"tables":`,
+	} {
+		if _, err := DecodeRows([]byte(bad)); err == nil {
+			t.Errorf("DecodeRows(%s) accepted damaged input", bad)
+		}
+	}
+}
+
+func TestRowsNilAndEmpty(t *testing.T) {
+	payload, err := EncodeRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRows(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 0 {
+		t.Fatalf("nil state decoded to %d tables", len(got.Tables))
+	}
+}

@@ -184,6 +184,26 @@ const (
 	MServeHandlerPanics = "server.handler_panics"
 	// server.queue_depth is registered as a gauge by the daemon.
 	MServeQueueDepth = "server.queue_depth"
+	// Per-tenant authorization on mutating endpoints: 401 is a missing or
+	// malformed credential, 403 a well-formed credential for the wrong
+	// tenant — kept distinct from each other and from 429 so an auth
+	// misconfiguration never masquerades as overload.
+	MServeAuth401 = "server.auth_401"
+	MServeAuth403 = "server.auth_403"
+	// Intern-table aging: entries reclaimed by the periodic cross-tenant
+	// sweep (as opposed to capacity-pressure clock evictions).
+	MInternAged = "cond.intern.aged"
+	// Versioned rollout engine (internal/server): state-machine outcomes
+	// and backfill progress. RolloutGateFailures counts health-gate
+	// verdicts that triggered an automatic rollback.
+	MRolloutStarted      = "rollout.started"
+	MRolloutCutovers     = "rollout.cutovers"
+	MRolloutRollbacks    = "rollout.rollbacks"
+	MRolloutGateFailures = "rollout.gate_failures"
+	MRolloutDivergences  = "rollout.divergences"
+	MBackfillBatches     = "rollout.backfill.batches"
+	MBackfillRetries     = "rollout.backfill.retries"
+	MBackfillResumed     = "rollout.backfill.resumed"
 )
 
 // expvarOnce guards the process-global expvar name, which panics on

@@ -1,0 +1,218 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/cond"
+	"github.com/ormkit/incmap/internal/core"
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/store"
+)
+
+func customerOp() core.SMO {
+	return core.AddEntityTPC("Customer", "Person",
+		[]edm.Attribute{
+			{Name: "Score", Type: cond.KindInt, Nullable: true},
+			{Name: "Addr", Type: cond.KindString, Nullable: true},
+		},
+		"Client", map[string]string{"Id": "Cid", "Name": "Name", "Score": "Score", "Addr": "Addr"})
+}
+
+func TestVersionChainGrowsAndTrims(t *testing.T) {
+	s := baseSession(t, Options{KeepGenerations: 2})
+	ctx := context.Background()
+
+	if got := s.Generations(); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("fresh chain = %+v, want one entry at seq 1", got)
+	}
+	if _, _, err := s.Evolve(ctx, employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Evolve(ctx, customerOp()); err != nil {
+		t.Fatal(err)
+	}
+	chain := s.Generations()
+	if len(chain) != 2 {
+		t.Fatalf("chain depth = %d, want trim to KeepGenerations=2", len(chain))
+	}
+	if chain[0].Seq != 2 || chain[1].Seq != 3 {
+		t.Fatalf("chain seqs = [%d %d], want [2 3]", chain[0].Seq, chain[1].Seq)
+	}
+	head := s.Head()
+	m, v := s.Generation()
+	if head.M != m || head.V != v {
+		t.Fatal("Head disagrees with Generation")
+	}
+	if g, ok := s.GenerationAt(2); !ok || g.M != chain[0].M {
+		t.Fatalf("GenerationAt(2) = %+v, %t", g, ok)
+	}
+	if _, ok := s.GenerationAt(1); ok {
+		t.Fatal("trimmed generation still addressable")
+	}
+}
+
+func TestProposePromote(t *testing.T) {
+	s := baseSession(t, Options{})
+	ctx := context.Background()
+	m0, v0 := s.Generation()
+
+	pg, err := s.Propose(ctx, employeeOp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Seq != 0 {
+		t.Fatalf("pending Seq = %d, want 0 until promotion", pg.Seq)
+	}
+	if m, v := s.Generation(); m != m0 || v != v0 {
+		t.Fatal("Propose moved the served generation")
+	}
+	if _, ok := s.Pending(); !ok {
+		t.Fatal("Pending lost the proposal")
+	}
+
+	// Direct evolves and second proposals are rejected while staged.
+	if _, _, err := s.Evolve(ctx, customerOp()); !errors.Is(err, ErrPendingGeneration) {
+		t.Fatalf("Evolve during rollout = %v, want ErrPendingGeneration", err)
+	}
+	if _, err := s.Propose(ctx, customerOp()); !errors.Is(err, ErrPendingGeneration) {
+		t.Fatalf("second Propose = %v, want ErrPendingGeneration", err)
+	}
+
+	head, err := s.PromotePending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Seq != 2 || head.M != pg.M || head.V != pg.V {
+		t.Fatalf("promoted head = %+v, want the staged generation at seq 2", head)
+	}
+	if _, ok := s.Pending(); ok {
+		t.Fatal("promotion left the proposal staged")
+	}
+	if st := s.Stats(); st.Proposals != 1 {
+		t.Fatalf("Proposals = %d, want 1", st.Proposals)
+	}
+	// The session evolves normally again.
+	if _, _, err := s.Evolve(ctx, customerOp()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposeDiscard(t *testing.T) {
+	s := baseSession(t, Options{})
+	ctx := context.Background()
+	m0, v0 := s.Generation()
+
+	if _, err := s.Propose(ctx, employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DiscardPending(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DiscardPending(); !errors.Is(err, ErrNoPendingGeneration) {
+		t.Fatalf("double discard = %v, want ErrNoPendingGeneration", err)
+	}
+	if _, err := s.PromotePending(); !errors.Is(err, ErrNoPendingGeneration) {
+		t.Fatalf("promote after discard = %v, want ErrNoPendingGeneration", err)
+	}
+	if m, v := s.Generation(); m != m0 || v != v0 {
+		t.Fatal("discard disturbed the served generation")
+	}
+	if _, _, err := s.Evolve(ctx, employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRollbackRestoresVerbatim: a rollback re-commits the previous
+// generation's exact mapping and view pointers under a fresh monotone Seq.
+func TestRollbackRestoresVerbatim(t *testing.T) {
+	s := baseSession(t, Options{})
+	ctx := context.Background()
+	m0, v0 := s.Generation()
+
+	m1, v1, err := s.Evolve(ctx, employeeOp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := s.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.M != m0 || head.V != v0 {
+		t.Fatal("rollback did not restore the prior generation verbatim")
+	}
+	if head.Seq != 3 {
+		t.Fatalf("rollback Seq = %d, want monotone 3", head.Seq)
+	}
+	// Rolling back again undoes the rollback.
+	head, err = s.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.M != m1 || head.V != v1 || head.Seq != 4 {
+		t.Fatalf("second rollback = seq %d, want the evolved generation back at seq 4", head.Seq)
+	}
+	if st := s.Stats(); st.Rollbacks != 2 {
+		t.Fatalf("Rollbacks = %d, want 2", st.Rollbacks)
+	}
+}
+
+func TestRollbackNeedsHistory(t *testing.T) {
+	s := baseSession(t, Options{KeepGenerations: 1})
+	if _, err := s.Rollback(); !errors.Is(err, ErrNoPreviousGeneration) {
+		t.Fatalf("rollback at depth 1 = %v, want ErrNoPreviousGeneration", err)
+	}
+	if _, _, err := s.Evolve(context.Background(), employeeOp()); err != nil {
+		t.Fatal(err)
+	}
+	// KeepGenerations=1 trims the predecessor away immediately.
+	if _, err := s.Rollback(); !errors.Is(err, ErrNoPreviousGeneration) {
+		t.Fatalf("rollback with K=1 = %v, want ErrNoPreviousGeneration", err)
+	}
+}
+
+// TestProposePersistsForResume: a staged generation lands in the store
+// under its content address, and a second session can re-stage it without
+// recompiling — the crash-resume path of the rollout engine.
+func TestProposePersistsForResume(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := baseSession(t, Options{Store: st})
+	pg, err := s.Propose(context.Background(), employeeOp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.FP == "" {
+		t.Fatal("store-backed proposal should carry a fingerprint")
+	}
+	if !st.HasGeneration(pg.FP) {
+		t.Fatal("proposal was not persisted")
+	}
+
+	lm, lv, err := st.LoadGeneration(pg.FP)
+	if err != nil {
+		t.Fatalf("reloading proposal: %v", err)
+	}
+	s2 := baseSession(t, Options{Store: st})
+	rg, err := s2.ResumePending(lm, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.FP != pg.FP {
+		t.Fatalf("resumed fingerprint %s, want %s", rg.FP, pg.FP)
+	}
+	if _, ok := s2.Pending(); !ok {
+		t.Fatal("resume did not stage the proposal")
+	}
+	head, err := s2.PromotePending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.FP != pg.FP {
+		t.Fatal("promoted generation lost the proposal's content address")
+	}
+}

@@ -80,7 +80,17 @@ type Options struct {
 	PersistRetries int
 	// PersistBackoff is the base delay of the persist retry ladder.
 	PersistBackoff time.Duration
+	// KeepGenerations bounds the session's version chain: the last K
+	// committed generations stay live (readable through Generations /
+	// GenerationAt, and rollback targets). 0 means DefaultKeepGenerations;
+	// 1 disables rollback. Copy-on-write makes a deep chain cheap — the
+	// generations share every untouched fragment and view.
+	KeepGenerations int
 }
+
+// DefaultKeepGenerations is the version-chain depth when Options does not
+// set one: the serving generation plus two rollback targets.
+const DefaultKeepGenerations = 3
 
 // sharedSatCache resolves the one decision cache both rungs share,
 // creating and wiring it if the caller supplied none. Sessions backed by a
@@ -137,6 +147,24 @@ type Stats struct {
 	// error since the last Flush.
 	PersistErrors  int64
 	PersistRetries int64
+	// Proposals counts generations staged through Propose/ResumePending;
+	// Rollbacks counts Rollback commits (each also counts as a commit in
+	// the chain but not as an Evolve).
+	Proposals int64
+	Rollbacks int64
+}
+
+// Generation is one committed entry of a session's version chain. Seq is
+// the session-monotone commit counter: it grows on every commit, including
+// a rollback — rolling back re-commits the previous generation's mapping
+// and views verbatim under a fresh Seq, so observers can always order
+// events. FP is the content address of the compiled generation (empty for
+// sessions without a persistent store).
+type Generation struct {
+	Seq int64
+	M   *frag.Mapping
+	V   *frag.Views
+	FP  string
 }
 
 // Session owns a mapping generation and evolves it one SMO at a time.
@@ -155,22 +183,41 @@ type Session struct {
 	persistMu  sync.Mutex
 	persistErr error
 
-	// evolveMu serializes Evolve calls; mu guards only the generation
-	// pointers so readers never block behind a long compilation.
+	// evolveMu serializes Evolve/Propose/Rollback calls; mu guards only
+	// the generation pointers and the chain so readers never block behind
+	// a long compilation.
 	evolveMu sync.Mutex
 	mu       sync.Mutex
 	m        *frag.Mapping
 	v        *frag.Views
+	seq      int64
+	chain    []Generation
+	pending  *Generation
 }
 
 // NewSession starts a session at an already compiled generation (a mapping
 // and the views the full or incremental compiler produced for it).
 func NewSession(m *frag.Mapping, v *frag.Views, opts Options) *Session {
-	s := &Session{opts: opts, m: m, v: v}
+	s := &Session{opts: opts, m: m, v: v, seq: 1}
 	if opts.Store != nil {
 		s.satCache = s.opts.sharedSatCache()
 	}
+	s.chain = []Generation{{Seq: 1, M: m, V: v, FP: s.fingerprintOf(m)}}
 	return s
+}
+
+// fingerprintOf computes the generation's content address for store-backed
+// sessions; without a store the chain carries no fingerprints (computing
+// one hashes the whole mapping, a cost pure in-memory sessions never paid).
+func (s *Session) fingerprintOf(m *frag.Mapping) string {
+	if s.opts.Store == nil {
+		return ""
+	}
+	fp, err := store.Fingerprint(m, s.opts.fingerprintExtras()...)
+	if err != nil {
+		return ""
+	}
+	return fp
 }
 
 // NewSessionCompile starts a session at a compiled generation for the
@@ -216,10 +263,63 @@ func (s *Session) Generation() (*frag.Mapping, *frag.Views) {
 }
 
 func (s *Session) commit(m *frag.Mapping, v *frag.Views) {
+	fp := s.fingerprintOf(m)
 	s.mu.Lock()
+	s.seq++
 	s.m, s.v = m, v
+	s.chain = append(s.chain, Generation{Seq: s.seq, M: m, V: v, FP: fp})
+	if k := s.keepGenerations(); len(s.chain) > k {
+		s.chain = append([]Generation(nil), s.chain[len(s.chain)-k:]...)
+	}
 	s.mu.Unlock()
 	s.snapshot(m, v)
+}
+
+func (s *Session) keepGenerations() int {
+	k := s.opts.KeepGenerations
+	if k <= 0 {
+		k = DefaultKeepGenerations
+	}
+	return k
+}
+
+// Head returns the currently served generation (the newest chain entry).
+func (s *Session) Head() Generation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain[len(s.chain)-1]
+}
+
+// Generations returns the live version chain, oldest first. Entries share
+// copy-on-write structure; treat their mappings and views as immutable.
+func (s *Session) Generations() []Generation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Generation(nil), s.chain...)
+}
+
+// GenerationAt returns the chain entry with the given Seq, if it is still
+// live.
+func (s *Session) GenerationAt(seq int64) (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.chain {
+		if g.Seq == seq {
+			return g, true
+		}
+	}
+	return Generation{}, false
+}
+
+// Pending returns the proposed-but-uncommitted generation, if any. Its Seq
+// is 0 until promotion assigns one.
+func (s *Session) Pending() (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return Generation{}, false
+	}
+	return *s.pending, true
 }
 
 // snapshot persists the committed generation and the session's SatCache,
@@ -337,6 +437,8 @@ func (s *Session) Stats() Stats {
 		Snapshots:       atomic.LoadInt64(&s.stats.Snapshots),
 		PersistErrors:   atomic.LoadInt64(&s.stats.PersistErrors),
 		PersistRetries:  atomic.LoadInt64(&s.stats.PersistRetries),
+		Proposals:       atomic.LoadInt64(&s.stats.Proposals),
+		Rollbacks:       atomic.LoadInt64(&s.stats.Rollbacks),
 	}
 }
 
@@ -359,10 +461,35 @@ func (s *Session) Stats() Stats {
 func (s *Session) Evolve(ctx context.Context, op core.SMO) (*frag.Mapping, *frag.Views, error) {
 	s.evolveMu.Lock()
 	defer s.evolveMu.Unlock()
+	m, v := s.Generation()
+	if s.pending != nil {
+		return m, v, ErrPendingGeneration
+	}
 	atomic.AddInt64(&s.stats.Evolves, 1)
 	mEvolves.Add(1)
-	m, v := s.Generation()
 
+	nm, nv, err := s.ladder(ctx, m, v, op, true)
+	if err != nil {
+		return m, v, err
+	}
+	return nm, nv, nil
+}
+
+// ErrPendingGeneration rejects Evolve while a proposed generation awaits
+// promotion or discard: interleaving direct commits with a staged rollout
+// would make the rollout's "previous generation" ambiguous.
+var ErrPendingGeneration = errors.New("pipeline: a proposed generation is pending; promote or discard it before evolving")
+
+// ErrNoPendingGeneration reports a promote/discard with nothing staged.
+var ErrNoPendingGeneration = errors.New("pipeline: no pending generation")
+
+// ErrNoPreviousGeneration reports a rollback on a chain of depth one.
+var ErrNoPreviousGeneration = errors.New("pipeline: no previous generation to roll back to")
+
+// ladder runs the fallback ladder over one SMO and, when commit is true,
+// commits the result. It owns tracing and the per-decision counters; the
+// caller holds evolveMu.
+func (s *Session) ladder(ctx context.Context, m *frag.Mapping, v *frag.Views, op core.SMO, commit bool) (*frag.Mapping, *frag.Views, error) {
 	// The ladder is traced as one "Evolve" span whose children are the rung
 	// spans (the inner Apply/Compile spans nest under those via the
 	// context); the decision the ladder took is recorded as an attribute.
@@ -375,7 +502,9 @@ func (s *Session) Evolve(ctx context.Context, op core.SMO) (*frag.Mapping, *frag
 	if ierr == nil {
 		atomic.AddInt64(&s.stats.Incremental, 1)
 		mEvolveIncremental.Add(1)
-		s.commit(nm, nv)
+		if commit {
+			s.commit(nm, nv)
+		}
 		root.End(obsv.OutcomeOK, obsv.String("decision", "incremental"))
 		return nm, nv, nil
 	}
@@ -383,11 +512,11 @@ func (s *Session) Evolve(ctx context.Context, op core.SMO) (*frag.Mapping, *frag
 		atomic.AddInt64(&s.stats.Cancelled, 1)
 		mEvolveCancelled.Add(1)
 		root.End(obsv.OutcomeCancelled, obsv.String("decision", "abort"))
-		return m, v, ierr
+		return nil, nil, ierr
 	}
 	if !fallbackWorthy(ierr) {
 		root.End(fault.Outcome(ierr), obsv.String("decision", "reject"))
-		return m, v, ierr
+		return nil, nil, ierr
 	}
 
 	root.Annotate(obsv.String("fallback_cause", fault.Outcome(ierr)))
@@ -399,17 +528,124 @@ func (s *Session) Evolve(ctx context.Context, op core.SMO) (*frag.Mapping, *frag
 			atomic.AddInt64(&s.stats.Cancelled, 1)
 			mEvolveCancelled.Add(1)
 			root.End(obsv.OutcomeCancelled, obsv.String("decision", "abort"))
-			return m, v, ferr
+			return nil, nil, ferr
 		}
 		root.End(fault.Outcome(ferr), obsv.String("decision", "reject"))
-		return m, v, fmt.Errorf("%s: incremental compilation failed (%v); full-compile fallback failed: %w",
+		return nil, nil, fmt.Errorf("%s: incremental compilation failed (%v); full-compile fallback failed: %w",
 			op.Describe(), ierr, ferr)
 	}
 	atomic.AddInt64(&s.stats.Fallbacks, 1)
 	mEvolveFallback.Add(1)
-	s.commit(fm, fv)
+	if commit {
+		s.commit(fm, fv)
+	}
 	root.End(obsv.OutcomeOK, obsv.String("decision", "fallback"))
 	return fm, fv, nil
+}
+
+// Propose compiles the SMO sequence into a staged generation without
+// committing it: the session keeps serving the current head while the
+// rollout engine canaries and backfills against the proposal. The staged
+// generation is persisted to the store (when one is configured) so a
+// crashed rollout can resume without recompiling. While a proposal is
+// pending, Evolve and further Propose calls fail with
+// ErrPendingGeneration.
+func (s *Session) Propose(ctx context.Context, ops ...core.SMO) (Generation, error) {
+	if len(ops) == 0 {
+		return Generation{}, fmt.Errorf("pipeline: Propose needs at least one SMO")
+	}
+	s.evolveMu.Lock()
+	defer s.evolveMu.Unlock()
+	if s.pending != nil {
+		return Generation{}, ErrPendingGeneration
+	}
+	m, v := s.Generation()
+	for _, op := range ops {
+		atomic.AddInt64(&s.stats.Evolves, 1)
+		mEvolves.Add(1)
+		nm, nv, err := s.ladder(ctx, m, v, op, false)
+		if err != nil {
+			return Generation{}, err
+		}
+		m, v = nm, nv
+	}
+	return s.stagePending(m, v), nil
+}
+
+// ResumePending re-stages an already compiled generation (typically one
+// reloaded from the persistent store after a crash mid-rollout).
+func (s *Session) ResumePending(m *frag.Mapping, v *frag.Views) (Generation, error) {
+	s.evolveMu.Lock()
+	defer s.evolveMu.Unlock()
+	if s.pending != nil {
+		return Generation{}, ErrPendingGeneration
+	}
+	return s.stagePending(m, v), nil
+}
+
+// stagePending records the proposal and persists it for crash resume. The
+// caller holds evolveMu.
+func (s *Session) stagePending(m *frag.Mapping, v *frag.Views) Generation {
+	atomic.AddInt64(&s.stats.Proposals, 1)
+	g := &Generation{M: m, V: v, FP: s.fingerprintOf(m)}
+	s.mu.Lock()
+	s.pending = g
+	s.mu.Unlock()
+	if s.opts.Store != nil {
+		s.persist(m, v)
+	}
+	return *g
+}
+
+// PromotePending commits the staged generation as the new head (the
+// rollout's cutover step).
+func (s *Session) PromotePending() (Generation, error) {
+	s.evolveMu.Lock()
+	defer s.evolveMu.Unlock()
+	s.mu.Lock()
+	p := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if p == nil {
+		return Generation{}, ErrNoPendingGeneration
+	}
+	s.commit(p.M, p.V)
+	return s.Head(), nil
+}
+
+// DiscardPending drops the staged generation (rollout abort or rollback).
+// The session's served head was never touched; the persisted proposal
+// record is content-addressed and harmless to leave behind.
+func (s *Session) DiscardPending() error {
+	s.evolveMu.Lock()
+	defer s.evolveMu.Unlock()
+	s.mu.Lock()
+	p := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if p == nil {
+		return ErrNoPendingGeneration
+	}
+	return nil
+}
+
+// Rollback re-commits the previous chain entry's mapping and views
+// verbatim under a fresh Seq — the serving pointers move back, the commit
+// counter moves forward, so generation numbers stay monotone through a
+// rollback (observers can order a rollback after the commit it undoes).
+func (s *Session) Rollback() (Generation, error) {
+	s.evolveMu.Lock()
+	defer s.evolveMu.Unlock()
+	s.mu.Lock()
+	if len(s.chain) < 2 {
+		s.mu.Unlock()
+		return Generation{}, ErrNoPreviousGeneration
+	}
+	prev := s.chain[len(s.chain)-2]
+	s.mu.Unlock()
+	atomic.AddInt64(&s.stats.Rollbacks, 1)
+	s.commit(prev.M, prev.V)
+	return s.Head(), nil
 }
 
 // tracer resolves the session's explicit tracer: the incremental rung's,

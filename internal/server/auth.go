@@ -1,0 +1,54 @@
+package server
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+
+	"github.com/ormkit/incmap/internal/obsv"
+)
+
+// Per-tenant authorization on mutating endpoints. The daemon's trust model
+// is simple and static: Options.Auth maps tenant names to bearer tokens;
+// a mutating request (register, evolve, rollout, data write) for a tenant
+// in the map must present that tenant's token. Two failure modes stay
+// distinct — in status code and in metrics — from each other and from
+// overload:
+//
+//	401 server.auth_401  missing or malformed credential
+//	403 server.auth_403  a well-formed token for the wrong tenant
+//	429 server.shed      admission overload (never an auth outcome)
+//
+// Read endpoints are never gated: reads must not fail, and a stale token
+// should not blind a client to the generation it is still serving.
+
+var (
+	mAuth401 = obsv.Metrics().Counter(obsv.MServeAuth401)
+	mAuth403 = obsv.Metrics().Counter(obsv.MServeAuth403)
+)
+
+// authorized wraps a mutating handler with the bearer-token check. With no
+// Auth map configured — or no entry for the tenant — the handler is open.
+func (s *Server) authorized(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		want, gated := s.opts.Auth[r.PathValue("name")]
+		if !gated {
+			h(w, r)
+			return
+		}
+		header := r.Header.Get("Authorization")
+		token, ok := strings.CutPrefix(header, "Bearer ")
+		if !ok || token == "" {
+			mAuth401.Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="incmap"`)
+			writeError(w, &apiError{status: http.StatusUnauthorized, msg: "missing or malformed bearer token"})
+			return
+		}
+		if subtle.ConstantTimeCompare([]byte(token), []byte(want)) != 1 {
+			mAuth403.Add(1)
+			writeError(w, &apiError{status: http.StatusForbidden, msg: "token not valid for this tenant"})
+			return
+		}
+		h(w, r)
+	}
+}

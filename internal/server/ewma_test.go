@@ -1,0 +1,213 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The admission queue's Retry-After hints come from an EWMA (α = 1/4) of
+// recent evolve durations. These tests pin the estimator's contract: the
+// estimate tracks load ramps monotonically, projected waits scale with
+// queue position, and the Retry-After header a shed response carries
+// matches the estimate within the header's whole-second resolution.
+
+// ewmaTenant registers a chain tenant and hands back its internal struct.
+func ewmaTenant(t *testing.T, opts Options) (*Server, *httptest.Server, *tenant) {
+	t.Helper()
+	srv, ts := testDaemon(t, opts)
+	registerChain(t, ts.URL, "ew", "ew", 2)
+	tn, ok := srv.lookup("ew")
+	if !ok {
+		t.Fatal("registered tenant not found")
+	}
+	return srv, ts, tn
+}
+
+// TestEWMAMonotoneUnderRamps: a rising sequence of observed durations
+// never lowers the estimate, a falling sequence never raises it, and a
+// constant load converges to that constant.
+func TestEWMAMonotoneUnderRamps(t *testing.T) {
+	_, _, tn := ewmaTenant(t, Options{})
+
+	// Rising ramp: 10ms, 20ms, ..., 200ms.
+	var prev time.Duration
+	for d := 10 * time.Millisecond; d <= 200*time.Millisecond; d += 10 * time.Millisecond {
+		tn.observeDuration(d)
+		got, ok := tn.estimatedWait(1)
+		if !ok {
+			t.Fatal("no estimate after an observation")
+		}
+		if got < prev {
+			t.Fatalf("estimate fell on a rising ramp: %v -> %v (observed %v)", prev, got, d)
+		}
+		if got > d {
+			t.Fatalf("estimate %v overshot the largest observation %v", got, d)
+		}
+		prev = got
+	}
+
+	// Falling ramp back down to 10ms: each update moves the estimate
+	// toward the observation and never past it (betweenness) — once the
+	// observations drop below the estimate, the estimate only falls.
+	for d := 200 * time.Millisecond; d >= 10*time.Millisecond; d -= 10 * time.Millisecond {
+		tn.observeDuration(d)
+		got, _ := tn.estimatedWait(1)
+		lo, hi := prev, d
+		if d < prev {
+			lo, hi = d, prev
+		}
+		if got < lo || got > hi {
+			t.Fatalf("estimate %v left the [old, observed] envelope [%v, %v]", got, lo, hi)
+		}
+		if d < prev && got > prev {
+			t.Fatalf("estimate rose while observations were below it: %v -> %v (observed %v)", prev, got, d)
+		}
+		prev = got
+	}
+
+	// Constant load converges: after enough samples the estimate sits
+	// within 5%% of the observed duration (α=1/4 halves the error every
+	// ~2.4 samples).
+	const target = 80 * time.Millisecond
+	for i := 0; i < 32; i++ {
+		tn.observeDuration(target)
+	}
+	got, _ := tn.estimatedWait(1)
+	if diff := math.Abs(float64(got - target)); diff > 0.05*float64(target) {
+		t.Fatalf("estimate %v did not converge to %v under constant load", got, target)
+	}
+}
+
+// TestEWMAWaitScalesWithQueuePosition: the projected wait for n queued
+// evolves is n times the per-evolve estimate — monotone and linear in n.
+func TestEWMAWaitScalesWithQueuePosition(t *testing.T) {
+	_, _, tn := ewmaTenant(t, Options{})
+	if _, ok := tn.estimatedWait(3); ok {
+		t.Fatal("estimate exists before any completed evolve (registration chain evolves should not count)")
+	}
+	tn.observeDuration(50 * time.Millisecond)
+	var prev time.Duration
+	for n := 1; n <= 8; n++ {
+		got, ok := tn.estimatedWait(n)
+		if !ok {
+			t.Fatalf("no estimate at position %d", n)
+		}
+		if got <= prev {
+			t.Fatalf("wait not monotone in queue position: n=%d %v after %v", n, got, prev)
+		}
+		if want := time.Duration(n) * tn.retryAfterUnit(); got != want {
+			t.Fatalf("wait at position %d = %v, want %v", n, got, want)
+		}
+		prev = got
+	}
+}
+
+// retryAfterUnit exposes the per-slot estimate for the linearity check.
+func (t *tenant) retryAfterUnit() time.Duration {
+	d, _ := t.estimatedWait(1)
+	return d
+}
+
+// TestRetryAfterHeaderMatchesEstimate: a request whose deadline the
+// estimated wait exceeds is shed with 429, and the Retry-After header
+// equals the estimate truncated to whole seconds (within the header's 1s
+// resolution).
+func TestRetryAfterHeaderMatchesEstimate(t *testing.T) {
+	_, ts, tn := ewmaTenant(t, Options{})
+
+	// Pin the EWMA near 3s: admission projects a 3s wait for the next
+	// evolve, far beyond the 50ms deadline the request will carry.
+	for i := 0; i < 64; i++ {
+		tn.observeDuration(3 * time.Second)
+	}
+	est, ok := tn.estimatedWait(1)
+	if !ok || est < 2*time.Second {
+		t.Fatalf("estimate %v (ok=%v) not pinned near 3s", est, ok)
+	}
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/tenants/ew/evolve",
+		strings.NewReader(`{"op":"addEntity","name":"ewShed","parent":"ewEntity1","timeoutMs":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (deadline-exceeding wait must shed)", resp.StatusCode)
+	}
+	header := resp.Header.Get("Retry-After")
+	if header == "" {
+		t.Fatal("shed response carried no Retry-After header")
+	}
+	secs, err := strconv.ParseInt(header, 10, 64)
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", header, err)
+	}
+	// The handler truncates to whole seconds and floors at 1; the estimate
+	// may drift by concurrent observations, so allow 1s of tolerance.
+	want := int64(est / time.Second)
+	if want < 1 {
+		want = 1
+	}
+	if diff := secs - want; diff < -1 || diff > 1 {
+		t.Fatalf("Retry-After %ds does not match estimate %v (want about %ds)", secs, est, want)
+	}
+
+	// The shed is overload accounting, not an auth or error outcome.
+	st := tenantStatus(t, ts.URL, "ew")
+	if st.Shed == 0 {
+		t.Fatal("deadline shed not counted in the tenant's shed counter")
+	}
+	if st.Stale {
+		t.Fatal("a shed request must not mark the tenant stale")
+	}
+}
+
+// TestRetryAfterHeaderEncoding: the header encoder truncates the estimate
+// to whole seconds, floors at one second, and scales with the queue depth
+// it is quoted for — the full-queue shed quotes the whole queue's drain.
+func TestRetryAfterHeaderEncoding(t *testing.T) {
+	_, _, tn := ewmaTenant(t, Options{})
+	for i := 0; i < 64; i++ {
+		tn.observeDuration(1500 * time.Millisecond)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		rec := httptest.NewRecorder()
+		writeErrorWithStatus(rec, &apiError{
+			status: http.StatusTooManyRequests, msg: "queue full", retryAfter: tn.retryAfter(n),
+		}, nil)
+		secs, err := strconv.ParseInt(rec.Header().Get("Retry-After"), 10, 64)
+		if err != nil {
+			t.Fatalf("n=%d Retry-After %q: %v", n, rec.Header().Get("Retry-After"), err)
+		}
+		est, _ := tn.estimatedWait(n)
+		want := int64(est / time.Second)
+		if want < 1 {
+			want = 1
+		}
+		if diff := secs - want; diff < -1 || diff > 1 {
+			t.Fatalf("n=%d Retry-After %ds, estimate %v (about %ds)", n, secs, est, want)
+		}
+	}
+
+	// A sub-second estimate still floors the header at 1s — the HTTP
+	// header has whole-second resolution and 0 would mean "retry now".
+	tiny := &tenant{}
+	tiny.evolveEWMA.Store(int64(5 * time.Millisecond))
+	rec := httptest.NewRecorder()
+	writeErrorWithStatus(rec, &apiError{
+		status: http.StatusTooManyRequests, msg: "queue full", retryAfter: tiny.retryAfter(1),
+	}, nil)
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("sub-second estimate encoded Retry-After %q, want 1", got)
+	}
+}

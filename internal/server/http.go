@@ -59,10 +59,17 @@ func (s *Server) buildMux() *http.ServeMux {
 	})
 
 	mux.HandleFunc("GET /v1/tenants", s.handleList)
-	mux.HandleFunc("POST /v1/tenants/{name}", s.handleRegister)
+	mux.HandleFunc("POST /v1/tenants/{name}", s.authorized(s.handleRegister))
 	mux.HandleFunc("GET /v1/tenants/{name}", s.handleStatus)
 	mux.HandleFunc("GET /v1/tenants/{name}/views", s.handleViews)
-	mux.HandleFunc("POST /v1/tenants/{name}/evolve", s.handleEvolve)
+	mux.HandleFunc("POST /v1/tenants/{name}/evolve", s.authorized(s.handleEvolve))
+	mux.HandleFunc("POST /v1/tenants/{name}/rollout", s.authorized(s.handleRolloutPost))
+	mux.HandleFunc("GET /v1/tenants/{name}/rollout", s.handleRolloutGet)
+	mux.HandleFunc("POST /v1/tenants/{name}/data", s.authorized(s.handleDataPost))
+	mux.HandleFunc("GET /v1/tenants/{name}/data", s.handleDataGet)
+	mux.HandleFunc("GET /v1/config", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ConfigStatus())
+	})
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, obsv.Snapshot())
@@ -251,7 +258,7 @@ func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	timeout := s.opts.EvolveTimeout
+	timeout := s.cfg().evolveTimeout
 	if req.TimeoutMs > 0 {
 		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
 			timeout = d

@@ -89,6 +89,15 @@ type Options struct {
 	Tracer *obsv.Tracer
 	// Sink is the recording sink behind Tracer, drained by /debug/trace.
 	Sink *obsv.RecordingSink
+	// Rollout tunes the versioned rollout engine (gates, backfill). These
+	// seed the hot config; Reconfigure (or mapserved's SIGHUP reload)
+	// adjusts them at runtime.
+	Rollout RolloutConfig
+	// Auth, when non-empty, enables per-tenant bearer-token authorization
+	// on mutating endpoints: a request touching tenant T must carry
+	// "Authorization: Bearer <Auth[T]>". Tenants absent from the map are
+	// open. Read endpoints are never gated — reads must not fail.
+	Auth map[string]string
 }
 
 // Defaults for the zero Options.
@@ -132,6 +141,14 @@ type Server struct {
 	draining atomic.Bool
 	mux      *http.ServeMux
 	restored int64
+
+	// config is the hot-reloadable configuration snapshot (see config.go);
+	// reloads counts successful Reconfigure calls.
+	config  atomic.Pointer[runtimeConfig]
+	reloads atomic.Int64
+
+	// rolloutSeq numbers rollouts daemon-wide for status correlation.
+	rolloutSeq atomic.Int64
 }
 
 // New builds a daemon and, when a store is configured, restores every
@@ -159,6 +176,12 @@ func New(opts Options) *Server {
 		sem:     make(chan struct{}, opts.MaxConcurrentCompiles),
 		tenants: map[string]*tenant{},
 	}
+	s.config.Store(&runtimeConfig{
+		queueDepth:    opts.QueueDepth,
+		evolveTimeout: opts.EvolveTimeout,
+		defaultBudget: opts.DefaultBudget,
+		rollout:       opts.Rollout.withDefaults(),
+	})
 	if opts.Store != nil {
 		_ = opts.Store.LoadSatCache(s.sat)
 		s.restoreTenants()
@@ -210,8 +233,13 @@ func (s *Server) restoreTenants() {
 		}
 		t := s.newTenant(name, pipeline.NewSession(m, v, s.sessionOptions(b)), b)
 		t.setCommitted(m, v, ent.Generation, ent.Fingerprint)
+		t.restoreData()
 		s.tenants[name] = t
 		s.restored++
+		// A rollout checkpoint means the previous process died (or was
+		// drained) mid-backfill: restage the proposed generation and
+		// continue from the last intact batch.
+		s.resumeRollout(t)
 	}
 }
 
@@ -286,7 +314,7 @@ func (s *Server) Register(ctx context.Context, name string, m *frag.Mapping, b f
 		return nil, &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf("invalid tenant name %q", name)}
 	}
 	if b == (fault.Budget{}) {
-		b = s.opts.DefaultBudget
+		b = s.cfg().defaultBudget
 	}
 	s.mu.Lock()
 	if _, dup := s.tenants[name]; dup {
@@ -361,6 +389,20 @@ func (s *Server) Drain(ctx context.Context) error {
 		case <-ctx.Done():
 			if firstErr == nil {
 				firstErr = fmt.Errorf("drain: %w", ctx.Err())
+			}
+		}
+	}
+	// Rollouts notice draining at their next batch boundary and suspend
+	// (their checkpoints make the restart resume); wait for the goroutines
+	// so no checkpoint write races the final manifest save below.
+	for _, t := range tenants {
+		if ro := t.lastRollout(); ro != nil {
+			select {
+			case <-ro.doneCh:
+			case <-ctx.Done():
+				if firstErr == nil {
+					firstErr = fmt.Errorf("drain: %w", ctx.Err())
+				}
 			}
 		}
 	}

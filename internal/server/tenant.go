@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime/debug"
@@ -14,7 +15,9 @@ import (
 	"github.com/ormkit/incmap/internal/faultinject"
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/pipeline"
+	"github.com/ormkit/incmap/internal/state"
 	"github.com/ormkit/incmap/internal/store"
+	"github.com/ormkit/incmap/internal/xver"
 )
 
 // tenant is one registered model: a session, a bounded evolve queue
@@ -56,6 +59,23 @@ type tenant struct {
 	shed       atomic.Int64
 	reads      atomic.Int64
 	staleReads atomic.Int64
+
+	// dataMu guards the tenant's row store and cross-version artifacts:
+	// data is the serving store state, prevData the frozen pre-cutover
+	// snapshot kept for post-cutover rollback and version-k clients, and
+	// xplan the cross-version plan that lets those clients keep reading and
+	// writing after cutover. frozen marks the backfill window, during which
+	// writes are rejected with 409 (reads continue against data).
+	dataMu   sync.RWMutex
+	data     *state.StoreState
+	prevData *state.StoreState
+	xplan    *xver.Plan
+	frozen   bool
+
+	// roMu guards ro, the tenant's most recent rollout (at most one can be
+	// active; a finished one stays for GET status until the next starts).
+	roMu sync.Mutex
+	ro   *rollout
 }
 
 // genState is one coherent serving snapshot.
@@ -166,6 +186,25 @@ func (t *tenant) admit(req *evolveReq) *apiError {
 	if t.srv.draining.Load() {
 		return errDraining
 	}
+	if ro := t.activeRollout(); ro != nil {
+		// A staged generation owns the tenant's evolution until it cuts
+		// over or rolls back; a conflicting evolve is a 409, not overload.
+		return &apiError{
+			status: http.StatusConflict,
+			msg:    fmt.Sprintf("rollout %d in phase %q owns tenant %q; evolve after cutover or rollback", ro.snapshot().ID, ro.snapshot().Phase, t.name),
+		}
+	}
+	// The hot config may have tightened the admission bound below the
+	// channel capacity; admission honors the tighter of the two.
+	if depth := t.effectiveDepth(); len(t.queue) >= depth {
+		t.shed.Add(1)
+		mShed.Add(1)
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("tenant %q queue full (%d deep)", t.name, depth),
+			retryAfter: t.retryAfter(depth),
+		}
+	}
 	if wait, ok := t.estimatedWait(len(t.queue) + 1); ok {
 		if dl, has := req.ctx.Deadline(); has && time.Until(dl) < wait {
 			t.shed.Add(1)
@@ -189,6 +228,33 @@ func (t *tenant) admit(req *evolveReq) *apiError {
 			retryAfter: t.retryAfter(cap(t.queue)),
 		}
 	}
+}
+
+// effectiveDepth is the admission bound: the hot-config depth, clamped to
+// the channel capacity fixed at registration.
+func (t *tenant) effectiveDepth() int {
+	depth := t.srv.cfg().queueDepth
+	if depth <= 0 || depth > cap(t.queue) {
+		depth = cap(t.queue)
+	}
+	return depth
+}
+
+// activeRollout returns the tenant's rollout if one is still running.
+func (t *tenant) activeRollout() *rollout {
+	t.roMu.Lock()
+	defer t.roMu.Unlock()
+	if t.ro != nil && !t.ro.finished() {
+		return t.ro
+	}
+	return nil
+}
+
+// lastRollout returns the most recent rollout, finished or not.
+func (t *tenant) lastRollout() *rollout {
+	t.roMu.Lock()
+	defer t.roMu.Unlock()
+	return t.ro
 }
 
 // estimatedWait projects how long n queued evolves will take from the
@@ -275,6 +341,11 @@ func (t *tenant) process(req *evolveReq) evolveResult {
 
 	t.evolves.Add(1)
 	if err != nil {
+		if err.status == http.StatusConflict {
+			// A rollout owns the session: the request lost a race, the
+			// tenant's serving state is exactly as fresh as before.
+			return evolveResult{status: t.status(), err: err}
+		}
 		t.errors.Add(1)
 		mEvolveErrors.Add(1)
 		t.markStale(err.Error())
@@ -299,6 +370,11 @@ func (t *tenant) evolveOne(ctx context.Context, op core.SMO) (apiErr *apiError) 
 	}
 	m, v, err := t.session.Evolve(ctx, op)
 	if err != nil {
+		if errors.Is(err, pipeline.ErrPendingGeneration) {
+			// Raced a rollout past admission: a conflict, not a compile
+			// failure — the tenant is not stale, the client must wait.
+			return &apiError{status: http.StatusConflict, msg: fmt.Sprintf("evolve: %v", err)}
+		}
 		return compileError("evolve", err)
 	}
 	t.commit(m, v)

@@ -407,6 +407,22 @@ func (s *Store) LoadManifest(name string) ([]byte, error) {
 	return payload, nil
 }
 
+// DeleteManifest removes a named manifest. Deleting a manifest that does
+// not exist is not an error: the rollout engine retires checkpoints with
+// best-effort idempotent deletes so a crash between deletes is harmless.
+func (s *Store) DeleteManifest(name string) error {
+	if !validManifestName(name) {
+		return fmt.Errorf("store: invalid manifest name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(filepath.Join(s.dir, manifestFileName(name)))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
 // Generations lists the fingerprints with resident generation files,
 // sorted. Mostly for tooling and tests.
 func (s *Store) Generations() []string {
