@@ -10,6 +10,7 @@
 //	mapbench -exp fig10 [-types 230 -hier 18 -largest 95]
 //	mapbench -exp warmstart [-store DIR]
 //	mapbench -exp ablations
+//	mapbench -exp stream [-chain 1002 -stream-rows 1000000 -stream-batch 0]
 //	mapbench -exp all
 //
 // With -json, machine-readable results are also written next to the
@@ -51,7 +52,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, warmstart, ablations, views, fallback, serve-soak, rollout-soak, all")
+	exp := flag.String("exp", "all", "experiment: fig4, fig9, fig10, warmstart, ablations, views, fallback, serve-soak, rollout-soak, stream, all")
 	maxN := flag.Int("maxn", 4, "fig4: maximum hierarchy depth N")
 	maxM := flag.Int("maxm", 8, "fig4: maximum fan-out M")
 	budget := flag.Duration("budget", 10*time.Second, "fig4: per-point budget before a depth's curve is cut off")
@@ -64,6 +65,9 @@ func main() {
 	tenants := flag.Int("tenants", 4, "serve-soak: concurrent tenants")
 	soakEvolves := flag.Int("soak-evolves", 12, "serve-soak: evolves per tenant")
 	soakFaults := flag.Bool("soak-faults", true, "serve-soak: run under the deterministic fault storm")
+	streamRows := flag.Int("stream-rows", 1_000_000, "stream: target row count pushed through the views")
+	streamBatch := flag.Int("stream-batch", 0, "stream: executor batch size (0 = executor default)")
+	streamEvolves := flag.Int("stream-evolves", 8, "stream: concurrent SMOs through pipeline.Session (-1 disables)")
 	traceOut := flag.String("trace", "", "record every compilation and write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
@@ -107,6 +111,8 @@ func main() {
 		runServeSoak(*tenants, *soakEvolves, *soakFaults, *jsonOut)
 	case "rollout-soak":
 		runRolloutSoak(*tenants, *jsonOut)
+	case "stream":
+		runStream(*chain, *streamRows, *streamBatch, *streamEvolves, *jsonOut)
 	case "all":
 		runFig4(*maxN, *maxM, *budget, *jsonOut)
 		runFig9(*chain, *jsonOut)
@@ -117,6 +123,7 @@ func main() {
 		runWarmstart(*storeDir, *jsonOut)
 		runServeSoak(*tenants, *soakEvolves, *soakFaults, *jsonOut)
 		runRolloutSoak(*tenants, *jsonOut)
+		runStream(*chain, *streamRows, *streamBatch, *streamEvolves, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -569,13 +576,13 @@ type serveFile struct {
 // conjunction of the soak's acceptance verdicts and the kill leg's — CI
 // asserts on it (and mapbench exits non-zero when it is false).
 type rolloutFile struct {
-	Tenants    int                               `json:"tenants"`
-	GoMaxProcs int                               `json:"gomaxprocs"`
-	NumCPU     int                               `json:"numCPU"`
-	Soak       experiments.RolloutSoakResult     `json:"soak"`
-	Kill       *experiments.RolloutKillResult    `json:"kill,omitempty"`
-	KillError  string                            `json:"killError,omitempty"`
-	Pass       bool                              `json:"pass"`
+	Tenants    int                            `json:"tenants"`
+	GoMaxProcs int                            `json:"gomaxprocs"`
+	NumCPU     int                            `json:"numCPU"`
+	Soak       experiments.RolloutSoakResult  `json:"soak"`
+	Kill       *experiments.RolloutKillResult `json:"kill,omitempty"`
+	KillError  string                         `json:"killError,omitempty"`
+	Pass       bool                           `json:"pass"`
 }
 
 func runRolloutSoak(tenants int, jsonOut bool) {
@@ -677,6 +684,46 @@ func watchAndKill(cmd *exec.Cmd, stdout io.Reader) (int, error) {
 	}
 	_ = cmd.Process.Kill()
 	return batches, fmt.Errorf("child exited early (last batch count %d)", batches)
+}
+
+// streamFile is the envelope written to BENCH_stream.json.
+type streamFile struct {
+	GoMaxProcs int                      `json:"goMaxProcs"`
+	NumCPU     int                      `json:"numCPU"`
+	Result     experiments.StreamResult `json:"result"`
+	Phases     []obsv.PhaseSummary      `json:"phases,omitempty"`
+}
+
+// runStream drives the streaming executor over a chain-model store at
+// real data volume: the client state is streamed through the update views
+// into a segmented ring store, then every query and association view is
+// drained through the executor while SMOs concurrently evolve the schema
+// through a pipeline session. The materializing ORM path runs the same
+// scan as the memory baseline; mapbench exits non-zero when the streaming
+// peak misses the <10% acceptance bound.
+func runStream(chain, rows, batch, evolves int, jsonOut bool) {
+	fmt.Printf("=== Streaming executor: %d rows through the chain-%d views, SMOs evolving concurrently ===\n", rows, chain)
+	res, err := experiments.Stream(experiments.StreamOptions{
+		Chain: chain, Rows: rows, Batch: batch, Evolves: evolves,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench: stream:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.String())
+	fmt.Println()
+	phases := drainPhases()
+	printPhases(phases)
+	if jsonOut {
+		writeJSONFile("BENCH_stream.json", streamFile{
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Result: res, Phases: phases,
+		})
+	}
+	if !res.Pass {
+		fmt.Fprintln(os.Stderr, "mapbench: stream: acceptance bound violated (peak streaming bytes vs materializing baseline)")
+		os.Exit(1)
+	}
 }
 
 func runServeSoak(tenants, evolves int, faults, jsonOut bool) {

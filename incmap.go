@@ -38,6 +38,7 @@ import (
 	"github.com/ormkit/incmap/internal/cqt"
 	"github.com/ormkit/incmap/internal/edm"
 	"github.com/ormkit/incmap/internal/esql"
+	"github.com/ormkit/incmap/internal/exec"
 	"github.com/ormkit/incmap/internal/fault"
 	"github.com/ormkit/incmap/internal/frag"
 	"github.com/ormkit/incmap/internal/modef"
@@ -46,8 +47,8 @@ import (
 	"github.com/ormkit/incmap/internal/orm"
 	"github.com/ormkit/incmap/internal/pipeline"
 	"github.com/ormkit/incmap/internal/rel"
-	"github.com/ormkit/incmap/internal/sqlgen"
 	"github.com/ormkit/incmap/internal/server"
+	"github.com/ormkit/incmap/internal/sqlgen"
 	"github.com/ormkit/incmap/internal/state"
 	"github.com/ormkit/incmap/internal/store"
 )
@@ -354,6 +355,62 @@ func Roundtrip(m *Mapping, views *Views, cs *ClientState) error {
 
 // NewClientState returns an empty client state.
 func NewClientState() *ClientState { return state.NewClientState() }
+
+// Streaming executor -----------------------------------------------------------
+
+// TableStore is the batched-scan interface the streaming executor pulls
+// rows from: a segmented in-memory ring, the map-store adapter over a
+// materialized StoreState, or any external source.
+type (
+	TableStore = exec.TableStore
+	// RowIter is one open batched scan of a table.
+	RowIter = exec.RowIter
+	// RingStore is a segmented append-only row store; open scans see a
+	// consistent prefix while appends proceed concurrently.
+	RingStore = exec.RingStore
+	// MapStore adapts a materialized StoreState behind TableStore.
+	MapStore = exec.MapStore
+	// ExecOptions tunes the executor (batch size, spill threshold, tracer).
+	ExecOptions = exec.Options
+	// EntityIter streams constructed entities out of a compiled query view.
+	EntityIter = exec.EntityIter
+	// ExecError is the typed per-operator error the executor surfaces
+	// (operator name, target, wrapped cause).
+	ExecError = exec.OpError
+)
+
+// NewRingStore returns an empty segmented ring store.
+func NewRingStore(segCap int) *RingStore { return exec.NewRingStore(segCap) }
+
+// RingFromState copies a materialized store into a ring store.
+func RingFromState(ss *StoreState, segCap int) *RingStore { return exec.RingFromState(ss, segCap) }
+
+// NewMapStore adapts a materialized store behind the TableStore interface.
+func NewMapStore(ss *StoreState) MapStore { return exec.NewMapStore(ss) }
+
+// QueryTypeStream opens a streaming read of one entity type's compiled
+// query view; the caller pulls batches of constructed entities.
+func QueryTypeStream(ctx context.Context, m *Mapping, views *Views, ts TableStore, entityType string, opts ExecOptions) (*EntityIter, error) {
+	return orm.QueryTypeStream(ctx, m, views, ts, entityType, opts)
+}
+
+// EachEntity streams one entity type's query view through a callback;
+// returning an error from the callback stops the stream.
+func EachEntity(ctx context.Context, m *Mapping, views *Views, ts TableStore, entityType string, opts ExecOptions, fn func(*Entity) error) error {
+	return orm.EachEntity(ctx, m, views, ts, entityType, opts, fn)
+}
+
+// LoadStream is Load over the streaming executor: it decodes a whole
+// client state from a TableStore without materializing the store as maps.
+func LoadStream(ctx context.Context, m *Mapping, views *Views, ts TableStore, opts ExecOptions) (*ClientState, error) {
+	return orm.LoadStream(ctx, m, views, ts, opts)
+}
+
+// MaterializeInto streams a client state through the compiled update
+// views into a fresh ring store.
+func MaterializeInto(ctx context.Context, m *Mapping, views *Views, cs *ClientState, opts ExecOptions) (*RingStore, error) {
+	return orm.MaterializeInto(ctx, m, views, cs, opts)
+}
 
 // Observability ---------------------------------------------------------------
 

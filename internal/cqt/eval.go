@@ -106,7 +106,7 @@ func eval(env *Env, e Expr) ([]tuple, error) {
 			return nil, err
 		}
 		var out []tuple
-		th := evalTheoryWith{env: env}
+		th := EvalTheory(env.Catalog)
 		for _, t := range in {
 			if cond.EvalOn(th, v.Cond, t) {
 				out = append(out, t)
@@ -167,16 +167,22 @@ func eval(env *Env, e Expr) ([]tuple, error) {
 // evalTheoryWith wraps the client schema so IS OF conditions inside query
 // trees see the real hierarchy.
 type evalTheoryWith struct {
-	env *Env
+	cat *Catalog
 }
 
 func (t evalTheoryWith) ConcreteTypes(string) []string { return nil }
 func (t evalTheoryWith) IsSubtype(sub, typ string) bool {
-	return t.env.Catalog.Client.IsSubtype(sub, typ)
+	return t.cat.Client.IsSubtype(sub, typ)
 }
 func (t evalTheoryWith) Domain(string) (cond.Domain, bool) { return cond.Domain{}, false }
 func (t evalTheoryWith) Nullable(string) bool              { return true }
 func (t evalTheoryWith) HasAttr(string, string) bool       { return true }
+
+// EvalTheory returns the condition theory query evaluation runs under:
+// IS OF sees the catalog's real client hierarchy, everything else is free.
+// The streaming executor shares it so both evaluation paths agree on
+// selection semantics by construction.
+func EvalTheory(cat *Catalog) cond.Theory { return evalTheoryWith{cat: cat} }
 
 func sameColSet(a, b []string) bool {
 	if len(a) != len(b) {

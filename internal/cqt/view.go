@@ -64,6 +64,23 @@ func (v *View) ConstructEntities(env *Env) ([]*state.Entity, error) {
 }
 
 func applyCases(cases []Case, row state.Row) (*state.Entity, error) {
+	return ConstructEntity(cases, row)
+}
+
+// ConstructEntity applies a view constructor τ to one relational row: the
+// first matching case builds the entity. A row matching no case is an
+// error — every row a query view emits must be constructible.
+func ConstructEntity(cases []Case, row state.Row) (*state.Entity, error) {
+	if e, ok := ConstructVisible(cases, row); ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("cqt: no constructor case matched row {%s}", row.Canonical())
+}
+
+// ConstructVisible applies a constructor whose case list may have been
+// restricted (cross-version reads drop cases for types the old version
+// does not know): a row matching no case is invisible, not an error.
+func ConstructVisible(cases []Case, row state.Row) (*state.Entity, bool) {
 	for _, c := range cases {
 		if !cond.EvalOn(cond.FreeTheory, c.When, state.RowInstance{R: row}) {
 			continue
@@ -74,9 +91,9 @@ func applyCases(cases []Case, row state.Row) (*state.Entity, error) {
 				attrs[attr] = val
 			}
 		}
-		return &state.Entity{Type: c.Type, Attrs: attrs}, nil
+		return &state.Entity{Type: c.Type, Attrs: attrs}, true
 	}
-	return nil, fmt.Errorf("cqt: no constructor case matched row {%s}", row.Canonical())
+	return nil, false
 }
 
 // FormatConstructor renders τ in the paper's if/else style.

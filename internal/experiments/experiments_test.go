@@ -100,3 +100,29 @@ func TestResultString(t *testing.T) {
 		t.Fatal("empty result string")
 	}
 }
+
+// TestStreamSmall drives the streaming OLTP harness end to end at a toy
+// size: both write paths, the full streaming scan with concurrent SMOs,
+// the materializing baseline, and the acceptance verdict.
+func TestStreamSmall(t *testing.T) {
+	res, err := Stream(StreamOptions{Chain: 20, Rows: 3000, Batch: 64, Evolves: 2})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if res.Rows == 0 || res.StreamScanRows == 0 {
+		t.Fatalf("no rows flowed: %+v", res)
+	}
+	if res.EvolvesCommitted != 2 || res.EvolvesFailed != 0 {
+		t.Fatalf("concurrent evolves: %d committed %d failed, want 2/0", res.EvolvesCommitted, res.EvolvesFailed)
+	}
+	if res.MatHeldBytes == 0 {
+		t.Fatal("materializing baseline held no bytes; the comparison is vacuous")
+	}
+	if !res.Pass {
+		t.Fatalf("acceptance bound violated at toy size: stream peak %d vs materialize %d",
+			res.StreamPeakBytes, res.MatHeldBytes)
+	}
+	if res.QueryViews != 20 {
+		t.Fatalf("chain-20 compiled %d query views", res.QueryViews)
+	}
+}

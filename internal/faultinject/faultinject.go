@@ -99,6 +99,12 @@ const (
 	// combined with SiteStoreSave KindCorrupt it produces torn checkpoint
 	// records the resume path must reject and re-run.
 	SiteBackfillBatch = "backfill.batch"
+	// SiteExecScan fires once per batch pulled by a streaming-executor
+	// table scan, before the batch is read from the table store. KindError
+	// surfaces as a typed *exec.OpError from the iterator mid-stream; the
+	// store underneath must stay intact and every operator in the tree
+	// must still release cleanly.
+	SiteExecScan = "exec.scan"
 )
 
 // Rule fires a fault at a site by deterministic visit count.

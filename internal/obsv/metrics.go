@@ -204,6 +204,23 @@ const (
 	MBackfillBatches     = "rollout.backfill.batches"
 	MBackfillRetries     = "rollout.backfill.retries"
 	MBackfillResumed     = "rollout.backfill.resumed"
+	// Streaming view executor (internal/exec): per-operator traffic. Each
+	// operator accumulates locally and flushes once at iterator Close, so
+	// the per-batch hot loop touches no shared atomics. Rows/Batches count
+	// tuples and batches emitted by every operator; ScanRows only those
+	// read from a table store; JoinBuildRows the tuples a hash join held
+	// as its build side; Spills the blocking operators whose held state
+	// exceeded the configured spill threshold (a memory-pressure signal —
+	// rows stay in memory); ScanFaults the injected or store-level scan
+	// errors surfaced as typed executor errors.
+	MExecOpens         = "exec.opens"
+	MExecRows          = "exec.rows"
+	MExecBatches       = "exec.batches"
+	MExecScanRows      = "exec.scan.rows"
+	MExecJoinBuildRows = "exec.join.build_rows"
+	MExecSpills        = "exec.spills"
+	MExecConstructed   = "exec.constructed"
+	MExecScanFaults    = "exec.scan.faults"
 )
 
 // expvarOnce guards the process-global expvar name, which panics on

@@ -1,0 +1,180 @@
+package orm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/exec"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+func compileFor(t *testing.T, m *frag.Mapping) *frag.Views {
+	t.Helper()
+	c := &compiler.Compiler{}
+	v, err := c.CompileCtx(context.Background(), m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return v
+}
+
+// TestMaterializeStreamEqualsMaterialize holds the streaming write path
+// to the materializing one: same client state, same views, same store —
+// whether the destination is a RingStore or a map-backed state.
+func TestMaterializeStreamEqualsMaterialize(t *testing.T) {
+	ctx := context.Background()
+	for _, wl := range []struct {
+		name string
+		m    *frag.Mapping
+	}{
+		{"chain-4", workload.Chain(4)},
+		{"paper-full", workload.PaperFull()},
+		{"hubrim-tph", workload.HubRim(workload.HubRimOptions{N: 2, M: 2, TPH: true})},
+	} {
+		t.Run(wl.name, func(t *testing.T) {
+			v := compileFor(t, wl.m)
+			cs := orm.RandomState(wl.m, 31, 4)
+			want, err := orm.Materialize(wl.m, v, cs)
+			if err != nil {
+				t.Fatalf("materialize: %v", err)
+			}
+
+			ring, err := orm.MaterializeInto(ctx, wl.m, v, cs, exec.Options{BatchSize: 3})
+			if err != nil {
+				t.Fatalf("materialize into ring: %v", err)
+			}
+			got, err := ring.Snapshot()
+			if err != nil {
+				t.Fatalf("ring snapshot: %v", err)
+			}
+			if d := state.DiffStore(want, got); d != "" {
+				t.Fatalf("ring materialization differs:\n%s", d)
+			}
+
+			mapDst := exec.NewMapStore(state.NewStoreState())
+			if err := orm.MaterializeStream(ctx, wl.m, v, cs, mapDst, exec.Options{}); err != nil {
+				t.Fatalf("materialize into map store: %v", err)
+			}
+			if d := state.DiffStore(want, mapDst.S); d != "" {
+				t.Fatalf("map materialization differs:\n%s", d)
+			}
+		})
+	}
+}
+
+// TestLoadStreamEqualsLoad holds the streaming read path to Load.
+func TestLoadStreamEqualsLoad(t *testing.T) {
+	ctx := context.Background()
+	for _, wl := range []struct {
+		name string
+		m    *frag.Mapping
+	}{
+		{"chain-4", workload.Chain(4)},
+		{"paper-full", workload.PaperFull()},
+		{"customer", workload.Customer(workload.DefaultCustomerOptions())},
+	} {
+		t.Run(wl.name, func(t *testing.T) {
+			v := compileFor(t, wl.m)
+			cs := orm.RandomState(wl.m, 37, 4)
+			ss, err := orm.Materialize(wl.m, v, cs)
+			if err != nil {
+				t.Fatalf("materialize: %v", err)
+			}
+			want, err := orm.Load(wl.m, v, ss)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			got, err := orm.LoadStream(ctx, wl.m, v, exec.RingFromState(ss, 2), exec.Options{BatchSize: 2})
+			if err != nil {
+				t.Fatalf("load stream: %v", err)
+			}
+			if d := state.Diff(want, got); d != "" {
+				t.Fatalf("streaming load differs:\n%s", d)
+			}
+		})
+	}
+}
+
+// TestQueryTypeStreamedEqualsQueryType compares the per-type read paths
+// entity-by-entity.
+func TestQueryTypeStreamedEqualsQueryType(t *testing.T) {
+	ctx := context.Background()
+	m := workload.PaperFull()
+	v := compileFor(t, m)
+	cs := workload.PaperClientState()
+	ss, err := orm.Materialize(m, v, cs)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	ring := exec.RingFromState(ss, 2)
+	for ty := range v.Query {
+		want, err := orm.QueryType(m, v, ss, ty)
+		if err != nil {
+			t.Fatalf("QueryType(%s): %v", ty, err)
+		}
+		got, err := orm.QueryTypeStreamed(ctx, m, v, ring, ty, exec.Options{BatchSize: 1})
+		if err != nil {
+			t.Fatalf("QueryTypeStreamed(%s): %v", ty, err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s: %d entities materializing, %d streaming", ty, len(want), len(got))
+		}
+		wantC := map[string]int{}
+		for _, e := range want {
+			wantC[e.Canonical()]++
+		}
+		for _, e := range got {
+			wantC[e.Canonical()]--
+		}
+		for c, n := range wantC {
+			if n != 0 {
+				t.Fatalf("%s: entity multiset differs at %s (%+d)", ty, c, n)
+			}
+		}
+	}
+	if _, err := orm.QueryTypeStreamed(ctx, m, v, ring, "NoSuchType", exec.Options{}); err == nil {
+		t.Fatal("QueryTypeStreamed accepted an unknown type")
+	}
+}
+
+// TestEachEntityStopsOnCallbackError pins early termination: the
+// callback's error surfaces and the stream shuts down cleanly.
+func TestEachEntityStopsOnCallbackError(t *testing.T) {
+	ctx := context.Background()
+	m := workload.Chain(4)
+	v := compileFor(t, m)
+	cs := orm.RandomState(m, 41, 5)
+	ss, err := orm.Materialize(m, v, cs)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	var ty string
+	for qt := range v.Query {
+		ty = qt
+		break
+	}
+	stop := errors.New("stop here")
+	seen := 0
+	err = orm.EachEntity(ctx, m, v, exec.RingFromState(ss, 2), ty, exec.Options{BatchSize: 1}, func(*state.Entity) error {
+		seen++
+		if seen == 2 {
+			return stop
+		}
+		return nil
+	})
+	if total, _ := orm.QueryType(m, v, ss, ty); len(total) >= 2 {
+		if !errors.Is(err, stop) {
+			t.Fatalf("EachEntity returned %v, want the callback's error", err)
+		}
+		if seen != 2 {
+			t.Fatalf("callback ran %d times after requesting stop at 2", seen)
+		}
+	} else if err != nil && !errors.Is(err, stop) {
+		t.Fatalf("EachEntity over a small set returned %v", err)
+	}
+}

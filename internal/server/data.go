@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"net/http"
 	"strconv"
 
+	"github.com/ormkit/incmap/internal/exec"
 	"github.com/ormkit/incmap/internal/modelio"
 	"github.com/ormkit/incmap/internal/orm"
 	"github.com/ormkit/incmap/internal/state"
@@ -81,35 +83,20 @@ func (t *tenant) dataSnapshot() (data, prev *state.StoreState, plan *xver.Plan, 
 }
 
 // crossEntities counts entities per set as a version-k client sees the
-// store through the cross-version read views.
+// store through the cross-version read views, streaming each restricted
+// constructor instead of materializing the projected client state.
 func crossEntities(plan *xver.Plan, ss *state.StoreState) (map[string]int, error) {
-	cs, err := plan.ReadClient(ss)
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]int{}
-	for set, ents := range cs.Entities {
-		out[set] = len(ents)
-	}
-	return out, nil
+	return plan.CountEntitiesStream(context.Background(), exec.NewMapStore(ss), exec.Options{})
 }
 
-// summarize renders a store state for the wire.
+// summarize renders a store state for the wire through the streaming
+// summarizer (batch-at-a-time scans, order-independent multiset
+// checksum).
 func summarize(ss *state.StoreState) (map[string]int, int, string) {
-	tables := map[string]int{}
-	total := 0
-	if ss != nil {
-		for name, rows := range ss.Tables {
-			tables[name] = len(rows)
-			total += len(rows)
-		}
+	if ss == nil {
+		return streamSummarize(context.Background(), nil)
 	}
-	payload, err := modelio.EncodeRows(ss)
-	if err != nil {
-		return tables, total, ""
-	}
-	sum := sha256.Sum256(payload)
-	return tables, total, hex.EncodeToString(sum[:])
+	return streamSummarize(context.Background(), exec.NewMapStore(ss))
 }
 
 func (s *Server) handleDataGet(w http.ResponseWriter, r *http.Request) {

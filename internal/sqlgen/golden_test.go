@@ -1,0 +1,142 @@
+package sqlgen_test
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/compiler"
+	"github.com/ormkit/incmap/internal/frag"
+	"github.com/ormkit/incmap/internal/sqlgen"
+	"github.com/ormkit/incmap/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden SQL files with the current renderer output")
+
+// goldenWorkloads are the mappings whose rendered SQL is pinned. The
+// customer model is scaled down so the golden file stays reviewable
+// while keeping the TPT+TPH mix and shared-table FK associations.
+func goldenWorkloads() []struct {
+	name string
+	m    *frag.Mapping
+} {
+	return []struct {
+		name string
+		m    *frag.Mapping
+	}{
+		{"paper-initial", workload.PaperInitial()},
+		{"paper-full", workload.PaperFull()},
+		{"hubrim-tph", workload.HubRim(workload.HubRimOptions{N: 2, M: 2, TPH: true})},
+		{"hubrim-tpt", workload.HubRim(workload.HubRimOptions{N: 2, M: 2})},
+		{"customer-small", workload.Customer(workload.CustomerOptions{
+			Types: 12, Hierarchies: 3, LargestTPH: 5, Associations: 3, SharedTableFKs: 1,
+		})},
+	}
+}
+
+// renderAll renders one workload deterministically: the store DDL, then
+// every query view and association view in sorted name order (update
+// views range over client data and have no SQL form).
+func renderAll(t *testing.T, m *frag.Mapping) string {
+	t.Helper()
+	c := &compiler.Compiler{}
+	v, err := c.CompileCtx(context.Background(), m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cat := m.Catalog()
+	var b strings.Builder
+	b.WriteString("-- DDL\n")
+	b.WriteString(sqlgen.DDL(m.Store))
+
+	types := make([]string, 0, len(v.Query))
+	for ty := range v.Query {
+		types = append(types, ty)
+	}
+	sort.Strings(types)
+	for _, ty := range types {
+		sql, err := sqlgen.Query(cat, v.Query[ty].Q)
+		if err != nil {
+			t.Fatalf("rendering query view %s: %v", ty, err)
+		}
+		fmt.Fprintf(&b, "\n-- query view: %s\n%s\n", ty, sql)
+		if con := v.Query[ty].FormatConstructor(); con != "" {
+			fmt.Fprintf(&b, "-- constructor:\n--   %s\n", strings.ReplaceAll(con, "\n", "\n--   "))
+		}
+	}
+
+	assocs := make([]string, 0, len(v.Assoc))
+	for a := range v.Assoc {
+		assocs = append(assocs, a)
+	}
+	sort.Strings(assocs)
+	for _, a := range assocs {
+		sql, err := sqlgen.Query(cat, v.Assoc[a].Q)
+		if err != nil {
+			t.Fatalf("rendering association view %s: %v", a, err)
+		}
+		fmt.Fprintf(&b, "\n-- association view: %s\n%s\n", a, sql)
+	}
+	return b.String()
+}
+
+// TestGoldenSQL renders every compiled query view of the pinned
+// workloads and compares against the committed golden files. Run with
+// -update to regenerate after an intentional renderer change.
+func TestGoldenSQL(t *testing.T) {
+	for _, wl := range goldenWorkloads() {
+		t.Run(wl.name, func(t *testing.T) {
+			got := renderAll(t, wl.m)
+			path := filepath.Join("testdata", "golden", wl.name+".sql")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (run `go test ./internal/sqlgen -run TestGoldenSQL -update` to create it): %v", path, err)
+			}
+			if string(want) != got {
+				t.Fatalf("rendered SQL for %s differs from %s.\nRe-run with -update if the change is intentional.\n%s",
+					wl.name, path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff reports the first differing line, for a readable failure.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("golden has %d lines, got %d", len(wl), len(gl))
+}
+
+// TestGoldenSQLDeterministic guards the goldens' usefulness: two renders
+// of the same workload must be byte-identical (map iteration anywhere in
+// the compile-render path would show up here as flakes).
+func TestGoldenSQLDeterministic(t *testing.T) {
+	m1 := workload.PaperFull()
+	m2 := workload.PaperFull()
+	if a, b := renderAll(t, m1), renderAll(t, m2); a != b {
+		t.Fatal("two renders of the paper workload differ; SQL generation is nondeterministic")
+	}
+}

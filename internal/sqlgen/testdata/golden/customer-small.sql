@@ -1,0 +1,423 @@
+-- DDL
+CREATE TABLE TabH0 (
+  Id BIGINT NOT NULL,
+  A0_0 VARCHAR(255),
+  A0_1 VARCHAR(255),
+  A0_2 VARCHAR(255),
+  A0_3 VARCHAR(255),
+  A0_4 VARCHAR(255),
+  Disc VARCHAR(255) NOT NULL,
+  FKA0 BIGINT,
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Assoc0 FOREIGN KEY (FKA0) REFERENCES TabH1 (Id)
+);
+
+CREATE TABLE TabH1 (
+  Id BIGINT NOT NULL,
+  A1_0 VARCHAR(255),
+  FKA1 BIGINT,
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Assoc1 FOREIGN KEY (FKA1) REFERENCES TabH2 (Id)
+);
+
+CREATE TABLE TabH1T1 (
+  Id BIGINT NOT NULL,
+  A1_1 VARCHAR(255),
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_TabH1T1 FOREIGN KEY (Id) REFERENCES TabH1 (Id)
+);
+
+CREATE TABLE TabH1T2 (
+  Id BIGINT NOT NULL,
+  A1_2 VARCHAR(255),
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_TabH1T2 FOREIGN KEY (Id) REFERENCES TabH1 (Id)
+);
+
+CREATE TABLE TabH1T3 (
+  Id BIGINT NOT NULL,
+  A1_3 VARCHAR(255),
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_TabH1T3 FOREIGN KEY (Id) REFERENCES TabH1 (Id)
+);
+
+CREATE TABLE TabH2 (
+  Id BIGINT NOT NULL,
+  A2_0 VARCHAR(255),
+  A2_1 VARCHAR(255),
+  A2_2 VARCHAR(255),
+  Disc VARCHAR(255) NOT NULL,
+  FKA2 BIGINT,
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Assoc2 FOREIGN KEY (FKA2) REFERENCES TabH0 (Id)
+);
+
+-- query view: H0T0
+SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, "__type" FROM (
+  SELECT Id, A0_0, CAST(NULL AS VARCHAR(255)) AS A0_1, CAST(NULL AS VARCHAR(255)) AS A0_2, CAST(NULL AS VARCHAR(255)) AS A0_3, CAST(NULL AS VARCHAR(255)) AS A0_4, 'H0T0' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT t17.Id AS Id, t17.A0_0 AS A0_0, t17."__is_H0T1" AS "__is_H0T1", t17."__is_H0T2" AS "__is_H0T2", t17."__is_H0T3" AS "__is_H0T3", t18."__is_H0T4" AS "__is_H0T4"
+      FROM (
+        SELECT t13.Id AS Id, t13.A0_0 AS A0_0, t13."__is_H0T1" AS "__is_H0T1", t13."__is_H0T2" AS "__is_H0T2", t14."__is_H0T3" AS "__is_H0T3"
+        FROM (
+          SELECT t9.Id AS Id, t9.A0_0 AS A0_0, t9."__is_H0T1" AS "__is_H0T1", t10."__is_H0T2" AS "__is_H0T2"
+          FROM (
+            SELECT t5.Id AS Id, t5.A0_0 AS A0_0, t6."__is_H0T1" AS "__is_H0T1"
+            FROM (
+              SELECT Id, A0_0 FROM (
+                SELECT * FROM (
+                  SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+                ) AS t1 WHERE Disc = 'H0T0'
+              ) AS t2
+            ) AS t5 LEFT OUTER JOIN (
+              SELECT Id, true AS "__is_H0T1" FROM (
+                SELECT * FROM (
+                  SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+                ) AS t3 WHERE Disc = 'H0T1'
+              ) AS t4
+            ) AS t6 ON t5.Id = t6.Id
+          ) AS t9 LEFT OUTER JOIN (
+            SELECT Id, true AS "__is_H0T2" FROM (
+              SELECT * FROM (
+                SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+              ) AS t7 WHERE Disc = 'H0T2'
+            ) AS t8
+          ) AS t10 ON t9.Id = t10.Id
+        ) AS t13 LEFT OUTER JOIN (
+          SELECT Id, true AS "__is_H0T3" FROM (
+            SELECT * FROM (
+              SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+            ) AS t11 WHERE Disc = 'H0T3'
+          ) AS t12
+        ) AS t14 ON t13.Id = t14.Id
+      ) AS t17 LEFT OUTER JOIN (
+        SELECT Id, true AS "__is_H0T4" FROM (
+          SELECT * FROM (
+            SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+          ) AS t15 WHERE Disc = 'H0T4'
+        ) AS t16
+      ) AS t18 ON t17.Id = t18.Id
+    ) AS t19 WHERE "__is_H0T1" IS NULL AND "__is_H0T2" IS NULL AND "__is_H0T3" IS NULL AND "__is_H0T4" IS NULL
+  ) AS t20
+) AS t21
+UNION ALL
+SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, "__type" FROM (
+  SELECT Id, A0_0, A0_1, CAST(NULL AS VARCHAR(255)) AS A0_2, CAST(NULL AS VARCHAR(255)) AS A0_3, CAST(NULL AS VARCHAR(255)) AS A0_4, 'H0T1' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+    ) AS t22 WHERE Disc = 'H0T1'
+  ) AS t23
+) AS t24
+UNION ALL
+SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, "__type" FROM (
+  SELECT Id, A0_0, CAST(NULL AS VARCHAR(255)) AS A0_1, A0_2, CAST(NULL AS VARCHAR(255)) AS A0_3, CAST(NULL AS VARCHAR(255)) AS A0_4, 'H0T2' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+    ) AS t25 WHERE Disc = 'H0T2'
+  ) AS t26
+) AS t27
+UNION ALL
+SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, "__type" FROM (
+  SELECT Id, A0_0, CAST(NULL AS VARCHAR(255)) AS A0_1, CAST(NULL AS VARCHAR(255)) AS A0_2, A0_3, CAST(NULL AS VARCHAR(255)) AS A0_4, 'H0T3' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+    ) AS t28 WHERE Disc = 'H0T3'
+  ) AS t29
+) AS t30
+UNION ALL
+SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, "__type" FROM (
+  SELECT Id, A0_0, CAST(NULL AS VARCHAR(255)) AS A0_1, CAST(NULL AS VARCHAR(255)) AS A0_2, CAST(NULL AS VARCHAR(255)) AS A0_3, A0_4, 'H0T4' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+    ) AS t31 WHERE Disc = 'H0T4'
+  ) AS t32
+) AS t33;
+-- constructor:
+--   if (__type = 'H0T0') then H0T0(A0_0, Id)
+--   else if (__type = 'H0T1') then H0T1(A0_0, A0_1, Id)
+--   else if (__type = 'H0T2') then H0T2(A0_0, A0_2, Id)
+--   else if (__type = 'H0T3') then H0T3(A0_0, A0_3, Id)
+--   else if (__type = 'H0T4') then H0T4(A0_0, A0_4, Id)
+
+-- query view: H0T1
+SELECT Id, A0_0, A0_1, CAST(NULL AS VARCHAR(255)) AS A0_2, CAST(NULL AS VARCHAR(255)) AS A0_3, CAST(NULL AS VARCHAR(255)) AS A0_4, 'H0T1' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+  ) AS t1 WHERE Disc = 'H0T1'
+) AS t2;
+-- constructor:
+--   if (__type = 'H0T1') then H0T1(A0_0, A0_1, Id)
+
+-- query view: H0T2
+SELECT Id, A0_0, CAST(NULL AS VARCHAR(255)) AS A0_1, A0_2, CAST(NULL AS VARCHAR(255)) AS A0_3, CAST(NULL AS VARCHAR(255)) AS A0_4, 'H0T2' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+  ) AS t1 WHERE Disc = 'H0T2'
+) AS t2;
+-- constructor:
+--   if (__type = 'H0T2') then H0T2(A0_0, A0_2, Id)
+
+-- query view: H0T3
+SELECT Id, A0_0, CAST(NULL AS VARCHAR(255)) AS A0_1, CAST(NULL AS VARCHAR(255)) AS A0_2, A0_3, CAST(NULL AS VARCHAR(255)) AS A0_4, 'H0T3' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+  ) AS t1 WHERE Disc = 'H0T3'
+) AS t2;
+-- constructor:
+--   if (__type = 'H0T3') then H0T3(A0_0, A0_3, Id)
+
+-- query view: H0T4
+SELECT Id, A0_0, CAST(NULL AS VARCHAR(255)) AS A0_1, CAST(NULL AS VARCHAR(255)) AS A0_2, CAST(NULL AS VARCHAR(255)) AS A0_3, A0_4, 'H0T4' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+  ) AS t1 WHERE Disc = 'H0T4'
+) AS t2;
+-- constructor:
+--   if (__type = 'H0T4') then H0T4(A0_0, A0_4, Id)
+
+-- query view: H1T0
+SELECT Id, A1_0, A1_1, A1_2, A1_3, "__type" FROM (
+  SELECT Id, A1_0, CAST(NULL AS VARCHAR(255)) AS A1_1, CAST(NULL AS VARCHAR(255)) AS A1_2, CAST(NULL AS VARCHAR(255)) AS A1_3, 'H1T0' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT t21.Id AS Id, t21.A1_0 AS A1_0, t21."__is_H1T1" AS "__is_H1T1", t21."__is_H1T2" AS "__is_H1T2", t22."__is_H1T3" AS "__is_H1T3"
+      FROM (
+        SELECT t14.Id AS Id, t14.A1_0 AS A1_0, t14."__is_H1T1" AS "__is_H1T1", t15."__is_H1T2" AS "__is_H1T2"
+        FROM (
+          SELECT t7.Id AS Id, t7.A1_0 AS A1_0, t8."__is_H1T1" AS "__is_H1T1"
+          FROM (
+            SELECT Id, A1_0 FROM (
+              SELECT Id, A1_0, FKA1 FROM TabH1
+            ) AS t1
+          ) AS t7 LEFT OUTER JOIN (
+            SELECT Id, true AS "__is_H1T1" FROM (
+              SELECT t4.Id AS Id, t4.A1_0 AS A1_0, t5.A1_1 AS A1_1
+              FROM (
+                SELECT Id, A1_0 FROM (
+                  SELECT Id, A1_0, FKA1 FROM TabH1
+                ) AS t2
+              ) AS t4 INNER JOIN (
+                SELECT Id, A1_1 FROM (
+                  SELECT Id, A1_1 FROM TabH1T1
+                ) AS t3
+              ) AS t5 ON t4.Id = t5.Id
+            ) AS t6
+          ) AS t8 ON t7.Id = t8.Id
+        ) AS t14 LEFT OUTER JOIN (
+          SELECT Id, true AS "__is_H1T2" FROM (
+            SELECT t11.Id AS Id, t11.A1_0 AS A1_0, t12.A1_2 AS A1_2
+            FROM (
+              SELECT Id, A1_0 FROM (
+                SELECT Id, A1_0, FKA1 FROM TabH1
+              ) AS t9
+            ) AS t11 INNER JOIN (
+              SELECT Id, A1_2 FROM (
+                SELECT Id, A1_2 FROM TabH1T2
+              ) AS t10
+            ) AS t12 ON t11.Id = t12.Id
+          ) AS t13
+        ) AS t15 ON t14.Id = t15.Id
+      ) AS t21 LEFT OUTER JOIN (
+        SELECT Id, true AS "__is_H1T3" FROM (
+          SELECT t18.Id AS Id, t18.A1_0 AS A1_0, t19.A1_3 AS A1_3
+          FROM (
+            SELECT Id, A1_0 FROM (
+              SELECT Id, A1_0, FKA1 FROM TabH1
+            ) AS t16
+          ) AS t18 INNER JOIN (
+            SELECT Id, A1_3 FROM (
+              SELECT Id, A1_3 FROM TabH1T3
+            ) AS t17
+          ) AS t19 ON t18.Id = t19.Id
+        ) AS t20
+      ) AS t22 ON t21.Id = t22.Id
+    ) AS t23 WHERE "__is_H1T1" IS NULL AND "__is_H1T2" IS NULL AND "__is_H1T3" IS NULL
+  ) AS t24
+) AS t25
+UNION ALL
+SELECT Id, A1_0, A1_1, A1_2, A1_3, "__type" FROM (
+  SELECT Id, A1_0, A1_1, CAST(NULL AS VARCHAR(255)) AS A1_2, CAST(NULL AS VARCHAR(255)) AS A1_3, 'H1T1' AS "__type" FROM (
+    SELECT t28.Id AS Id, t28.A1_0 AS A1_0, t29.A1_1 AS A1_1
+    FROM (
+      SELECT Id, A1_0 FROM (
+        SELECT Id, A1_0, FKA1 FROM TabH1
+      ) AS t26
+    ) AS t28 INNER JOIN (
+      SELECT Id, A1_1 FROM (
+        SELECT Id, A1_1 FROM TabH1T1
+      ) AS t27
+    ) AS t29 ON t28.Id = t29.Id
+  ) AS t30
+) AS t31
+UNION ALL
+SELECT Id, A1_0, A1_1, A1_2, A1_3, "__type" FROM (
+  SELECT Id, A1_0, CAST(NULL AS VARCHAR(255)) AS A1_1, A1_2, CAST(NULL AS VARCHAR(255)) AS A1_3, 'H1T2' AS "__type" FROM (
+    SELECT t34.Id AS Id, t34.A1_0 AS A1_0, t35.A1_2 AS A1_2
+    FROM (
+      SELECT Id, A1_0 FROM (
+        SELECT Id, A1_0, FKA1 FROM TabH1
+      ) AS t32
+    ) AS t34 INNER JOIN (
+      SELECT Id, A1_2 FROM (
+        SELECT Id, A1_2 FROM TabH1T2
+      ) AS t33
+    ) AS t35 ON t34.Id = t35.Id
+  ) AS t36
+) AS t37
+UNION ALL
+SELECT Id, A1_0, A1_1, A1_2, A1_3, "__type" FROM (
+  SELECT Id, A1_0, CAST(NULL AS VARCHAR(255)) AS A1_1, CAST(NULL AS VARCHAR(255)) AS A1_2, A1_3, 'H1T3' AS "__type" FROM (
+    SELECT t40.Id AS Id, t40.A1_0 AS A1_0, t41.A1_3 AS A1_3
+    FROM (
+      SELECT Id, A1_0 FROM (
+        SELECT Id, A1_0, FKA1 FROM TabH1
+      ) AS t38
+    ) AS t40 INNER JOIN (
+      SELECT Id, A1_3 FROM (
+        SELECT Id, A1_3 FROM TabH1T3
+      ) AS t39
+    ) AS t41 ON t40.Id = t41.Id
+  ) AS t42
+) AS t43;
+-- constructor:
+--   if (__type = 'H1T0') then H1T0(A1_0, Id)
+--   else if (__type = 'H1T1') then H1T1(A1_0, A1_1, Id)
+--   else if (__type = 'H1T2') then H1T2(A1_0, A1_2, Id)
+--   else if (__type = 'H1T3') then H1T3(A1_0, A1_3, Id)
+
+-- query view: H1T1
+SELECT Id, A1_0, A1_1, CAST(NULL AS VARCHAR(255)) AS A1_2, CAST(NULL AS VARCHAR(255)) AS A1_3, 'H1T1' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.A1_0 AS A1_0, t4.A1_1 AS A1_1
+  FROM (
+    SELECT Id, A1_0 FROM (
+      SELECT Id, A1_0, FKA1 FROM TabH1
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, A1_1 FROM (
+      SELECT Id, A1_1 FROM TabH1T1
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'H1T1') then H1T1(A1_0, A1_1, Id)
+
+-- query view: H1T2
+SELECT Id, A1_0, CAST(NULL AS VARCHAR(255)) AS A1_1, A1_2, CAST(NULL AS VARCHAR(255)) AS A1_3, 'H1T2' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.A1_0 AS A1_0, t4.A1_2 AS A1_2
+  FROM (
+    SELECT Id, A1_0 FROM (
+      SELECT Id, A1_0, FKA1 FROM TabH1
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, A1_2 FROM (
+      SELECT Id, A1_2 FROM TabH1T2
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'H1T2') then H1T2(A1_0, A1_2, Id)
+
+-- query view: H1T3
+SELECT Id, A1_0, CAST(NULL AS VARCHAR(255)) AS A1_1, CAST(NULL AS VARCHAR(255)) AS A1_2, A1_3, 'H1T3' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.A1_0 AS A1_0, t4.A1_3 AS A1_3
+  FROM (
+    SELECT Id, A1_0 FROM (
+      SELECT Id, A1_0, FKA1 FROM TabH1
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, A1_3 FROM (
+      SELECT Id, A1_3 FROM TabH1T3
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'H1T3') then H1T3(A1_0, A1_3, Id)
+
+-- query view: H2T0
+SELECT Id, A2_0, A2_1, A2_2, "__type" FROM (
+  SELECT Id, A2_0, CAST(NULL AS VARCHAR(255)) AS A2_1, CAST(NULL AS VARCHAR(255)) AS A2_2, 'H2T0' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT t9.Id AS Id, t9.A2_0 AS A2_0, t9."__is_H2T1" AS "__is_H2T1", t10."__is_H2T2" AS "__is_H2T2"
+      FROM (
+        SELECT t5.Id AS Id, t5.A2_0 AS A2_0, t6."__is_H2T1" AS "__is_H2T1"
+        FROM (
+          SELECT Id, A2_0 FROM (
+            SELECT * FROM (
+              SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+            ) AS t1 WHERE Disc = 'H2T0'
+          ) AS t2
+        ) AS t5 LEFT OUTER JOIN (
+          SELECT Id, true AS "__is_H2T1" FROM (
+            SELECT * FROM (
+              SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+            ) AS t3 WHERE Disc = 'H2T1'
+          ) AS t4
+        ) AS t6 ON t5.Id = t6.Id
+      ) AS t9 LEFT OUTER JOIN (
+        SELECT Id, true AS "__is_H2T2" FROM (
+          SELECT * FROM (
+            SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+          ) AS t7 WHERE Disc = 'H2T2'
+        ) AS t8
+      ) AS t10 ON t9.Id = t10.Id
+    ) AS t11 WHERE "__is_H2T1" IS NULL AND "__is_H2T2" IS NULL
+  ) AS t12
+) AS t13
+UNION ALL
+SELECT Id, A2_0, A2_1, A2_2, "__type" FROM (
+  SELECT Id, A2_0, A2_1, CAST(NULL AS VARCHAR(255)) AS A2_2, 'H2T1' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+    ) AS t14 WHERE Disc = 'H2T1'
+  ) AS t15
+) AS t16
+UNION ALL
+SELECT Id, A2_0, A2_1, A2_2, "__type" FROM (
+  SELECT Id, A2_0, CAST(NULL AS VARCHAR(255)) AS A2_1, A2_2, 'H2T2' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+    ) AS t17 WHERE Disc = 'H2T2'
+  ) AS t18
+) AS t19;
+-- constructor:
+--   if (__type = 'H2T0') then H2T0(A2_0, Id)
+--   else if (__type = 'H2T1') then H2T1(A2_0, A2_1, Id)
+--   else if (__type = 'H2T2') then H2T2(A2_0, A2_2, Id)
+
+-- query view: H2T1
+SELECT Id, A2_0, A2_1, CAST(NULL AS VARCHAR(255)) AS A2_2, 'H2T1' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+  ) AS t1 WHERE Disc = 'H2T1'
+) AS t2;
+-- constructor:
+--   if (__type = 'H2T1') then H2T1(A2_0, A2_1, Id)
+
+-- query view: H2T2
+SELECT Id, A2_0, CAST(NULL AS VARCHAR(255)) AS A2_1, A2_2, 'H2T2' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+  ) AS t1 WHERE Disc = 'H2T2'
+) AS t2;
+-- constructor:
+--   if (__type = 'H2T2') then H2T2(A2_0, A2_2, Id)
+
+-- association view: Assoc0
+SELECT Id AS H0T0_Id, FKA0 AS H1T0_Id FROM (
+  SELECT * FROM (
+    SELECT Id, A0_0, A0_1, A0_2, A0_3, A0_4, Disc, FKA0 FROM TabH0
+  ) AS t1 WHERE FKA0 IS NOT NULL
+) AS t2;
+
+-- association view: Assoc1
+SELECT Id AS H1T0_Id, FKA1 AS H2T0_Id FROM (
+  SELECT * FROM (
+    SELECT Id, A1_0, FKA1 FROM TabH1
+  ) AS t1 WHERE FKA1 IS NOT NULL
+) AS t2;
+
+-- association view: Assoc2
+SELECT Id AS H2T0_Id, FKA2 AS H0T0_Id FROM (
+  SELECT * FROM (
+    SELECT Id, A2_0, A2_1, A2_2, Disc, FKA2 FROM TabH2
+  ) AS t1 WHERE FKA2 IS NOT NULL
+) AS t2;

@@ -1,0 +1,194 @@
+-- DDL
+CREATE TABLE AllTypes (
+  Id BIGINT NOT NULL,
+  H0 VARCHAR(255),
+  R0_0 VARCHAR(255),
+  FK0_0 BIGINT,
+  R0_1 VARCHAR(255),
+  FK0_1 BIGINT,
+  H1 VARCHAR(255),
+  R1_0 VARCHAR(255),
+  FK1_0 BIGINT,
+  R1_1 VARCHAR(255),
+  FK1_1 BIGINT,
+  Disc VARCHAR(255) NOT NULL,
+  PRIMARY KEY (Id)
+);
+
+-- query view: Hub0
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Hub0' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT t21.Id AS Id, t21.H0 AS H0, t21."__is_Hub1" AS "__is_Hub1", t21."__is_Rim0_0" AS "__is_Rim0_0", t21."__is_Rim0_1" AS "__is_Rim0_1", t21."__is_Rim1_0" AS "__is_Rim1_0", t22."__is_Rim1_1" AS "__is_Rim1_1"
+      FROM (
+        SELECT t17.Id AS Id, t17.H0 AS H0, t17."__is_Hub1" AS "__is_Hub1", t17."__is_Rim0_0" AS "__is_Rim0_0", t17."__is_Rim0_1" AS "__is_Rim0_1", t18."__is_Rim1_0" AS "__is_Rim1_0"
+        FROM (
+          SELECT t13.Id AS Id, t13.H0 AS H0, t13."__is_Hub1" AS "__is_Hub1", t13."__is_Rim0_0" AS "__is_Rim0_0", t14."__is_Rim0_1" AS "__is_Rim0_1"
+          FROM (
+            SELECT t9.Id AS Id, t9.H0 AS H0, t9."__is_Hub1" AS "__is_Hub1", t10."__is_Rim0_0" AS "__is_Rim0_0"
+            FROM (
+              SELECT t5.Id AS Id, t5.H0 AS H0, t6."__is_Hub1" AS "__is_Hub1"
+              FROM (
+                SELECT Id, H0 FROM (
+                  SELECT * FROM (
+                    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+                  ) AS t1 WHERE Disc = 'Hub0'
+                ) AS t2
+              ) AS t5 LEFT OUTER JOIN (
+                SELECT Id, true AS "__is_Hub1" FROM (
+                  SELECT * FROM (
+                    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+                  ) AS t3 WHERE Disc = 'Hub1'
+                ) AS t4
+              ) AS t6 ON t5.Id = t6.Id
+            ) AS t9 LEFT OUTER JOIN (
+              SELECT Id, true AS "__is_Rim0_0" FROM (
+                SELECT * FROM (
+                  SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+                ) AS t7 WHERE Disc = 'Rim0_0'
+              ) AS t8
+            ) AS t10 ON t9.Id = t10.Id
+          ) AS t13 LEFT OUTER JOIN (
+            SELECT Id, true AS "__is_Rim0_1" FROM (
+              SELECT * FROM (
+                SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+              ) AS t11 WHERE Disc = 'Rim0_1'
+            ) AS t12
+          ) AS t14 ON t13.Id = t14.Id
+        ) AS t17 LEFT OUTER JOIN (
+          SELECT Id, true AS "__is_Rim1_0" FROM (
+            SELECT * FROM (
+              SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+            ) AS t15 WHERE Disc = 'Rim1_0'
+          ) AS t16
+        ) AS t18 ON t17.Id = t18.Id
+      ) AS t21 LEFT OUTER JOIN (
+        SELECT Id, true AS "__is_Rim1_1" FROM (
+          SELECT * FROM (
+            SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+          ) AS t19 WHERE Disc = 'Rim1_1'
+        ) AS t20
+      ) AS t22 ON t21.Id = t22.Id
+    ) AS t23 WHERE "__is_Hub1" IS NULL AND "__is_Rim0_0" IS NULL AND "__is_Rim0_1" IS NULL AND "__is_Rim1_0" IS NULL AND "__is_Rim1_1" IS NULL
+  ) AS t24
+) AS t25
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Hub1' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+    ) AS t26 WHERE Disc = 'Hub1'
+  ) AS t27
+) AS t28
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_0' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+    ) AS t29 WHERE Disc = 'Rim0_0'
+  ) AS t30
+) AS t31
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_1' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+    ) AS t32 WHERE Disc = 'Rim0_1'
+  ) AS t33
+) AS t34
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim1_0' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+    ) AS t35 WHERE Disc = 'Rim1_0'
+  ) AS t36
+) AS t37
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, R1_1, 'Rim1_1' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+    ) AS t38 WHERE Disc = 'Rim1_1'
+  ) AS t39
+) AS t40;
+-- constructor:
+--   if (__type = 'Hub0') then Hub0(H0, Id)
+--   else if (__type = 'Hub1') then Hub1(H0, H1, Id)
+--   else if (__type = 'Rim0_0') then Rim0_0(H0, Id, R0_0)
+--   else if (__type = 'Rim0_1') then Rim0_1(H0, Id, R0_1)
+--   else if (__type = 'Rim1_0') then Rim1_0(H0, Id, R1_0)
+--   else if (__type = 'Rim1_1') then Rim1_1(H0, Id, R1_1)
+
+-- query view: Hub1
+SELECT Id, H0, H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Hub1' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE Disc = 'Hub1'
+) AS t2;
+-- constructor:
+--   if (__type = 'Hub1') then Hub1(H0, H1, Id)
+
+-- query view: Rim0_0
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_0' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE Disc = 'Rim0_0'
+) AS t2;
+-- constructor:
+--   if (__type = 'Rim0_0') then Rim0_0(H0, Id, R0_0)
+
+-- query view: Rim0_1
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_1' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE Disc = 'Rim0_1'
+) AS t2;
+-- constructor:
+--   if (__type = 'Rim0_1') then Rim0_1(H0, Id, R0_1)
+
+-- query view: Rim1_0
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim1_0' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE Disc = 'Rim1_0'
+) AS t2;
+-- constructor:
+--   if (__type = 'Rim1_0') then Rim1_0(H0, Id, R1_0)
+
+-- query view: Rim1_1
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, R1_1, 'Rim1_1' AS "__type" FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE Disc = 'Rim1_1'
+) AS t2;
+-- constructor:
+--   if (__type = 'Rim1_1') then Rim1_1(H0, Id, R1_1)
+
+-- association view: A0_0
+SELECT Id AS Rim0_0_Id, FK0_0 AS Hub0_Id FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE FK0_0 IS NOT NULL
+) AS t2;
+
+-- association view: A0_1
+SELECT Id AS Rim0_1_Id, FK0_1 AS Hub0_Id FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE FK0_1 IS NOT NULL
+) AS t2;
+
+-- association view: A1_0
+SELECT Id AS Rim1_0_Id, FK1_0 AS Hub1_Id FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE FK1_0 IS NOT NULL
+) AS t2;
+
+-- association view: A1_1
+SELECT Id AS Rim1_1_Id, FK1_1 AS Hub1_Id FROM (
+  SELECT * FROM (
+    SELECT Id, H0, R0_0, FK0_0, R0_1, FK0_1, H1, R1_0, FK1_0, R1_1, FK1_1, Disc FROM AllTypes
+  ) AS t1 WHERE FK1_1 IS NOT NULL
+) AS t2;

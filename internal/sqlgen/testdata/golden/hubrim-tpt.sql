@@ -1,0 +1,330 @@
+-- DDL
+CREATE TABLE T_Hub0 (
+  Id BIGINT NOT NULL,
+  H0 VARCHAR(255),
+  PRIMARY KEY (Id)
+);
+
+CREATE TABLE T_Hub1 (
+  Id BIGINT NOT NULL,
+  H1 VARCHAR(255),
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Hub1 FOREIGN KEY (Id) REFERENCES T_Hub0 (Id)
+);
+
+CREATE TABLE T_Rim0_0 (
+  Id BIGINT NOT NULL,
+  R0_0 VARCHAR(255),
+  FK0_0 BIGINT,
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Rim0_0 FOREIGN KEY (Id) REFERENCES T_Hub0 (Id),
+  CONSTRAINT fk_a0_0 FOREIGN KEY (FK0_0) REFERENCES T_Hub0 (Id)
+);
+
+CREATE TABLE T_Rim0_1 (
+  Id BIGINT NOT NULL,
+  R0_1 VARCHAR(255),
+  FK0_1 BIGINT,
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Rim0_1 FOREIGN KEY (Id) REFERENCES T_Hub0 (Id),
+  CONSTRAINT fk_a0_1 FOREIGN KEY (FK0_1) REFERENCES T_Hub0 (Id)
+);
+
+CREATE TABLE T_Rim1_0 (
+  Id BIGINT NOT NULL,
+  R1_0 VARCHAR(255),
+  FK1_0 BIGINT,
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Rim1_0 FOREIGN KEY (Id) REFERENCES T_Hub0 (Id),
+  CONSTRAINT fk_a1_0 FOREIGN KEY (FK1_0) REFERENCES T_Hub1 (Id)
+);
+
+CREATE TABLE T_Rim1_1 (
+  Id BIGINT NOT NULL,
+  R1_1 VARCHAR(255),
+  FK1_1 BIGINT,
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_Rim1_1 FOREIGN KEY (Id) REFERENCES T_Hub0 (Id),
+  CONSTRAINT fk_a1_1 FOREIGN KEY (FK1_1) REFERENCES T_Hub1 (Id)
+);
+
+-- query view: Hub0
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Hub0' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT t35.Id AS Id, t35.H0 AS H0, t35."__is_Hub1" AS "__is_Hub1", t35."__is_Rim0_0" AS "__is_Rim0_0", t35."__is_Rim0_1" AS "__is_Rim0_1", t35."__is_Rim1_0" AS "__is_Rim1_0", t36."__is_Rim1_1" AS "__is_Rim1_1"
+      FROM (
+        SELECT t28.Id AS Id, t28.H0 AS H0, t28."__is_Hub1" AS "__is_Hub1", t28."__is_Rim0_0" AS "__is_Rim0_0", t28."__is_Rim0_1" AS "__is_Rim0_1", t29."__is_Rim1_0" AS "__is_Rim1_0"
+        FROM (
+          SELECT t21.Id AS Id, t21.H0 AS H0, t21."__is_Hub1" AS "__is_Hub1", t21."__is_Rim0_0" AS "__is_Rim0_0", t22."__is_Rim0_1" AS "__is_Rim0_1"
+          FROM (
+            SELECT t14.Id AS Id, t14.H0 AS H0, t14."__is_Hub1" AS "__is_Hub1", t15."__is_Rim0_0" AS "__is_Rim0_0"
+            FROM (
+              SELECT t7.Id AS Id, t7.H0 AS H0, t8."__is_Hub1" AS "__is_Hub1"
+              FROM (
+                SELECT Id, H0 FROM (
+                  SELECT Id, H0 FROM T_Hub0
+                ) AS t1
+              ) AS t7 LEFT OUTER JOIN (
+                SELECT Id, true AS "__is_Hub1" FROM (
+                  SELECT t4.Id AS Id, t4.H0 AS H0, t5.H1 AS H1
+                  FROM (
+                    SELECT Id, H0 FROM (
+                      SELECT Id, H0 FROM T_Hub0
+                    ) AS t2
+                  ) AS t4 INNER JOIN (
+                    SELECT Id, H1 FROM (
+                      SELECT Id, H1 FROM T_Hub1
+                    ) AS t3
+                  ) AS t5 ON t4.Id = t5.Id
+                ) AS t6
+              ) AS t8 ON t7.Id = t8.Id
+            ) AS t14 LEFT OUTER JOIN (
+              SELECT Id, true AS "__is_Rim0_0" FROM (
+                SELECT t11.Id AS Id, t11.H0 AS H0, t12.R0_0 AS R0_0
+                FROM (
+                  SELECT Id, H0 FROM (
+                    SELECT Id, H0 FROM T_Hub0
+                  ) AS t9
+                ) AS t11 INNER JOIN (
+                  SELECT Id, R0_0 FROM (
+                    SELECT Id, R0_0, FK0_0 FROM T_Rim0_0
+                  ) AS t10
+                ) AS t12 ON t11.Id = t12.Id
+              ) AS t13
+            ) AS t15 ON t14.Id = t15.Id
+          ) AS t21 LEFT OUTER JOIN (
+            SELECT Id, true AS "__is_Rim0_1" FROM (
+              SELECT t18.Id AS Id, t18.H0 AS H0, t19.R0_1 AS R0_1
+              FROM (
+                SELECT Id, H0 FROM (
+                  SELECT Id, H0 FROM T_Hub0
+                ) AS t16
+              ) AS t18 INNER JOIN (
+                SELECT Id, R0_1 FROM (
+                  SELECT Id, R0_1, FK0_1 FROM T_Rim0_1
+                ) AS t17
+              ) AS t19 ON t18.Id = t19.Id
+            ) AS t20
+          ) AS t22 ON t21.Id = t22.Id
+        ) AS t28 LEFT OUTER JOIN (
+          SELECT Id, true AS "__is_Rim1_0" FROM (
+            SELECT t25.Id AS Id, t25.H0 AS H0, t26.R1_0 AS R1_0
+            FROM (
+              SELECT Id, H0 FROM (
+                SELECT Id, H0 FROM T_Hub0
+              ) AS t23
+            ) AS t25 INNER JOIN (
+              SELECT Id, R1_0 FROM (
+                SELECT Id, R1_0, FK1_0 FROM T_Rim1_0
+              ) AS t24
+            ) AS t26 ON t25.Id = t26.Id
+          ) AS t27
+        ) AS t29 ON t28.Id = t29.Id
+      ) AS t35 LEFT OUTER JOIN (
+        SELECT Id, true AS "__is_Rim1_1" FROM (
+          SELECT t32.Id AS Id, t32.H0 AS H0, t33.R1_1 AS R1_1
+          FROM (
+            SELECT Id, H0 FROM (
+              SELECT Id, H0 FROM T_Hub0
+            ) AS t30
+          ) AS t32 INNER JOIN (
+            SELECT Id, R1_1 FROM (
+              SELECT Id, R1_1, FK1_1 FROM T_Rim1_1
+            ) AS t31
+          ) AS t33 ON t32.Id = t33.Id
+        ) AS t34
+      ) AS t36 ON t35.Id = t36.Id
+    ) AS t37 WHERE "__is_Hub1" IS NULL AND "__is_Rim0_0" IS NULL AND "__is_Rim0_1" IS NULL AND "__is_Rim1_0" IS NULL AND "__is_Rim1_1" IS NULL
+  ) AS t38
+) AS t39
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Hub1' AS "__type" FROM (
+    SELECT t42.Id AS Id, t42.H0 AS H0, t43.H1 AS H1
+    FROM (
+      SELECT Id, H0 FROM (
+        SELECT Id, H0 FROM T_Hub0
+      ) AS t40
+    ) AS t42 INNER JOIN (
+      SELECT Id, H1 FROM (
+        SELECT Id, H1 FROM T_Hub1
+      ) AS t41
+    ) AS t43 ON t42.Id = t43.Id
+  ) AS t44
+) AS t45
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_0' AS "__type" FROM (
+    SELECT t48.Id AS Id, t48.H0 AS H0, t49.R0_0 AS R0_0
+    FROM (
+      SELECT Id, H0 FROM (
+        SELECT Id, H0 FROM T_Hub0
+      ) AS t46
+    ) AS t48 INNER JOIN (
+      SELECT Id, R0_0 FROM (
+        SELECT Id, R0_0, FK0_0 FROM T_Rim0_0
+      ) AS t47
+    ) AS t49 ON t48.Id = t49.Id
+  ) AS t50
+) AS t51
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_1' AS "__type" FROM (
+    SELECT t54.Id AS Id, t54.H0 AS H0, t55.R0_1 AS R0_1
+    FROM (
+      SELECT Id, H0 FROM (
+        SELECT Id, H0 FROM T_Hub0
+      ) AS t52
+    ) AS t54 INNER JOIN (
+      SELECT Id, R0_1 FROM (
+        SELECT Id, R0_1, FK0_1 FROM T_Rim0_1
+      ) AS t53
+    ) AS t55 ON t54.Id = t55.Id
+  ) AS t56
+) AS t57
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim1_0' AS "__type" FROM (
+    SELECT t60.Id AS Id, t60.H0 AS H0, t61.R1_0 AS R1_0
+    FROM (
+      SELECT Id, H0 FROM (
+        SELECT Id, H0 FROM T_Hub0
+      ) AS t58
+    ) AS t60 INNER JOIN (
+      SELECT Id, R1_0 FROM (
+        SELECT Id, R1_0, FK1_0 FROM T_Rim1_0
+      ) AS t59
+    ) AS t61 ON t60.Id = t61.Id
+  ) AS t62
+) AS t63
+UNION ALL
+SELECT Id, H0, H1, R0_0, R0_1, R1_0, R1_1, "__type" FROM (
+  SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, R1_1, 'Rim1_1' AS "__type" FROM (
+    SELECT t66.Id AS Id, t66.H0 AS H0, t67.R1_1 AS R1_1
+    FROM (
+      SELECT Id, H0 FROM (
+        SELECT Id, H0 FROM T_Hub0
+      ) AS t64
+    ) AS t66 INNER JOIN (
+      SELECT Id, R1_1 FROM (
+        SELECT Id, R1_1, FK1_1 FROM T_Rim1_1
+      ) AS t65
+    ) AS t67 ON t66.Id = t67.Id
+  ) AS t68
+) AS t69;
+-- constructor:
+--   if (__type = 'Hub0') then Hub0(H0, Id)
+--   else if (__type = 'Hub1') then Hub1(H0, H1, Id)
+--   else if (__type = 'Rim0_0') then Rim0_0(H0, Id, R0_0)
+--   else if (__type = 'Rim0_1') then Rim0_1(H0, Id, R0_1)
+--   else if (__type = 'Rim1_0') then Rim1_0(H0, Id, R1_0)
+--   else if (__type = 'Rim1_1') then Rim1_1(H0, Id, R1_1)
+
+-- query view: Hub1
+SELECT Id, H0, H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Hub1' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.H0 AS H0, t4.H1 AS H1
+  FROM (
+    SELECT Id, H0 FROM (
+      SELECT Id, H0 FROM T_Hub0
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, H1 FROM (
+      SELECT Id, H1 FROM T_Hub1
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'Hub1') then Hub1(H0, H1, Id)
+
+-- query view: Rim0_0
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_0' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.H0 AS H0, t4.R0_0 AS R0_0
+  FROM (
+    SELECT Id, H0 FROM (
+      SELECT Id, H0 FROM T_Hub0
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, R0_0 FROM (
+      SELECT Id, R0_0, FK0_0 FROM T_Rim0_0
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'Rim0_0') then Rim0_0(H0, Id, R0_0)
+
+-- query view: Rim0_1
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim0_1' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.H0 AS H0, t4.R0_1 AS R0_1
+  FROM (
+    SELECT Id, H0 FROM (
+      SELECT Id, H0 FROM T_Hub0
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, R0_1 FROM (
+      SELECT Id, R0_1, FK0_1 FROM T_Rim0_1
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'Rim0_1') then Rim0_1(H0, Id, R0_1)
+
+-- query view: Rim1_0
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, R1_0, CAST(NULL AS VARCHAR(255)) AS R1_1, 'Rim1_0' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.H0 AS H0, t4.R1_0 AS R1_0
+  FROM (
+    SELECT Id, H0 FROM (
+      SELECT Id, H0 FROM T_Hub0
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, R1_0 FROM (
+      SELECT Id, R1_0, FK1_0 FROM T_Rim1_0
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'Rim1_0') then Rim1_0(H0, Id, R1_0)
+
+-- query view: Rim1_1
+SELECT Id, H0, CAST(NULL AS VARCHAR(255)) AS H1, CAST(NULL AS VARCHAR(255)) AS R0_0, CAST(NULL AS VARCHAR(255)) AS R0_1, CAST(NULL AS VARCHAR(255)) AS R1_0, R1_1, 'Rim1_1' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.H0 AS H0, t4.R1_1 AS R1_1
+  FROM (
+    SELECT Id, H0 FROM (
+      SELECT Id, H0 FROM T_Hub0
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, R1_1 FROM (
+      SELECT Id, R1_1, FK1_1 FROM T_Rim1_1
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'Rim1_1') then Rim1_1(H0, Id, R1_1)
+
+-- association view: A0_0
+SELECT Id AS Rim0_0_Id, FK0_0 AS Hub0_Id FROM (
+  SELECT * FROM (
+    SELECT Id, R0_0, FK0_0 FROM T_Rim0_0
+  ) AS t1 WHERE FK0_0 IS NOT NULL
+) AS t2;
+
+-- association view: A0_1
+SELECT Id AS Rim0_1_Id, FK0_1 AS Hub0_Id FROM (
+  SELECT * FROM (
+    SELECT Id, R0_1, FK0_1 FROM T_Rim0_1
+  ) AS t1 WHERE FK0_1 IS NOT NULL
+) AS t2;
+
+-- association view: A1_0
+SELECT Id AS Rim1_0_Id, FK1_0 AS Hub1_Id FROM (
+  SELECT * FROM (
+    SELECT Id, R1_0, FK1_0 FROM T_Rim1_0
+  ) AS t1 WHERE FK1_0 IS NOT NULL
+) AS t2;
+
+-- association view: A1_1
+SELECT Id AS Rim1_1_Id, FK1_1 AS Hub1_Id FROM (
+  SELECT * FROM (
+    SELECT Id, R1_1, FK1_1 FROM T_Rim1_1
+  ) AS t1 WHERE FK1_1 IS NOT NULL
+) AS t2;

@@ -1,0 +1,112 @@
+-- DDL
+CREATE TABLE HR (
+  Id BIGINT NOT NULL,
+  Name VARCHAR(255),
+  PRIMARY KEY (Id)
+);
+
+CREATE TABLE Emp (
+  Id BIGINT NOT NULL,
+  Dept VARCHAR(255),
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_emp_hr FOREIGN KEY (Id) REFERENCES HR (Id)
+);
+
+CREATE TABLE Client (
+  Cid BIGINT NOT NULL,
+  Eid BIGINT,
+  Name VARCHAR(255),
+  Score BIGINT,
+  Addr VARCHAR(255),
+  PRIMARY KEY (Cid),
+  CONSTRAINT fk_client_emp FOREIGN KEY (Eid) REFERENCES Emp (Id)
+);
+
+-- query view: Customer
+SELECT Cid AS Id, Name, CAST(NULL AS VARCHAR(255)) AS Department, Score AS CredScore, Addr AS BillAddr, 'Customer' AS "__type" FROM (
+  SELECT Cid, Eid, Name, Score, Addr FROM Client
+) AS t1;
+-- constructor:
+--   if (__type = 'Customer') then Customer(BillAddr, CredScore, Id, Name)
+
+-- query view: Employee
+SELECT Id, Name, Department, CAST(NULL AS BIGINT) AS CredScore, CAST(NULL AS VARCHAR(255)) AS BillAddr, 'Employee' AS "__type" FROM (
+  SELECT t3.Id AS Id, t3.Name AS Name, t4.Department AS Department
+  FROM (
+    SELECT Id, Name FROM (
+      SELECT Id, Name FROM HR
+    ) AS t1
+  ) AS t3 INNER JOIN (
+    SELECT Id, Dept AS Department FROM (
+      SELECT Id, Dept FROM Emp
+    ) AS t2
+  ) AS t4 ON t3.Id = t4.Id
+) AS t5;
+-- constructor:
+--   if (__type = 'Employee') then Employee(Department, Id, Name)
+
+-- query view: Person
+SELECT Id, Name, Department, CredScore, BillAddr, "__type" FROM (
+  SELECT Id, Name, CAST(NULL AS VARCHAR(255)) AS Department, CAST(NULL AS BIGINT) AS CredScore, CAST(NULL AS VARCHAR(255)) AS BillAddr, 'Person' AS "__type" FROM (
+    SELECT * FROM (
+      SELECT t10.Id AS Id, t10.Name AS Name, t10."__is_Employee" AS "__is_Employee", t11."__is_Customer" AS "__is_Customer"
+      FROM (
+        SELECT t7.Id AS Id, t7.Name AS Name, t8."__is_Employee" AS "__is_Employee"
+        FROM (
+          SELECT Id, Name FROM (
+            SELECT Id, Name FROM HR
+          ) AS t1
+        ) AS t7 LEFT OUTER JOIN (
+          SELECT Id, true AS "__is_Employee" FROM (
+            SELECT t4.Id AS Id, t4.Name AS Name, t5.Department AS Department
+            FROM (
+              SELECT Id, Name FROM (
+                SELECT Id, Name FROM HR
+              ) AS t2
+            ) AS t4 INNER JOIN (
+              SELECT Id, Dept AS Department FROM (
+                SELECT Id, Dept FROM Emp
+              ) AS t3
+            ) AS t5 ON t4.Id = t5.Id
+          ) AS t6
+        ) AS t8 ON t7.Id = t8.Id
+      ) AS t10 LEFT OUTER JOIN (
+        SELECT Cid AS Id, true AS "__is_Customer" FROM (
+          SELECT Cid, Eid, Name, Score, Addr FROM Client
+        ) AS t9
+      ) AS t11 ON t10.Id = t11.Id
+    ) AS t12 WHERE "__is_Employee" IS NULL AND "__is_Customer" IS NULL
+  ) AS t13
+) AS t14
+UNION ALL
+SELECT Id, Name, Department, CredScore, BillAddr, "__type" FROM (
+  SELECT Id, Name, Department, CAST(NULL AS BIGINT) AS CredScore, CAST(NULL AS VARCHAR(255)) AS BillAddr, 'Employee' AS "__type" FROM (
+    SELECT t17.Id AS Id, t17.Name AS Name, t18.Department AS Department
+    FROM (
+      SELECT Id, Name FROM (
+        SELECT Id, Name FROM HR
+      ) AS t15
+    ) AS t17 INNER JOIN (
+      SELECT Id, Dept AS Department FROM (
+        SELECT Id, Dept FROM Emp
+      ) AS t16
+    ) AS t18 ON t17.Id = t18.Id
+  ) AS t19
+) AS t20
+UNION ALL
+SELECT Id, Name, Department, CredScore, BillAddr, "__type" FROM (
+  SELECT Cid AS Id, Name, CAST(NULL AS VARCHAR(255)) AS Department, Score AS CredScore, Addr AS BillAddr, 'Customer' AS "__type" FROM (
+    SELECT Cid, Eid, Name, Score, Addr FROM Client
+  ) AS t21
+) AS t22;
+-- constructor:
+--   if (__type = 'Person') then Person(Id, Name)
+--   else if (__type = 'Employee') then Employee(Department, Id, Name)
+--   else if (__type = 'Customer') then Customer(BillAddr, CredScore, Id, Name)
+
+-- association view: Supports
+SELECT Cid AS Customer_Id, Eid AS Employee_Id FROM (
+  SELECT * FROM (
+    SELECT Cid, Eid, Name, Score, Addr FROM Client
+  ) AS t1 WHERE Eid IS NOT NULL
+) AS t2;

@@ -1,0 +1,30 @@
+-- DDL
+CREATE TABLE HR (
+  Id BIGINT NOT NULL,
+  Name VARCHAR(255),
+  PRIMARY KEY (Id)
+);
+
+CREATE TABLE Emp (
+  Id BIGINT NOT NULL,
+  Dept VARCHAR(255),
+  PRIMARY KEY (Id),
+  CONSTRAINT fk_emp_hr FOREIGN KEY (Id) REFERENCES HR (Id)
+);
+
+CREATE TABLE Client (
+  Cid BIGINT NOT NULL,
+  Eid BIGINT,
+  Name VARCHAR(255),
+  Score BIGINT,
+  Addr VARCHAR(255),
+  PRIMARY KEY (Cid),
+  CONSTRAINT fk_client_emp FOREIGN KEY (Eid) REFERENCES Emp (Id)
+);
+
+-- query view: Person
+SELECT Id, Name, 'Person' AS "__type" FROM (
+  SELECT Id, Name FROM HR
+) AS t1;
+-- constructor:
+--   if (__type = 'Person') then Person(Id, Name)

@@ -1,0 +1,71 @@
+package xver_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/ormkit/incmap/internal/edm"
+	"github.com/ormkit/incmap/internal/exec"
+	"github.com/ormkit/incmap/internal/modef"
+	"github.com/ormkit/incmap/internal/orm"
+	"github.com/ormkit/incmap/internal/state"
+	"github.com/ormkit/incmap/internal/xver"
+)
+
+// TestReadClientStreamEqualsReadClient holds the streaming cross-version
+// read to the materializing one on every additive evolution shape: a
+// version-k client reading the version-k+1 store sees the same entities
+// and associations through either path, including Visible-mode skipping
+// of new-only types.
+func TestReadClientStreamEqualsReadClient(t *testing.T) {
+	cases := []struct {
+		name   string
+		evolve func(t *testing.T, g xver.Gen) xver.Gen
+	}{
+		{"add-entity-tph", addEntity(modef.TPH)},
+		{"add-entity-tpt", addEntity(modef.TPT)},
+		{"add-assoc-fk", addAssoc(edm.Many, edm.ZeroOne)},
+		{"add-assoc-jt", addAssoc(edm.Many, edm.Many)},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old, cur := chainGens(t, tc.evolve)
+			plan, err := xver.Compile(old, cur, xver.Strategies{})
+			if err != nil {
+				t.Fatalf("compiling plan: %v", err)
+			}
+			for seed := uint32(1); seed <= 3; seed++ {
+				// A new-version store holding a new-version state: the cross
+				// reads must skip new-only rows identically on both paths.
+				cs := orm.RandomState(cur.M, seed, 3)
+				ss, err := orm.Materialize(cur.M, cur.V, cs)
+				if err != nil {
+					t.Fatalf("seed %d: materializing new store: %v", seed, err)
+				}
+				want, err := plan.ReadClient(ss)
+				if err != nil {
+					t.Fatalf("seed %d: ReadClient: %v", seed, err)
+				}
+				for _, batch := range []int{1, 3, 0} {
+					got, err := plan.ReadClientStream(ctx, exec.RingFromState(ss, 2), exec.Options{BatchSize: batch})
+					if err != nil {
+						t.Fatalf("seed %d batch %d: ReadClientStream: %v", seed, batch, err)
+					}
+					if d := state.Diff(want, got); d != "" {
+						t.Fatalf("seed %d batch %d: streaming cross-read differs:\n%s", seed, batch, d)
+					}
+				}
+				counts, err := plan.CountEntitiesStream(ctx, exec.NewMapStore(ss), exec.Options{})
+				if err != nil {
+					t.Fatalf("seed %d: CountEntitiesStream: %v", seed, err)
+				}
+				for set, ents := range want.Entities {
+					if counts[set] != len(ents) {
+						t.Fatalf("seed %d: set %s counted %d streaming, %d materializing", seed, set, counts[set], len(ents))
+					}
+				}
+			}
+		})
+	}
+}

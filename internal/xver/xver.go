@@ -397,7 +397,7 @@ func (p *Plan) ReadClient(ss *state.StoreState) (*state.ClientState, error) {
 			return nil, fmt.Errorf("xver: cross-read view for %s: %w", setName, err)
 		}
 		for _, row := range res.Rows {
-			if e, ok := constructVisible(v.Cases, row); ok {
+			if e, ok := cqt.ConstructVisible(v.Cases, row); ok {
 				cs.Insert(setName, e)
 			}
 		}
@@ -417,24 +417,6 @@ func (p *Plan) ReadClient(ss *state.StoreState) (*state.ClientState, error) {
 		}
 	}
 	return cs, nil
-}
-
-// constructVisible applies the restricted constructor; a row matching no
-// case belongs to a newer version and is invisible.
-func constructVisible(cases []cqt.Case, row state.Row) (*state.Entity, bool) {
-	for _, c := range cases {
-		if !cond.EvalOn(cond.FreeTheory, c.When, state.RowInstance{R: row}) {
-			continue
-		}
-		attrs := state.Row{}
-		for attr, col := range c.Attrs {
-			if val, ok := row[col]; ok {
-				attrs[attr] = val
-			}
-		}
-		return &state.Entity{Type: c.Type, Attrs: attrs}, true
-	}
-	return nil, false
 }
 
 // WriteClient materializes a version-k client state into the version-k+1
